@@ -1,0 +1,107 @@
+// Ablation A2 (DESIGN.md): IDB's delta parameter -- quality vs runtime --
+// and the paper's "IDB runs much slower [than RFH]" claim, measured with
+// google-benchmark.
+//
+// Table: solution quality per delta. Benchmarks: wall time per solver.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+
+using namespace wrsn;
+
+namespace {
+
+/// One shared mid-size instance so timings are comparable.
+const core::Instance& shared_instance() {
+  static const core::Instance inst = [] {
+    util::Rng rng(4242);
+    return bench::make_paper_instance(50, 200, 350.0, 3, rng);
+  }();
+  return inst;
+}
+
+void BM_Rfh(benchmark::State& state) {
+  const auto& inst = shared_instance();
+  core::RfhOptions options;
+  options.iterations = static_cast<int>(state.range(0));
+  double cost = 0.0;
+  for (auto _ : state) {
+    cost = core::solve_rfh(inst, options).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["cost_uJ"] = cost * 1e6;
+}
+BENCHMARK(BM_Rfh)->Arg(1)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_Idb(benchmark::State& state) {
+  const auto& inst = shared_instance();
+  core::IdbOptions options;
+  options.delta = static_cast<int>(state.range(0));
+  double cost = 0.0;
+  for (auto _ : state) {
+    cost = core::solve_idb(inst, options).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["cost_uJ"] = cost * 1e6;
+}
+BENCHMARK(BM_Idb)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int runs = args.runs_or(3);
+
+  // Quality sweep across delta. delta=4 enumerates C(N+3,4) candidates per
+  // round and takes ~30s; it only runs at --scale=paper.
+  util::Table table({"solver", "cost [uJ]", "evaluations", "time [s]"});
+  const std::vector<int> deltas = args.paper_scale() ? std::vector<int>{1, 2, 4}
+                                                     : std::vector<int>{1, 2};
+  for (const int delta : deltas) {
+    util::RunningStats cost;
+    util::RunningStats evals;
+    util::RunningStats seconds;
+    for (int run = 0; run < runs; ++run) {
+      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+      const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
+      util::Timer timer;
+      const auto result = core::solve_idb(inst, core::IdbOptions{delta, false});
+      seconds.add(timer.elapsed_seconds());
+      cost.add(result.cost * 1e6);
+      evals.add(static_cast<double>(result.evaluations));
+    }
+    table.begin_row()
+        .add("IDB delta=" + std::to_string(delta))
+        .add(cost.mean(), 4)
+        .add(evals.mean(), 0)
+        .add(seconds.mean(), 4);
+  }
+  {
+    util::RunningStats cost;
+    util::RunningStats seconds;
+    for (int run = 0; run < runs; ++run) {
+      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+      const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
+      util::Timer timer;
+      cost.add(core::solve_rfh(inst).cost * 1e6);
+      seconds.add(timer.elapsed_seconds());
+    }
+    table.begin_row().add("RFH (7 iters)").add(cost.mean(), 4).add("-").add(seconds.mean(), 4);
+  }
+  bench::emit(table, args,
+              "Ablation: IDB delta quality/runtime (N=40, M=120, avg of " +
+                  std::to_string(runs) + " fields)");
+
+  // google-benchmark timing section: forward only --benchmark_* flags so
+  // our own flags do not confuse its parser.
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark", 0) == 0) bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

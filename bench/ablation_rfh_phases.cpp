@@ -1,0 +1,65 @@
+// Ablation A1 (DESIGN.md): what each RFH design choice buys.
+//
+// Toggles Phase II workload concentration, Phase III sibling merging, the
+// Phase IV workload definition, and the iterative refinement, on the Fig. 8
+// midpoint configuration (N=100, M=600, 500x500m).
+#include "common.hpp"
+#include "core/rfh.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
+
+  struct Variant {
+    const char* name;
+    core::RfhOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    core::RfhOptions base;
+    variants.push_back({"full RFH (7 iters)", base});
+    core::RfhOptions v = base;
+    v.iterations = 1;
+    variants.push_back({"basic RFH (1 iter)", v});
+    v = base;
+    v.concentrate_workload = false;
+    variants.push_back({"no Phase II concentration", v});
+    v = base;
+    v.merge_siblings = false;
+    variants.push_back({"no Phase III sibling merge", v});
+    v = base;
+    v.concentrate_workload = false;
+    v.merge_siblings = false;
+    variants.push_back({"plain SPT + Lagrange deploy", v});
+    v = base;
+    v.workload_kind = core::WorkloadKind::Bits;
+    variants.push_back({"Phase IV weights = bits (paper literal)", v});
+    v = base;
+    v.rx_in_weight = true;
+    variants.push_back({"Phase I weight includes e_r", v});
+  }
+
+  std::vector<util::RunningStats> costs(variants.size());
+  for (int run = 0; run < runs; ++run) {
+    util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+    const core::Instance inst = bench::make_paper_instance(100, 600, 500.0, 3, rng);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      costs[v].add(core::solve_rfh(inst, variants[v].options).cost * 1e6);
+    }
+  }
+
+  util::Table table({"variant", "cost [uJ]", "vs full RFH [%]"});
+  const double reference = costs[0].mean();
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    table.begin_row()
+        .add(variants[v].name)
+        .add(costs[v].mean(), 4)
+        .add((costs[v].mean() / reference - 1.0) * 100.0, 2);
+  }
+  bench::emit(table, args,
+              "Ablation: RFH phases (500x500m, N=100, M=600, avg of " + std::to_string(runs) +
+                  " fields)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --seed=<u64>   base RNG seed (default 42)
+//   --runs=<n>     replications per configuration (paper: 20 large / 5 small
+//                  / 40 field-experiment trials; defaults are chosen so the
+//                  whole bench suite finishes in minutes on a laptop)
+//   --scale=...    "default" or "paper" (paper = the exact sizes of the
+//                  paper, which can take much longer, mainly fig7's exact
+//                  search)
+//   --csv          also dump CSV after each table
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/instance.hpp"
+#include "geom/field.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "viz/chart.hpp"
+
+namespace wrsn::bench {
+
+struct BenchArgs {
+  std::int64_t seed = 42;
+  int runs = 0;  // 0 = per-bench default
+  std::string scale = "default";
+  bool csv = false;
+  std::string svg_dir;  // when set, benches write figure SVGs here
+
+  bool paper_scale() const { return scale == "paper"; }
+
+  /// Parses common flags; `extra` lets a bench register its own.
+  static BenchArgs parse(int argc, char** argv,
+                         const std::function<void(util::Flags&)>& extra = {}) {
+    BenchArgs args;
+    util::Flags flags;
+    flags.add_int64("seed", &args.seed, "base RNG seed");
+    flags.add_int("runs", &args.runs, "replications per configuration (0 = default)");
+    flags.add_string("scale", &args.scale, "default | paper");
+    flags.add_bool("csv", &args.csv, "also print CSV");
+    flags.add_string("svg-dir", &args.svg_dir, "write figure SVGs into this directory");
+    if (extra) extra(flags);
+    if (!flags.parse(argc, argv, /*allow_unknown=*/true)) std::exit(0);
+    return args;
+  }
+
+  int runs_or(int fallback) const { return runs > 0 ? runs : fallback; }
+};
+
+/// Square-field instance with the paper's radio/charging defaults;
+/// resamples the field until it is connected at d_max.
+inline core::Instance make_paper_instance(int posts, int nodes, double side, int levels,
+                                          util::Rng& rng, double eta = 0.01) {
+  geom::FieldConfig cfg;
+  cfg.width = side;
+  cfg.height = side;
+  cfg.num_posts = posts;
+  const auto radio = energy::RadioModel::uniform_levels(levels, 25.0);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const geom::Field field = geom::generate_field(cfg, rng);
+    if (!geom::is_connected(field, radio.max_range())) continue;
+    return core::Instance::geometric(field, radio, energy::ChargingModel::linear(eta), nodes);
+  }
+  throw std::runtime_error("could not sample a connected field");
+}
+
+/// Saves `chart` as <svg_dir>/<filename> when --svg-dir was given.
+inline void maybe_save_chart(const viz::LineChart& chart, const BenchArgs& args,
+                             const std::string& filename) {
+  if (args.svg_dir.empty()) return;
+  const std::string path = args.svg_dir + "/" + filename;
+  chart.save(path);
+  std::cout << "[svg] wrote " << path << "\n";
+}
+
+inline void emit(const util::Table& table, const BenchArgs& args, const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print_ascii(std::cout);
+  if (args.csv) {
+    std::cout << "-- csv --\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+}  // namespace wrsn::bench

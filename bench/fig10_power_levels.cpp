@@ -1,0 +1,75 @@
+// Reproduces Fig. 10: impact of the number of transmission power levels.
+//
+// Paper setup: 500m x 500m, M = 600 nodes, N = 200 posts, k in {3,4,5,6}
+// with ranges {25, 50, ..., 25k} m, average of 20 random fields. Finding:
+// the cost stays essentially flat in k -- the d^4 amplifier cost makes
+// short hops dominate, so extra long ranges go unused.
+#include <algorithm>
+
+#include "common.hpp"
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+#include "core/solution.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
+  const int nodes = 600;
+  const int posts = 200;
+  const double side = 500.0;
+  const std::vector<int> level_counts{3, 4, 5, 6};
+
+  util::Table table({"power levels", "IDB d=1 [uJ]", "RFH [uJ]",
+                     "max level used (RFH)", "share of hops at level >= 3 [%]"});
+  std::vector<double> xs;
+  std::vector<double> idb_series;
+  std::vector<double> rfh_series;
+  for (const int k : level_counts) {
+    util::RunningStats idb_cost;
+    util::RunningStats rfh_cost;
+    util::RunningStats max_level;
+    util::RunningStats long_hops;
+    for (int run = 0; run < runs; ++run) {
+      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+      const core::Instance inst = bench::make_paper_instance(posts, nodes, side, k, rng);
+      idb_cost.add(core::solve_idb(inst).cost * 1e6);
+      const auto rfh = core::solve_rfh(inst);
+      rfh_cost.add(rfh.cost * 1e6);
+      const auto levels = core::solution_levels(inst, rfh.solution);
+      int used_max = 0;
+      int longs = 0;
+      for (int level : levels) {
+        used_max = std::max(used_max, level);
+        longs += level >= 3 ? 1 : 0;
+      }
+      max_level.add(used_max + 1);  // 1-based for readability
+      long_hops.add(100.0 * longs / static_cast<double>(levels.size()));
+    }
+    table.begin_row()
+        .add(k)
+        .add(idb_cost.mean(), 4)
+        .add(rfh_cost.mean(), 4)
+        .add(max_level.mean(), 2)
+        .add(long_hops.mean(), 2);
+    xs.push_back(k);
+    idb_series.push_back(idb_cost.mean());
+    rfh_series.push_back(rfh_cost.mean());
+    std::printf("[fig10] finished k=%d\n", k);
+  }
+  bench::emit(table, args,
+              "Fig. 10: cost vs number of power levels (500x500m, N=200, M=600, avg of " +
+                  std::to_string(runs) + " fields)");
+  {
+    viz::ChartOptions options;
+    options.title = "Fig. 10: impact of the number of power levels";
+    options.x_label = "number of transmission power levels k";
+    options.y_label = "total recharging cost [uJ]";
+    viz::LineChart chart(options);
+    chart.add_series("IDB d=1", xs, idb_series);
+    chart.add_series("RFH", xs, rfh_series);
+    bench::maybe_save_chart(chart, args, "fig10_power_levels.svg");
+  }
+  return 0;
+}

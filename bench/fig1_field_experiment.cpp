@@ -1,0 +1,95 @@
+// Reproduces Table II / Fig. 1: the Powercast field experiment.
+//
+// Paper protocol: 40 trials per cell; cells = #sensors {1,2,4,6} x
+// charger distance {20..100 cm} x sensor spacing {5,10 cm}. Reported:
+// average received power per node. The paper's qualitative findings this
+// bench demonstrates:
+//   * single-node charging efficiency < 1% at 20 cm, collapsing with range;
+//   * per-node power ~ flat from 2 to 6 sensors  => eta(m) ~ linear in m;
+//   * the 1 -> 2 dip is visible at 5 cm spacing and shrinks at 10 cm.
+#include <algorithm>
+
+#include "common.hpp"
+#include "fieldexp/powercast.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int trials = args.runs_or(40);  // the paper's 40
+  const fieldexp::PowercastConfig cfg{};
+  util::Rng rng(static_cast<std::uint64_t>(args.seed));
+
+  const std::vector<int> counts{1, 2, 4, 6};
+  const std::vector<double> distances{0.20, 0.40, 0.60, 0.80, 1.00};
+
+  for (const double spacing : {0.05, 0.10}) {
+    util::Table table({"charger distance", "m=1 [mW/node]", "m=2 [mW/node]", "m=4 [mW/node]",
+                       "m=6 [mW/node]", "eta(6) [%]"});
+    viz::ChartOptions chart_options;
+    chart_options.title = spacing < 0.075 ? "Fig. 1(a): spacing 5 cm" : "Fig. 1(b): spacing 10 cm";
+    chart_options.x_label = "number of sensors charged simultaneously";
+    chart_options.y_label = "avg received power per node [mW]";
+    viz::LineChart chart(chart_options);
+    std::vector<std::vector<double>> chart_ys(distances.size());
+    for (const double d : distances) {
+      table.begin_row();
+      char label[32];
+      std::snprintf(label, sizeof label, "%.0f cm", d * 100.0);
+      table.add(label);
+      double eta6 = 0.0;
+      for (const int m : counts) {
+        const auto summary = fieldexp::run_trials(cfg, {m, d, spacing}, trials, rng);
+        table.add(summary.per_node_power_w.mean * 1e3, 4);
+        const std::size_t di = static_cast<std::size_t>(
+            std::find(distances.begin(), distances.end(), d) - distances.begin());
+        chart_ys[di].push_back(summary.per_node_power_w.mean * 1e3);
+        if (m == 6) eta6 = summary.network_efficiency;
+      }
+      table.add(eta6 * 100.0, 4);
+    }
+    for (std::size_t di = 0; di < distances.size(); ++di) {
+      char name[32];
+      std::snprintf(name, sizeof name, "%.0f cm", distances[di] * 100.0);
+      chart.add_series(name, std::vector<double>(counts.begin(), counts.end()), chart_ys[di]);
+    }
+    bench::maybe_save_chart(chart, args,
+                            spacing < 0.075 ? "fig1a_field_experiment.svg"
+                                            : "fig1b_field_experiment.svg");
+    char title[80];
+    std::snprintf(title, sizeof title,
+                  "Fig. 1(%c): avg received power per node, spacing %.0f cm (%d trials)",
+                  spacing < 0.075 ? 'a' : 'b', spacing * 100.0, trials);
+    bench::emit(table, args, title);
+  }
+
+  // Observation summary the paper draws from the figure.
+  util::Table summary({"spacing", "eta(m) slope / eta(1)", "linearity r^2",
+                       "1->2 per-node dip [%]", "2->6 per-node ratio"});
+  for (const double spacing : {0.05, 0.10}) {
+    const auto fit = fieldexp::efficiency_linearity(cfg, 0.2, spacing, {1, 2, 3, 4, 5, 6});
+    const double eta1 = fieldexp::single_node_efficiency(cfg, 0.2);
+    auto per_node = [&](int m) {
+      const auto p = fieldexp::received_power_per_node(cfg, {m, 0.2, spacing});
+      double total = 0.0;
+      for (double v : p) total += v;
+      return total / m;
+    };
+    summary.begin_row();
+    summary.add(spacing < 0.075 ? "5 cm" : "10 cm");
+    summary.add(fit.slope / eta1, 3);
+    summary.add(fit.r_squared, 5);
+    summary.add((1.0 - per_node(2) / per_node(1)) * 100.0, 2);
+    summary.add(per_node(6) / per_node(2), 3);
+  }
+  bench::emit(summary, args, "Section II observations (noise-free model)");
+
+  util::Table eff({"charger distance", "single-node efficiency [%]"});
+  for (const double d : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f cm", d * 100.0);
+    eff.begin_row().add(label).add(fieldexp::single_node_efficiency(cfg, d) * 100.0, 5);
+  }
+  bench::emit(eff, args, "Single-node charging efficiency vs distance (Section II)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 6: the benefit of running RFH iteratively.
+//
+// Paper setup: 500m x 500m field, N = 100 posts, M in {400, 600, 800, 1000}
+// nodes, average of 20 random post distributions. The total recharging cost
+// falls with iterations and converges within ~7 rounds (sometimes
+// oscillating in a tiny band due to Phase IV rounding).
+#include "common.hpp"
+#include "core/rfh.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int runs = args.runs_or(args.paper_scale() ? 20 : 10);
+  const int iterations = 10;
+  const std::vector<int> node_counts{400, 600, 800, 1000};
+  const int posts = 100;
+  const double side = 500.0;
+
+  util::Table table([&] {
+    std::vector<std::string> headers{"iteration"};
+    for (int m : node_counts) headers.push_back("M=" + std::to_string(m) + " cost [uJ]");
+    return headers;
+  }());
+
+  // history[m_index][iteration] accumulated over runs.
+  std::vector<std::vector<util::RunningStats>> history(
+      node_counts.size(), std::vector<util::RunningStats>(static_cast<std::size_t>(iterations)));
+  std::vector<util::RunningStats> converged_at(node_counts.size());
+
+  util::Timer timer;
+  for (int run = 0; run < runs; ++run) {
+    util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+    // One field per run, shared by all node budgets (paper-style pairing).
+    const core::Instance probe = bench::make_paper_instance(posts, node_counts[0], side, 3, rng);
+    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
+      const core::Instance inst = core::Instance::geometric(
+          *probe.field(), probe.radio(), probe.charging(), node_counts[mi]);
+      core::RfhOptions options;
+      options.iterations = iterations;
+      const core::RfhResult result = core::solve_rfh(inst, options);
+      for (int it = 0; it < iterations; ++it) {
+        history[mi][static_cast<std::size_t>(it)].add(result.cost_history[static_cast<std::size_t>(it)] * 1e6);
+      }
+      // First iteration whose cost is within 0.01% of the best.
+      int convergence = iterations;
+      for (int it = 0; it < iterations; ++it) {
+        if (result.cost_history[static_cast<std::size_t>(it)] <= result.cost * 1.0001) {
+          convergence = it + 1;
+          break;
+        }
+      }
+      converged_at[mi].add(convergence);
+    }
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    table.begin_row().add(it + 1);
+    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
+      table.add(history[mi][static_cast<std::size_t>(it)].mean(), 4);
+    }
+  }
+  bench::emit(table, args,
+              "Fig. 6: iterative RFH cost vs iteration (500x500m, N=100, avg of " +
+                  std::to_string(runs) + " fields)");
+
+  {
+    viz::ChartOptions options;
+    options.title = "Fig. 6: benefit of running RFH iteratively";
+    options.x_label = "iteration";
+    options.y_label = "total recharging cost [uJ]";
+    options.y_from_zero = false;
+    viz::LineChart chart(options);
+    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (int it = 0; it < iterations; ++it) {
+        xs.push_back(it + 1);
+        ys.push_back(history[mi][static_cast<std::size_t>(it)].mean());
+      }
+      chart.add_series("M=" + std::to_string(node_counts[mi]), xs, ys);
+    }
+    bench::maybe_save_chart(chart, args, "fig6_rfh_convergence.svg");
+  }
+
+  util::Table conv({"M", "mean iterations to converge", "max"});
+  for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
+    conv.begin_row().add(node_counts[mi]).add(converged_at[mi].mean(), 2).add(
+        converged_at[mi].max(), 0);
+  }
+  bench::emit(conv, args, "Fig. 6 companion: convergence round (paper: <= 7)");
+
+  std::printf("\n[fig6] total wall time: %.1f s\n", timer.elapsed_seconds());
+  return 0;
+}

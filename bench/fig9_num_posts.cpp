@@ -1,0 +1,72 @@
+// Reproduces Fig. 9: impact of the number of posts.
+//
+// Paper setup: 500m x 500m, M = 600 nodes, N in {100,...,300}, average of
+// 20 random fields. Finding: "a similar trend as Fig. 8" -- IDB(delta=1)
+// stays ahead of RFH across the sweep.
+#include "common.hpp"
+#include "core/baseline.hpp"
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
+  const int nodes = 600;
+  const double side = 500.0;
+  const std::vector<int> post_counts{100, 150, 200, 250, 300};
+
+  util::Table table({"N", "IDB d=1 [uJ]", "RFH [uJ]", "Balanced [uJ]", "RFH/IDB",
+                     "IDB time [s]", "RFH time [s]"});
+  std::vector<double> xs;
+  std::vector<double> idb_series;
+  std::vector<double> rfh_series;
+  std::vector<double> base_series;
+  for (const int n : post_counts) {
+    util::RunningStats idb_cost;
+    util::RunningStats rfh_cost;
+    util::RunningStats base_cost;
+    util::RunningStats idb_time;
+    util::RunningStats rfh_time;
+    for (int run = 0; run < runs; ++run) {
+      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
+      const core::Instance inst = bench::make_paper_instance(n, nodes, side, 3, rng);
+      util::Timer timer;
+      idb_cost.add(core::solve_idb(inst).cost * 1e6);
+      idb_time.add(timer.elapsed_seconds());
+      timer.reset();
+      rfh_cost.add(core::solve_rfh(inst).cost * 1e6);
+      rfh_time.add(timer.elapsed_seconds());
+      base_cost.add(core::solve_balanced_baseline(inst).cost * 1e6);
+    }
+    table.begin_row()
+        .add(n)
+        .add(idb_cost.mean(), 4)
+        .add(rfh_cost.mean(), 4)
+        .add(base_cost.mean(), 4)
+        .add(rfh_cost.mean() / idb_cost.mean(), 4)
+        .add(idb_time.mean(), 3)
+        .add(rfh_time.mean(), 3);
+    xs.push_back(n);
+    idb_series.push_back(idb_cost.mean());
+    rfh_series.push_back(rfh_cost.mean());
+    base_series.push_back(base_cost.mean());
+    std::printf("[fig9] finished N=%d\n", n);
+  }
+  bench::emit(table, args,
+              "Fig. 9: cost vs number of posts (500x500m, M=600, avg of " +
+                  std::to_string(runs) + " fields)");
+  {
+    viz::ChartOptions options;
+    options.title = "Fig. 9: impact of the number of posts";
+    options.x_label = "number of posts N";
+    options.y_label = "total recharging cost [uJ]";
+    viz::LineChart chart(options);
+    chart.add_series("IDB d=1", xs, idb_series);
+    chart.add_series("RFH", xs, rfh_series);
+    chart.add_series("Balanced baseline", xs, base_series);
+    bench::maybe_save_chart(chart, args, "fig9_num_posts.svg");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Island environmental monitoring -- the paper's Fig. 2 scenario.
+//
+// A wildlife-monitoring network on an island: posts are placed where the
+// terrain demands (shoreline ring + interior wetland cluster), the base
+// station sits at the dock, and a boat-mounted charger visits posts. The
+// example compares a charging-oblivious plan with the paper's co-design and
+// shows where the spare nodes go.
+//
+// Run:  ./island_monitoring [--nodes M] [--eta E]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/baseline.hpp"
+#include "core/cost.hpp"
+#include "core/rfh.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace wrsn;
+
+namespace {
+
+/// Hand-laid island: a shoreline ring of posts plus an interior cluster,
+/// dock (base station) at the south shore.
+geom::Field island_field() {
+  geom::Field field;
+  field.width = 300.0;
+  field.height = 240.0;
+  field.base_station = {150.0, 0.0};  // the dock
+  // Shoreline ring (clockwise from the dock).
+  field.posts = {
+      {90.0, 20.0},  {40.0, 60.0},   {25.0, 120.0}, {60.0, 180.0},
+      {120.0, 215.0}, {190.0, 210.0}, {250.0, 170.0}, {270.0, 110.0},
+      {245.0, 50.0}, {200.0, 18.0},
+      // Interior wetland cluster -- the biodiversity hotspot.
+      {150.0, 70.0}, {170.0, 95.0}, {135.0, 105.0},
+  };
+  return field;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 40;
+  double eta = 0.01;
+  util::Flags flags;
+  flags.add_int("nodes", &nodes, "sensor-node budget");
+  flags.add_double("eta", &eta, "single-node charging efficiency");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const geom::Field field = island_field();
+  const auto radio = energy::RadioModel::uniform_levels(3, 25.0);
+  const auto charging = energy::ChargingModel::linear(eta);
+  const auto instance = core::Instance::geometric(field, radio, charging, nodes);
+
+  const core::BaselineResult naive = core::solve_balanced_baseline(instance);
+  const core::RfhResult plan = core::solve_rfh(instance);
+
+  std::printf("island monitoring: %d posts, %d nodes, eta = %.3f\n",
+              instance.num_posts(), nodes, eta);
+  std::printf("  charging-oblivious plan : %s per reported bit\n",
+              util::format_energy(naive.cost).c_str());
+  std::printf("  co-designed plan (RFH)  : %s per reported bit\n",
+              util::format_energy(plan.cost).c_str());
+  std::printf("  boat-charger energy saved: %.1f%%\n\n",
+              (1.0 - plan.cost / naive.cost) * 100.0);
+
+  const auto energy_per_post = core::per_post_energy(instance, plan.solution.tree);
+  const auto levels = core::solution_levels(instance, plan.solution);
+  util::Table table({"post", "role", "nodes (naive)", "nodes (co-design)", "next hop",
+                     "tx level", "per-round energy [nJ]"});
+  const char* roles[] = {"shore", "shore", "shore", "shore", "shore", "shore", "shore",
+                         "shore", "shore", "shore", "wetland", "wetland", "wetland"};
+  for (int p = 0; p < instance.num_posts(); ++p) {
+    const int parent = plan.solution.tree.parent(p);
+    table.begin_row()
+        .add(p)
+        .add(roles[p])
+        .add(naive.solution.deployment[static_cast<std::size_t>(p)])
+        .add(plan.solution.deployment[static_cast<std::size_t>(p)])
+        .add(parent == instance.graph().base_station() ? std::string("dock")
+                                                       : std::to_string(parent))
+        .add(levels[static_cast<std::size_t>(p)] + 1)
+        .add(energy_per_post[static_cast<std::size_t>(p)] * 1e9, 1);
+  }
+  table.print_ascii(std::cout);
+  std::printf("\nnote how relay posts near the dock hold several nodes: the charger\n"
+              "tops them up %dx as efficiently, so funneling traffic through them\n"
+              "minimizes what the boat must radiate.\n",
+              *std::max_element(plan.solution.deployment.begin(),
+                                plan.solution.deployment.end()));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// wrsn planning CLI: generate or load a field, co-design deployment and
+// routing, and emit the plan as text + SVG, with a charger feasibility
+// report.  The "product" face of the library: everything a deployment
+// engineer needs in one command.
+//
+//   ./plan_tool --posts 40 --nodes 160 --out plan            # random field
+//   ./plan_tool --field site.txt --nodes 90 --solver idb     # surveyed site
+//
+// Outputs <out>.field.txt, <out>.solution.txt, <out>.svg.
+#include <cstdio>
+#include <iostream>
+
+#include "core/idb.hpp"
+#include "core/local_search.hpp"
+#include "core/rfh.hpp"
+#include "io/serialize.hpp"
+#include "sim/tour.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "viz/svg.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  int posts = 40;
+  int nodes = 160;
+  double side = 300.0;
+  std::int64_t seed = 1;
+  std::string solver = "rfh+ls";
+  std::string field_path;
+  std::string out = "plan";
+  double eta = 0.01;
+  double charger_power = 10.0;
+  double charger_speed = 5.0;
+  int bits = 4096;
+
+  util::Flags flags;
+  flags.add_int("posts", &posts, "posts for a generated field");
+  flags.add_int("nodes", &nodes, "sensor-node budget");
+  flags.add_double("side", &side, "generated field side length [m]");
+  flags.add_int64("seed", &seed, "RNG seed for field generation");
+  flags.add_string("solver", &solver, "rfh | rfh+ls | idb | idb+ls");
+  flags.add_string("field", &field_path, "load a surveyed field instead of generating");
+  flags.add_string("out", &out, "output file prefix");
+  flags.add_double("eta", &eta, "single-node charging efficiency");
+  flags.add_double("charger-power", &charger_power, "charger RF power [W]");
+  flags.add_double("charger-speed", &charger_speed, "charger travel speed [m/s]");
+  flags.add_int("bits", &bits, "bits per report round");
+  if (!flags.parse(argc, argv)) return 0;
+
+  // Field: surveyed or generated.
+  geom::Field field;
+  const auto radio = energy::RadioModel::uniform_levels(3, 25.0);
+  if (!field_path.empty()) {
+    field = io::load_field(field_path);
+    std::printf("loaded field '%s': %zu posts\n", field_path.c_str(), field.posts.size());
+  } else {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    geom::FieldConfig cfg;
+    cfg.width = side;
+    cfg.height = side;
+    cfg.num_posts = posts;
+    field = geom::generate_field(cfg, rng);
+    int attempts = 0;
+    while (!geom::is_connected(field, radio.max_range()) && ++attempts < 1000) {
+      field = geom::generate_field(cfg, rng);
+    }
+    std::printf("generated %dx%.0fm field with %d posts (seed %lld)\n", static_cast<int>(side),
+                side, posts, static_cast<long long>(seed));
+  }
+
+  const auto instance = core::Instance::geometric(
+      field, radio, energy::ChargingModel::linear(eta), nodes);
+
+  // Solve.
+  core::Solution solution{graph::RoutingTree(1, 1), {}};
+  double cost = 0.0;
+  if (solver == "rfh" || solver == "rfh+ls") {
+    const auto rfh = core::solve_rfh(instance);
+    solution = rfh.solution;
+    cost = rfh.cost;
+  } else if (solver == "idb" || solver == "idb+ls") {
+    const auto idb = core::solve_idb(instance);
+    solution = idb.solution;
+    cost = idb.cost;
+  } else {
+    std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
+    return 1;
+  }
+  if (solver.ends_with("+ls")) {
+    const auto refined = core::refine_solution(instance, solution);
+    solution = refined.solution;
+    cost = refined.cost;
+  }
+  std::printf("solver %s: total recharging cost %s per reported bit\n", solver.c_str(),
+              util::format_energy(cost).c_str());
+
+  // Charger feasibility.
+  sim::ChargerConfig charger;
+  charger.radiated_power_w = charger_power;
+  charger.speed_mps = charger_speed;
+  const auto feasibility = sim::analyze_patrol(instance, solution, charger, bits);
+  const auto tour = sim::plan_tour(instance);
+  util::Table report({"charger metric", "value"});
+  report.begin_row().add("patrol tour length [m]").add(tour.length_m, 1);
+  report.begin_row().add("network RF demand [W]").add(feasibility.demand_w, 4);
+  report.begin_row().add("charger duty cycle").add(feasibility.duty, 4);
+  report.begin_row().add("feasible with one charger").add(feasibility.feasible ? "yes" : "NO");
+  if (feasibility.feasible) {
+    report.begin_row().add("patrol cycle [min]").add(feasibility.cycle_time_s / 60.0, 2);
+    report.begin_row().add("min battery per node [J]").add(
+        feasibility.min_battery_capacity_j, 4);
+  }
+  report.print_ascii(std::cout);
+
+  // Artifacts.
+  io::save_field(out + ".field.txt", field);
+  io::save_solution(out + ".solution.txt", solution);
+  viz::save_svg(out + ".svg", instance, &solution);
+  std::printf("wrote %s.field.txt, %s.solution.txt, %s.svg\n", out.c_str(), out.c_str(),
+              out.c_str());
+  return 0;
+}

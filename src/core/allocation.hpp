@@ -1,0 +1,32 @@
+// RFH Phase IV: workload-proportional node deployment.
+//
+// Minimize  sum_i alpha_i / m_i   subject to  sum_i m_i = M,  m_i >= 1.
+// The Lagrange-multiplier solution is m_i proportional to sqrt(alpha_i); the
+// paper then rounds iteratively: round the *smallest* fractional share to
+// the nearest integer (at least 1), fix that post, and re-solve for the
+// rest, repeating until every post is assigned.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wrsn::core {
+
+/// Closed-form fractional optimum: m_i = budget * sqrt(w_i) / sum_j sqrt(w_j).
+/// Zero-weight posts receive share 0 (callers clamp to >= 1 when rounding).
+std::vector<double> fractional_allocation(std::span<const double> weights, double budget);
+
+/// The paper's iterative rounding of the Lagrange solution. Returns integer
+/// m_i >= 1 summing exactly to `total_nodes`. Requires
+/// total_nodes >= weights.size() and non-negative weights.
+std::vector<int> lagrange_allocate(std::span<const double> weights, int total_nodes);
+
+/// Objective value sum_i weights_i / m_i for a candidate allocation.
+double allocation_objective(std::span<const double> weights, std::span<const int> allocation);
+
+/// Exact integer optimum by greedy marginal-gain assignment (the objective
+/// is separable convex, so greedy is optimal). Used as a test oracle and as
+/// an alternative Phase IV ("greedy" mode).
+std::vector<int> greedy_allocate(std::span<const double> weights, int total_nodes);
+
+}  // namespace wrsn::core

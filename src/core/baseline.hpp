@@ -1,0 +1,32 @@
+// Charging-oblivious baseline (what pre-wireless-charging designs do).
+//
+// Existing deployment/routing strategies cannot exploit simultaneous-
+// charging gains: they spread nodes evenly (redundancy/fault tolerance) and
+// route along minimum-energy paths without regard to where nodes are
+// stacked.  The benches report this baseline alongside RFH/IDB to quantify
+// the benefit of charging-aware co-design.
+#pragma once
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+
+namespace wrsn::core {
+
+struct BaselineResult {
+  Solution solution;
+  double cost = 0.0;
+};
+
+/// Even deployment (round-robin split of M over N posts) + minimum-energy
+/// shortest-path-tree routing with charging-unaware weights.
+BaselineResult solve_balanced_baseline(const Instance& instance, bool rx_in_weight = true);
+
+/// Even deployment + minimum-HOP routing (each hop counts 1; energy ties
+/// broken toward cheaper hops). The classic WSN routing strategy, included
+/// as the second charging-oblivious comparator.
+BaselineResult solve_min_hop_baseline(const Instance& instance);
+
+/// Even deployment as a vector (exposed for tests/benches).
+std::vector<int> balanced_deployment(int num_posts, int num_nodes);
+
+}  // namespace wrsn::core

@@ -1,0 +1,108 @@
+#include "core/cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wrsn::core {
+
+std::vector<double> subtree_rates(const Instance& instance, const graph::RoutingTree& tree) {
+  const int n = instance.num_posts();
+  if (!tree.is_valid()) throw std::invalid_argument("subtree_rates requires a valid tree");
+  std::vector<double> rates(static_cast<std::size_t>(n), 0.0);
+  for (int p : tree.leaves_first_order()) {
+    rates[static_cast<std::size_t>(p)] += instance.report_rate(p);
+    const int parent = tree.parent(p);
+    if (parent != tree.base_station()) {
+      rates[static_cast<std::size_t>(parent)] += rates[static_cast<std::size_t>(p)];
+    }
+  }
+  return rates;
+}
+
+std::vector<double> per_post_energy(const Instance& instance, const graph::RoutingTree& tree) {
+  const int n = instance.num_posts();
+  const std::vector<double> rates = subtree_rates(instance, tree);
+  std::vector<double> energy(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const double e_tx = instance.tx_energy(p, tree.parent(p));
+    const double through = rates[static_cast<std::size_t>(p)];
+    const double forwarded = through - instance.report_rate(p);
+    energy[static_cast<std::size_t>(p)] =
+        through * e_tx + forwarded * instance.rx_energy() + instance.static_energy(p);
+  }
+  return energy;
+}
+
+double tree_energy(const Instance& instance, const graph::RoutingTree& tree) {
+  double total = 0.0;
+  for (double e : per_post_energy(instance, tree)) total += e;
+  return total;
+}
+
+double total_recharging_cost(const Instance& instance, const Solution& solution) {
+  const std::vector<double> energy = per_post_energy(instance, solution.tree);
+  if (solution.deployment.size() != energy.size()) {
+    throw std::invalid_argument("deployment size does not match the instance");
+  }
+  double total = 0.0;
+  for (std::size_t p = 0; p < energy.size(); ++p) {
+    total += instance.charging().charger_energy_for(energy[p], solution.deployment[p]);
+  }
+  return total;
+}
+
+graph::WeightFn energy_weight(const Instance& instance, bool include_rx) {
+  const int bs = instance.graph().base_station();
+  return [&instance, include_rx, bs](int from, int to) {
+    double w = instance.tx_energy(from, to);
+    if (include_rx && to != bs) w += instance.rx_energy();
+    return w;
+  };
+}
+
+graph::WeightFn recharging_weight(const Instance& instance, const std::vector<int>& deployment) {
+  if (static_cast<int>(deployment.size()) != instance.num_posts()) {
+    throw std::invalid_argument("deployment size does not match the instance");
+  }
+  const int bs = instance.graph().base_station();
+  // Pre-compute 1/(k(m) eta) per post; the weight lambda must stay cheap
+  // because Dijkstra calls it O(N^2) times per run.
+  std::vector<double> inv_eff(deployment.size());
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    inv_eff[i] = 1.0 / instance.charging().efficiency(deployment[i]);
+  }
+  return [&instance, inv_eff = std::move(inv_eff), bs](int from, int to) {
+    double w = instance.tx_energy(from, to) * inv_eff[static_cast<std::size_t>(from)];
+    if (to != bs) w += instance.rx_energy() * inv_eff[static_cast<std::size_t>(to)];
+    return w;
+  };
+}
+
+double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment) {
+  const auto dag =
+      graph::shortest_paths_to_base(instance.graph(), recharging_weight(instance, deployment));
+  if (!dag.all_posts_reachable) return graph::kInfinity;
+  // Each source contributes its rate times its per-bit path cost; static
+  // draws are routed-independent but still paid through the post's
+  // charging efficiency.
+  double total = 0.0;
+  for (int p = 0; p < instance.num_posts(); ++p) {
+    total += instance.report_rate(p) * dag.dist[static_cast<std::size_t>(p)];
+    total += instance.charging().charger_energy_for(instance.static_energy(p),
+                                                    deployment[static_cast<std::size_t>(p)]);
+  }
+  return total;
+}
+
+graph::RoutingTree spt_from_dag(const graph::ShortestPathDag& dag) {
+  const int n = dag.num_vertices() - 1;
+  graph::RoutingTree tree(n, dag.base_station);
+  for (int p = 0; p < n; ++p) {
+    const auto& parents = dag.parents[static_cast<std::size_t>(p)];
+    if (parents.empty()) throw std::invalid_argument("DAG has an unreachable post");
+    tree.set_parent(p, parents.front());
+  }
+  return tree;
+}
+
+}  // namespace wrsn::core

@@ -1,0 +1,54 @@
+// The paper's objective: total recharging cost.
+//
+// One "round" = every post reports one bit to the base station along the
+// routing tree.  A post p with descendant count D(p) transmits 1 + D(p)
+// bits at its chosen level and receives D(p) bits, so its per-round energy
+// is   E(p) = (1 + D(p)) * e_tx(p) + D(p) * e_r.
+// Replenishing E(p) at a post holding m_p nodes costs the charger
+// E(p) / (k(m_p) * eta), and the objective is the sum over posts.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace wrsn::core {
+
+/// Subtree report-rate sums: S(p) = r_p + sum of S over p's children --
+/// the bits (in report units) post p transmits per round. With the paper's
+/// uniform workload this is 1 + D(p).
+std::vector<double> subtree_rates(const Instance& instance, const graph::RoutingTree& tree);
+
+/// Per-round energy E(p) consumed at each post under `tree`:
+/// E(p) = S(p) e_tx + (S(p) - r_p) e_r + static_p.
+std::vector<double> per_post_energy(const Instance& instance, const graph::RoutingTree& tree);
+
+/// Sum of E(p): the network's per-round energy consumption, charger aside.
+double tree_energy(const Instance& instance, const graph::RoutingTree& tree);
+
+/// The objective value: total charger energy per round for `solution`.
+double total_recharging_cost(const Instance& instance, const Solution& solution);
+
+/// Edge-weight function for basic RFH Phase I: w(u,v) = e_tx(u->v), plus
+/// the receiver's e_r when `include_rx` and v is not the base station.
+graph::WeightFn energy_weight(const Instance& instance, bool include_rx = false);
+
+/// Charging-aware edge weight used by iterative RFH, IDB and the exact
+/// solver:  w(u,v) = e_tx(u->v)/(k(m_u) eta) + [v != base] e_r/(k(m_v) eta).
+/// With this weight, the sum over all posts of their shortest-path distance
+/// to the base equals the total recharging cost of the induced tree -- so a
+/// single Dijkstra run both *finds* the optimal routing for a fixed
+/// deployment and *prices* it.
+graph::WeightFn recharging_weight(const Instance& instance, const std::vector<int>& deployment);
+
+/// Total recharging cost of the *optimal* routing for a fixed deployment:
+/// sum over posts of the charging-aware shortest-path distance.
+/// Returns graph::kInfinity when some post cannot reach the base station.
+double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment);
+
+/// Extracts a single-parent shortest-path tree from a DAG (first tight
+/// parent, deterministic).
+graph::RoutingTree spt_from_dag(const graph::ShortestPathDag& dag);
+
+}  // namespace wrsn::core

@@ -1,0 +1,164 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/idb.hpp"
+
+namespace wrsn::core {
+
+std::uint64_t composition_count(int total_nodes, int num_posts) {
+  // C(M-1, N-1) with saturation.
+  if (num_posts <= 0 || total_nodes < num_posts) return 0;
+  const std::uint64_t n = static_cast<std::uint64_t>(total_nodes - 1);
+  const std::uint64_t k0 = static_cast<std::uint64_t>(num_posts - 1);
+  const std::uint64_t k = std::min(k0, n - k0);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, with overflow saturation.
+    const std::uint64_t numerator = n - k + i;
+    if (result > std::numeric_limits<std::uint64_t>::max() / numerator) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+double deployment_relaxation_bound(const Instance& instance) {
+  const int generous = instance.num_nodes() - (instance.num_posts() - 1);
+  const std::vector<int> optimistic(static_cast<std::size_t>(instance.num_posts()), generous);
+  return optimal_cost_for_deployment(instance, optimistic);
+}
+
+namespace {
+
+struct SearchState {
+  const Instance* instance;
+  const ExactOptions* options;
+  std::vector<int> current;
+  std::vector<int> best;
+  double best_cost = graph::kInfinity;
+  std::uint64_t evaluations = 0;
+  std::uint64_t pruned = 0;
+  bool aborted = false;
+
+  int cap() const {
+    return options->max_per_post > 0 ? options->max_per_post
+                                     : std::numeric_limits<int>::max();
+  }
+
+  bool budget_exhausted() {
+    if (options->max_evaluations > 0 && evaluations >= options->max_evaluations) {
+      aborted = true;
+    }
+    return aborted;
+  }
+
+  void dfs(int post, int remaining) {
+    if (budget_exhausted()) return;
+    const int n = instance->num_posts();
+    if (post == n) {
+      // remaining == 0 guaranteed by the per-level bounds below.
+      const double cost = optimal_cost_for_deployment(*instance, current);
+      ++evaluations;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+      }
+      return;
+    }
+    const int undecided_after = n - post - 1;
+    const int hi = std::min(cap(), remaining - undecided_after);
+    if (hi < 1) return;  // infeasible branch (cap too tight)
+    if (undecided_after == 0) {
+      // Last post must absorb the entire remaining budget.
+      if (remaining > cap()) return;
+      current[static_cast<std::size_t>(post)] = remaining;
+      dfs(post + 1, 0);
+      current[static_cast<std::size_t>(post)] = 1;
+      return;
+    }
+
+    // Bound evaluation costs a full Dijkstra; amortize it by checking only
+    // every other level (the bound tightens slowly between siblings).
+    if (options->branch_and_bound && best_cost < graph::kInfinity && post % 2 == 0) {
+      // Admissible bound: cost is strictly decreasing in each m_i, so give
+      // every undecided post the maximum any single post could receive.
+      std::vector<int> optimistic = current;
+      for (int i = post; i < n; ++i) optimistic[static_cast<std::size_t>(i)] = hi;
+      const double bound = optimal_cost_for_deployment(*instance, optimistic);
+      if (bound >= best_cost) {
+        ++pruned;
+        return;
+      }
+    }
+
+    // Descend large-first: concentrating nodes early tends to match the
+    // optimum's shape, improving the incumbent quickly.
+    for (int take = hi; take >= 1; --take) {
+      current[static_cast<std::size_t>(post)] = take;
+      dfs(post + 1, remaining - take);
+      if (aborted) break;
+    }
+    current[static_cast<std::size_t>(post)] = 1;
+  }
+};
+
+std::vector<int> capped_balanced_deployment(int num_posts, int num_nodes, int cap) {
+  std::vector<int> deployment(static_cast<std::size_t>(num_posts), 1);
+  int remaining = num_nodes - num_posts;
+  int i = 0;
+  while (remaining > 0) {
+    if (deployment[static_cast<std::size_t>(i)] < cap) {
+      ++deployment[static_cast<std::size_t>(i)];
+      --remaining;
+    }
+    i = (i + 1) % num_posts;
+  }
+  return deployment;
+}
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
+  const int n = instance.num_posts();
+  const int m = instance.num_nodes();
+  if (options.max_per_post > 0 &&
+      static_cast<long long>(options.max_per_post) * n < m) {
+    throw InfeasibleInstance("max_per_post cap leaves no feasible deployment");
+  }
+
+  SearchState state;
+  state.instance = &instance;
+  state.options = &options;
+  state.current.assign(static_cast<std::size_t>(n), 1);
+
+  if (options.warm_start) {
+    std::vector<int> incumbent;
+    if (options.max_per_post > 0) {
+      incumbent = capped_balanced_deployment(n, m, options.max_per_post);
+    } else {
+      incumbent = solve_idb(instance, IdbOptions{1, false}).solution.deployment;
+    }
+    state.best = incumbent;
+    state.best_cost = optimal_cost_for_deployment(instance, incumbent);
+  }
+
+  state.dfs(0, m);
+
+  if (state.best.empty()) throw InfeasibleInstance("exact search found no feasible deployment");
+
+  const auto dag = graph::shortest_paths_to_base(instance.graph(),
+                                                 recharging_weight(instance, state.best));
+  ExactResult result{Solution{spt_from_dag(dag), state.best},
+                     0.0,
+                     state.evaluations,
+                     state.pruned,
+                     !state.aborted};
+  result.cost = total_recharging_cost(instance, result.solution);
+  return result;
+}
+
+}  // namespace wrsn::core

@@ -1,0 +1,58 @@
+// Exact solver for small instances (the paper's optimal-solution reference,
+// Section VI-C, and the verifier behind the NP-completeness gadget tests).
+//
+// For a *fixed* deployment the optimal routing is the charging-aware
+// shortest-path tree, so the search space is the set of compositions
+// m_1 + ... + m_N = M with m_i >= 1 -- C(M-1, N-1) candidates.  A
+// branch-and-bound prunes with an admissible bound: the cost is strictly
+// decreasing in every m_i, so pricing a partial assignment with every
+// undecided post optimistically given all remaining budget lower-bounds
+// every completion.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+
+namespace wrsn::core {
+
+struct ExactOptions {
+  /// Disable to force exhaustive enumeration (test oracle mode).
+  bool branch_and_bound = true;
+  /// Per-post deployment cap; 0 = unbounded. The NP gadget restricts posts
+  /// to at most two nodes.
+  int max_per_post = 0;
+  /// Abort knob: stop after this many leaf evaluations (0 = unlimited).
+  std::uint64_t max_evaluations = 0;
+  /// Seed the incumbent with IDB(delta=1) so pruning bites immediately.
+  bool warm_start = true;
+};
+
+struct ExactResult {
+  Solution solution;
+  double cost = 0.0;
+  /// Leaf deployments priced (each = one Dijkstra).
+  std::uint64_t evaluations = 0;
+  /// Subtrees cut by the bound.
+  std::uint64_t pruned = 0;
+  /// False when max_evaluations stopped the search early.
+  bool complete = true;
+};
+
+/// Finds the minimum total recharging cost over all deployments and
+/// routings. Exponential; intended for N <= ~12, M <= ~40.
+ExactResult solve_exact(const Instance& instance, const ExactOptions& options = {});
+
+/// Number of compositions of M into N positive parts, saturating at
+/// UINT64_MAX on overflow: the search-space size reported in benches.
+std::uint64_t composition_count(int total_nodes, int num_posts);
+
+/// Cheap global lower bound on the optimal cost: every post is granted the
+/// maximum share any single post could hold, M - (N-1). Cost is strictly
+/// decreasing in each m_i, so no feasible deployment can beat this. Useful
+/// as an optimality certificate for heuristic solutions
+/// (gap = heuristic_cost / lower_bound).
+double deployment_relaxation_bound(const Instance& instance);
+
+}  // namespace wrsn::core

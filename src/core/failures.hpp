@@ -1,0 +1,62 @@
+// Post-failure analysis and replanning.
+//
+// The paper motivates multi-node posts partly with fault tolerance but
+// never quantifies it.  This module does: given a deployed solution and a
+// set of failed posts (site destroyed, all nodes lost), it answers
+//   * is the surviving network still connected to the base station?
+//   * what does reporting cost if the surviving nodes stay where they are
+//     (only routing is re-optimized)?
+//   * what could it cost if the surviving nodes were redeployed from
+//     scratch (maintenance visit)?
+// Used by bench/ablation_resilience.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+
+namespace wrsn::core {
+
+/// An instance induced on the surviving posts, with index mappings.
+struct SubInstance {
+  Instance instance;
+  /// sub index -> original post index.
+  std::vector<int> to_original;
+  /// original post index -> sub index, or -1 if removed.
+  std::vector<int> from_original;
+};
+
+/// Builds the induced instance after removing `failed_posts` (deduplicated;
+/// indices validated). `num_nodes` is the sub-instance's node budget.
+/// Throws InfeasibleInstance when every post failed, when fewer nodes than
+/// surviving posts remain, or when the survivors are disconnected from the
+/// base station.
+SubInstance remove_posts(const Instance& instance, const std::vector<int>& failed_posts,
+                         int num_nodes);
+
+/// True when every surviving post can still reach the base station via
+/// surviving relays only.
+bool survives_failure(const Instance& instance, const std::vector<int>& failed_posts);
+
+/// Quantified impact of a failure set on a deployed solution.
+struct FailureImpact {
+  bool connected = false;
+  /// Optimal-routing cost with surviving nodes kept in place (per-bit;
+  /// infinity when disconnected).
+  double cost_fixed_deployment = 0.0;
+  /// Cost after a full IDB redeployment of the surviving node count.
+  double cost_redeployed = 0.0;
+  /// Nodes lost with the failed posts.
+  int nodes_lost = 0;
+  /// Re-optimized routing for the kept-in-place case, on *original* post
+  /// indices (failed posts have no parent). Present only when connected.
+  std::optional<Solution> routing_fixed;
+};
+
+/// Assesses `failed_posts` against `solution`. The solution must be valid.
+FailureImpact assess_failure(const Instance& instance, const Solution& solution,
+                             const std::vector<int>& failed_posts);
+
+}  // namespace wrsn::core

@@ -1,0 +1,48 @@
+// Incremental Deployment-Based heuristic (Section V-B).
+//
+// Start with one node at every post, then place the remaining M - N nodes
+// in rounds of delta: each round enumerates every multiset of delta posts
+// (C(N+delta-1, delta) candidates), prices each candidate by the optimal
+// (charging-aware shortest-path) routing for the tentative deployment, and
+// commits the cheapest.  delta trades solution quality for runtime; the
+// paper evaluates delta = 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+
+namespace wrsn::core {
+
+struct IdbOptions {
+  /// Nodes placed per round (the paper's system parameter delta >= 1).
+  int delta = 1;
+  /// When true, `cost_history` records the committed cost after each round.
+  bool record_history = false;
+};
+
+struct IdbResult {
+  Solution solution;
+  double cost = 0.0;
+  int rounds = 0;
+  /// Number of candidate deployments priced (each = one Dijkstra run).
+  std::uint64_t evaluations = 0;
+  std::vector<double> cost_history;
+};
+
+/// Runs IDB on `instance`.
+IdbResult solve_idb(const Instance& instance, const IdbOptions& options = {});
+
+namespace idb_detail {
+
+/// Invokes `visit(counts)` for every multiset of size `delta` over `n`
+/// items; `counts` is the per-item multiplicity vector (sums to delta).
+/// Exposed for tests of the enumeration itself.
+void for_each_multiset(int n, int delta, const std::function<void(const std::vector<int>&)>& visit);
+
+}  // namespace idb_detail
+
+}  // namespace wrsn::core

@@ -1,0 +1,60 @@
+#include "core/instance.hpp"
+
+namespace wrsn::core {
+
+Instance::Instance(std::optional<geom::Field> field, graph::ReachGraph graph,
+                   energy::RadioModel radio, energy::ChargingModel charging, int num_nodes,
+                   Workload workload)
+    : field_(std::move(field)),
+      graph_(std::move(graph)),
+      radio_(std::move(radio)),
+      charging_(charging),
+      num_nodes_(num_nodes),
+      report_rates_(std::move(workload.report_rates)),
+      static_energy_(std::move(workload.static_energy)) {
+  if (num_nodes_ < graph_.num_posts()) {
+    throw InfeasibleInstance("need at least one sensor node per post (M >= N)");
+  }
+  if (!graph_.connected_to_base()) {
+    throw InfeasibleInstance("some post cannot reach the base station at maximum power");
+  }
+
+  const std::size_t n = static_cast<std::size_t>(graph_.num_posts());
+  if (report_rates_.empty()) report_rates_.assign(n, 1.0);
+  if (static_energy_.empty()) static_energy_.assign(n, 0.0);
+  if (report_rates_.size() != n || static_energy_.size() != n) {
+    throw InfeasibleInstance("workload vectors must match the post count");
+  }
+  for (double r : report_rates_) {
+    if (!(r > 0.0)) throw InfeasibleInstance("report rates must be positive");
+    total_report_rate_ += r;
+    if (r != 1.0) uniform_workload_ = false;
+  }
+  for (double s : static_energy_) {
+    if (s < 0.0) throw InfeasibleInstance("static energy must be non-negative");
+    if (s != 0.0) uniform_workload_ = false;
+  }
+}
+
+Instance Instance::geometric(geom::Field field, energy::RadioModel radio,
+                             energy::ChargingModel charging, int num_nodes, Workload workload) {
+  auto graph = graph::ReachGraph::from_field(field, radio);
+  return Instance(std::move(field), std::move(graph), std::move(radio), charging, num_nodes,
+                  std::move(workload));
+}
+
+Instance Instance::abstract(graph::ReachGraph graph, energy::RadioModel radio,
+                            energy::ChargingModel charging, int num_nodes, Workload workload) {
+  return Instance(std::nullopt, std::move(graph), std::move(radio), charging, num_nodes,
+                  std::move(workload));
+}
+
+double Instance::tx_energy(int from, int to) const {
+  const int level = graph_.min_level(from, to);
+  if (level == graph::ReachGraph::kUnreachable) {
+    throw std::invalid_argument("tx_energy: target unreachable");
+  }
+  return radio_.tx_energy(level);
+}
+
+}  // namespace wrsn::core

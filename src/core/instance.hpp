@@ -1,0 +1,94 @@
+// Problem instance for joint deployment + routing (Section IV-A).
+//
+// Given:  M sensor nodes, N posts (each needing >= 1 node), a k-level radio,
+// and charging efficiency eta(m) = k(m)*eta at a post holding m nodes.
+// Sought: a deployment (m_1..m_N summing to M) plus a per-post parent and
+// power level such that all data reaches the base station and the charger
+// energy needed to compensate one reporting round is minimal.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "energy/charging_model.hpp"
+#include "energy/radio_model.hpp"
+#include "graph/reach_graph.hpp"
+
+namespace wrsn::core {
+
+/// Heterogeneous per-post workload (Section III notes the model "can be
+/// extended to other sources of energy consumption such as sensing and
+/// computation" -- this is that extension; defaults reproduce the paper).
+struct Workload {
+  /// Relative report rate per post (bits originated per round, in units of
+  /// one report). Empty = uniform 1.0 (the paper's setting).
+  std::vector<double> report_rates;
+  /// Static per-round energy (sensing/computation), joules, charged to the
+  /// post regardless of routing. Empty = all zero (the paper's setting).
+  std::vector<double> static_energy;
+};
+
+/// Immutable instance shared by every solver.
+class Instance {
+ public:
+  /// Geometric instance: reachability and levels derived from post
+  /// coordinates (the evaluation setup of Section VI).
+  static Instance geometric(geom::Field field, energy::RadioModel radio,
+                            energy::ChargingModel charging, int num_nodes,
+                            Workload workload = {});
+
+  /// Abstract instance with explicit reachability (the NP-completeness
+  /// gadget of Section IV prescribes who reaches whom at which level).
+  static Instance abstract(graph::ReachGraph graph, energy::RadioModel radio,
+                           energy::ChargingModel charging, int num_nodes,
+                           Workload workload = {});
+
+  int num_posts() const noexcept { return graph_.num_posts(); }
+  /// Total sensor-node budget M (M >= N).
+  int num_nodes() const noexcept { return num_nodes_; }
+  /// Spare nodes beyond the one-per-post minimum.
+  int spare_nodes() const noexcept { return num_nodes_ - num_posts(); }
+
+  const graph::ReachGraph& graph() const noexcept { return graph_; }
+  const energy::RadioModel& radio() const noexcept { return radio_; }
+  const energy::ChargingModel& charging() const noexcept { return charging_; }
+  /// Geometry when the instance was built from a field.
+  const std::optional<geom::Field>& field() const noexcept { return field_; }
+
+  /// Per-bit energy to transmit from -> to at the cheapest feasible level.
+  /// Throws std::invalid_argument when `to` is unreachable from `from`.
+  double tx_energy(int from, int to) const;
+  /// Per-bit receive energy.
+  double rx_energy() const noexcept { return radio_.rx_energy(); }
+
+  /// Post p's relative report rate (1.0 in the paper's uniform setting).
+  double report_rate(int p) const { return report_rates_.at(static_cast<std::size_t>(p)); }
+  /// Post p's static per-round energy (0 in the paper's setting).
+  double static_energy(int p) const { return static_energy_.at(static_cast<std::size_t>(p)); }
+  /// True when all rates are 1 and all static draws are 0 (paper setting).
+  bool uniform_workload() const noexcept { return uniform_workload_; }
+  /// Sum of report rates (total bits per round, in report units).
+  double total_report_rate() const noexcept { return total_report_rate_; }
+
+ private:
+  Instance(std::optional<geom::Field> field, graph::ReachGraph graph, energy::RadioModel radio,
+           energy::ChargingModel charging, int num_nodes, Workload workload);
+
+  std::optional<geom::Field> field_;
+  graph::ReachGraph graph_;
+  energy::RadioModel radio_;
+  energy::ChargingModel charging_;
+  int num_nodes_;
+  std::vector<double> report_rates_;
+  std::vector<double> static_energy_;
+  bool uniform_workload_ = true;
+  double total_report_rate_ = 0.0;
+};
+
+/// Thrown when an instance is infeasible (M < N, disconnected field, ...).
+class InfeasibleInstance : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace wrsn::core

@@ -1,0 +1,69 @@
+#include "core/local_search.hpp"
+
+#include <stdexcept>
+
+namespace wrsn::core {
+
+LocalSearchResult refine_solution(const Instance& instance, const Solution& start,
+                                  const LocalSearchOptions& options) {
+  if (!is_valid_solution(instance, start)) {
+    throw std::invalid_argument("local search requires a valid starting solution");
+  }
+  if (options.max_passes < 1) throw std::invalid_argument("max_passes must be >= 1");
+
+  const int n = instance.num_posts();
+  std::vector<int> deployment = start.deployment;
+
+  LocalSearchResult result{start, 0.0, 0.0, 0, 0, 0};
+  // Price the start with its own routing re-optimized; the caller's tree
+  // may already be optimal for the deployment (IDB) or not (RFH Phase II's
+  // tie-breaking) -- refinement includes re-routing either way.
+  double current = optimal_cost_for_deployment(instance, deployment);
+  ++result.evaluations;
+  result.initial_cost = total_recharging_cost(instance, start);
+  current = std::min(current, result.initial_cost);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    bool improved = false;
+    // First-improvement scan over all single-node moves a -> b.
+    for (int a = 0; a < n; ++a) {
+      if (deployment[static_cast<std::size_t>(a)] <= 1) continue;
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        --deployment[static_cast<std::size_t>(a)];
+        ++deployment[static_cast<std::size_t>(b)];
+        const double candidate = optimal_cost_for_deployment(instance, deployment);
+        ++result.evaluations;
+        if (candidate < current * (1.0 - options.min_relative_gain)) {
+          current = candidate;
+          ++result.moves_applied;
+          improved = true;
+          // Keep the move; a may no longer have spares, break to re-check.
+          if (deployment[static_cast<std::size_t>(a)] <= 1) break;
+        } else {
+          // Undo.
+          ++deployment[static_cast<std::size_t>(a)];
+          --deployment[static_cast<std::size_t>(b)];
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  const auto dag = graph::shortest_paths_to_base(instance.graph(),
+                                                 recharging_weight(instance, deployment));
+  Solution refined{spt_from_dag(dag), deployment};
+  const double refined_cost = total_recharging_cost(instance, refined);
+  if (refined_cost <= result.initial_cost) {
+    result.solution = std::move(refined);
+    result.cost = refined_cost;
+  } else {
+    // Numerically impossible, but never hand back something worse.
+    result.solution = start;
+    result.cost = result.initial_cost;
+  }
+  return result;
+}
+
+}  // namespace wrsn::core

@@ -1,0 +1,44 @@
+// Local-search refinement of deployment decisions (an extension beyond the
+// paper's heuristics; evaluated in bench/ablation_local_search).
+//
+// Both RFH and IDB commit to a deployment and never revisit it.  This pass
+// takes any valid solution and hill-climbs in two neighborhoods:
+//   * move:  shift one node from post a to post b (m_a > 1),
+//   * swap paths are subsumed by repeated moves, so moves suffice.
+// Every candidate is priced with the charging-aware shortest-path routing
+// (optimal for a fixed deployment), so the search walks the same objective
+// the exact solver optimizes and terminates at a local optimum of it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+
+namespace wrsn::core {
+
+struct LocalSearchOptions {
+  /// Hard cap on improvement passes (a pass scans all (a, b) moves).
+  int max_passes = 50;
+  /// Accept a move only when it improves by more than this relative slack
+  /// (guards against cycling on floating-point noise).
+  double min_relative_gain = 1e-12;
+};
+
+struct LocalSearchResult {
+  Solution solution;
+  double cost = 0.0;
+  /// Cost of the solution the search started from.
+  double initial_cost = 0.0;
+  int moves_applied = 0;
+  int passes = 0;
+  /// Deployments priced (one charging-aware Dijkstra each).
+  std::uint64_t evaluations = 0;
+};
+
+/// Refines `start` (which must be valid for `instance`). The result never
+/// costs more than the input.
+LocalSearchResult refine_solution(const Instance& instance, const Solution& start,
+                                  const LocalSearchOptions& options = {});
+
+}  // namespace wrsn::core

@@ -1,0 +1,122 @@
+#include "core/pricer.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace wrsn::core {
+
+DeploymentPricer::DeploymentPricer(const Instance& instance, std::vector<int> deployment)
+    : instance_(&instance), deployment_(std::move(deployment)) {
+  const int n = instance.num_posts();
+  if (static_cast<int>(deployment_.size()) != n) {
+    throw std::invalid_argument("deployment size does not match the instance");
+  }
+  inv_eff_.resize(deployment_.size());
+  for (std::size_t i = 0; i < deployment_.size(); ++i) {
+    inv_eff_[i] = 1.0 / instance.charging().efficiency(deployment_[i]);
+  }
+  const auto dag =
+      graph::shortest_paths_to_base(instance.graph(), recharging_weight(instance, deployment_));
+  if (!dag.all_posts_reachable) {
+    throw InfeasibleInstance("some post cannot reach the base station");
+  }
+  dist_ = dag.dist;
+  static_sum_ = 0.0;
+  for (int p = 0; p < n; ++p) {
+    static_sum_ += instance.static_energy(p) * inv_eff_[static_cast<std::size_t>(p)];
+  }
+  base_cost_ = weighted_distance_sum(dist_) + static_sum_;
+}
+
+double DeploymentPricer::weighted_distance_sum(const std::vector<double>& dist) const {
+  double total = 0.0;
+  for (int p = 0; p < instance_->num_posts(); ++p) {
+    total += instance_->report_rate(p) * dist[static_cast<std::size_t>(p)];
+  }
+  return total;
+}
+
+double DeploymentPricer::weight(int u, int v, double inv_eff_u, double inv_eff_v) const {
+  double w = instance_->tx_energy(u, v) * inv_eff_u;
+  if (v != instance_->graph().base_station()) w += instance_->rx_energy() * inv_eff_v;
+  return w;
+}
+
+double DeploymentPricer::relax_with(int j, double inv_eff_j, std::vector<double>& dist) const {
+  const auto& g = instance_->graph();
+  const int n = instance_->num_posts();
+  const int bs = g.base_station();
+  const auto inv = [&](int v) {
+    return v == j ? inv_eff_j : inv_eff_[static_cast<std::size_t>(v)];
+  };
+
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  // Seed 1: j's own distance can improve through any out-edge (its
+  // transmit term got cheaper).
+  {
+    double best = dist[static_cast<std::size_t>(j)];
+    for (int u = 0; u < n + 1; ++u) {
+      if (u == j || !g.reachable(j, u)) continue;
+      const double du = dist[static_cast<std::size_t>(u)];
+      if (!std::isfinite(du)) continue;
+      const double cand = weight(j, u, inv(j), inv(u)) + du;
+      if (cand < best) best = cand;
+    }
+    if (best < dist[static_cast<std::size_t>(j)]) {
+      dist[static_cast<std::size_t>(j)] = best;
+      heap.emplace(best, j);
+    }
+  }
+  // Seed 2: hops into j got cheaper (receive term), even if dist(j) is
+  // unchanged.
+  for (int v = 0; v < n; ++v) {
+    if (v == j || !g.reachable(v, j)) continue;
+    const double cand = weight(v, j, inv(v), inv(j)) + dist[static_cast<std::size_t>(j)];
+    if (cand < dist[static_cast<std::size_t>(v)]) {
+      dist[static_cast<std::size_t>(v)] = cand;
+      heap.emplace(cand, v);
+    }
+  }
+
+  // Improve-only Dijkstra continuation (lazy deletions).
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
+    for (int v = 0; v < n; ++v) {
+      if (v == u || v == bs || !g.reachable(v, u)) continue;
+      const double cand = weight(v, u, inv(v), inv(u)) + dist[static_cast<std::size_t>(u)];
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        heap.emplace(cand, v);
+      }
+    }
+  }
+
+  return weighted_distance_sum(dist);
+}
+
+double DeploymentPricer::cost_with_extra_node(int j) const {
+  if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  std::vector<double> dist = dist_;
+  const double inv_eff_j =
+      1.0 / instance_->charging().efficiency(deployment_[static_cast<std::size_t>(j)] + 1);
+  const double static_term = static_sum_ + instance_->static_energy(j) *
+                                               (inv_eff_j - inv_eff_[static_cast<std::size_t>(j)]);
+  return relax_with(j, inv_eff_j, dist) + static_term;
+}
+
+void DeploymentPricer::add_node(int j) {
+  if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  ++deployment_[static_cast<std::size_t>(j)];
+  const double old_inv = inv_eff_[static_cast<std::size_t>(j)];
+  inv_eff_[static_cast<std::size_t>(j)] =
+      1.0 / instance_->charging().efficiency(deployment_[static_cast<std::size_t>(j)]);
+  static_sum_ += instance_->static_energy(j) * (inv_eff_[static_cast<std::size_t>(j)] - old_inv);
+  base_cost_ = relax_with(j, inv_eff_[static_cast<std::size_t>(j)], dist_) + static_sum_;
+}
+
+}  // namespace wrsn::core

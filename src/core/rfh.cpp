@@ -1,0 +1,183 @@
+#include "core/rfh.hpp"
+
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wrsn::core {
+namespace rfh_detail {
+
+graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
+  const int n_vertices = dag.num_vertices();
+  const int n_posts = n_vertices - 1;
+  const int bs = dag.base_station;
+
+  graph::DagReach reach = graph::compute_dag_reach(dag);
+  std::vector<char> processed(static_cast<std::size_t>(n_vertices), 0);
+  processed[static_cast<std::size_t>(bs)] = 1;
+
+  for (int step = 0; step < n_posts; ++step) {
+    // Head of the paper's queue L: the unprocessed post with the largest
+    // routing workload (number of DAG descendants). Selecting the max each
+    // step is equivalent to maintaining the sorted queue and re-positioning
+    // entries whose workload changed.
+    int p = -1;
+    for (int v = 0; v < n_posts; ++v) {
+      if (processed[static_cast<std::size_t>(v)]) continue;
+      if (p < 0 || reach.workload[static_cast<std::size_t>(v)] >
+                       reach.workload[static_cast<std::size_t>(p)]) {
+        p = v;
+      }
+    }
+    if (p < 0) break;
+    processed[static_cast<std::size_t>(p)] = 1;
+
+    // Every descendant of p drops its edges to parents outside
+    // {p} union descendants(p): reports from p's subtree must pass through p.
+    const graph::Bitset& desc_p = reach.descendants[static_cast<std::size_t>(p)];
+    bool any_deleted = false;
+    for (int d = 0; d < n_posts; ++d) {
+      if (!desc_p.test(static_cast<std::size_t>(d))) continue;
+      auto& parents = dag.parents[static_cast<std::size_t>(d)];
+      const auto keep = [&](int q) {
+        return q == p || (q != bs && desc_p.test(static_cast<std::size_t>(q)));
+      };
+      const auto new_end = std::partition(parents.begin(), parents.end(), keep);
+      if (new_end != parents.end()) {
+        parents.erase(new_end, parents.end());
+        any_deleted = true;
+      }
+      if (parents.empty()) {
+        throw std::logic_error("Phase II disconnected a post (bug in trimming)");
+      }
+    }
+    // Deletions shrink upstream workloads; refresh the closure so later
+    // queue selections see the updated values (the paper's "positions in
+    // the queue may have to be changed").
+    if (any_deleted) reach = graph::compute_dag_reach(dag);
+  }
+
+  // Posts may retain several same-cost parents only in exact-tie corner
+  // cases; resolve deterministically toward the busiest parent.
+  graph::RoutingTree tree(n_posts, bs);
+  for (int v = 0; v < n_posts; ++v) {
+    const auto& parents = dag.parents[static_cast<std::size_t>(v)];
+    if (parents.empty()) throw std::logic_error("post lost all parents during trimming");
+    int best = parents.front();
+    for (int q : parents) {
+      if (reach.workload[static_cast<std::size_t>(q)] >
+          reach.workload[static_cast<std::size_t>(best)]) {
+        best = q;
+      }
+    }
+    tree.set_parent(v, best);
+  }
+  if (!tree.is_valid()) throw std::logic_error("Phase II produced an invalid tree");
+  return tree;
+}
+
+void merge_siblings(const Instance& instance, const graph::WeightFn& weight,
+                    graph::RoutingTree& tree) {
+  const auto& g = instance.graph();
+  const int n = instance.num_posts();
+  const std::vector<std::vector<int>> children = tree.children();
+  std::vector<int> workload = tree.descendant_counts();
+
+  // Examine every vertex that has at least two children, base station
+  // included. Children are considered busiest-first so heads end up being
+  // the posts that already carry the most workload.
+  for (int parent_idx = 0; parent_idx <= n; ++parent_idx) {
+    const int parent_vertex = parent_idx == n ? tree.base_station() : parent_idx;
+    std::vector<int> kids = children[static_cast<std::size_t>(parent_idx)];
+    if (kids.size() < 2) continue;
+    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+      return workload[static_cast<std::size_t>(a)] > workload[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<int> heads;
+    for (int kid : kids) {
+      // Cheapest head this kid can reach more cheaply than its parent.
+      int best_head = -1;
+      double best_cost = weight(kid, parent_vertex);
+      for (int head : heads) {
+        if (!g.reachable(kid, head)) continue;
+        const double c = weight(kid, head);
+        if (c < best_cost) {
+          best_cost = c;
+          best_head = head;
+        }
+      }
+      if (best_head >= 0) {
+        tree.set_parent(kid, best_head);
+      } else {
+        heads.push_back(kid);
+      }
+    }
+  }
+  if (!tree.is_valid()) throw std::logic_error("Phase III produced an invalid tree");
+}
+
+std::vector<double> phase4_weights(const Instance& instance, const graph::RoutingTree& tree,
+                                   WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::Energy:
+      return per_post_energy(instance, tree);
+    case WorkloadKind::Bits: {
+      const std::vector<int> descendants = tree.descendant_counts();
+      std::vector<double> weights(descendants.size());
+      for (std::size_t i = 0; i < descendants.size(); ++i) {
+        weights[i] = 1.0 + static_cast<double>(descendants[i]);
+      }
+      return weights;
+    }
+  }
+  throw std::logic_error("unknown WorkloadKind");
+}
+
+}  // namespace rfh_detail
+
+RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
+  if (options.iterations < 1) throw std::invalid_argument("RFH needs at least one iteration");
+
+  RfhResult result{
+      Solution{graph::RoutingTree(instance.num_posts(), instance.graph().base_station()), {}},
+      graph::kInfinity,
+      {},
+      0};
+
+  std::vector<int> deployment;  // empty until the first Phase IV
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Phase I weights: plain per-bit energy on the first pass, true
+    // recharging cost (charging-aware) once a deployment exists.
+    const graph::WeightFn weight =
+        deployment.empty() ? energy_weight(instance, options.rx_in_weight)
+                           : recharging_weight(instance, deployment);
+
+    graph::ShortestPathDag dag = graph::shortest_paths_to_base(instance.graph(), weight);
+    if (!dag.all_posts_reachable) {
+      throw InfeasibleInstance("some post cannot reach the base station");
+    }
+
+    graph::RoutingTree tree = options.concentrate_workload ? rfh_detail::trim_fat_tree(dag)
+                                                           : spt_from_dag(dag);
+    if (options.merge_siblings) rfh_detail::merge_siblings(instance, weight, tree);
+
+    const std::vector<double> weights =
+        rfh_detail::phase4_weights(instance, tree, options.workload_kind);
+    deployment = lagrange_allocate(weights, instance.num_nodes());
+
+    Solution candidate{tree, deployment};
+    const double cost = total_recharging_cost(instance, candidate);
+    result.cost_history.push_back(cost);
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.solution = std::move(candidate);
+      result.best_iteration = iter;
+    }
+  }
+  return result;
+}
+
+}  // namespace wrsn::core

@@ -1,0 +1,79 @@
+// Routing-First Heuristic (Section V-A), basic and iterative.
+//
+// Phase I   builds the shortest-path "fat tree" (all minimum-energy paths).
+// Phase II  trims it into a tree while *concentrating* routing workload on
+//           few posts (those posts then get many nodes and thus a high
+//           charging efficiency).
+// Phase III opportunistically re-homes sibling posts onto a cheap-to-reach
+//           sibling head, concentrating workload further.
+// Phase IV  deploys nodes proportionally to workload via Lagrange
+//           multipliers with the paper's smallest-share-first rounding.
+//
+// The iterative variant repeats I-IV with charging-aware edge weights
+// derived from the previous deployment; the paper reports convergence
+// within ~7 iterations (possibly oscillating in a tiny band, Fig. 6).
+#pragma once
+
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/solution.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace wrsn::core {
+
+/// What Phase IV uses as the per-post workload alpha_i.
+enum class WorkloadKind {
+  /// alpha_i = E(p_i), the per-round energy (minimizes the true objective).
+  Energy,
+  /// alpha_i = 1 + D(p_i), the per-round bits transmitted (the paper's
+  /// literal "routing workload").
+  Bits,
+};
+
+struct RfhOptions {
+  /// Number of I-IV passes; 1 = basic RFH. The paper uses 7 for its figures.
+  int iterations = 7;
+  /// Phase II workload concentration (off = plain first-parent SPT).
+  bool concentrate_workload = true;
+  /// Phase III sibling merging.
+  bool merge_siblings = true;
+  /// Include receiver energy e_r in the Phase I edge weight. The paper's
+  /// Phase I definition omits it; the charging-aware iterations always
+  /// include it (it is part of the true cost).
+  bool rx_in_weight = false;
+  WorkloadKind workload_kind = WorkloadKind::Energy;
+};
+
+struct RfhResult {
+  Solution solution;
+  /// Cost of `solution` (the best iteration's).
+  double cost = 0.0;
+  /// Cost after each iteration, for convergence plots (Fig. 6).
+  std::vector<double> cost_history;
+  int best_iteration = 0;
+};
+
+/// Runs (iterative) RFH on `instance`.
+RfhResult solve_rfh(const Instance& instance, const RfhOptions& options = {});
+
+namespace rfh_detail {
+
+/// Phase II: trims the DAG's parent lists in decreasing-workload order so
+/// each examined post captures its potential descendants, then extracts the
+/// resulting tree. Mutates `dag`.
+graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag);
+
+/// Phase III: re-homes children onto sibling heads where strictly cheaper
+/// than reaching the parent. `weight` prices a directed hop (same function
+/// used to build the tree). Mutates `tree` in place.
+void merge_siblings(const Instance& instance, const graph::WeightFn& weight,
+                    graph::RoutingTree& tree);
+
+/// Phase IV workload vector for `tree` under the chosen kind.
+std::vector<double> phase4_weights(const Instance& instance, const graph::RoutingTree& tree,
+                                   WorkloadKind kind);
+
+}  // namespace rfh_detail
+
+}  // namespace wrsn::core

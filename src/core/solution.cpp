@@ -1,0 +1,60 @@
+#include "core/solution.hpp"
+
+#include <numeric>
+
+namespace wrsn::core {
+
+std::vector<std::string> validate_solution(const Instance& instance, const Solution& solution) {
+  std::vector<std::string> errors;
+  const int n = instance.num_posts();
+
+  if (solution.tree.num_posts() != n) {
+    errors.push_back("tree post count does not match the instance");
+    return errors;
+  }
+  if (!solution.tree.is_valid()) {
+    errors.push_back("routing tree is incomplete or cyclic");
+  } else {
+    for (int p = 0; p < n; ++p) {
+      const int parent = solution.tree.parent(p);
+      if (!instance.graph().reachable(p, parent)) {
+        errors.push_back("post " + std::to_string(p) + " cannot reach its parent " +
+                         std::to_string(parent) + " at any power level");
+      }
+    }
+  }
+
+  if (static_cast<int>(solution.deployment.size()) != n) {
+    errors.push_back("deployment vector size does not match the post count");
+  } else {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      const int m = solution.deployment[static_cast<std::size_t>(i)];
+      if (m < 1) {
+        errors.push_back("post " + std::to_string(i) + " has no sensor node deployed");
+      }
+      total += m;
+    }
+    if (total != instance.num_nodes()) {
+      errors.push_back("deployment uses " + std::to_string(total) + " nodes but the budget is " +
+                       std::to_string(instance.num_nodes()));
+    }
+  }
+  return errors;
+}
+
+bool is_valid_solution(const Instance& instance, const Solution& solution) {
+  return validate_solution(instance, solution).empty();
+}
+
+std::vector<int> solution_levels(const Instance& instance, const Solution& solution) {
+  const int n = instance.num_posts();
+  std::vector<int> levels(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    levels[static_cast<std::size_t>(p)] =
+        instance.graph().min_level(p, solution.tree.parent(p));
+  }
+  return levels;
+}
+
+}  // namespace wrsn::core

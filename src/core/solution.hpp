@@ -1,0 +1,31 @@
+// A complete answer to the deployment + routing problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace wrsn::core {
+
+/// Deployment (node count per post) plus the routing tree.
+struct Solution {
+  graph::RoutingTree tree;
+  /// deployment[i] = m_i, nodes stationed at post i; every entry >= 1 and
+  /// the entries sum to the instance's M.
+  std::vector<int> deployment;
+};
+
+/// Structural checks: tree validity, per-hop reachability, deployment sums.
+/// Returns a list of human-readable violations (empty when valid).
+std::vector<std::string> validate_solution(const Instance& instance, const Solution& solution);
+
+/// Convenience: true when validate_solution reports nothing.
+bool is_valid_solution(const Instance& instance, const Solution& solution);
+
+/// Per-post transmit power level implied by the tree (the smallest level
+/// reaching each post's parent). Requires a valid tree.
+std::vector<int> solution_levels(const Instance& instance, const Solution& solution);
+
+}  // namespace wrsn::core

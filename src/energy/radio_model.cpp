@@ -1,0 +1,68 @@
+#include "energy/radio_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wrsn::energy {
+
+RadioModel::RadioModel(std::vector<double> ranges, std::vector<double> tx_energies,
+                       double rx_energy, RadioParams params)
+    : ranges_(std::move(ranges)),
+      tx_energies_(std::move(tx_energies)),
+      rx_energy_(rx_energy),
+      params_(params) {
+  if (ranges_.empty() || ranges_.size() != tx_energies_.size()) {
+    throw std::invalid_argument("RadioModel requires matching non-empty level vectors");
+  }
+  if (!std::is_sorted(ranges_.begin(), ranges_.end())) {
+    throw std::invalid_argument("RadioModel ranges must be ascending");
+  }
+  if (!std::is_sorted(tx_energies_.begin(), tx_energies_.end())) {
+    throw std::invalid_argument("RadioModel level energies must be ascending");
+  }
+  if (ranges_.front() <= 0.0) throw std::invalid_argument("RadioModel ranges must be positive");
+}
+
+RadioModel RadioModel::uniform_levels(int k, double step, RadioParams params) {
+  if (k <= 0) throw std::invalid_argument("RadioModel needs at least one level");
+  std::vector<double> ranges(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) ranges[static_cast<std::size_t>(i)] = step * (i + 1);
+  return from_ranges(std::move(ranges), params);
+}
+
+RadioModel RadioModel::from_ranges(std::vector<double> ranges, RadioParams params) {
+  std::vector<double> energies(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    energies[i] = params.alpha + params.beta * std::pow(ranges[i], params.gamma);
+  }
+  return RadioModel(std::move(ranges), std::move(energies), params.alpha, params);
+}
+
+RadioModel RadioModel::from_energies(std::vector<double> tx_energies, double rx_energy) {
+  std::vector<double> ranges(tx_energies.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) ranges[i] = static_cast<double>(i + 1);
+  return RadioModel(std::move(ranges), std::move(tx_energies), rx_energy, RadioParams{});
+}
+
+double RadioModel::range(int level) const {
+  return ranges_.at(static_cast<std::size_t>(level));
+}
+
+double RadioModel::tx_energy(int level) const {
+  return tx_energies_.at(static_cast<std::size_t>(level));
+}
+
+std::optional<int> RadioModel::min_level_for_distance(double distance_m) const noexcept {
+  const auto it = std::lower_bound(ranges_.begin(), ranges_.end(), distance_m);
+  if (it == ranges_.end()) return std::nullopt;
+  return static_cast<int>(it - ranges_.begin());
+}
+
+std::optional<double> RadioModel::tx_energy_for_distance(double distance_m) const noexcept {
+  const auto level = min_level_for_distance(distance_m);
+  if (!level) return std::nullopt;
+  return tx_energies_[static_cast<std::size_t>(*level)];
+}
+
+}  // namespace wrsn::energy

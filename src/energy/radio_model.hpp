@@ -1,0 +1,69 @@
+// First-order radio energy model with discrete transmit power levels.
+//
+// Paper, Eq. (1):   e_t = alpha + beta * d^gamma,   e_r = alpha
+// with alpha = 50 nJ/bit, beta = 0.0013 pJ/bit/m^4, gamma = 4 (Heinzelman et
+// al.).  A node chooses one of k levels l_1..l_k reaching distances
+// d_1..d_k; transmitting one bit at level i costs e_i = alpha + beta*d_i^gamma.
+//
+// The NP-completeness gadget (Section IV) needs a radio whose level energies
+// are prescribed directly (4*e1 = e2, receive cost e0 < e1), so the model
+// also supports explicit per-level energies decoupled from geometry.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace wrsn::energy {
+
+/// Physical-layer constants of Eq. (1).
+struct RadioParams {
+  double alpha = 50e-9;       ///< J/bit, transceiver circuitry
+  double beta = 0.0013e-12;   ///< J/bit/m^gamma, amplifier
+  double gamma = 4.0;         ///< path-loss exponent (2..4)
+};
+
+/// Discrete-power radio: k levels, each with a range and a per-bit energy.
+class RadioModel {
+ public:
+  /// Radio with ranges {step, 2*step, ..., k*step} meters (paper default:
+  /// step = 25 m, k = 3 or 6) and energies from Eq. (1).
+  static RadioModel uniform_levels(int k, double step = 25.0, RadioParams params = {});
+
+  /// Radio with the given explicit ranges (ascending) and Eq. (1) energies.
+  static RadioModel from_ranges(std::vector<double> ranges, RadioParams params = {});
+
+  /// Abstract radio with prescribed per-level energies and receive energy;
+  /// ranges are synthetic (level index + 1) and only used for ordering.
+  /// Used by the NP-completeness gadget where reachability is explicit.
+  static RadioModel from_energies(std::vector<double> tx_energies, double rx_energy);
+
+  int num_levels() const noexcept { return static_cast<int>(ranges_.size()); }
+  /// Range of level `level` (0-based) in meters.
+  double range(int level) const;
+  /// Per-bit transmit energy of level `level` (0-based), in joules.
+  double tx_energy(int level) const;
+  /// Per-bit receive energy, in joules.
+  double rx_energy() const noexcept { return rx_energy_; }
+  double max_range() const noexcept { return ranges_.back(); }
+  const RadioParams& params() const noexcept { return params_; }
+
+  /// Smallest level whose range covers `distance_m`, or nullopt when even
+  /// the maximum power cannot reach it.
+  std::optional<int> min_level_for_distance(double distance_m) const noexcept;
+
+  /// Per-bit energy to transmit across `distance_m` with the cheapest
+  /// feasible level, or nullopt when unreachable.  This is the edge-weight
+  /// function w(v_i, v_j) of RFH Phase I.
+  std::optional<double> tx_energy_for_distance(double distance_m) const noexcept;
+
+ private:
+  RadioModel(std::vector<double> ranges, std::vector<double> tx_energies, double rx_energy,
+             RadioParams params);
+
+  std::vector<double> ranges_;       // ascending
+  std::vector<double> tx_energies_;  // ascending with ranges
+  double rx_energy_ = 0.0;
+  RadioParams params_{};
+};
+
+}  // namespace wrsn::energy

@@ -1,0 +1,3 @@
+// Intentionally empty: Point is header-only; this TU anchors the geom module
+// in the build so the library always has at least one symbol per module.
+#include "geom/point.hpp"

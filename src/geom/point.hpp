@@ -1,0 +1,30 @@
+// 2-D geometry primitives for the deployment field.
+#pragma once
+
+#include <cmath>
+
+namespace wrsn::geom {
+
+/// A point in the 2-D deployment field, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) noexcept { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) noexcept { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(Point p, double s) noexcept { return {p.x * s, p.y * s}; }
+
+/// Squared Euclidean distance (cheap comparison key).
+constexpr double distance_squared(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance in meters.
+inline double distance(Point a, Point b) noexcept { return std::sqrt(distance_squared(a, b)); }
+
+}  // namespace wrsn::geom

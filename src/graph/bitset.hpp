@@ -1,0 +1,47 @@
+// Fixed-capacity dynamic bitset used for DAG-reachability sets.
+//
+// Phase II of RFH repeatedly needs "the set of vertices whose routes can
+// pass through p"; with N up to a few hundred posts these sets fit in a
+// handful of 64-bit words and set-union is a few OR instructions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace wrsn::graph {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool test(std::size_t i) const noexcept { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  Bitset& operator|=(const Bitset& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wrsn::graph

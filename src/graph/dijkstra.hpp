@@ -1,0 +1,65 @@
+// Single-sink shortest paths with *all* tight predecessors retained.
+//
+// RFH Phase I runs Dijkstra from every post to the base station and must
+// keep every minimum-energy path, not just one: the union of all tight
+// next-hop edges forms the shortest-path DAG the paper calls a "fat tree",
+// which Phase II then trims by concentrating workload.  We compute the DAG
+// in one Dijkstra pass from the base station over reversed edges.
+//
+// Edge weights are supplied by a callable so the same machinery serves both
+// the plain energy weights of basic RFH (w = e_tx, optionally + e_rx) and
+// the charging-aware weights of iterative RFH / IDB
+// (w = e_tx/(k(m_u) eta) + e_rx/(k(m_v) eta)).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/bitset.hpp"
+#include "graph/reach_graph.hpp"
+
+namespace wrsn::graph {
+
+/// Weight of the directed edge from -> to. Called only for reachable pairs;
+/// must return a strictly positive finite value.
+using WeightFn = std::function<double(int from, int to)>;
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// The shortest-path DAG toward the base station ("fat tree").
+struct ShortestPathDag {
+  /// dist[v] = minimum total weight of a v -> base path; kInfinity when v
+  /// cannot reach the base station.
+  std::vector<double> dist;
+  /// parents[v] = every next hop u with dist[v] == w(v,u) + dist[u] (within
+  /// the relative tie tolerance). Empty for the base station.
+  std::vector<std::vector<int>> parents;
+  int base_station = 0;
+  bool all_posts_reachable = false;
+
+  int num_vertices() const noexcept { return static_cast<int>(dist.size()); }
+};
+
+/// Runs Dijkstra from the base station over reversed edges and extracts the
+/// tight-predecessor DAG. `rel_tie_eps` controls when two path costs are
+/// considered equal (relative comparison).
+ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const WeightFn& weight,
+                                       double rel_tie_eps = 1e-9);
+
+/// Reachability closure of a (possibly trimmed) shortest-path DAG.
+struct DagReach {
+  /// through[v] = set of vertices lying on some v -> base path, excluding v.
+  std::vector<Bitset> through;
+  /// descendants[p] = set of posts v (v != p) whose data can route through p.
+  std::vector<Bitset> descendants;
+  /// workload[p] = |descendants[p]| -- the paper's Phase II routing workload.
+  std::vector<int> workload;
+};
+
+/// Computes the closure for the DAG's current parent lists.  Parent edges
+/// must point from larger to strictly smaller `dist` (guaranteed for DAGs
+/// produced by shortest_paths_to_base, preserved by edge deletion).
+DagReach compute_dag_reach(const ShortestPathDag& dag);
+
+}  // namespace wrsn::graph

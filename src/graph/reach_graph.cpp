@@ -1,0 +1,101 @@
+#include "graph/reach_graph.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace wrsn::graph {
+
+ReachGraph::ReachGraph(int num_posts) : num_posts_(num_posts) {
+  if (num_posts <= 0) throw std::invalid_argument("ReachGraph needs at least one post");
+  const std::size_t n = static_cast<std::size_t>(num_vertices());
+  min_level_.assign(n * n, kUnreachable);
+  distance_.assign(n * n, 0.0);
+}
+
+ReachGraph ReachGraph::from_field(const geom::Field& field, const energy::RadioModel& radio) {
+  ReachGraph g(static_cast<int>(field.posts.size()));
+  auto position = [&](int v) {
+    return v == g.base_station() ? field.base_station
+                                 : field.posts[static_cast<std::size_t>(v)];
+  };
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v = u + 1; v < g.num_vertices(); ++v) {
+      const double d = geom::distance(position(u), position(v));
+      const std::size_t uv = g.index(u, v);
+      const std::size_t vu = g.index(v, u);
+      g.distance_[uv] = d;
+      g.distance_[vu] = d;
+      if (const auto level = radio.min_level_for_distance(d)) {
+        g.min_level_[uv] = *level;
+        g.min_level_[vu] = *level;
+      }
+    }
+  }
+  return g;
+}
+
+std::size_t ReachGraph::index(int from, int to) const {
+  if (from < 0 || from >= num_vertices() || to < 0 || to >= num_vertices()) {
+    throw std::out_of_range("ReachGraph vertex out of range");
+  }
+  return static_cast<std::size_t>(from) * static_cast<std::size_t>(num_vertices()) +
+         static_cast<std::size_t>(to);
+}
+
+void ReachGraph::set_min_level(int from, int to, int level) {
+  if (from == to) throw std::invalid_argument("self-edges are not allowed");
+  if (level < 0) throw std::invalid_argument("level must be non-negative");
+  min_level_[index(from, to)] = level;
+}
+
+void ReachGraph::set_min_level_symmetric(int u, int v, int level) {
+  set_min_level(u, v, level);
+  set_min_level(v, u, level);
+}
+
+int ReachGraph::min_level(int from, int to) const {
+  if (from == to) return kUnreachable;
+  return min_level_[index(from, to)];
+}
+
+double ReachGraph::distance(int from, int to) const { return distance_[index(from, to)]; }
+
+std::vector<int> ReachGraph::out_neighbors(int from) const {
+  std::vector<int> result;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (v != from && reachable(from, v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<int> ReachGraph::in_neighbors(int to) const {
+  std::vector<int> result;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (v != to && reachable(v, to)) result.push_back(v);
+  }
+  return result;
+}
+
+bool ReachGraph::connected_to_base() const {
+  // BFS from the base station along *reversed* edges: u is reached when it
+  // can transmit (possibly multi-hop) to the base station.
+  std::vector<char> seen(static_cast<std::size_t>(num_vertices()), 0);
+  std::queue<int> frontier;
+  frontier.push(base_station());
+  seen[static_cast<std::size_t>(base_station())] = 1;
+  int reached = 0;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (int v = 0; v < num_vertices(); ++v) {
+      if (!seen[static_cast<std::size_t>(v)] && reachable(v, u)) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == num_vertices();
+}
+
+}  // namespace wrsn::graph

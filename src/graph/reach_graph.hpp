@@ -1,0 +1,65 @@
+// Reachability graph over posts and the base station.
+//
+// Vertices 0..N-1 are posts; vertex N is the base station.  For every
+// ordered pair (from, to) the graph records the *minimum transmit power
+// level* that lets `from` reach `to`, or kUnreachable.  Geometric instances
+// derive levels from pairwise distance and the radio's ranges; the
+// NP-completeness gadget prescribes levels explicitly (and asymmetrically,
+// e.g. posts U_j reach the base station but nothing routes the other way).
+#pragma once
+
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "geom/field.hpp"
+
+namespace wrsn::graph {
+
+class ReachGraph {
+ public:
+  static constexpr int kUnreachable = -1;
+
+  /// Graph with `num_posts` posts and one base-station vertex, no edges.
+  explicit ReachGraph(int num_posts);
+
+  /// Derives levels from post geometry: edge (u,v) exists iff
+  /// dist(u,v) <= d_max, with the smallest covering level.
+  static ReachGraph from_field(const geom::Field& field, const energy::RadioModel& radio);
+
+  int num_posts() const noexcept { return num_posts_; }
+  int num_vertices() const noexcept { return num_posts_ + 1; }
+  /// Index of the base-station vertex.
+  int base_station() const noexcept { return num_posts_; }
+  bool is_post(int v) const noexcept { return v >= 0 && v < num_posts_; }
+
+  /// Sets the minimum level for the directed pair (from -> to).
+  void set_min_level(int from, int to, int level);
+  /// Sets the minimum level in both directions.
+  void set_min_level_symmetric(int u, int v, int level);
+
+  /// Minimum feasible level for from -> to, or kUnreachable.
+  int min_level(int from, int to) const;
+  bool reachable(int from, int to) const { return min_level(from, to) != kUnreachable; }
+
+  /// Distance between two vertices in meters (geometric graphs only; 0 for
+  /// abstract graphs).
+  double distance(int from, int to) const;
+
+  /// All vertices `from` can transmit to (excluding itself).
+  std::vector<int> out_neighbors(int from) const;
+  /// All vertices that can transmit to `to` (excluding itself).
+  std::vector<int> in_neighbors(int to) const;
+
+  /// True when every post can reach the base station over some multi-hop
+  /// directed path.
+  bool connected_to_base() const;
+
+ private:
+  std::size_t index(int from, int to) const;
+
+  int num_posts_;
+  std::vector<int> min_level_;   // (N+1)^2 row-major, kUnreachable when absent
+  std::vector<double> distance_; // same shape; 0 for abstract graphs
+};
+
+}  // namespace wrsn::graph

@@ -1,0 +1,155 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace wrsn::io {
+namespace {
+
+std::string next_content_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    // Skip blanks and comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line.substr(first);
+  }
+  throw ParseError("unexpected end of input");
+}
+
+void expect_header(std::istream& is, const std::string& expected) {
+  const std::string line = next_content_line(is);
+  if (line.rfind(expected, 0) != 0) {
+    throw ParseError("expected header '" + expected + "', got '" + line + "'");
+  }
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void write_field(std::ostream& os, const geom::Field& field) {
+  // max_digits10 guarantees bit-exact double round-trips through text.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "wrsn-field v1\n";
+  os << "size " << field.width << ' ' << field.height << '\n';
+  os << "base " << field.base_station.x << ' ' << field.base_station.y << '\n';
+  for (const geom::Point& p : field.posts) {
+    os << "post " << p.x << ' ' << p.y << '\n';
+  }
+}
+
+geom::Field read_field(std::istream& is) {
+  expect_header(is, "wrsn-field v1");
+  geom::Field field;
+  bool have_size = false;
+  bool have_base = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "size") {
+      if (!(ss >> field.width >> field.height)) throw ParseError("bad size line");
+      have_size = true;
+    } else if (tag == "base") {
+      if (!(ss >> field.base_station.x >> field.base_station.y)) {
+        throw ParseError("bad base line");
+      }
+      have_base = true;
+    } else if (tag == "post") {
+      geom::Point p;
+      if (!(ss >> p.x >> p.y)) throw ParseError("bad post line");
+      field.posts.push_back(p);
+    } else {
+      throw ParseError("unknown field line: " + line);
+    }
+  }
+  if (!have_size || !have_base) throw ParseError("field missing size or base line");
+  if (field.posts.empty()) throw ParseError("field has no posts");
+  return field;
+}
+
+void write_solution(std::ostream& os, const core::Solution& solution) {
+  const int n = solution.tree.num_posts();
+  os << "wrsn-solution v1\n";
+  os << "posts " << n << '\n';
+  os << "deploy";
+  for (int m : solution.deployment) os << ' ' << m;
+  os << '\n';
+  os << "parent";
+  for (int p = 0; p < n; ++p) {
+    const int parent = solution.tree.parent(p);
+    // Externally, the base station is always index N regardless of the
+    // in-memory base index.
+    os << ' ' << (parent == solution.tree.base_station() ? n : parent);
+  }
+  os << '\n';
+}
+
+core::Solution read_solution(std::istream& is) {
+  expect_header(is, "wrsn-solution v1");
+  std::istringstream posts_line(next_content_line(is));
+  std::string tag;
+  int n = 0;
+  posts_line >> tag >> n;
+  if (tag != "posts" || n <= 0) throw ParseError("bad posts line");
+
+  std::istringstream deploy_line(next_content_line(is));
+  deploy_line >> tag;
+  if (tag != "deploy") throw ParseError("expected deploy line");
+  std::vector<int> deployment(static_cast<std::size_t>(n));
+  for (int& m : deployment) {
+    if (!(deploy_line >> m)) throw ParseError("deploy line too short");
+    if (m < 1) throw ParseError("deployment entries must be >= 1");
+  }
+
+  std::istringstream parent_line(next_content_line(is));
+  parent_line >> tag;
+  if (tag != "parent") throw ParseError("expected parent line");
+  graph::RoutingTree tree(n, n);
+  for (int p = 0; p < n; ++p) {
+    int parent = 0;
+    if (!(parent_line >> parent)) throw ParseError("parent line too short");
+    if (parent < 0 || parent > n) throw ParseError("parent index out of range");
+    tree.set_parent(p, parent);
+  }
+  return core::Solution{std::move(tree), std::move(deployment)};
+}
+
+void save_field(const std::string& path, const geom::Field& field) {
+  auto os = open_out(path);
+  write_field(os, field);
+}
+
+geom::Field load_field(const std::string& path) {
+  auto is = open_in(path);
+  return read_field(is);
+}
+
+void save_solution(const std::string& path, const core::Solution& solution) {
+  auto os = open_out(path);
+  write_solution(os, solution);
+}
+
+core::Solution load_solution(const std::string& path) {
+  auto is = open_in(path);
+  return read_solution(is);
+}
+
+}  // namespace wrsn::io

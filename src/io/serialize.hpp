@@ -1,0 +1,46 @@
+// Plain-text serialization of fields and solutions.
+//
+// A deployment plan is an artifact operators carry into the field; it must
+// survive round-trips between the planner, version control, and other
+// tooling.  The format is line-oriented and self-describing:
+//
+//   wrsn-field v1
+//   size <width> <height>
+//   base <x> <y>
+//   post <x> <y>          (one line per post, index = order)
+//
+//   wrsn-solution v1
+//   posts <N>
+//   deploy <m_0> ... <m_{N-1}>
+//   parent <p_0> ... <p_{N-1}>   (p = post index, or N for the base station)
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/solution.hpp"
+#include "geom/field.hpp"
+
+namespace wrsn::io {
+
+/// Thrown on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_field(std::ostream& os, const geom::Field& field);
+geom::Field read_field(std::istream& is);
+
+void write_solution(std::ostream& os, const core::Solution& solution);
+/// `num_posts` cross-checks the stream's own header.
+core::Solution read_solution(std::istream& is);
+
+// File-path convenience wrappers.
+void save_field(const std::string& path, const geom::Field& field);
+geom::Field load_field(const std::string& path);
+void save_solution(const std::string& path, const core::Solution& solution);
+core::Solution load_solution(const std::string& path);
+
+}  // namespace wrsn::io

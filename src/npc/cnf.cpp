@@ -1,0 +1,74 @@
+#include "npc/cnf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wrsn::npc {
+
+bool evaluate(const Cnf& cnf, const std::vector<bool>& assignment) {
+  if (static_cast<int>(assignment.size()) != cnf.num_vars) {
+    throw std::invalid_argument("assignment size does not match variable count");
+  }
+  for (const Clause& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (const Literal& lit : clause.literals) {
+      if (assignment[static_cast<std::size_t>(lit.var)] != lit.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool literal_occurs(const Cnf& cnf, int var, bool negated) {
+  for (const Clause& clause : cnf.clauses) {
+    for (const Literal& lit : clause.literals) {
+      if (lit.var == var && lit.negated == negated) return true;
+    }
+  }
+  return false;
+}
+
+Cnf random_3cnf(int num_vars, int num_clauses, util::Rng& rng) {
+  if (num_vars < 3) throw std::invalid_argument("random_3cnf needs at least 3 variables");
+  if (num_clauses * 3 < num_vars) {
+    throw std::invalid_argument("too few clauses to mention every variable");
+  }
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  cnf.clauses.resize(static_cast<std::size_t>(num_clauses));
+
+  // Deal variables so each appears at least once, then fill the rest
+  // uniformly; polarity is a fair coin throughout.
+  std::vector<int> pool;
+  pool.reserve(static_cast<std::size_t>(num_clauses) * 3);
+  for (int v = 0; v < num_vars; ++v) pool.push_back(v);
+  std::vector<int> clause_vars;
+  for (auto& clause : cnf.clauses) {
+    clause_vars.clear();
+    for (auto& lit : clause.literals) {
+      int var = 0;
+      do {
+        if (!pool.empty()) {
+          const int idx = rng.uniform_int(0, static_cast<int>(pool.size()) - 1);
+          var = pool[static_cast<std::size_t>(idx)];
+          // Only consume from the pool when it fits this clause.
+          if (std::find(clause_vars.begin(), clause_vars.end(), var) == clause_vars.end()) {
+            pool.erase(pool.begin() + idx);
+          } else {
+            var = rng.uniform_int(0, num_vars - 1);
+          }
+        } else {
+          var = rng.uniform_int(0, num_vars - 1);
+        }
+      } while (std::find(clause_vars.begin(), clause_vars.end(), var) != clause_vars.end());
+      clause_vars.push_back(var);
+      lit = Literal{var, rng.bernoulli(0.5)};
+    }
+  }
+  return cnf;
+}
+
+}  // namespace wrsn::npc

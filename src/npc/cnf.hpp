@@ -1,0 +1,41 @@
+// 3-CNF formulas for the NP-completeness reduction (Section IV).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wrsn::npc {
+
+/// A literal: variable index (0-based) possibly negated.
+struct Literal {
+  int var = 0;
+  bool negated = false;
+
+  friend constexpr bool operator==(const Literal&, const Literal&) = default;
+};
+
+/// A 3-literal disjunction C_j = y_1 v y_2 v y_3.
+struct Clause {
+  std::array<Literal, 3> literals{};
+};
+
+/// A 3-CNF instance over variables x_0..x_{n-1}.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Evaluates the formula under a full assignment.
+bool evaluate(const Cnf& cnf, const std::vector<bool>& assignment);
+
+/// True when variable `var` occurs (with polarity `negated`) in any clause.
+bool literal_occurs(const Cnf& cnf, int var, bool negated);
+
+/// Random 3-CNF with three *distinct* variables per clause and every
+/// variable occurring in at least one clause (required by the gadget).
+/// Requires num_vars >= 3 and num_clauses * 3 >= num_vars.
+Cnf random_3cnf(int num_vars, int num_clauses, util::Rng& rng);
+
+}  // namespace wrsn::npc

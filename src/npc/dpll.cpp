@@ -1,0 +1,93 @@
+#include "npc/dpll.hpp"
+
+namespace wrsn::npc {
+namespace {
+
+enum class Value : signed char { Unset = -1, False = 0, True = 1 };
+
+struct Solver {
+  const Cnf* cnf;
+  std::vector<Value> values;
+
+  bool assigned(const Literal& lit) const {
+    return values[static_cast<std::size_t>(lit.var)] != Value::Unset;
+  }
+  bool satisfied(const Literal& lit) const {
+    const Value v = values[static_cast<std::size_t>(lit.var)];
+    return (v == Value::True && !lit.negated) || (v == Value::False && lit.negated);
+  }
+
+  /// Unit propagation over the whole formula until fixpoint.
+  /// Returns false on conflict. Appends the vars it set to `trail`.
+  bool propagate(std::vector<int>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : cnf->clauses) {
+        int unassigned = 0;
+        const Literal* last_free = nullptr;
+        bool clause_satisfied = false;
+        for (const Literal& lit : clause.literals) {
+          if (!assigned(lit)) {
+            ++unassigned;
+            last_free = &lit;
+          } else if (satisfied(lit)) {
+            clause_satisfied = true;
+            break;
+          }
+        }
+        if (clause_satisfied) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) {
+          values[static_cast<std::size_t>(last_free->var)] =
+              last_free->negated ? Value::False : Value::True;
+          trail.push_back(last_free->var);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  int pick_branch_var() const {
+    for (int v = 0; v < cnf->num_vars; ++v) {
+      if (values[static_cast<std::size_t>(v)] == Value::Unset) return v;
+    }
+    return -1;
+  }
+
+  bool search() {
+    std::vector<int> trail;
+    if (!propagate(trail)) {
+      for (int v : trail) values[static_cast<std::size_t>(v)] = Value::Unset;
+      return false;
+    }
+    const int var = pick_branch_var();
+    if (var < 0) return true;  // complete assignment, all clauses satisfied
+    for (Value guess : {Value::True, Value::False}) {
+      values[static_cast<std::size_t>(var)] = guess;
+      if (search()) return true;
+      values[static_cast<std::size_t>(var)] = Value::Unset;
+    }
+    for (int v : trail) values[static_cast<std::size_t>(v)] = Value::Unset;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> solve_dpll(const Cnf& cnf) {
+  Solver solver{&cnf, std::vector<Value>(static_cast<std::size_t>(cnf.num_vars), Value::Unset)};
+  if (!solver.search()) return std::nullopt;
+  std::vector<bool> assignment(static_cast<std::size_t>(cnf.num_vars), false);
+  for (int v = 0; v < cnf.num_vars; ++v) {
+    // Unset variables (untouched by any clause) default to false.
+    assignment[static_cast<std::size_t>(v)] = solver.values[static_cast<std::size_t>(v)] ==
+                                              Value::True;
+  }
+  return assignment;
+}
+
+bool is_satisfiable(const Cnf& cnf) { return solve_dpll(cnf).has_value(); }
+
+}  // namespace wrsn::npc

@@ -1,0 +1,21 @@
+// A small DPLL SAT solver used to cross-validate the NP-completeness gadget:
+// for random formulas, the gadget's optimal recharging cost must be <= W
+// exactly when DPLL reports satisfiable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "npc/cnf.hpp"
+
+namespace wrsn::npc {
+
+/// Returns a satisfying assignment, or nullopt when unsatisfiable.
+/// Complete search (unit propagation + branching); fine for the gadget
+/// sizes (tens of variables).
+std::optional<std::vector<bool>> solve_dpll(const Cnf& cnf);
+
+/// Convenience wrapper.
+bool is_satisfiable(const Cnf& cnf);
+
+}  // namespace wrsn::npc

@@ -1,0 +1,156 @@
+#include "npc/gadget.hpp"
+
+#include <stdexcept>
+
+namespace wrsn::npc {
+namespace {
+
+constexpr int kLevelL1 = 0;  // per-bit energy e1
+constexpr int kLevelL2 = 1;  // per-bit energy 4*e1
+
+/// Post-index layout shared by build_gadget before the Gadget exists.
+struct Layout {
+  int num_vars;
+  int num_clauses;
+  int u_post(int clause) const { return clause; }
+  int v_post(int clause) const { return num_clauses + clause; }
+  int s_post(int var, int k) const { return 2 * num_clauses + 2 * var + (k - 1); }
+};
+
+}  // namespace
+
+Gadget build_gadget(const Cnf& cnf, const GadgetParams& params) {
+  if (!(params.e0 < params.e1) || params.e0 <= 0.0) {
+    throw std::invalid_argument("gadget requires 0 < e0 < e1");
+  }
+  const int n = cnf.num_vars;
+  const int m = static_cast<int>(cnf.clauses.size());
+  if (n < 1 || m < 1) throw std::invalid_argument("gadget needs a non-empty formula");
+  for (int i = 0; i < n; ++i) {
+    if (!literal_occurs(cnf, i, false) && !literal_occurs(cnf, i, true)) {
+      throw std::invalid_argument("variable " + std::to_string(i) +
+                                  " occurs in no clause; its posts would be disconnected");
+    }
+  }
+
+  const Layout layout{n, m};
+  const int num_posts = 2 * n + 2 * m;
+  graph::ReachGraph graph(num_posts);
+  const int bs = graph.base_station();
+
+  // U_j reaches the base station only at l2; nothing else reaches it.
+  for (int j = 0; j < m; ++j) {
+    graph.set_min_level(layout.u_post(j), bs, kLevelL2);
+  }
+  // Literal edges: S_{i,1} <-> U_j at l2 for x_i in C_j (S_{i,2} for !x_i),
+  // and V_j <-> the same S posts at l1.
+  for (int j = 0; j < m; ++j) {
+    for (const Literal& lit : cnf.clauses[static_cast<std::size_t>(j)].literals) {
+      const int s = layout.s_post(lit.var, lit.negated ? 2 : 1);
+      graph.set_min_level_symmetric(s, layout.u_post(j), kLevelL2);
+      graph.set_min_level_symmetric(layout.v_post(j), s, kLevelL1);
+    }
+  }
+  // Variable pairs reach each other at l1.
+  for (int i = 0; i < n; ++i) {
+    graph.set_min_level_symmetric(layout.s_post(i, 1), layout.s_post(i, 2), kLevelL1);
+  }
+
+  const auto radio =
+      energy::RadioModel::from_energies({params.e1, 4.0 * params.e1}, params.e0);
+  const auto charging = energy::ChargingModel::linear(params.eta);
+  const int num_nodes = 3 * n + 3 * m;
+
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double bound_w = (7.0 * md + 9.0 * nd) * params.e1 / params.eta +
+                         md * params.e0 / params.eta +
+                         1.5 * nd * params.e0 / params.eta;
+
+  return Gadget{core::Instance::abstract(std::move(graph), radio, charging, num_nodes),
+                bound_w, n, m};
+}
+
+core::Solution intended_solution(const Gadget& gadget, const Cnf& cnf,
+                                 std::vector<bool> assignment) {
+  const int n = gadget.num_vars;
+  const int m = gadget.num_clauses;
+  if (static_cast<int>(assignment.size()) != n) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  if (!evaluate(cnf, assignment)) {
+    throw std::invalid_argument("intended_solution requires a satisfying assignment");
+  }
+  // Normalize: when the satisfying literal of x_i occurs in no clause, the
+  // opposite literal must occur (gadget construction guarantees one does),
+  // and flipping x_i cannot unsatisfy any clause because no clause contains
+  // the literal being abandoned.
+  for (int i = 0; i < n; ++i) {
+    const bool sat_lit_negated = !assignment[static_cast<std::size_t>(i)];
+    if (!literal_occurs(cnf, i, sat_lit_negated)) {
+      assignment[static_cast<std::size_t>(i)] = !assignment[static_cast<std::size_t>(i)];
+    }
+  }
+  if (!evaluate(cnf, assignment)) {
+    throw std::logic_error("normalization broke the satisfying assignment");
+  }
+
+  const core::Instance& inst = gadget.instance;
+  const int bs = inst.graph().base_station();
+  graph::RoutingTree tree(inst.num_posts(), bs);
+  std::vector<int> deployment(static_cast<std::size_t>(inst.num_posts()), 1);
+
+  // U_j: two nodes, reports straight to the base station at l2.
+  for (int j = 0; j < m; ++j) {
+    deployment[static_cast<std::size_t>(gadget.u_post(j))] = 2;
+    tree.set_parent(gadget.u_post(j), bs);
+  }
+  // Variable pairs: the true side gets two nodes and uplinks to some clause
+  // post containing its literal; the false side feeds it at l1.
+  for (int i = 0; i < n; ++i) {
+    const int k_true = assignment[static_cast<std::size_t>(i)] ? 1 : 2;
+    const int doubled = gadget.s_post(i, k_true);
+    const int single = gadget.s_post(i, k_true == 1 ? 2 : 1);
+    deployment[static_cast<std::size_t>(doubled)] = 2;
+    tree.set_parent(single, doubled);
+    int uplink = -1;
+    for (int j = 0; j < m && uplink < 0; ++j) {
+      for (const Literal& lit : cnf.clauses[static_cast<std::size_t>(j)].literals) {
+        if (lit.var == i && lit.negated == (k_true == 2)) {
+          uplink = gadget.u_post(j);
+          break;
+        }
+      }
+    }
+    if (uplink < 0) throw std::logic_error("normalized literal occurs in no clause");
+    tree.set_parent(doubled, uplink);
+  }
+  // V_j: one node, feeds the doubled S post of the clause's chosen true
+  // literal at l1.
+  for (int j = 0; j < m; ++j) {
+    int chosen = -1;
+    for (const Literal& lit : cnf.clauses[static_cast<std::size_t>(j)].literals) {
+      const bool value = assignment[static_cast<std::size_t>(lit.var)];
+      if (value != lit.negated) {  // literal true under the assignment
+        chosen = gadget.s_post(lit.var, lit.negated ? 2 : 1);
+        break;
+      }
+    }
+    if (chosen < 0) throw std::logic_error("clause unsatisfied after normalization");
+    tree.set_parent(gadget.v_post(j), chosen);
+  }
+
+  return core::Solution{std::move(tree), std::move(deployment)};
+}
+
+std::vector<bool> assignment_from_deployment(const Gadget& gadget,
+                                             const std::vector<int>& deployment) {
+  std::vector<bool> assignment(static_cast<std::size_t>(gadget.num_vars), false);
+  for (int i = 0; i < gadget.num_vars; ++i) {
+    assignment[static_cast<std::size_t>(i)] =
+        deployment[static_cast<std::size_t>(gadget.s_post(i, 1))] >= 2;
+  }
+  return assignment;
+}
+
+}  // namespace wrsn::npc

@@ -1,0 +1,62 @@
+// The NP-completeness reduction of Section IV: 3-CNF SAT -> deployment &
+// routing.
+//
+// For a formula with n variables and m clauses the gadget network has
+// N = 2n + 2m posts and M = 3n + 3m nodes:
+//   U_j, V_j          one pair per clause C_j,
+//   S_{i,1}, S_{i,2}  one pair per variable x_i.
+// Radio: two levels with 4*e1 = e2, receive energy e0 < e1. Reachability:
+//   U_j -> base station at l2 only;
+//   S_{i,1} <-> U_j at l2 when x_i in C_j; S_{i,2} <-> U_j at l2 when !x_i in C_j;
+//   S_{i,1} <-> S_{i,2} at l1;
+//   V_j <-> S_{i,k} at l1 for every literal of C_j (same set U_j reaches, minus the base).
+// With the per-post cap of two nodes, the optimal recharging cost is <= W
+//   W = 7m e1/eta + 9n e1/eta + m e0/eta + 3n e0/(2 eta)
+// exactly when the formula is satisfiable.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/solution.hpp"
+#include "npc/cnf.hpp"
+
+namespace wrsn::npc {
+
+/// Physical constants of the restricted problem used in the proof.
+struct GadgetParams {
+  double e1 = 1.0;    ///< per-bit energy at level l1 (e2 = 4*e1 implied)
+  double e0 = 0.5;    ///< per-bit receive energy, must satisfy e0 < e1
+  double eta = 0.1;   ///< single-node charging efficiency
+};
+
+/// The constructed instance plus bookkeeping to read solutions back.
+struct Gadget {
+  core::Instance instance;
+  double bound_w = 0.0;     ///< the reduction's cost threshold W
+  int num_vars = 0;
+  int num_clauses = 0;
+
+  // Post-index helpers (see layout below).
+  int u_post(int clause) const { return clause; }
+  int v_post(int clause) const { return num_clauses + clause; }
+  /// k is 1 for S_{i,1} (positive literal side) or 2 for S_{i,2}.
+  int s_post(int var, int k) const { return 2 * num_clauses + 2 * var + (k - 1); }
+};
+
+/// Builds the gadget for `cnf`. Throws when some variable occurs in no
+/// clause (such a variable's posts would be disconnected).
+Gadget build_gadget(const Cnf& cnf, const GadgetParams& params = {});
+
+/// Constructs the proof's intended solution from a satisfying assignment;
+/// its total recharging cost equals W (unit-tested against the formula).
+/// The assignment is normalized first: a variable whose satisfying literal
+/// occurs in no clause is flipped (still satisfying) so the doubled S post
+/// always has a U_j neighbor.
+core::Solution intended_solution(const Gadget& gadget, const Cnf& cnf,
+                                 std::vector<bool> assignment);
+
+/// Reads a variable assignment back from a deployment, per claim (ii):
+/// x_i = true iff S_{i,1} holds two nodes.
+std::vector<bool> assignment_from_deployment(const Gadget& gadget,
+                                             const std::vector<int>& deployment);
+
+}  // namespace wrsn::npc

@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace wrsn::sim {
+
+void EventQueue::schedule(double time, Action action) {
+  if (time < now_) throw std::invalid_argument("cannot schedule an event in the past");
+  heap_.push(Item{time, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // Copy out before pop: the action may schedule new events.
+  Item item = heap_.top();
+  heap_.pop();
+  now_ = item.time;
+  ++executed_;
+  item.action();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) run_next();
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace wrsn::sim

@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation core.
+//
+// Events are closures keyed by (time, insertion sequence); ties execute in
+// scheduling order so runs are deterministic.  The network/charger
+// co-simulation is built on top of this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wrsn::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time in seconds.
+  double now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Schedules `action` at absolute time `time` (>= now()).
+  void schedule(double time, Action action);
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Executes the earliest event. Returns false when the queue is empty.
+  bool run_next();
+  /// Runs events until the queue empties or the next event is past
+  /// `t_end`; afterwards now() == min(t_end, last event time).
+  void run_until(double t_end);
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace wrsn::sim

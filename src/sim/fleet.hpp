@@ -1,0 +1,83 @@
+// Multi-charger fleet simulation and fleet sizing.
+//
+// One charger suffices only while its duty cycle rho = B*C/(tau*P) stays
+// below 1 and travel leaves enough slack (sim/tour.hpp).  Larger or busier
+// networks need a fleet.  This module co-simulates K chargers sharing a
+// dispatch queue (most-urgent post first, nearest idle charger wins) and
+// offers both an analytic lower bound and a simulation-based search for the
+// minimum fleet that keeps every node alive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/charger.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/tour.hpp"
+
+namespace wrsn::sim {
+
+/// Aggregate + per-charger statistics of a fleet run.
+struct FleetStats {
+  double radiated_j = 0.0;
+  double travel_j = 0.0;
+  double distance_m = 0.0;
+  std::uint64_t visits = 0;
+  std::uint64_t rounds = 0;
+  bool any_death = false;
+  /// Per-charger share of the work (radiated joules), for balance checks.
+  std::vector<double> radiated_per_charger;
+  std::vector<std::uint64_t> visits_per_charger;
+
+  double radiated_per_round() const {
+    return rounds ? radiated_j / static_cast<double>(rounds) : 0.0;
+  }
+};
+
+/// K chargers patrolling one network. Dispatch policy: whenever a post's
+/// emptiest node falls below the low watermark and no charger is already
+/// assigned to it, the nearest idle charger is sent.
+class FleetSim {
+ public:
+  FleetSim(NetworkSim& network, const ChargerConfig& config, int num_chargers);
+
+  void run(std::uint64_t rounds);
+  const FleetStats& stats() const noexcept { return stats_; }
+  int num_chargers() const noexcept { return static_cast<int>(chargers_.size()); }
+
+ private:
+  enum class State { Idle, Traveling, Charging };
+  struct Charger {
+    State state = State::Idle;
+    geom::Point position{};
+    int target_post = -1;
+    double charge_started = 0.0;
+  };
+
+  geom::Point post_position(int p) const;
+  double min_fraction(int p) const;
+  bool post_claimed(int p) const;
+  void dispatch_all();
+  void arrive(int charger);
+  void finish_charging(int charger);
+
+  NetworkSim* network_;
+  ChargerConfig config_;
+  EventQueue queue_;
+  FleetStats stats_;
+  std::vector<Charger> chargers_;
+};
+
+/// Analytic lower bound on the fleet size: the RF power the network demands
+/// divided by one charger's power, ignoring travel (so a true lower bound).
+int fleet_size_lower_bound(const core::Instance& instance, const core::Solution& solution,
+                           const ChargerConfig& charger, int bits_per_round);
+
+/// Smallest K in [lower bound, max_chargers] that keeps every node alive
+/// for `rounds` simulated rounds; returns max_chargers + 1 when even that
+/// fleet fails.
+int find_min_fleet(const core::Instance& instance, const core::Solution& solution,
+                   const ChargerConfig& charger, const NetworkConfig& network_config,
+                   std::uint64_t rounds, int max_chargers);
+
+}  // namespace wrsn::sim

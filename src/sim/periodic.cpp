@@ -1,0 +1,88 @@
+#include "sim/periodic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wrsn::sim {
+
+TourPatrolSim::TourPatrolSim(NetworkSim& network, const ChargerConfig& config, TourPlan plan)
+    : network_(&network), config_(config), plan_(std::move(plan)) {
+  if (config.speed_mps <= 0.0 || config.radiated_power_w <= 0.0 ||
+      config.round_period_s <= 0.0) {
+    throw std::invalid_argument("charger speed, power and round period must be positive");
+  }
+  if (static_cast<int>(plan_.order.size()) != network.instance().num_posts()) {
+    throw std::invalid_argument("tour must visit every post exactly once");
+  }
+  const auto& field = network.instance().field();
+  position_ = field ? field->base_station : geom::Point{0.0, 0.0};
+}
+
+geom::Point TourPatrolSim::stop_position(std::size_t stop) const {
+  const auto& field = network_->instance().field();
+  if (!field) return {0.0, 0.0};
+  return field->posts[static_cast<std::size_t>(plan_.order[stop])];
+}
+
+void TourPatrolSim::depart_to_next() {
+  const geom::Point destination = stop_position(next_stop_);
+  const double distance = geom::distance(position_, destination);
+  // Floor the hop at a microsecond so degenerate geometry (co-located
+  // posts, abstract instances) cannot produce a zero-time event loop.
+  const double travel_time = std::max(distance / config_.speed_mps, 1e-6);
+  stats_.distance_m += distance;
+  stats_.travel_j += travel_time * config_.travel_power_w;
+  queue_.schedule_in(travel_time, [this] { arrive(); });
+}
+
+void TourPatrolSim::arrive() {
+  position_ = stop_position(next_stop_);
+  charge_started_ = queue_.now();
+  const int post_idx = plan_.order[next_stop_];
+  const auto& post = network_->posts()[static_cast<std::size_t>(post_idx)];
+  const double capacity = network_->config().battery_capacity_j;
+  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
+  double max_deficit = 0.0;
+  for (const auto& node : post.nodes) {
+    max_deficit = std::max(max_deficit, config_.high_watermark * capacity - node.battery_j);
+  }
+  // Skip nearly-full posts: radiating at a post whose nodes are already
+  // topped up mostly feeds saturated batteries (rotation keeps at most one
+  // round's draw of imbalance, all of it wasted as clipping).
+  if (max_deficit < 0.05 * capacity) max_deficit = 0.0;
+  const double duration = max_deficit / node_power;
+  queue_.schedule_in(duration, [this] { finish_charging(); });
+}
+
+void TourPatrolSim::finish_charging() {
+  const double duration = queue_.now() - charge_started_;
+  const int post_idx = plan_.order[next_stop_];
+  const double capacity = network_->config().battery_capacity_j;
+  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
+  auto& post = network_->mutable_post(post_idx);
+  for (auto& node : post.nodes) {
+    node.battery_j = std::min(capacity, node.battery_j + node_power * duration);
+  }
+  stats_.radiated_j += duration * config_.radiated_power_w;
+  ++stats_.visits;
+
+  ++next_stop_;
+  if (next_stop_ == plan_.order.size()) {
+    next_stop_ = 0;
+    ++laps_;
+  }
+  depart_to_next();
+}
+
+void TourPatrolSim::run(std::uint64_t rounds) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    queue_.schedule(static_cast<double>(r + 1) * config_.round_period_s, [this] {
+      if (!network_->run_round()) stats_.any_death = true;
+      ++stats_.rounds;
+    });
+  }
+  depart_to_next();  // the charger starts rolling immediately
+  queue_.run_until(static_cast<double>(rounds) * config_.round_period_s);
+}
+
+}  // namespace wrsn::sim

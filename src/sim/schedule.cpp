@@ -1,0 +1,43 @@
+#include "sim/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wrsn::sim {
+
+RateSchedule constant_schedule() {
+  return [](int, std::uint64_t) { return 1.0; };
+}
+
+RateSchedule diurnal_schedule(std::uint64_t rounds_per_day, double amplitude) {
+  if (rounds_per_day == 0) throw std::invalid_argument("rounds_per_day must be positive");
+  if (amplitude < 0.0 || amplitude >= 1.0) {
+    throw std::invalid_argument("amplitude must be in [0, 1)");
+  }
+  return [rounds_per_day, amplitude](int, std::uint64_t round) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(round % rounds_per_day) /
+                         static_cast<double>(rounds_per_day);
+    return 1.0 + amplitude * std::sin(phase);
+  };
+}
+
+RateSchedule burst_schedule(std::uint64_t interval_rounds, std::uint64_t burst_rounds,
+                            double quiet, double peak) {
+  if (interval_rounds == 0 || burst_rounds > interval_rounds) {
+    throw std::invalid_argument("need 0 < burst_rounds <= interval_rounds");
+  }
+  if (quiet < 0.0 || peak < quiet) {
+    throw std::invalid_argument("need 0 <= quiet <= peak");
+  }
+  return [interval_rounds, burst_rounds, quiet, peak](int, std::uint64_t round) {
+    return (round % interval_rounds) < burst_rounds ? peak : quiet;
+  };
+}
+
+RateSchedule hotspot_schedule(int post, double factor) {
+  if (factor < 0.0) throw std::invalid_argument("factor must be non-negative");
+  return [post, factor](int p, std::uint64_t) { return p == post ? factor : 1.0; };
+}
+
+}  // namespace wrsn::sim

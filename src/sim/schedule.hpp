@@ -1,0 +1,37 @@
+// Time-varying traffic schedules for the network simulator.
+//
+// The analytic model (and the paper) assume a fixed report per post per
+// round.  Deployments live in the real world: wildlife is diurnal, bridges
+// see rush hours, incidents cause bursts.  A RateSchedule scales each
+// post's report rate per round; the simulator draws energy accordingly and
+// the charger policies must cope with the peaks, not the average -- which
+// is exactly what the schedule-aware tests probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+namespace wrsn::sim {
+
+/// Multiplier applied to a post's report rate in a given round.
+/// Must return a non-negative factor; 1.0 = the nominal rate.
+using RateSchedule = std::function<double(int post, std::uint64_t round)>;
+
+/// Nominal traffic (factor 1 forever).
+RateSchedule constant_schedule();
+
+/// Sinusoidal day/night pattern: factor = 1 + amplitude * sin(2*pi*t/period).
+/// `amplitude` must lie in [0, 1) so the factor stays positive.
+RateSchedule diurnal_schedule(std::uint64_t rounds_per_day, double amplitude);
+
+/// Baseline factor `quiet` with bursts of factor `peak` lasting
+/// `burst_rounds` every `interval_rounds` (deterministic, same for all
+/// posts).
+RateSchedule burst_schedule(std::uint64_t interval_rounds, std::uint64_t burst_rounds,
+                            double quiet, double peak);
+
+/// Scales only the listed post (e.g. a hot spot) by `factor`; others 1.
+RateSchedule hotspot_schedule(int post, double factor);
+
+}  // namespace wrsn::sim

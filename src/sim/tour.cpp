@@ -1,0 +1,119 @@
+#include "sim/tour.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+
+namespace wrsn::sim {
+namespace {
+
+double leg(const geom::Field& field, int from, int to) {
+  const auto pos = [&](int v) {
+    return v < 0 ? field.base_station : field.posts[static_cast<std::size_t>(v)];
+  };
+  return geom::distance(pos(from), pos(to));
+}
+
+}  // namespace
+
+double tour_length(const geom::Field& field, const std::vector<int>& order) {
+  if (order.empty()) return 0.0;
+  double total = leg(field, -1, order.front());
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    total += leg(field, order[i], order[i + 1]);
+  }
+  total += leg(field, order.back(), -1);
+  return total;
+}
+
+TourPlan plan_tour(const geom::Field& field) {
+  const int n = static_cast<int>(field.posts.size());
+  TourPlan plan;
+  if (n == 0) return plan;
+
+  // Nearest-neighbor construction from the depot.
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  int current = -1;  // depot
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_dist = 0.0;
+    for (int candidate = 0; candidate < n; ++candidate) {
+      if (visited[static_cast<std::size_t>(candidate)]) continue;
+      const double d = leg(field, current, candidate);
+      if (best < 0 || d < best_dist) {
+        best = candidate;
+        best_dist = d;
+      }
+    }
+    plan.order.push_back(best);
+    visited[static_cast<std::size_t>(best)] = 1;
+    current = best;
+  }
+
+  // 2-opt: reverse segments while that shortens the closed tour. Vertices
+  // at positions i-1 .. j+1 with the depot at the virtual ends.
+  auto at = [&](int pos) {
+    return pos < 0 || pos >= n ? -1 : plan.order[static_cast<std::size_t>(pos)];
+  };
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int i = 0; i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double before = leg(field, at(i - 1), at(i)) + leg(field, at(j), at(j + 1));
+        const double after = leg(field, at(i - 1), at(j)) + leg(field, at(i), at(j + 1));
+        if (after < before - 1e-9) {
+          std::reverse(plan.order.begin() + i, plan.order.begin() + j + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+  plan.length_m = tour_length(field, plan.order);
+  return plan;
+}
+
+TourPlan plan_tour(const core::Instance& instance) {
+  if (!instance.field()) {
+    throw std::invalid_argument("tour planning needs a geometric instance");
+  }
+  return plan_tour(*instance.field());
+}
+
+PatrolFeasibility analyze_patrol(const core::Instance& instance, const core::Solution& solution,
+                                 const ChargerConfig& charger, int bits_per_round) {
+  if (bits_per_round <= 0) throw std::invalid_argument("bits_per_round must be positive");
+  if (!core::is_valid_solution(instance, solution)) {
+    throw std::invalid_argument("analyze_patrol requires a valid solution");
+  }
+
+  PatrolFeasibility analysis;
+  const double cost_per_bit = core::total_recharging_cost(instance, solution);
+  analysis.demand_w = cost_per_bit * bits_per_round / charger.round_period_s;
+  analysis.duty = analysis.demand_w / charger.radiated_power_w;
+  analysis.feasible = analysis.duty < 1.0;
+
+  const TourPlan tour = plan_tour(instance);
+  analysis.travel_time_s = tour.length_m / charger.speed_mps;
+  if (analysis.feasible) {
+    analysis.cycle_time_s = analysis.travel_time_s / (1.0 - analysis.duty);
+    analysis.charging_time_s = analysis.cycle_time_s - analysis.travel_time_s;
+
+    // Worst-post per-node consumption over one cycle: that much energy must
+    // fit in the battery between consecutive visits.
+    const auto energy = core::per_post_energy(instance, solution.tree);
+    const double rounds_per_cycle = analysis.cycle_time_s / charger.round_period_s;
+    double worst = 0.0;
+    for (int p = 0; p < instance.num_posts(); ++p) {
+      const double per_node_per_round =
+          energy[static_cast<std::size_t>(p)] * bits_per_round /
+          solution.deployment[static_cast<std::size_t>(p)];
+      worst = std::max(worst, per_node_per_round * rounds_per_cycle);
+    }
+    analysis.min_battery_capacity_j = worst;
+  }
+  return analysis;
+}
+
+}  // namespace wrsn::sim

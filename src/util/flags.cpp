@@ -1,0 +1,124 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wrsn::util {
+
+Flags& Flags::add(const std::string& name, Kind kind, void* target, const std::string& help,
+                  std::string default_repr) {
+  if (entries_.contains(name)) throw std::invalid_argument("duplicate flag --" + name);
+  entries_[name] = Entry{kind, target, help, std::move(default_repr)};
+  return *this;
+}
+
+Flags& Flags::add_int(const std::string& name, int* target, const std::string& help) {
+  return add(name, Kind::Int, target, help, std::to_string(*target));
+}
+Flags& Flags::add_int64(const std::string& name, std::int64_t* target, const std::string& help) {
+  return add(name, Kind::Int64, target, help, std::to_string(*target));
+}
+Flags& Flags::add_double(const std::string& name, double* target, const std::string& help) {
+  return add(name, Kind::Double, target, help, std::to_string(*target));
+}
+Flags& Flags::add_string(const std::string& name, std::string* target, const std::string& help) {
+  return add(name, Kind::String, target, help, *target);
+}
+Flags& Flags::add_bool(const std::string& name, bool* target, const std::string& help) {
+  return add(name, Kind::Bool, target, help, *target ? "true" : "false");
+}
+
+bool Flags::assign(Entry& entry, const std::string& value, const std::string& name) {
+  try {
+    switch (entry.kind) {
+      case Kind::Int:
+        *static_cast<int*>(entry.target) = std::stoi(value);
+        return true;
+      case Kind::Int64:
+        *static_cast<std::int64_t*>(entry.target) = std::stoll(value);
+        return true;
+      case Kind::Double:
+        *static_cast<double*>(entry.target) = std::stod(value);
+        return true;
+      case Kind::String:
+        *static_cast<std::string*>(entry.target) = value;
+        return true;
+      case Kind::Bool:
+        if (value == "true" || value == "1" || value == "yes") {
+          *static_cast<bool*>(entry.target) = true;
+        } else if (value == "false" || value == "0" || value == "no") {
+          *static_cast<bool*>(entry.target) = false;
+        } else {
+          std::fprintf(stderr, "invalid boolean for --%s: %s\n", name.c_str(), value.c_str());
+          return false;
+        }
+        return true;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "invalid value for --%s: %s\n", name.c_str(), value.c_str());
+    return false;
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, char** argv, bool allow_unknown) {
+  unparsed_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (allow_unknown) {
+        unparsed_.push_back(arg);
+        continue;
+      }
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      if (allow_unknown) {
+        unparsed_.push_back(arg);
+        // Also keep a following value token attached to the unknown flag.
+        continue;
+      }
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    if (!has_value) {
+      if (it->second.kind == Kind::Bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!assign(it->second, value, name)) return false;
+  }
+  return true;
+}
+
+void Flags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, entry] : entries_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(), entry.help.c_str(),
+                 entry.default_repr.c_str());
+  }
+}
+
+}  // namespace wrsn::util

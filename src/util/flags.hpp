@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error by default so typos in experiment sweeps fail
+// loudly instead of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wrsn::util {
+
+/// Registry of typed flags bound to caller-owned variables.
+class Flags {
+ public:
+  Flags& add_int(const std::string& name, int* target, const std::string& help);
+  Flags& add_int64(const std::string& name, std::int64_t* target, const std::string& help);
+  Flags& add_double(const std::string& name, double* target, const std::string& help);
+  Flags& add_string(const std::string& name, std::string* target, const std::string& help);
+  Flags& add_bool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or error.
+  /// When `allow_unknown` is true, unrecognized flags are left untouched and
+  /// collected into `unparsed()` (useful when co-existing with other parsers).
+  bool parse(int argc, char** argv, bool allow_unknown = false);
+
+  const std::vector<std::string>& unparsed() const noexcept { return unparsed_; }
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Int64, Double, String, Bool };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Flags& add(const std::string& name, Kind kind, void* target, const std::string& help,
+             std::string default_repr);
+  bool assign(Entry& entry, const std::string& value, const std::string& name);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> unparsed_;
+};
+
+}  // namespace wrsn::util

@@ -1,0 +1,70 @@
+// Descriptive statistics for experiment replications.
+//
+// Every figure in the paper reports an average over 5-40 randomized runs;
+// this header provides the accumulators used to aggregate those runs and to
+// attach dispersion (stdev, 95% CI half-width) to each reported mean.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wrsn::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel-combine form of Welford).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a fixed sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width
+};
+
+/// Summarizes `values` in one pass.
+Summary summarize(std::span<const double> values) noexcept;
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values) noexcept;
+
+/// p-th percentile (0..100) by linear interpolation; copies and sorts.
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double correlation(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Ordinary least squares fit y = a + b*x. Returns {intercept a, slope b, r^2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace wrsn::util

@@ -1,0 +1,122 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace wrsn::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table requires at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (rows_.empty()) begin_row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::out_of_range("Table row has more cells than columns");
+  }
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+Table& Table::add(double value, int precision) { return add(format_double(value, precision)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print_ascii(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell;
+      for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_energy(double joules, int precision) {
+  struct Prefix {
+    double scale;
+    const char* unit;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1.0, "J"}, {1e-3, "mJ"}, {1e-6, "uJ"}, {1e-9, "nJ"}, {1e-12, "pJ"},
+  };
+  const double magnitude = std::fabs(joules);
+  for (const auto& p : kPrefixes) {
+    if (magnitude >= p.scale || &p == &kPrefixes[std::size(kPrefixes) - 1]) {
+      return format_double(joules / p.scale, precision) + " " + p.unit;
+    }
+  }
+  return format_double(joules, precision) + " J";
+}
+
+}  // namespace wrsn::util

@@ -1,0 +1,52 @@
+// Tabular output for the benchmark harness.
+//
+// Each bench binary prints the rows/series of the paper figure it reproduces
+// both as an aligned ASCII table (for eyeballing) and as CSV (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wrsn::util {
+
+/// A simple column-typed table. Cells are formatted eagerly to strings.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Starts a new row; subsequent `add(...)` calls fill it left to right.
+  Table& begin_row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 4);
+  Table& add(int value);
+  Table& add(long long value);
+  Table& add(std::size_t value);
+
+  /// Adds a complete row at once (must match the header count).
+  Table& add_row(std::vector<std::string> cells);
+
+  const std::vector<std::string>& header() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept { return rows_; }
+
+  /// Aligned, boxed ASCII rendering.
+  void print_ascii(std::ostream& os) const;
+  /// RFC-4180-ish CSV rendering (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing locale surprises).
+std::string format_double(double value, int precision = 4);
+
+/// Formats an energy in joules using an SI prefix (e.g. "8.2592 uJ").
+std::string format_energy(double joules, int precision = 4);
+
+}  // namespace wrsn::util

@@ -1,0 +1,10 @@
+#include "util/timer.hpp"
+
+namespace wrsn::util {
+
+double Timer::elapsed_seconds() const noexcept {
+  const auto delta = Clock::now() - start_;
+  return std::chrono::duration<double>(delta).count();
+}
+
+}  // namespace wrsn::util

@@ -1,0 +1,22 @@
+// Wall-clock timing for the benchmark harness (solver runtime comparisons).
+#pragma once
+
+#include <chrono>
+
+namespace wrsn::util {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+  double elapsed_seconds() const noexcept;
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wrsn::util

@@ -1,0 +1,164 @@
+#include "viz/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wrsn::viz {
+namespace {
+
+const char* kPalette[] = {"#1b6ca8", "#c0392b", "#27ae60", "#8e44ad", "#e67e22", "#16a085"};
+
+std::string format_tick(double v) {
+  // Compact tick labels: strip trailing zeros of a %g rendering.
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi, int max_ticks) {
+  if (!(hi > lo)) return {lo};
+  const double raw_step = (hi - lo) / std::max(1, max_ticks - 1);
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (const double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * mult >= raw_step) {
+      step = magnitude * mult;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step) * step;
+  for (double t = start; t <= hi + step * 1e-9; t += step) {
+    // Snap near-zero artifacts of floating accumulation.
+    ticks.push_back(std::fabs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  return ticks;
+}
+
+LineChart::LineChart(ChartOptions options) : options_(std::move(options)) {}
+
+LineChart& LineChart::add_series(std::string name, std::vector<double> xs,
+                                 std::vector<double> ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("series needs equal-length non-empty xs/ys");
+  }
+  if (std::adjacent_find(xs.begin(), xs.end(),
+                         [](double a, double b) { return b <= a; }) != xs.end()) {
+    throw std::invalid_argument("series xs must be strictly increasing");
+  }
+  series_.push_back(Series{std::move(name), std::move(xs), std::move(ys)});
+  return *this;
+}
+
+std::string LineChart::render_svg() const {
+  if (series_.empty()) throw std::logic_error("chart has no series");
+
+  double x_min = series_[0].xs.front();
+  double x_max = series_[0].xs.back();
+  double y_min = options_.y_from_zero ? 0.0 : series_[0].ys.front();
+  double y_max = series_[0].ys.front();
+  for (const Series& s : series_) {
+    x_min = std::min(x_min, s.xs.front());
+    x_max = std::max(x_max, s.xs.back());
+    for (double y : s.ys) {
+      y_min = std::min(y_min, options_.y_from_zero ? 0.0 : y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+  y_max *= 1.05;  // headroom
+
+  const double ml = 70.0;
+  const double mr = 20.0;
+  const double mt = options_.title.empty() ? 20.0 : 42.0;
+  const double mb = 52.0;
+  const double plot_w = options_.width_px - ml - mr;
+  const double plot_h = options_.height_px - mt - mb;
+  const auto px = [&](double x) { return ml + (x - x_min) / (x_max - x_min) * plot_w; };
+  const auto py = [&](double y) { return mt + plot_h - (y - y_min) / (y_max - y_min) * plot_h; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options_.width_px
+      << "\" height=\"" << options_.height_px << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  if (!options_.title.empty()) {
+    svg << "  <text x=\"" << options_.width_px / 2.0
+        << "\" y=\"24\" font-size=\"15\" text-anchor=\"middle\" font-weight=\"bold\">"
+        << options_.title << "</text>\n";
+  }
+
+  // Gridlines + ticks.
+  for (double t : nice_ticks(y_min, y_max)) {
+    const double y = py(t);
+    svg << "  <line x1=\"" << ml << "\" y1=\"" << y << "\" x2=\"" << ml + plot_w << "\" y2=\""
+        << y << "\" stroke=\"#eeeeee\"/>\n";
+    svg << "  <text x=\"" << ml - 6 << "\" y=\"" << y + 4
+        << "\" font-size=\"11\" text-anchor=\"end\">" << format_tick(t) << "</text>\n";
+  }
+  for (double t : nice_ticks(x_min, x_max)) {
+    const double x = px(t);
+    svg << "  <line x1=\"" << x << "\" y1=\"" << mt << "\" x2=\"" << x << "\" y2=\""
+        << mt + plot_h << "\" stroke=\"#f4f4f4\"/>\n";
+    svg << "  <text x=\"" << x << "\" y=\"" << mt + plot_h + 16
+        << "\" font-size=\"11\" text-anchor=\"middle\">" << format_tick(t) << "</text>\n";
+  }
+  // Axes.
+  svg << "  <line x1=\"" << ml << "\" y1=\"" << mt << "\" x2=\"" << ml << "\" y2=\""
+      << mt + plot_h << "\" stroke=\"#333333\"/>\n";
+  svg << "  <line x1=\"" << ml << "\" y1=\"" << mt + plot_h << "\" x2=\"" << ml + plot_w
+      << "\" y2=\"" << mt + plot_h << "\" stroke=\"#333333\"/>\n";
+  if (!options_.x_label.empty()) {
+    svg << "  <text x=\"" << ml + plot_w / 2 << "\" y=\"" << options_.height_px - 12
+        << "\" font-size=\"12\" text-anchor=\"middle\">" << options_.x_label << "</text>\n";
+  }
+  if (!options_.y_label.empty()) {
+    svg << "  <text x=\"16\" y=\"" << mt + plot_h / 2
+        << "\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 16 "
+        << mt + plot_h / 2 << ")\">" << options_.y_label << "</text>\n";
+  }
+
+  // Series.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char* color = kPalette[s % std::size(kPalette)];
+    svg << "  <polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t i = 0; i < series_[s].xs.size(); ++i) {
+      svg << px(series_[s].xs[i]) << ',' << py(series_[s].ys[i]) << ' ';
+    }
+    svg << "\"/>\n";
+    if (options_.markers) {
+      for (std::size_t i = 0; i < series_[s].xs.size(); ++i) {
+        svg << "  <circle cx=\"" << px(series_[s].xs[i]) << "\" cy=\"" << py(series_[s].ys[i])
+            << "\" r=\"3\" fill=\"" << color << "\"/>\n";
+      }
+    }
+  }
+
+  // Legend (top-right corner of the plot area).
+  const double legend_x = ml + plot_w - 170;
+  double legend_y = mt + 12;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char* color = kPalette[s % std::size(kPalette)];
+    svg << "  <line x1=\"" << legend_x << "\" y1=\"" << legend_y << "\" x2=\"" << legend_x + 22
+        << "\" y2=\"" << legend_y << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n";
+    svg << "  <text x=\"" << legend_x + 28 << "\" y=\"" << legend_y + 4
+        << "\" font-size=\"11\">" << series_[s].name << "</text>\n";
+    legend_y += 16;
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void LineChart::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << render_svg();
+}
+
+}  // namespace wrsn::viz

@@ -1,0 +1,56 @@
+// SVG line charts for the figure-reproduction benches.
+//
+// Every bench prints tables; with this renderer each can also emit the
+// actual figure (cost-vs-parameter curves, one series per algorithm) as a
+// self-contained SVG, making "regenerates Fig. N" literal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wrsn::viz {
+
+/// One plotted curve.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ChartOptions {
+  int width_px = 640;
+  int height_px = 420;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Force the y axis to start at zero (the paper's figures do).
+  bool y_from_zero = true;
+  /// Draw circle markers at data points.
+  bool markers = true;
+};
+
+/// Accumulates series and renders an SVG line chart with axes, ticks and a
+/// legend. Series are colored from a built-in palette in insertion order.
+class LineChart {
+ public:
+  explicit LineChart(ChartOptions options = {});
+
+  /// Adds a curve; xs and ys must be equal-length and non-empty, xs
+  /// strictly increasing.
+  LineChart& add_series(std::string name, std::vector<double> xs, std::vector<double> ys);
+
+  std::size_t num_series() const noexcept { return series_.size(); }
+
+  std::string render_svg() const;
+  void save(const std::string& path) const;
+
+ private:
+  ChartOptions options_;
+  std::vector<Series> series_;
+};
+
+/// Chooses <= `max_ticks` human-friendly tick positions covering [lo, hi]
+/// (1/2/5 x 10^k spacing). Exposed for tests.
+std::vector<double> nice_ticks(double lo, double hi, int max_ticks = 6);
+
+}  // namespace wrsn::viz

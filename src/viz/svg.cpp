@@ -1,0 +1,110 @@
+#include "viz/svg.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+
+namespace wrsn::viz {
+namespace {
+
+/// Power-level palette: cool for short hops, hot for long ones.
+const char* level_color(int level) {
+  static const char* kColors[] = {"#2c7fb8", "#41ab5d", "#fe9929", "#e31a1c",
+                                  "#99000d", "#54278f"};
+  const int count = static_cast<int>(std::size(kColors));
+  return kColors[level < count ? (level < 0 ? 0 : level) : count - 1];
+}
+
+}  // namespace
+
+std::string render_svg(const core::Instance& instance, const core::Solution* solution,
+                       const SvgOptions& options) {
+  if (!instance.field()) throw std::invalid_argument("SVG rendering needs a geometric instance");
+  const geom::Field& field = *instance.field();
+  const double s = options.pixels_per_meter;
+  const double margin = options.margin_px;
+  const double width = field.width * s + 2 * margin;
+  const double height = field.height * s + 2 * margin;
+  // SVG y grows downward; flip so the field's lower-left corner is at the
+  // picture's lower left.
+  const auto px = [&](geom::Point p) {
+    return std::pair<double, double>{margin + p.x * s, margin + (field.height - p.y) * s};
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+      << height << "\" viewBox=\"0 0 " << width << ' ' << height << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"#fcfcf7\"/>\n";
+  svg << "  <rect x=\"" << margin << "\" y=\"" << margin << "\" width=\"" << field.width * s
+      << "\" height=\"" << field.height * s
+      << "\" fill=\"none\" stroke=\"#cccccc\" stroke-dasharray=\"4 3\"/>\n";
+
+  if (options.draw_range_rings) {
+    const auto [bx, by] = px(field.base_station);
+    for (int level = 0; level < instance.radio().num_levels(); ++level) {
+      svg << "  <circle cx=\"" << bx << "\" cy=\"" << by << "\" r=\""
+          << instance.radio().range(level) * s
+          << "\" fill=\"none\" stroke=\"#dddddd\"/>\n";
+    }
+  }
+
+  if (solution) {
+    const auto descendants = solution->tree.descendant_counts();
+    const auto levels = core::solution_levels(instance, *solution);
+    svg << "  <g stroke-linecap=\"round\">\n";
+    for (int p = 0; p < instance.num_posts(); ++p) {
+      const int parent = solution->tree.parent(p);
+      const geom::Point to = parent == instance.graph().base_station()
+                                 ? field.base_station
+                                 : field.posts[static_cast<std::size_t>(parent)];
+      const auto [x1, y1] = px(field.posts[static_cast<std::size_t>(p)]);
+      const auto [x2, y2] = px(to);
+      const double width_px =
+          1.0 + 1.5 * std::sqrt(static_cast<double>(descendants[static_cast<std::size_t>(p)]));
+      svg << "    <line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2 << "\" y2=\"" << y2
+          << "\" stroke=\"" << level_color(levels[static_cast<std::size_t>(p)])
+          << "\" stroke-width=\"" << width_px << "\" opacity=\"0.8\"/>\n";
+    }
+    svg << "  </g>\n";
+  }
+
+  // Posts: disc area proportional to the node count.
+  for (int p = 0; p < instance.num_posts(); ++p) {
+    const auto [x, y] = px(field.posts[static_cast<std::size_t>(p)]);
+    const int m = solution ? solution->deployment[static_cast<std::size_t>(p)] : 1;
+    const double r = 4.0 * std::sqrt(static_cast<double>(m));
+    svg << "  <circle cx=\"" << x << "\" cy=\"" << y << "\" r=\"" << r
+        << "\" fill=\"#35978f\" stroke=\"#01665e\"/>\n";
+    if (options.draw_node_counts && solution && m > 1) {
+      svg << "  <text x=\"" << x << "\" y=\"" << y + 3.5
+          << "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#ffffff\">" << m << "</text>\n";
+    }
+    if (options.draw_post_labels) {
+      svg << "  <text x=\"" << x + r + 2 << "\" y=\"" << y - r - 2
+          << "\" font-size=\"9\" fill=\"#888888\">" << p << "</text>\n";
+    }
+  }
+
+  // Base station: a filled square (the paper's figures use the same glyph).
+  {
+    const auto [x, y] = px(field.base_station);
+    svg << "  <rect x=\"" << x - 7 << "\" y=\"" << y - 7
+        << "\" width=\"14\" height=\"14\" fill=\"#252525\"/>\n";
+    svg << "  <text x=\"" << x + 10 << "\" y=\"" << y + 4
+        << "\" font-size=\"11\" fill=\"#252525\">base</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const core::Instance& instance,
+              const core::Solution* solution, const SvgOptions& options) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << render_svg(instance, solution, options);
+}
+
+}  // namespace wrsn::viz

@@ -1,0 +1,35 @@
+// SVG rendering of deployment plans.
+//
+// A plan is spatial: which posts got stacked with nodes, where traffic
+// funnels, which hops run at high power.  This renderer draws the field,
+// the routing tree (edge width ~ forwarded traffic, color ~ power level),
+// the posts (disc area ~ node count), and the base station, producing a
+// self-contained SVG string suitable for docs or debugging.
+#pragma once
+
+#include <string>
+
+#include "core/solution.hpp"
+
+namespace wrsn::viz {
+
+struct SvgOptions {
+  double pixels_per_meter = 2.0;
+  double margin_px = 30.0;
+  bool draw_post_labels = true;
+  bool draw_node_counts = true;
+  /// Draw faint range circles (d_1..d_k) around the base station.
+  bool draw_range_rings = false;
+};
+
+/// Renders the instance's field with, optionally, a solution overlay
+/// (`solution` may be null to draw the bare field). The instance must be
+/// geometric.
+std::string render_svg(const core::Instance& instance, const core::Solution* solution,
+                       const SvgOptions& options = {});
+
+/// Writes render_svg() output to `path`.
+void save_svg(const std::string& path, const core::Instance& instance,
+              const core::Solution* solution, const SvgOptions& options = {});
+
+}  // namespace wrsn::viz

@@ -1,0 +1,51 @@
+// Shared fixtures for the wrsn test suite.
+#pragma once
+
+#include "core/instance.hpp"
+#include "geom/field.hpp"
+#include "util/rng.hpp"
+
+namespace wrsn::test {
+
+/// Paper radio: 3 levels, 25/50/75 m, Heinzelman constants.
+inline energy::RadioModel paper_radio(int levels = 3) {
+  return energy::RadioModel::uniform_levels(levels, 25.0);
+}
+
+/// A small charging efficiency in the regime the field experiment measured.
+inline energy::ChargingModel paper_charging(double eta = 0.01) {
+  return energy::ChargingModel::linear(eta);
+}
+
+/// Chain instance: posts on a line at 20 m spacing starting 20 m from the
+/// base station; every hop needs only level 0.
+inline core::Instance chain_instance(int num_posts, int num_nodes) {
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.width = 20.0 * (num_posts + 1);
+  field.height = 1.0;
+  for (int i = 1; i <= num_posts; ++i) {
+    field.posts.push_back({20.0 * i, 0.0});
+  }
+  return core::Instance::geometric(field, paper_radio(), paper_charging(), num_nodes);
+}
+
+/// Random connected instance on a square field (rejection-samples until the
+/// field is connected at d_max = 75 m).
+inline core::Instance random_instance(int num_posts, int num_nodes, double side,
+                                      util::Rng& rng) {
+  geom::FieldConfig cfg;
+  cfg.width = side;
+  cfg.height = side;
+  cfg.num_posts = num_posts;
+  const auto radio = paper_radio();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const geom::Field field = geom::generate_field(cfg, rng);
+    if (geom::is_connected(field, radio.max_range())) {
+      return core::Instance::geometric(field, radio, paper_charging(), num_nodes);
+    }
+  }
+  throw std::runtime_error("could not generate a connected field");
+}
+
+}  // namespace wrsn::test

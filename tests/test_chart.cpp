@@ -1,0 +1,121 @@
+#include "viz/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace wrsn::viz {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(NiceTicks, ProducesRoundSteps) {
+  const auto ticks = nice_ticks(0.0, 10.0, 6);
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks.front(), 0.0);
+  // Steps must be uniform.
+  const double step = ticks[1] - ticks[0];
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_NEAR(ticks[i] - ticks[i - 1], step, 1e-9);
+  }
+  // 1/2/5 mantissa.
+  const double mantissa = step / std::pow(10.0, std::floor(std::log10(step)));
+  EXPECT_TRUE(std::fabs(mantissa - 1.0) < 1e-9 || std::fabs(mantissa - 2.0) < 1e-9 ||
+              std::fabs(mantissa - 5.0) < 1e-9)
+      << mantissa;
+}
+
+TEST(NiceTicks, CoversRangeWithoutOverflow) {
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0.0, 1.0}, {3.7, 19.2}, {-5.0, 5.0}, {100.0, 1000.0}, {0.0, 0.0013}}) {
+    const auto ticks = nice_ticks(lo, hi);
+    ASSERT_FALSE(ticks.empty());
+    EXPECT_GE(ticks.front(), lo - 1e-9);
+    EXPECT_LE(ticks.back(), hi + (hi - lo) * 1e-6 + 1e-12);
+    EXPECT_LE(ticks.size(), 12u);
+  }
+}
+
+TEST(NiceTicks, DegenerateRange) {
+  const auto ticks = nice_ticks(5.0, 5.0);
+  ASSERT_EQ(ticks.size(), 1u);
+  EXPECT_DOUBLE_EQ(ticks[0], 5.0);
+}
+
+TEST(LineChart, ValidatesSeries) {
+  LineChart chart;
+  EXPECT_THROW(chart.add_series("bad", {}, {}), std::invalid_argument);
+  EXPECT_THROW(chart.add_series("bad", {1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(chart.add_series("bad", {1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(chart.add_series("bad", {2.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(chart.render_svg(), std::logic_error);  // no series yet
+}
+
+TEST(LineChart, RendersOnePolylinePerSeries) {
+  ChartOptions options;
+  options.title = "Fig. 8";
+  options.x_label = "M";
+  options.y_label = "cost [uJ]";
+  LineChart chart(options);
+  chart.add_series("IDB", {200, 400, 600}, {21.0, 10.0, 7.0});
+  chart.add_series("RFH", {200, 400, 600}, {22.0, 11.0, 7.4});
+  const std::string svg = chart.render_svg();
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find("Fig. 8"), std::string::npos);
+  EXPECT_NE(svg.find("IDB"), std::string::npos);
+  EXPECT_NE(svg.find("RFH"), std::string::npos);
+  EXPECT_NE(svg.find("cost [uJ]"), std::string::npos);
+  // 6 data points -> 6 markers.
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 6u);
+}
+
+TEST(LineChart, MarkersCanBeDisabled) {
+  ChartOptions options;
+  options.markers = false;
+  LineChart chart(options);
+  chart.add_series("a", {1, 2}, {1, 2});
+  EXPECT_EQ(count_occurrences(chart.render_svg(), "<circle"), 0u);
+}
+
+TEST(LineChart, FlatSeriesRendersWithoutDivisionByZero) {
+  LineChart chart;
+  chart.add_series("flat", {1, 2, 3}, {5, 5, 5});
+  const std::string svg = chart.render_svg();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(LineChart, SinglePointSeries) {
+  LineChart chart;
+  chart.add_series("dot", {3.0}, {4.0});
+  const std::string svg = chart.render_svg();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(LineChart, SaveRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wrsn_test_chart.svg").string();
+  LineChart chart;
+  chart.add_series("s", {0, 1}, {0, 1});
+  chart.save(path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wrsn::viz

@@ -1,0 +1,99 @@
+#include "npc/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrsn::npc {
+namespace {
+
+Cnf tiny_formula() {
+  // (x0 v x1 v !x2) ^ (!x0 v x2 v x1)
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {
+      Clause{{Literal{0, false}, Literal{1, false}, Literal{2, true}}},
+      Clause{{Literal{0, true}, Literal{2, false}, Literal{1, false}}},
+  };
+  return cnf;
+}
+
+TEST(Evaluate, SatisfyingAssignment) {
+  const Cnf cnf = tiny_formula();
+  EXPECT_TRUE(evaluate(cnf, {true, false, true}));
+  EXPECT_TRUE(evaluate(cnf, {false, true, false}));
+}
+
+TEST(Evaluate, FalsifyingAssignment) {
+  // First clause requires x0 v x1 v !x2: violated by {false,false,true}.
+  const Cnf cnf = tiny_formula();
+  EXPECT_FALSE(evaluate(cnf, {false, false, true}));
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  const Cnf cnf = tiny_formula();
+  EXPECT_THROW(evaluate(cnf, {true}), std::invalid_argument);
+}
+
+TEST(Evaluate, EmptyFormulaIsTrue) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  EXPECT_TRUE(evaluate(cnf, {false, false}));
+}
+
+TEST(LiteralOccurs, FindsPolarities) {
+  const Cnf cnf = tiny_formula();
+  EXPECT_TRUE(literal_occurs(cnf, 0, false));
+  EXPECT_TRUE(literal_occurs(cnf, 0, true));
+  EXPECT_TRUE(literal_occurs(cnf, 2, true));
+  EXPECT_TRUE(literal_occurs(cnf, 2, false));
+  EXPECT_TRUE(literal_occurs(cnf, 1, false));
+  EXPECT_FALSE(literal_occurs(cnf, 1, true));
+}
+
+TEST(Random3Cnf, ShapeIsCorrect) {
+  util::Rng rng(7);
+  const Cnf cnf = random_3cnf(6, 10, rng);
+  EXPECT_EQ(cnf.num_vars, 6);
+  EXPECT_EQ(cnf.clauses.size(), 10u);
+  for (const Clause& clause : cnf.clauses) {
+    // Three distinct variables per clause.
+    const auto& l = clause.literals;
+    EXPECT_NE(l[0].var, l[1].var);
+    EXPECT_NE(l[0].var, l[2].var);
+    EXPECT_NE(l[1].var, l[2].var);
+    for (const Literal& lit : l) {
+      EXPECT_GE(lit.var, 0);
+      EXPECT_LT(lit.var, 6);
+    }
+  }
+}
+
+TEST(Random3Cnf, EveryVariableOccurs) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Cnf cnf = random_3cnf(9, 5, rng);
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      EXPECT_TRUE(literal_occurs(cnf, v, false) || literal_occurs(cnf, v, true))
+          << "variable " << v << " missing in trial " << trial;
+    }
+  }
+}
+
+TEST(Random3Cnf, Deterministic) {
+  util::Rng a(13);
+  util::Rng b(13);
+  const Cnf ca = random_3cnf(5, 8, a);
+  const Cnf cb = random_3cnf(5, 8, b);
+  ASSERT_EQ(ca.clauses.size(), cb.clauses.size());
+  for (std::size_t j = 0; j < ca.clauses.size(); ++j) {
+    EXPECT_EQ(ca.clauses[j].literals, cb.clauses[j].literals);
+  }
+}
+
+TEST(Random3Cnf, RejectsBadShapes) {
+  util::Rng rng(17);
+  EXPECT_THROW(random_3cnf(2, 5, rng), std::invalid_argument);
+  EXPECT_THROW(random_3cnf(30, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wrsn::npc

@@ -1,0 +1,104 @@
+#include "npc/dpll.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrsn::npc {
+namespace {
+
+Clause make_clause(int v0, bool n0, int v1, bool n1, int v2, bool n2) {
+  return Clause{{Literal{v0, n0}, Literal{v1, n1}, Literal{v2, n2}}};
+}
+
+TEST(Dpll, TriviallySatisfiable) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {make_clause(0, false, 1, false, 2, false)};
+  const auto assignment = solve_dpll(cnf);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_TRUE(evaluate(cnf, *assignment));
+}
+
+TEST(Dpll, EmptyFormulaSatisfiable) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  EXPECT_TRUE(is_satisfiable(cnf));
+}
+
+TEST(Dpll, ClassicUnsatisfiableAllPolarities) {
+  // All 8 polarity combinations over 3 variables: unsatisfiable.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  for (int mask = 0; mask < 8; ++mask) {
+    cnf.clauses.push_back(
+        make_clause(0, mask & 1, 1, mask & 2, 2, mask & 4));
+  }
+  EXPECT_FALSE(is_satisfiable(cnf));
+}
+
+TEST(Dpll, UnitPropagationChain) {
+  // Forcing chain: clauses that pin x0=true, then x1=true, then x2=false.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {
+      make_clause(0, false, 0, false, 0, false),  // x0
+      make_clause(0, true, 1, false, 1, false),   // !x0 v x1
+      make_clause(1, true, 2, true, 2, true),     // !x1 v !x2
+  };
+  const auto assignment = solve_dpll(cnf);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_TRUE((*assignment)[0]);
+  EXPECT_TRUE((*assignment)[1]);
+  EXPECT_FALSE((*assignment)[2]);
+}
+
+TEST(Dpll, ReturnedAssignmentAlwaysSatisfies) {
+  util::Rng rng(23);
+  int sat_count = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Cnf cnf = random_3cnf(6, 12, rng);
+    const auto assignment = solve_dpll(cnf);
+    if (assignment) {
+      ++sat_count;
+      EXPECT_TRUE(evaluate(cnf, *assignment)) << "trial " << trial;
+    }
+  }
+  // Random 3-CNF at ratio 2: mostly satisfiable; make sure both branches ran.
+  EXPECT_GT(sat_count, 50);
+}
+
+TEST(Dpll, AgreesWithBruteForceOnSmallFormulas) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 4 + trial % 3;  // 4..6 variables
+    const Cnf cnf = random_3cnf(n, 4 + trial % 15, rng);
+    bool brute_sat = false;
+    for (int mask = 0; mask < (1 << n) && !brute_sat; ++mask) {
+      std::vector<bool> assignment(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) assignment[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+      brute_sat = evaluate(cnf, assignment);
+    }
+    EXPECT_EQ(is_satisfiable(cnf), brute_sat) << "trial " << trial;
+  }
+}
+
+TEST(Dpll, HighClauseRatioUnsatisfiableInstances) {
+  // At clause/variable ratio ~10 almost everything is unsatisfiable;
+  // DPLL must terminate and agree with brute force.
+  util::Rng rng(31);
+  int unsat = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Cnf cnf = random_3cnf(5, 50, rng);
+    bool brute_sat = false;
+    for (int mask = 0; mask < 32 && !brute_sat; ++mask) {
+      std::vector<bool> assignment(5);
+      for (int v = 0; v < 5; ++v) assignment[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+      brute_sat = evaluate(cnf, assignment);
+    }
+    EXPECT_EQ(is_satisfiable(cnf), brute_sat);
+    unsat += brute_sat ? 0 : 1;
+  }
+  EXPECT_GT(unsat, 10);
+}
+
+}  // namespace
+}  // namespace wrsn::npc

@@ -1,0 +1,138 @@
+#include "fieldexp/powercast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wrsn::fieldexp {
+namespace {
+
+const PowercastConfig kDefault{};
+
+TEST(FieldExp, SingleNodeEfficiencyUnderOnePercentAt20cm) {
+  // Section II: "when a sensor is 20cm away from the charger, on average the
+  // node can obtain less than 1% of the energy consumed by the charger".
+  const double eta = single_node_efficiency(kDefault, 0.20);
+  EXPECT_LT(eta, 0.01);
+  EXPECT_GT(eta, 1e-4);  // but it is not negligible either
+}
+
+TEST(FieldExp, EfficiencyFallsFasterThanFreeSpace) {
+  // The paper describes the decay as (super-quadratic) "exponential": the
+  // rectifier's low-power roll-off makes eta fall faster than 1/d^2.
+  const double e20 = single_node_efficiency(kDefault, 0.20);
+  const double e40 = single_node_efficiency(kDefault, 0.40);
+  const double e100 = single_node_efficiency(kDefault, 1.00);
+  EXPECT_GT(e20 / e40, 4.0);          // faster than inverse-square
+  EXPECT_GT(e40 / e100, 6.25);        // (100/40)^2 = 6.25
+  EXPECT_GT(e20, e40);
+  EXPECT_GT(e40, e100);
+}
+
+TEST(FieldExp, PerNodePowerRoughlyConstantFrom2To6) {
+  // Observation 2 (Fig. 1): average per-node power stays approximately the
+  // same as the simultaneous count grows 2 -> 6.
+  for (const double spacing : {0.05, 0.10}) {
+    const auto per_node = [&](int m) {
+      const auto p = received_power_per_node(kDefault, {m, 0.2, spacing});
+      double total = 0.0;
+      for (double v : p) total += v;
+      return total / m;
+    };
+    const double at2 = per_node(2);
+    const double at6 = per_node(6);
+    EXPECT_GT(at6 / at2, 0.80) << "spacing " << spacing;
+    EXPECT_LT(at6 / at2, 1.05) << "spacing " << spacing;
+  }
+}
+
+TEST(FieldExp, OneToTwoDipLargerAtCloseSpacing) {
+  // Observation 3: a noticeable 1 -> 2 dip at 5 cm that shrinks at 10 cm.
+  const auto per_node = [&](int m, double spacing) {
+    const auto p = received_power_per_node(kDefault, {m, 0.2, spacing});
+    double total = 0.0;
+    for (double v : p) total += v;
+    return total / m;
+  };
+  const double dip_5cm = 1.0 - per_node(2, 0.05) / per_node(1, 0.05);
+  const double dip_10cm = 1.0 - per_node(2, 0.10) / per_node(1, 0.10);
+  EXPECT_GT(dip_5cm, 0.05) << "the 5 cm dip must be noticeable";
+  EXPECT_LT(dip_10cm, dip_5cm) << "wider spacing must shrink the dip";
+  EXPECT_GT(dip_10cm, 0.0);
+}
+
+TEST(FieldExp, NetworkEfficiencyApproximatelyLinearInCount) {
+  // The design rule of Section III: eta(m) ~ k(m) * eta with k(m) ~ m.
+  for (const double spacing : {0.05, 0.10}) {
+    const auto fit =
+        efficiency_linearity(kDefault, 0.2, spacing, {1, 2, 3, 4, 5, 6});
+    EXPECT_GT(fit.r_squared, 0.98) << "spacing " << spacing;
+    EXPECT_GT(fit.slope, 0.0);
+  }
+}
+
+TEST(FieldExp, WiderSpacingCapturesMoreTotalEnergy) {
+  // Fig. 1(a) vs (b): at 10 cm the group absorbs more than at 5 cm.
+  const auto total = [&](double spacing) {
+    const auto p = received_power_per_node(kDefault, {6, 0.2, spacing});
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    return sum;
+  };
+  EXPECT_GT(total(0.10), total(0.05));
+}
+
+TEST(FieldExp, EdgeSensorsReceiveLessThanNoCouplingWouldGive) {
+  const auto group = received_power_per_node(kDefault, {4, 0.2, 0.05});
+  const auto solo = received_power_per_node(kDefault, {1, 0.2, 0.05}).front();
+  for (double p : group) EXPECT_LT(p, solo);
+  // Middle sensors are more shadowed than edge sensors.
+  EXPECT_LT(group[1], group[0]);
+  EXPECT_LT(group[2], group[3]);
+}
+
+TEST(FieldExp, TrialsAverageNearNominal) {
+  util::Rng rng(57);
+  const Placement placement{4, 0.4, 0.10};
+  const TrialSummary summary = run_trials(kDefault, placement, 4000, rng);
+  const auto nominal = received_power_per_node(kDefault, placement);
+  double nominal_avg = 0.0;
+  for (double p : nominal) nominal_avg += p;
+  nominal_avg /= 4.0;
+  EXPECT_NEAR(summary.per_node_power_w.mean / nominal_avg, 1.0, 0.02);
+  EXPECT_GT(summary.per_node_power_w.stddev, 0.0);
+  EXPECT_EQ(summary.per_node_power_w.count, 4000u);
+}
+
+TEST(FieldExp, TrialsDeterministicGivenSeed) {
+  util::Rng a(91);
+  util::Rng b(91);
+  const Placement placement{2, 0.2, 0.05};
+  const TrialSummary sa = run_trials(kDefault, placement, 40, a);
+  const TrialSummary sb = run_trials(kDefault, placement, 40, b);
+  EXPECT_DOUBLE_EQ(sa.per_node_power_w.mean, sb.per_node_power_w.mean);
+  EXPECT_DOUBLE_EQ(sa.network_efficiency, sb.network_efficiency);
+}
+
+TEST(FieldExp, InvalidInputsRejected) {
+  util::Rng rng(1);
+  EXPECT_THROW(received_power_per_node(kDefault, {0, 0.2, 0.05}), std::invalid_argument);
+  EXPECT_THROW(received_power_per_node(kDefault, {2, -0.1, 0.05}), std::invalid_argument);
+  EXPECT_THROW(run_trials(kDefault, {1, 0.2, 0.05}, 0, rng), std::invalid_argument);
+}
+
+TEST(FieldExp, PowerDecreasesWithChargerDistanceForGroups) {
+  for (const int m : {1, 2, 4, 6}) {
+    double previous = 1e9;
+    for (const double d : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const auto p = received_power_per_node(kDefault, {m, d, 0.05});
+      double total = 0.0;
+      for (double v : p) total += v;
+      EXPECT_LT(total, previous) << "m=" << m << " d=" << d;
+      previous = total;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrsn::fieldexp

@@ -1,0 +1,137 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wrsn::util {
+namespace {
+
+/// argv helper: keeps the strings alive and exposes a char** view.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Flags, ParsesEqualsSyntax) {
+  int n = 0;
+  double x = 0.0;
+  std::string s;
+  Flags flags;
+  flags.add_int("n", &n, "").add_double("x", &x, "").add_string("s", &s, "");
+  Argv args({"prog", "--n=42", "--x=2.5", "--s=hello"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Flags, ParsesSpaceSeparatedValue) {
+  int n = 0;
+  Flags flags;
+  flags.add_int("n", &n, "");
+  Argv args({"prog", "--n", "7"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  bool b = false;
+  Flags flags;
+  flags.add_bool("verbose", &b, "");
+  Argv args({"prog", "--verbose"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv()));
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, BooleanExplicitValues) {
+  bool b = true;
+  Flags flags;
+  flags.add_bool("flag", &b, "");
+  Argv off({"prog", "--flag=false"});
+  ASSERT_TRUE(flags.parse(off.argc(), off.argv()));
+  EXPECT_FALSE(b);
+  Argv on({"prog", "--flag=yes"});
+  ASSERT_TRUE(flags.parse(on.argc(), on.argv()));
+  EXPECT_TRUE(b);
+  Argv bad({"prog", "--flag=maybe"});
+  EXPECT_FALSE(flags.parse(bad.argc(), bad.argv()));
+}
+
+TEST(Flags, UnknownFlagFailsByDefault) {
+  Flags flags;
+  int n = 0;
+  flags.add_int("n", &n, "");
+  Argv args({"prog", "--typo=1"});
+  EXPECT_FALSE(flags.parse(args.argc(), args.argv()));
+}
+
+TEST(Flags, UnknownFlagCollectedWhenAllowed) {
+  Flags flags;
+  int n = 0;
+  flags.add_int("n", &n, "");
+  Argv args({"prog", "--n=5", "--benchmark_filter=abc"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv(), /*allow_unknown=*/true));
+  EXPECT_EQ(n, 5);
+  ASSERT_EQ(flags.unparsed().size(), 1u);
+  EXPECT_EQ(flags.unparsed()[0], "--benchmark_filter=abc");
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags flags;
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(flags.parse(args.argc(), args.argv()));
+}
+
+TEST(Flags, InvalidNumberFails) {
+  int n = 0;
+  Flags flags;
+  flags.add_int("n", &n, "");
+  Argv args({"prog", "--n=notanumber"});
+  EXPECT_FALSE(flags.parse(args.argc(), args.argv()));
+}
+
+TEST(Flags, MissingValueFails) {
+  int n = 0;
+  Flags flags;
+  flags.add_int("n", &n, "");
+  Argv args({"prog", "--n"});
+  EXPECT_FALSE(flags.parse(args.argc(), args.argv()));
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  int a = 0;
+  int b = 0;
+  Flags flags;
+  flags.add_int("n", &a, "");
+  EXPECT_THROW(flags.add_int("n", &b, ""), std::invalid_argument);
+}
+
+TEST(Flags, Int64RoundTrip) {
+  std::int64_t big = 0;
+  Flags flags;
+  flags.add_int64("big", &big, "");
+  Argv args({"prog", "--big=123456789012345"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv()));
+  EXPECT_EQ(big, 123456789012345LL);
+}
+
+TEST(Flags, DefaultsSurviveWhenAbsent) {
+  int n = 9;
+  Flags flags;
+  flags.add_int("n", &n, "");
+  Argv args({"prog"});
+  ASSERT_TRUE(flags.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 9);
+}
+
+}  // namespace
+}  // namespace wrsn::util

@@ -1,0 +1,193 @@
+#include "npc/gadget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cost.hpp"
+#include "core/exact.hpp"
+#include "npc/dpll.hpp"
+
+namespace wrsn::npc {
+namespace {
+
+Clause make_clause(int v0, bool n0, int v1, bool n1, int v2, bool n2) {
+  return Clause{{Literal{v0, n0}, Literal{v1, n1}, Literal{v2, n2}}};
+}
+
+/// The example from Fig. 3: C_j = x0 v !x1 v !x2 (variables renamed to
+/// 0-based), a single clause over three variables.
+Cnf fig3_formula() {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {make_clause(0, false, 1, true, 2, true)};
+  return cnf;
+}
+
+TEST(Gadget, ShapeMatchesReduction) {
+  const Gadget gadget = build_gadget(fig3_formula());
+  // N = 2n + 2m = 8 posts, M = 3n + 3m = 12 nodes.
+  EXPECT_EQ(gadget.instance.num_posts(), 8);
+  EXPECT_EQ(gadget.instance.num_nodes(), 12);
+  EXPECT_EQ(gadget.num_vars, 3);
+  EXPECT_EQ(gadget.num_clauses, 1);
+}
+
+TEST(Gadget, ReachabilityFollowsConstruction) {
+  const Gadget gadget = build_gadget(fig3_formula());
+  const auto& g = gadget.instance.graph();
+  const int bs = g.base_station();
+
+  // Only U_0 reaches the base station, at l2.
+  EXPECT_EQ(g.min_level(gadget.u_post(0), bs), 1);
+  EXPECT_FALSE(g.reachable(gadget.v_post(0), bs));
+  EXPECT_FALSE(g.reachable(gadget.s_post(0, 1), bs));
+
+  // x0 in C_0 -> S_{0,1} <-> U_0 at l2; !x1 -> S_{1,2} <-> U_0.
+  EXPECT_EQ(g.min_level(gadget.s_post(0, 1), gadget.u_post(0)), 1);
+  EXPECT_EQ(g.min_level(gadget.s_post(1, 2), gadget.u_post(0)), 1);
+  EXPECT_EQ(g.min_level(gadget.s_post(2, 2), gadget.u_post(0)), 1);
+  // The opposite polarities do not reach U_0.
+  EXPECT_FALSE(g.reachable(gadget.s_post(0, 2), gadget.u_post(0)));
+  EXPECT_FALSE(g.reachable(gadget.s_post(1, 1), gadget.u_post(0)));
+
+  // V_0 reaches the same S posts at l1.
+  EXPECT_EQ(g.min_level(gadget.v_post(0), gadget.s_post(0, 1)), 0);
+  EXPECT_EQ(g.min_level(gadget.v_post(0), gadget.s_post(1, 2)), 0);
+  EXPECT_FALSE(g.reachable(gadget.v_post(0), gadget.s_post(0, 2)));
+
+  // Variable pairs at l1.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.min_level(gadget.s_post(i, 1), gadget.s_post(i, 2)), 0);
+  }
+}
+
+TEST(Gadget, RadioMatchesRestriction) {
+  GadgetParams params;
+  params.e1 = 2.0;
+  params.e0 = 0.75;
+  params.eta = 0.2;
+  const Gadget gadget = build_gadget(fig3_formula(), params);
+  EXPECT_DOUBLE_EQ(gadget.instance.radio().tx_energy(0), 2.0);
+  EXPECT_DOUBLE_EQ(gadget.instance.radio().tx_energy(1), 8.0);  // 4*e1
+  EXPECT_DOUBLE_EQ(gadget.instance.rx_energy(), 0.75);
+}
+
+TEST(Gadget, BoundWFormula) {
+  GadgetParams params;  // e1=1, e0=0.5, eta=0.1
+  const Gadget gadget = build_gadget(fig3_formula(), params);
+  // W = 7m e1/eta + 9n e1/eta + m e0/eta + 3n e0/(2 eta); n=3, m=1.
+  const double expected =
+      (7.0 * 1 + 9.0 * 3) / 0.1 + 1 * 0.5 / 0.1 + 1.5 * 3 * 0.5 / 0.1;
+  EXPECT_NEAR(gadget.bound_w, expected, expected * 1e-12);
+}
+
+TEST(Gadget, RejectsBadInput) {
+  EXPECT_THROW(build_gadget(Cnf{}), std::invalid_argument);
+  GadgetParams bad;
+  bad.e0 = 2.0;  // must be < e1
+  EXPECT_THROW(build_gadget(fig3_formula(), bad), std::invalid_argument);
+  // A variable that occurs in no clause.
+  Cnf missing = fig3_formula();
+  missing.num_vars = 4;
+  EXPECT_THROW(build_gadget(missing), std::invalid_argument);
+}
+
+TEST(Gadget, IntendedSolutionCostsExactlyW) {
+  const Cnf cnf = fig3_formula();
+  const Gadget gadget = build_gadget(cnf);
+  const auto assignment = solve_dpll(cnf);
+  ASSERT_TRUE(assignment.has_value());
+  const core::Solution solution = intended_solution(gadget, cnf, *assignment);
+  EXPECT_TRUE(core::is_valid_solution(gadget.instance, solution));
+  const double cost = core::total_recharging_cost(gadget.instance, solution);
+  EXPECT_NEAR(cost, gadget.bound_w, gadget.bound_w * 1e-12);
+}
+
+TEST(Gadget, IntendedSolutionCostsWOnRandomFormulas) {
+  // Claim (i) of the proof, verified numerically across many formulas.
+  util::Rng rng(37);
+  int verified = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Cnf cnf = random_3cnf(4, 4, rng);
+    const auto assignment = solve_dpll(cnf);
+    if (!assignment) continue;
+    const Gadget gadget = build_gadget(cnf);
+    const core::Solution solution = intended_solution(gadget, cnf, *assignment);
+    ASSERT_TRUE(core::is_valid_solution(gadget.instance, solution));
+    const double cost = core::total_recharging_cost(gadget.instance, solution);
+    EXPECT_NEAR(cost, gadget.bound_w, gadget.bound_w * 1e-12) << "trial " << trial;
+    ++verified;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+TEST(Gadget, IntendedSolutionRejectsUnsatisfyingAssignment) {
+  const Cnf cnf = fig3_formula();
+  const Gadget gadget = build_gadget(cnf);
+  // x0 false, x1 true, x2 true falsifies the clause.
+  EXPECT_THROW(intended_solution(gadget, cnf, {false, true, true}), std::invalid_argument);
+}
+
+TEST(Gadget, AssignmentRoundTripsThroughDeployment) {
+  const Cnf cnf = fig3_formula();
+  const Gadget gadget = build_gadget(cnf);
+  const auto assignment = solve_dpll(cnf);
+  ASSERT_TRUE(assignment.has_value());
+  const core::Solution solution = intended_solution(gadget, cnf, *assignment);
+  const auto recovered = assignment_from_deployment(gadget, solution.deployment);
+  EXPECT_TRUE(evaluate(cnf, recovered));
+}
+
+/// End-to-end reduction check: satisfiable <=> optimal capped cost <= W.
+/// This is the theorem of Section IV executed on small random formulas.
+class ReductionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionEquivalence, SatIffCostAtMostW) {
+  util::Rng rng(GetParam());
+  // Small shapes keep the exact search tractable: N = 2n+2m posts.
+  const int n = 3;
+  const int m = 3;
+  const Cnf cnf = random_3cnf(n, m, rng);
+  const Gadget gadget = build_gadget(cnf);
+
+  core::ExactOptions options;
+  options.max_per_post = 2;  // the proof's restriction
+  const core::ExactResult result = core::solve_exact(gadget.instance, options);
+  ASSERT_TRUE(result.complete);
+
+  const bool sat = is_satisfiable(cnf);
+  const double tolerance = gadget.bound_w * 1e-9;
+  if (sat) {
+    EXPECT_LE(result.cost, gadget.bound_w + tolerance)
+        << "satisfiable formula must admit cost <= W";
+  } else {
+    EXPECT_GT(result.cost, gadget.bound_w + tolerance)
+        << "unsatisfiable formula must force cost > W";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, ReductionEquivalence,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008,
+                                           1009, 1010, 1011, 1012));
+
+TEST(Gadget, ExactOptimumMatchesWExactlyWhenSatisfiable) {
+  // For satisfiable formulas the optimum should be exactly W (the intended
+  // solution is optimal under the cap).
+  util::Rng rng(41);
+  int checked = 0;
+  for (int trial = 0; trial < 10 && checked < 3; ++trial) {
+    const Cnf cnf = random_3cnf(3, 3, rng);
+    if (!is_satisfiable(cnf)) continue;
+    const Gadget gadget = build_gadget(cnf);
+    core::ExactOptions options;
+    options.max_per_post = 2;
+    const core::ExactResult result = core::solve_exact(gadget.instance, options);
+    EXPECT_NEAR(result.cost, gadget.bound_w, gadget.bound_w * 1e-9);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace wrsn::npc

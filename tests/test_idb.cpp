@@ -1,0 +1,150 @@
+#include "core/idb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+// ------------------------------------------------------ multiset enumeration
+
+TEST(ForEachMultiset, CountMatchesStarsAndBars) {
+  // C(n + delta - 1, delta) combinations.
+  struct Case {
+    int n;
+    int delta;
+    int expected;
+  };
+  for (const Case c : {Case{3, 1, 3}, Case{3, 2, 6}, Case{4, 3, 20}, Case{1, 5, 1},
+                       Case{5, 0, 1}}) {
+    int count = 0;
+    idb_detail::for_each_multiset(c.n, c.delta,
+                                  [&](const std::vector<int>&) { ++count; });
+    EXPECT_EQ(count, c.expected) << "n=" << c.n << " delta=" << c.delta;
+  }
+}
+
+TEST(ForEachMultiset, EachVisitSumsToDelta) {
+  idb_detail::for_each_multiset(4, 3, [&](const std::vector<int>& counts) {
+    EXPECT_EQ(static_cast<int>(counts.size()), 4);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 3);
+    for (int c : counts) EXPECT_GE(c, 0);
+  });
+}
+
+TEST(ForEachMultiset, VisitsAreDistinct) {
+  std::set<std::vector<int>> seen;
+  idb_detail::for_each_multiset(3, 4, [&](const std::vector<int>& counts) {
+    EXPECT_TRUE(seen.insert(counts).second) << "duplicate multiset";
+  });
+  EXPECT_EQ(seen.size(), 15u);  // C(6, 4)
+}
+
+TEST(ForEachMultiset, RejectsBadArguments) {
+  EXPECT_THROW(idb_detail::for_each_multiset(0, 1, [](const std::vector<int>&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(idb_detail::for_each_multiset(2, -1, [](const std::vector<int>&) {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ solver
+
+TEST(SolveIdb, ProducesValidSolution) {
+  util::Rng rng(101);
+  const Instance inst = test::random_instance(15, 40, 150.0, rng);
+  const IdbResult result = solve_idb(inst);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+  EXPECT_EQ(result.rounds, 25);
+  EXPECT_EQ(result.evaluations, 25u * 15u);
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(SolveIdb, ExactBudgetNoRounds) {
+  util::Rng rng(103);
+  const Instance inst = test::random_instance(10, 10, 120.0, rng);
+  const IdbResult result = solve_idb(inst);
+  EXPECT_EQ(result.rounds, 0);
+  for (int m : result.solution.deployment) EXPECT_EQ(m, 1);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+}
+
+TEST(SolveIdb, DeltaBatchingCoversBudget) {
+  util::Rng rng(107);
+  const Instance inst = test::random_instance(8, 19, 120.0, rng);
+  // 11 spare nodes with delta = 4 -> rounds of 4,4,3.
+  const IdbResult result = solve_idb(inst, IdbOptions{4, false});
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_EQ(std::accumulate(result.solution.deployment.begin(),
+                            result.solution.deployment.end(), 0),
+            19);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+}
+
+TEST(SolveIdb, RejectsBadDelta) {
+  util::Rng rng(109);
+  const Instance inst = test::random_instance(5, 8, 100.0, rng);
+  EXPECT_THROW(solve_idb(inst, IdbOptions{0, false}), std::invalid_argument);
+}
+
+TEST(SolveIdb, HistoryIsMonotoneNonIncreasing) {
+  // Adding a node can only lower the optimal-routing cost, and IDB picks
+  // the best placement each round, so the committed cost must decrease.
+  util::Rng rng(113);
+  const Instance inst = test::random_instance(12, 36, 150.0, rng);
+  const IdbResult result = solve_idb(inst, IdbOptions{1, true});
+  ASSERT_EQ(result.cost_history.size(), 24u);
+  for (std::size_t i = 1; i < result.cost_history.size(); ++i) {
+    EXPECT_LE(result.cost_history[i], result.cost_history[i - 1] * (1.0 + 1e-12));
+  }
+  EXPECT_NEAR(result.cost, result.cost_history.back(), result.cost * 1e-9);
+}
+
+TEST(SolveIdb, DeterministicForSameInstance) {
+  util::Rng rng_a(127);
+  util::Rng rng_b(127);
+  const Instance a = test::random_instance(12, 30, 150.0, rng_a);
+  const Instance b = test::random_instance(12, 30, 150.0, rng_b);
+  EXPECT_EQ(solve_idb(a).solution.deployment, solve_idb(b).solution.deployment);
+}
+
+TEST(SolveIdb, Delta1NotWorseThanBigDeltaOnAverage) {
+  // delta = 1 evaluates more fine-grained placements; over several fields
+  // it should be at least as good as delta = 4 in total.
+  util::Rng rng(131);
+  double d1_total = 0.0;
+  double d4_total = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(10, 26, 120.0, rng);
+    d1_total += solve_idb(inst, IdbOptions{1, false}).cost;
+    d4_total += solve_idb(inst, IdbOptions{4, false}).cost;
+  }
+  EXPECT_LE(d1_total, d4_total * 1.02);
+}
+
+TEST(SolveIdb, CompetitiveWithRfh) {
+  // Section VI-D: IDB (delta=1) leads RFH by a margin. Averaged over random
+  // fields, IDB must not lose.
+  util::Rng rng(137);
+  double idb_total = 0.0;
+  double rfh_total = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(15, 45, 150.0, rng);
+    idb_total += solve_idb(inst).cost;
+    rfh_total += solve_rfh(inst).cost;
+  }
+  EXPECT_LE(idb_total, rfh_total * 1.01);
+}
+
+TEST(SolveIdb, SinglePostGetsEverything) {
+  const Instance inst = test::chain_instance(1, 5);
+  const IdbResult result = solve_idb(inst);
+  EXPECT_EQ(result.solution.deployment, (std::vector<int>{5}));
+}
+
+}  // namespace
+}  // namespace wrsn::core

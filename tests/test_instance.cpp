@@ -1,0 +1,85 @@
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+TEST(Instance, GeometricBasics) {
+  const Instance inst = test::chain_instance(3, 5);
+  EXPECT_EQ(inst.num_posts(), 3);
+  EXPECT_EQ(inst.num_nodes(), 5);
+  EXPECT_EQ(inst.spare_nodes(), 2);
+  ASSERT_TRUE(inst.field().has_value());
+  EXPECT_EQ(inst.field()->posts.size(), 3u);
+  EXPECT_EQ(inst.graph().base_station(), 3);
+}
+
+TEST(Instance, RejectsTooFewNodes) {
+  EXPECT_THROW(test::chain_instance(5, 4), InfeasibleInstance);
+}
+
+TEST(Instance, AcceptsExactBudget) {
+  const Instance inst = test::chain_instance(4, 4);
+  EXPECT_EQ(inst.spare_nodes(), 0);
+}
+
+TEST(Instance, RejectsDisconnectedField) {
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.posts = {{20.0, 0.0}, {500.0, 0.0}};  // second post stranded
+  EXPECT_THROW(Instance::geometric(field, test::paper_radio(), test::paper_charging(), 4),
+               InfeasibleInstance);
+}
+
+TEST(Instance, TxEnergyUsesMinFeasibleLevel) {
+  const Instance inst = test::chain_instance(3, 3);
+  const auto& radio = inst.radio();
+  // Adjacent hop = 20 m -> level 0; two hops = 40 m -> level 1.
+  EXPECT_DOUBLE_EQ(inst.tx_energy(0, inst.graph().base_station()), radio.tx_energy(0));
+  EXPECT_DOUBLE_EQ(inst.tx_energy(1, inst.graph().base_station()), radio.tx_energy(1));
+  EXPECT_DOUBLE_EQ(inst.tx_energy(0, 1), radio.tx_energy(0));
+  EXPECT_DOUBLE_EQ(inst.rx_energy(), radio.rx_energy());
+}
+
+TEST(Instance, TxEnergyThrowsWhenUnreachable) {
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.posts = {{20.0, 0.0}, {40.0, 0.0}, {110.0, 0.0}};
+  const Instance inst =
+      Instance::geometric(field, test::paper_radio(), test::paper_charging(), 3);
+  // post 2 is 110 m from the base: unreachable directly, fine via post 1.
+  EXPECT_THROW(inst.tx_energy(2, inst.graph().base_station()), std::invalid_argument);
+  EXPECT_NO_THROW(inst.tx_energy(2, 1));
+}
+
+TEST(Instance, AbstractInstanceCarriesNoField) {
+  graph::ReachGraph g(2);
+  g.set_min_level(0, 2, 0);
+  g.set_min_level(1, 0, 0);
+  const Instance inst = Instance::abstract(
+      g, energy::RadioModel::from_energies({1.0, 4.0}, 0.5), test::paper_charging(), 3);
+  EXPECT_FALSE(inst.field().has_value());
+  EXPECT_EQ(inst.num_posts(), 2);
+  EXPECT_DOUBLE_EQ(inst.tx_energy(1, 0), 1.0);
+}
+
+TEST(Instance, AbstractRejectsDisconnected) {
+  graph::ReachGraph g(2);
+  g.set_min_level(0, 2, 0);  // post 1 cannot send anywhere
+  EXPECT_THROW(Instance::abstract(g, energy::RadioModel::from_energies({1.0}, 0.5),
+                                  test::paper_charging(), 2),
+               InfeasibleInstance);
+}
+
+TEST(Instance, RandomInstanceHelperIsConnected) {
+  util::Rng rng(21);
+  const Instance inst = test::random_instance(30, 60, 200.0, rng);
+  EXPECT_TRUE(inst.graph().connected_to_base());
+  EXPECT_EQ(inst.num_posts(), 30);
+}
+
+}  // namespace
+}  // namespace wrsn::core

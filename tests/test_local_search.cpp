@@ -1,0 +1,109 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/baseline.hpp"
+#include "core/exact.hpp"
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+TEST(LocalSearch, RequiresValidStart) {
+  const Instance inst = test::chain_instance(3, 6);
+  Solution bad{graph::RoutingTree(3, 3), {2, 2, 2}};  // tree incomplete
+  EXPECT_THROW(refine_solution(inst, bad), std::invalid_argument);
+}
+
+TEST(LocalSearch, RejectsBadOptions) {
+  const Instance inst = test::chain_instance(2, 4);
+  const auto start = solve_balanced_baseline(inst).solution;
+  LocalSearchOptions options;
+  options.max_passes = 0;
+  EXPECT_THROW(refine_solution(inst, start, options), std::invalid_argument);
+}
+
+TEST(LocalSearch, NeverWorsensAndConservesBudget) {
+  util::Rng rng(401);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance inst = test::random_instance(10, 25, 130.0, rng);
+    const auto start = solve_balanced_baseline(inst).solution;
+    const LocalSearchResult result = refine_solution(inst, start);
+    EXPECT_TRUE(is_valid_solution(inst, result.solution));
+    EXPECT_LE(result.cost, result.initial_cost * (1.0 + 1e-12));
+    EXPECT_EQ(std::accumulate(result.solution.deployment.begin(),
+                              result.solution.deployment.end(), 0),
+              inst.num_nodes());
+  }
+}
+
+TEST(LocalSearch, ImprovesNaiveBaselineSubstantially) {
+  // An even deployment is far from the workload-proportional optimum; the
+  // move neighborhood must recover most of the gap.
+  util::Rng rng(409);
+  const Instance inst = test::random_instance(12, 48, 150.0, rng);
+  const auto start = solve_balanced_baseline(inst);
+  const LocalSearchResult result = refine_solution(inst, start.solution);
+  EXPECT_LT(result.cost, start.cost * 0.95);
+  EXPECT_GT(result.moves_applied, 0);
+}
+
+TEST(LocalSearch, ReachesExactOptimumOnSmallInstances) {
+  // On small instances the move neighborhood usually walks all the way to
+  // the global optimum from the IDB start.
+  util::Rng rng(419);
+  int optimal_hits = 0;
+  const int trials = 5;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Instance inst = test::random_instance(5, 11, 100.0, rng);
+    const double optimum = solve_exact(inst).cost;
+    const auto start = solve_idb(inst).solution;
+    const LocalSearchResult result = refine_solution(inst, start);
+    EXPECT_GE(result.cost, optimum * (1.0 - 1e-9));
+    if (result.cost <= optimum * (1.0 + 1e-9)) ++optimal_hits;
+  }
+  EXPECT_GE(optimal_hits, trials - 1);
+}
+
+TEST(LocalSearch, FixedPointOfItself) {
+  util::Rng rng(421);
+  const Instance inst = test::random_instance(8, 20, 120.0, rng);
+  const auto first = refine_solution(inst, solve_rfh(inst).solution);
+  const auto second = refine_solution(inst, first.solution);
+  EXPECT_NEAR(second.cost, first.cost, first.cost * 1e-12);
+  EXPECT_EQ(second.moves_applied, 0);
+}
+
+TEST(LocalSearch, TightBudgetIsNoOp) {
+  util::Rng rng(431);
+  const Instance inst = test::random_instance(6, 6, 100.0, rng);
+  const auto start = solve_balanced_baseline(inst).solution;
+  const LocalSearchResult result = refine_solution(inst, start);
+  EXPECT_EQ(result.moves_applied, 0);
+  for (int m : result.solution.deployment) EXPECT_EQ(m, 1);
+}
+
+TEST(LocalSearch, RfhPlusRefinementApproachesIdb) {
+  // RFH is fast but ~5% behind IDB; refinement should close most of that
+  // gap at a fraction of IDB's price.
+  util::Rng rng(433);
+  double rfh_total = 0.0;
+  double refined_total = 0.0;
+  double idb_total = 0.0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance inst = test::random_instance(12, 36, 150.0, rng);
+    const auto rfh = solve_rfh(inst);
+    rfh_total += rfh.cost;
+    refined_total += refine_solution(inst, rfh.solution).cost;
+    idb_total += solve_idb(inst).cost;
+  }
+  EXPECT_LE(refined_total, rfh_total);
+  EXPECT_LE(refined_total, idb_total * 1.03);
+}
+
+}  // namespace
+}  // namespace wrsn::core

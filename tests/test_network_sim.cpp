@@ -1,0 +1,154 @@
+#include "sim/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::sim {
+namespace {
+
+core::Solution chain_solution(const core::Instance& inst, std::vector<int> deployment) {
+  graph::RoutingTree tree(inst.num_posts(), inst.graph().base_station());
+  tree.set_parent(0, inst.graph().base_station());
+  for (int p = 1; p < inst.num_posts(); ++p) tree.set_parent(p, p - 1);
+  return core::Solution{std::move(tree), std::move(deployment)};
+}
+
+TEST(NetworkSim, RejectsInvalidSolution) {
+  const core::Instance inst = test::chain_instance(3, 6);
+  core::Solution bad = chain_solution(inst, {2, 2, 2});
+  bad.deployment = {6, 1, 1};  // sums to 8 != 6
+  EXPECT_THROW(NetworkSim(inst, bad, {}), std::invalid_argument);
+}
+
+TEST(NetworkSim, RejectsBadConfig) {
+  const core::Instance inst = test::chain_instance(2, 2);
+  const core::Solution solution = chain_solution(inst, {1, 1});
+  NetworkConfig cfg;
+  cfg.bits_per_report = 0;
+  EXPECT_THROW(NetworkSim(inst, solution, cfg), std::invalid_argument);
+  cfg = NetworkConfig{};
+  cfg.battery_capacity_j = 0.0;
+  EXPECT_THROW(NetworkSim(inst, solution, cfg), std::invalid_argument);
+}
+
+TEST(NetworkSim, MeasuredEnergyMatchesAnalyticModel) {
+  // The DES must agree with the closed-form per-post energy exactly.
+  const core::Instance inst = test::chain_instance(4, 8);
+  const core::Solution solution = chain_solution(inst, {3, 2, 2, 1});
+  NetworkConfig cfg;
+  cfg.bits_per_report = 500;
+  NetworkSim sim(inst, solution, cfg);
+  sim.run_rounds(10);
+  const auto& expected = sim.expected_round_energy();
+  for (int p = 0; p < inst.num_posts(); ++p) {
+    EXPECT_NEAR(sim.posts()[static_cast<std::size_t>(p)].consumed_j,
+                10.0 * expected[static_cast<std::size_t>(p)],
+                expected[static_cast<std::size_t>(p)] * 1e-9)
+        << "post " << p;
+  }
+}
+
+TEST(NetworkSim, BitCountersMatchTopology) {
+  const core::Instance inst = test::chain_instance(3, 3);
+  const core::Solution solution = chain_solution(inst, {1, 1, 1});
+  NetworkConfig cfg;
+  cfg.bits_per_report = 100;
+  NetworkSim sim(inst, solution, cfg);
+  sim.run_round();
+  // Chain 2 -> 1 -> 0 -> bs: post 0 forwards 2 descendants.
+  EXPECT_EQ(sim.posts()[0].tx_bits, 300u);
+  EXPECT_EQ(sim.posts()[0].rx_bits, 200u);
+  EXPECT_EQ(sim.posts()[1].tx_bits, 200u);
+  EXPECT_EQ(sim.posts()[1].rx_bits, 100u);
+  EXPECT_EQ(sim.posts()[2].tx_bits, 100u);
+  EXPECT_EQ(sim.posts()[2].rx_bits, 0u);
+}
+
+TEST(NetworkSim, RotationKeepsBatteriesBalanced) {
+  // Section III: multi-node posts rotate so residual energy stays level.
+  const core::Instance inst = test::chain_instance(2, 6);
+  const core::Solution solution = chain_solution(inst, {4, 2});
+  NetworkConfig cfg;
+  cfg.bits_per_report = 1000;
+  NetworkSim sim(inst, solution, cfg);
+  sim.run_rounds(101);
+  // Spread never exceeds one round's draw.
+  const double one_round = sim.expected_round_energy()[0];
+  EXPECT_LE(sim.battery_spread(0), one_round + 1e-15);
+  // All four nodes at post 0 served at least once.
+  for (const auto& node : sim.posts()[0].nodes) {
+    EXPECT_GT(node.active_rounds, 0u);
+  }
+}
+
+TEST(NetworkSim, ActiveRoundsSumToRounds) {
+  const core::Instance inst = test::chain_instance(2, 5);
+  const core::Solution solution = chain_solution(inst, {3, 2});
+  NetworkSim sim(inst, solution, {});
+  sim.run_rounds(50);
+  for (const auto& post : sim.posts()) {
+    std::uint64_t total = 0;
+    for (const auto& node : post.nodes) total += node.active_rounds;
+    EXPECT_EQ(total, 50u);
+  }
+}
+
+TEST(NetworkSim, DeathDetectedWhenBatteryExhausted) {
+  const core::Instance inst = test::chain_instance(2, 2);
+  const core::Solution solution = chain_solution(inst, {1, 1});
+  NetworkConfig cfg;
+  cfg.bits_per_report = 1000;
+  cfg.battery_capacity_j = 1e-6;  // tiny battery: dies quickly
+  NetworkSim sim(inst, solution, cfg);
+  const std::uint64_t completed = sim.run_rounds(100000, /*stop_on_death=*/true);
+  EXPECT_LT(completed, 100000u);
+  EXPECT_GT(sim.dead_node_count(), 0);
+}
+
+TEST(NetworkSim, NoDeathWithAmpleBattery) {
+  const core::Instance inst = test::chain_instance(3, 6);
+  const core::Solution solution = chain_solution(inst, {2, 2, 2});
+  NetworkConfig cfg;
+  cfg.battery_capacity_j = 10.0;
+  NetworkSim sim(inst, solution, cfg);
+  sim.run_rounds(1000);
+  EXPECT_EQ(sim.dead_node_count(), 0);
+}
+
+TEST(NetworkSim, TotalConsumedTracksSum) {
+  util::Rng rng(211);
+  const core::Instance inst = test::random_instance(10, 25, 120.0, rng);
+  const auto rfh = core::solve_rfh(inst);
+  NetworkSim sim(inst, rfh.solution, {});
+  sim.run_rounds(7);
+  double manual = 0.0;
+  for (const auto& post : sim.posts()) manual += post.consumed_j;
+  EXPECT_NEAR(sim.total_consumed(), manual, manual * 1e-12);
+  double expected = 0.0;
+  for (double e : sim.expected_round_energy()) expected += e * 7.0;
+  EXPECT_NEAR(manual, expected, expected * 1e-9);
+}
+
+TEST(NetworkSim, PerRoundCostMatchesObjective) {
+  // Simulated consumption divided by charging efficiency equals the paper's
+  // objective value (per bit) -- ties the DES back to the cost model.
+  util::Rng rng(223);
+  const core::Instance inst = test::random_instance(8, 20, 120.0, rng);
+  const auto rfh = core::solve_rfh(inst);
+  NetworkConfig cfg;
+  cfg.bits_per_report = 1;
+  NetworkSim sim(inst, rfh.solution, cfg);
+  sim.run_rounds(1);
+  double charger_energy = 0.0;
+  for (int p = 0; p < inst.num_posts(); ++p) {
+    charger_energy += inst.charging().charger_energy_for(
+        sim.posts()[static_cast<std::size_t>(p)].consumed_j,
+        rfh.solution.deployment[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_NEAR(charger_energy, rfh.cost, rfh.cost * 1e-9);
+}
+
+}  // namespace
+}  // namespace wrsn::sim

@@ -1,0 +1,129 @@
+#include "core/pricer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/idb.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+TEST(Pricer, BaseCostMatchesFreshDijkstra) {
+  util::Rng rng(801);
+  const Instance inst = test::random_instance(20, 40, 180.0, rng);
+  const std::vector<int> deployment = balanced_deployment(20, 40);
+  const DeploymentPricer pricer(inst, deployment);
+  EXPECT_NEAR(pricer.base_cost(), optimal_cost_for_deployment(inst, deployment),
+              pricer.base_cost() * 1e-12);
+}
+
+TEST(Pricer, CandidatePricesMatchNaiveForEveryPost) {
+  // The core exactness claim: incremental improve-only relaxation equals a
+  // fresh Dijkstra on the modified deployment, for every candidate.
+  util::Rng rng(809);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(15, 30, 150.0, rng);
+    std::vector<int> deployment = balanced_deployment(15, 22 + trial);
+    const DeploymentPricer pricer(inst, deployment);
+    for (int j = 0; j < inst.num_posts(); ++j) {
+      auto modified = deployment;
+      ++modified[static_cast<std::size_t>(j)];
+      const double naive = optimal_cost_for_deployment(inst, modified);
+      EXPECT_NEAR(pricer.cost_with_extra_node(j), naive, naive * 1e-9)
+          << "trial " << trial << " post " << j;
+    }
+  }
+}
+
+TEST(Pricer, CommitsStayExactAcrossManyAdditions) {
+  // Repeated add_node must not drift from the ground truth.
+  util::Rng rng(811);
+  const Instance inst = test::random_instance(12, 12, 140.0, rng);
+  std::vector<int> deployment(12, 1);
+  DeploymentPricer pricer(inst, deployment);
+  for (int step = 0; step < 40; ++step) {
+    const int j = rng.uniform_int(0, 11);
+    pricer.add_node(j);
+    ++deployment[static_cast<std::size_t>(j)];
+    const double naive = optimal_cost_for_deployment(inst, deployment);
+    ASSERT_NEAR(pricer.base_cost(), naive, naive * 1e-9) << "step " << step;
+  }
+}
+
+TEST(Pricer, DistancesMatchPerVertex) {
+  util::Rng rng(821);
+  const Instance inst = test::random_instance(10, 25, 130.0, rng);
+  std::vector<int> deployment = balanced_deployment(10, 25);
+  DeploymentPricer pricer(inst, deployment);
+  pricer.add_node(3);
+  ++deployment[3];
+  const auto dag =
+      graph::shortest_paths_to_base(inst.graph(), recharging_weight(inst, deployment));
+  for (int v = 0; v < inst.num_posts(); ++v) {
+    EXPECT_NEAR(pricer.distance(v), dag.dist[static_cast<std::size_t>(v)],
+                dag.dist[static_cast<std::size_t>(v)] * 1e-9);
+  }
+}
+
+TEST(Pricer, CandidateCostNeverAboveBase) {
+  // Monotonicity: an extra node can only help.
+  util::Rng rng(823);
+  const Instance inst = test::random_instance(15, 30, 150.0, rng);
+  const DeploymentPricer pricer(inst, balanced_deployment(15, 30));
+  for (int j = 0; j < inst.num_posts(); ++j) {
+    EXPECT_LE(pricer.cost_with_extra_node(j), pricer.base_cost() * (1.0 + 1e-12));
+  }
+}
+
+TEST(Pricer, RejectsBadInput) {
+  util::Rng rng(827);
+  const Instance inst = test::random_instance(5, 10, 100.0, rng);
+  EXPECT_THROW(DeploymentPricer(inst, {1, 1}), std::invalid_argument);
+  DeploymentPricer pricer(inst, balanced_deployment(5, 10));
+  EXPECT_THROW(pricer.cost_with_extra_node(5), std::out_of_range);
+  EXPECT_THROW(pricer.add_node(-1), std::out_of_range);
+}
+
+TEST(Pricer, IdbFastPathMakesOptimalGreedySteps) {
+  // delta=1 takes the pricer path. Exact ties between candidates can break
+  // differently under incremental vs fresh evaluation (different fp
+  // summation order), so trajectories need not be identical -- but every
+  // committed step must be a numerically optimal greedy choice.
+  util::Rng rng(829);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Instance inst = test::random_instance(10, 24, 130.0, rng);
+    DeploymentPricer pricer(inst, std::vector<int>(10, 1));
+    std::vector<int> deployment(10, 1);
+    for (int step = 0; step < inst.spare_nodes(); ++step) {
+      // The pricer's greedy choice.
+      int chosen = -1;
+      double chosen_cost = graph::kInfinity;
+      for (int j = 0; j < 10; ++j) {
+        const double cost = pricer.cost_with_extra_node(j);
+        if (cost < chosen_cost) {
+          chosen_cost = cost;
+          chosen = j;
+        }
+      }
+      // The naive argmin over fresh Dijkstras.
+      double naive_best = graph::kInfinity;
+      for (int j = 0; j < 10; ++j) {
+        auto tentative = deployment;
+        ++tentative[static_cast<std::size_t>(j)];
+        naive_best = std::min(naive_best, optimal_cost_for_deployment(inst, tentative));
+      }
+      // The chosen candidate must price within tolerance of the true best.
+      auto committed = deployment;
+      ++committed[static_cast<std::size_t>(chosen)];
+      const double chosen_naive = optimal_cost_for_deployment(inst, committed);
+      EXPECT_LE(chosen_naive, naive_best * (1.0 + 1e-9))
+          << "trial " << trial << " step " << step;
+      pricer.add_node(chosen);
+      deployment = committed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrsn::core

@@ -1,0 +1,173 @@
+// Property-based sweeps (parameterized gtest): solver invariants that must
+// hold across a grid of instance shapes and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "core/baseline.hpp"
+#include "core/exact.hpp"
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+#include "npc/dpll.hpp"
+#include "npc/gadget.hpp"
+
+namespace wrsn {
+namespace {
+
+using Shape = std::tuple<int /*posts*/, int /*nodes_per_post_x10*/, std::uint64_t /*seed*/>;
+
+core::Instance make_instance(const Shape& shape) {
+  const auto [posts, density_x10, seed] = shape;
+  util::Rng rng(seed);
+  const int nodes = posts * density_x10 / 10;
+  return test::random_instance(posts, nodes, 60.0 * std::sqrt(posts), rng);
+}
+
+class SolverProperties : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SolverProperties, RfhSolutionInvariants) {
+  const core::Instance inst = make_instance(GetParam());
+  const core::RfhResult result = core::solve_rfh(inst);
+  // Structural validity.
+  ASSERT_TRUE(core::is_valid_solution(inst, result.solution));
+  // Deployment conserves the budget.
+  EXPECT_EQ(std::accumulate(result.solution.deployment.begin(),
+                            result.solution.deployment.end(), 0),
+            inst.num_nodes());
+  // Reported cost matches re-evaluation.
+  EXPECT_NEAR(result.cost, core::total_recharging_cost(inst, result.solution),
+              result.cost * 1e-9);
+  // Every chosen hop is within radio reach at its implied level.
+  const auto levels = core::solution_levels(inst, result.solution);
+  for (int level : levels) {
+    EXPECT_GE(level, 0);
+    EXPECT_LT(level, inst.radio().num_levels());
+  }
+}
+
+TEST_P(SolverProperties, IdbSolutionInvariants) {
+  const core::Instance inst = make_instance(GetParam());
+  const core::IdbResult result = core::solve_idb(inst);
+  ASSERT_TRUE(core::is_valid_solution(inst, result.solution));
+  EXPECT_NEAR(result.cost, core::total_recharging_cost(inst, result.solution),
+              result.cost * 1e-9);
+  // IDB's routing is optimal for its own deployment: re-pricing the
+  // deployment must give the same value.
+  EXPECT_NEAR(result.cost,
+              core::optimal_cost_for_deployment(inst, result.solution.deployment),
+              result.cost * 1e-9);
+}
+
+TEST_P(SolverProperties, CoDesignBeatsOrMatchesBaselineDeployment) {
+  // With IDB's routing fixed, IDB's deployment must not lose to the even
+  // split (it was chosen greedily against optimal routing).
+  const core::Instance inst = make_instance(GetParam());
+  const core::IdbResult idb = core::solve_idb(inst);
+  const double even_cost = core::optimal_cost_for_deployment(
+      inst, core::balanced_deployment(inst.num_posts(), inst.num_nodes()));
+  EXPECT_LE(idb.cost, even_cost * (1.0 + 1e-9));
+}
+
+TEST_P(SolverProperties, RfhHistoryBestIsReported) {
+  const core::Instance inst = make_instance(GetParam());
+  const core::RfhResult result = core::solve_rfh(inst);
+  for (double cost : result.cost_history) {
+    EXPECT_GE(cost, result.cost - result.cost * 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SolverProperties,
+    ::testing::Values(Shape{5, 10, 11}, Shape{5, 30, 12}, Shape{10, 15, 13},
+                      Shape{10, 40, 14}, Shape{20, 12, 15}, Shape{20, 30, 16},
+                      Shape{35, 20, 17}, Shape{35, 35, 18}));
+
+// ---------------------------------------------------------- exact vs. IDB
+
+class SmallExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallExact, ExactLowerBoundsHeuristics) {
+  util::Rng rng(GetParam());
+  const core::Instance inst = test::random_instance(5, 5 + static_cast<int>(GetParam() % 7),
+                                                    100.0, rng);
+  const double exact = core::solve_exact(inst).cost;
+  EXPECT_LE(exact, core::solve_idb(inst).cost * (1.0 + 1e-9));
+  EXPECT_LE(exact, core::solve_rfh(inst).cost * (1.0 + 1e-9));
+  EXPECT_LE(exact, core::solve_balanced_baseline(inst).cost * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallExact,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507, 508));
+
+// --------------------------------------------------- monotonicity sweeps
+
+class BudgetMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetMonotonicity, MoreNodesNeverHurt) {
+  util::Rng rng(GetParam());
+  const core::Instance base = test::random_instance(8, 8, 120.0, rng);
+  double previous = 1e300;
+  for (const int nodes : {8, 12, 16, 24, 32}) {
+    const core::Instance inst = core::Instance::geometric(
+        *base.field(), test::paper_radio(), test::paper_charging(), nodes);
+    const double cost = core::solve_idb(inst).cost;
+    EXPECT_LE(cost, previous * (1.0 + 1e-9)) << nodes << " nodes";
+    previous = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetMonotonicity, ::testing::Values(601, 602, 603, 604));
+
+class EtaScaling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EtaScaling, CostInverselyProportionalToEta) {
+  // The objective scales as 1/eta: doubling the single-node efficiency must
+  // exactly halve the optimal cost (same deployment and routing).
+  util::Rng rng(GetParam());
+  const core::Instance lo = test::random_instance(8, 20, 120.0, rng);
+  const core::Instance hi = core::Instance::geometric(
+      *lo.field(), test::paper_radio(), energy::ChargingModel::linear(0.02), 20);
+  const double cost_lo = core::solve_idb(lo).cost;   // eta = 0.01
+  const double cost_hi = core::solve_idb(hi).cost;   // eta = 0.02
+  EXPECT_NEAR(cost_lo / cost_hi, 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtaScaling, ::testing::Values(701, 702, 703));
+
+// ------------------------------------------- abstract (non-geometric) runs
+
+class AbstractInstances : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbstractInstances, HeuristicsHandleGadgetGraphs) {
+  // The solvers must work on explicit-reachability instances too (no
+  // geometry): run them on NP-gadget networks and check validity plus the
+  // exact-lower-bound ordering.
+  util::Rng rng(GetParam());
+  const npc::Cnf cnf = npc::random_3cnf(3, 4, rng);
+  const npc::Gadget gadget = npc::build_gadget(cnf);
+  const auto& inst = gadget.instance;
+
+  const auto rfh = core::solve_rfh(inst);
+  const auto idb = core::solve_idb(inst);
+  EXPECT_TRUE(core::is_valid_solution(inst, rfh.solution));
+  EXPECT_TRUE(core::is_valid_solution(inst, idb.solution));
+
+  // Uncapped exact lower-bounds both heuristics.
+  const auto exact = core::solve_exact(inst);
+  EXPECT_LE(exact.cost, rfh.cost * (1.0 + 1e-9));
+  EXPECT_LE(exact.cost, idb.cost * (1.0 + 1e-9));
+
+  // If the formula is satisfiable, the capped optimum is exactly W, and the
+  // uncapped optimum can only be cheaper.
+  if (npc::is_satisfiable(cnf)) {
+    EXPECT_LE(exact.cost, gadget.bound_w * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbstractInstances, ::testing::Values(801, 802, 803, 804));
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,294 @@
+#include "core/rfh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/baseline.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+using graph::ShortestPathDag;
+
+/// Hand-built DAG: vertex `bs` is the sink; dist/parents filled directly so
+/// Phase II can be exercised on exact topologies.
+ShortestPathDag make_dag(int num_posts, std::vector<double> dist,
+                         std::vector<std::vector<int>> parents) {
+  ShortestPathDag dag;
+  dag.base_station = num_posts;
+  dag.dist = std::move(dist);
+  dag.parents = std::move(parents);
+  dag.all_posts_reachable = true;
+  return dag;
+}
+
+// ----------------------------------------------------------------- Phase II
+
+TEST(TrimFatTree, ConcentratesOntoBusiestPost) {
+  // Posts 0 and 1 talk to the base; 2,3,4 hang off 0; post 5 can use either
+  // 0 or 1. Post 0's workload (4) dominates post 1's (1), so 5 must keep
+  // only its edge to 0.
+  auto dag = make_dag(
+      6,
+      {1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 0.0},
+      {{6}, {6}, {0}, {0}, {0}, {0, 1}, {}});
+  const graph::RoutingTree tree = rfh_detail::trim_fat_tree(dag);
+  EXPECT_TRUE(tree.is_valid());
+  EXPECT_EQ(tree.parent(5), 0);
+  EXPECT_EQ(tree.parent(2), 0);
+  EXPECT_EQ(tree.parent(0), 6);
+  EXPECT_EQ(tree.parent(1), 6);
+}
+
+TEST(TrimFatTree, SingleParentDagUntouched) {
+  auto dag = make_dag(3, {3.0, 2.0, 1.0, 0.0}, {{1}, {2}, {3}, {}});
+  const graph::RoutingTree tree = rfh_detail::trim_fat_tree(dag);
+  EXPECT_EQ(tree.parent(0), 1);
+  EXPECT_EQ(tree.parent(1), 2);
+  EXPECT_EQ(tree.parent(2), 3);
+}
+
+TEST(TrimFatTree, DeletionCascadesUpstreamWorkload) {
+  // Two mid posts 2 and 3 feed the base; sources 0 and 1 each reach both.
+  // After the first concentration every source must route through a single
+  // mid post, leaving the other with zero workload.
+  auto dag = make_dag(
+      4,
+      {2.0, 2.0, 1.0, 1.0, 0.0},
+      {{2, 3}, {2, 3}, {4}, {4}, {}});
+  const graph::RoutingTree tree = rfh_detail::trim_fat_tree(dag);
+  EXPECT_TRUE(tree.is_valid());
+  EXPECT_EQ(tree.parent(0), tree.parent(1)) << "both sources must share one mid post";
+  const auto counts = tree.descendant_counts();
+  const int busy = tree.parent(0);
+  const int idle = busy == 2 ? 3 : 2;
+  EXPECT_EQ(counts[static_cast<std::size_t>(busy)], 2);
+  EXPECT_EQ(counts[static_cast<std::size_t>(idle)], 0);
+}
+
+TEST(TrimFatTree, KeepsEdgesInsideExaminedSubtree) {
+  // 0 -> {1, 2}, both 1 and 2 -> 3, 3 -> bs. Descendants of 3 = {0,1,2}.
+  // Both of 0's parents lie inside 3's subtree, so processing 3 deletes
+  // nothing; the later examination of 1 or 2 resolves 0's multi-parent.
+  auto dag = make_dag(
+      4,
+      {2.0, 1.0, 1.0, 0.5, 0.0},
+      {{1, 2}, {3}, {3}, {4}, {}});
+  const graph::RoutingTree tree = rfh_detail::trim_fat_tree(dag);
+  EXPECT_TRUE(tree.is_valid());
+  EXPECT_TRUE(tree.parent(0) == 1 || tree.parent(0) == 2);
+  EXPECT_EQ(tree.parent(3), 4);
+}
+
+TEST(TrimFatTree, PreservesShortestPathCosts) {
+  // Property: trimming only ever picks among tight parents, so every post's
+  // tree-path cost must equal its Dijkstra distance.
+  util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = test::random_instance(25, 50, 180.0, rng);
+    const auto weight = energy_weight(inst, false);
+    auto dag = graph::shortest_paths_to_base(inst.graph(), weight);
+    const auto dist = dag.dist;  // copy: trim mutates the DAG
+    const graph::RoutingTree tree = rfh_detail::trim_fat_tree(dag);
+    ASSERT_TRUE(tree.is_valid());
+    for (int p = 0; p < inst.num_posts(); ++p) {
+      double cost = 0.0;
+      int v = p;
+      while (v != tree.base_station()) {
+        cost += weight(v, tree.parent(v));
+        v = tree.parent(v);
+      }
+      EXPECT_NEAR(cost, dist[static_cast<std::size_t>(p)],
+                  dist[static_cast<std::size_t>(p)] * 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Phase III
+
+TEST(MergeSiblings, RehomesExpensiveChildOntoCheapSibling) {
+  // Two posts 45 m and 65 m out on a line: both reach the base directly
+  // (levels 1 and 2), but post 1 reaches post 0 at level 0 -- merging must
+  // re-home post 1 onto post 0.
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.posts = {{45.0, 0.0}, {65.0, 0.0}};
+  const Instance inst =
+      Instance::geometric(field, test::paper_radio(), test::paper_charging(), 2);
+  graph::RoutingTree tree(2, 2);
+  tree.set_parent(0, 2);
+  tree.set_parent(1, 2);
+  rfh_detail::merge_siblings(inst, energy_weight(inst, false), tree);
+  EXPECT_TRUE(tree.is_valid());
+  EXPECT_EQ(tree.parent(1), 0);
+  EXPECT_EQ(tree.parent(0), 2);
+}
+
+TEST(MergeSiblings, LeavesCheapChildrenAlone) {
+  // Both posts are 20 m out, already at the cheapest level: no merge.
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.posts = {{20.0, 0.0}, {0.0, 20.0}};
+  const Instance inst =
+      Instance::geometric(field, test::paper_radio(), test::paper_charging(), 2);
+  graph::RoutingTree tree(2, 2);
+  tree.set_parent(0, 2);
+  tree.set_parent(1, 2);
+  rfh_detail::merge_siblings(inst, energy_weight(inst, false), tree);
+  EXPECT_EQ(tree.parent(0), 2);
+  EXPECT_EQ(tree.parent(1), 2);
+}
+
+TEST(MergeSiblings, NeverCreatesCycles) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = test::random_instance(30, 60, 200.0, rng);
+    auto dag = graph::shortest_paths_to_base(inst.graph(), energy_weight(inst, false));
+    graph::RoutingTree tree = spt_from_dag(dag);
+    rfh_detail::merge_siblings(inst, energy_weight(inst, false), tree);
+    EXPECT_TRUE(tree.is_valid());
+    for (int p = 0; p < inst.num_posts(); ++p) {
+      EXPECT_TRUE(inst.graph().reachable(p, tree.parent(p)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Phase IV
+
+TEST(Phase4Weights, EnergyKindMatchesCostModel) {
+  const Instance inst = test::chain_instance(3, 6);
+  graph::RoutingTree tree(3, 3);
+  tree.set_parent(0, 3);
+  tree.set_parent(1, 0);
+  tree.set_parent(2, 1);
+  EXPECT_EQ(rfh_detail::phase4_weights(inst, tree, WorkloadKind::Energy),
+            per_post_energy(inst, tree));
+  const auto bits = rfh_detail::phase4_weights(inst, tree, WorkloadKind::Bits);
+  EXPECT_DOUBLE_EQ(bits[0], 3.0);
+  EXPECT_DOUBLE_EQ(bits[1], 2.0);
+  EXPECT_DOUBLE_EQ(bits[2], 1.0);
+}
+
+// ------------------------------------------------------------- solve_rfh
+
+TEST(SolveRfh, ProducesValidSolution) {
+  util::Rng rng(47);
+  const Instance inst = test::random_instance(30, 90, 200.0, rng);
+  const RfhResult result = solve_rfh(inst);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution)) << [&] {
+    std::string all;
+    for (const auto& e : validate_solution(inst, result.solution)) all += e + "; ";
+    return all;
+  }();
+  EXPECT_GT(result.cost, 0.0);
+  EXPECT_EQ(result.cost_history.size(), 7u);
+}
+
+TEST(SolveRfh, DeterministicForSameInstance) {
+  util::Rng rng_a(53);
+  util::Rng rng_b(53);
+  const Instance a = test::random_instance(25, 60, 200.0, rng_a);
+  const Instance b = test::random_instance(25, 60, 200.0, rng_b);
+  const RfhResult ra = solve_rfh(a);
+  const RfhResult rb = solve_rfh(b);
+  EXPECT_DOUBLE_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(ra.solution.deployment, rb.solution.deployment);
+}
+
+TEST(SolveRfh, BestIterationNeverWorseThanFirst) {
+  util::Rng rng(59);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(40, 120, 250.0, rng);
+    const RfhResult result = solve_rfh(inst);
+    EXPECT_LE(result.cost, result.cost_history.front() + 1e-18);
+    EXPECT_DOUBLE_EQ(result.cost,
+                     *std::min_element(result.cost_history.begin(), result.cost_history.end()));
+  }
+}
+
+TEST(SolveRfh, IterationImprovesOverBasic) {
+  // Fig. 6's premise: iterating lowers (or at worst keeps) the cost.
+  util::Rng rng(61);
+  double total_basic = 0.0;
+  double total_iterated = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(40, 160, 250.0, rng);
+    RfhOptions basic;
+    basic.iterations = 1;
+    total_basic += solve_rfh(inst, basic).cost;
+    total_iterated += solve_rfh(inst).cost;
+  }
+  EXPECT_LE(total_iterated, total_basic + 1e-18);
+}
+
+TEST(SolveRfh, SingleIterationOptionsRespected) {
+  util::Rng rng(67);
+  const Instance inst = test::random_instance(20, 40, 150.0, rng);
+  RfhOptions options;
+  options.iterations = 3;
+  const RfhResult result = solve_rfh(inst, options);
+  EXPECT_EQ(result.cost_history.size(), 3u);
+  EXPECT_THROW(solve_rfh(inst, RfhOptions{.iterations = 0}), std::invalid_argument);
+}
+
+TEST(SolveRfh, PhaseTogglesStillValid) {
+  util::Rng rng(71);
+  const Instance inst = test::random_instance(30, 90, 200.0, rng);
+  for (const bool concentrate : {false, true}) {
+    for (const bool merge : {false, true}) {
+      RfhOptions options;
+      options.concentrate_workload = concentrate;
+      options.merge_siblings = merge;
+      const RfhResult result = solve_rfh(inst, options);
+      EXPECT_TRUE(is_valid_solution(inst, result.solution));
+    }
+  }
+}
+
+TEST(SolveRfh, WorkloadKindBitsStillValid) {
+  util::Rng rng(73);
+  const Instance inst = test::random_instance(25, 75, 200.0, rng);
+  RfhOptions options;
+  options.workload_kind = WorkloadKind::Bits;
+  const RfhResult result = solve_rfh(inst, options);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+}
+
+TEST(SolveRfh, BeatsChargingObliviousBaseline) {
+  // The whole point of the paper: charging-aware co-design beats even
+  // deployment + SPT. Averaged over several random fields.
+  util::Rng rng(79);
+  double baseline_total = 0.0;
+  double rfh_total = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = test::random_instance(30, 120, 200.0, rng);
+    baseline_total += solve_balanced_baseline(inst).cost;
+    rfh_total += solve_rfh(inst).cost;
+  }
+  EXPECT_LT(rfh_total, baseline_total);
+}
+
+TEST(SolveRfh, TightBudgetOneNodePerPost) {
+  util::Rng rng(83);
+  const Instance inst = test::random_instance(20, 20, 150.0, rng);
+  const RfhResult result = solve_rfh(inst);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+  for (int m : result.solution.deployment) EXPECT_EQ(m, 1);
+}
+
+TEST(SolveRfh, SinglePostInstance) {
+  const Instance inst = test::chain_instance(1, 3);
+  const RfhResult result = solve_rfh(inst);
+  EXPECT_TRUE(is_valid_solution(inst, result.solution));
+  EXPECT_EQ(result.solution.deployment, (std::vector<int>{3}));
+  // One post 20 m out: cost = e_tx(level0) / (3 * eta).
+  const double expected =
+      inst.radio().tx_energy(0) / (3.0 * inst.charging().eta());
+  EXPECT_NEAR(result.cost, expected, expected * 1e-12);
+}
+
+}  // namespace
+}  // namespace wrsn::core

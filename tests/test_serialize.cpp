@@ -1,0 +1,229 @@
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::io {
+namespace {
+
+TEST(FieldRoundTrip, PreservesEverything) {
+  util::Rng rng(601);
+  geom::FieldConfig cfg;
+  cfg.width = 123.5;
+  cfg.height = 77.25;
+  cfg.num_posts = 17;
+  const geom::Field field = geom::generate_field(cfg, rng);
+
+  std::stringstream buffer;
+  write_field(buffer, field);
+  const geom::Field loaded = read_field(buffer);
+
+  EXPECT_DOUBLE_EQ(loaded.width, field.width);
+  EXPECT_DOUBLE_EQ(loaded.height, field.height);
+  EXPECT_EQ(loaded.base_station, field.base_station);
+  ASSERT_EQ(loaded.posts.size(), field.posts.size());
+  for (std::size_t i = 0; i < field.posts.size(); ++i) {
+    EXPECT_NEAR(loaded.posts[i].x, field.posts[i].x, 1e-9);
+    EXPECT_NEAR(loaded.posts[i].y, field.posts[i].y, 1e-9);
+  }
+}
+
+TEST(FieldRead, ToleratesCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# a plan file\n\nwrsn-field v1\n# dimensions\nsize 10 20\nbase 0 0\n\npost 3 4\n");
+  const geom::Field field = read_field(buffer);
+  EXPECT_DOUBLE_EQ(field.width, 10.0);
+  EXPECT_EQ(field.posts.size(), 1u);
+}
+
+TEST(FieldRead, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not-a-field\n");
+    EXPECT_THROW(read_field(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-field v1\nbase 0 0\npost 1 1\n");  // no size
+    EXPECT_THROW(read_field(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-field v1\nsize 10 10\nbase 0 0\n");  // no posts
+    EXPECT_THROW(read_field(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-field v1\nsize 10 10\nbase 0 0\nwat 1 2\n");
+    EXPECT_THROW(read_field(buffer), ParseError);
+  }
+}
+
+TEST(SolutionRoundTrip, PreservesTreeAndDeployment) {
+  util::Rng rng(607);
+  const core::Instance inst = test::random_instance(12, 30, 150.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+
+  std::stringstream buffer;
+  write_solution(buffer, solution);
+  const core::Solution loaded = read_solution(buffer);
+
+  EXPECT_EQ(loaded.deployment, solution.deployment);
+  ASSERT_EQ(loaded.tree.num_posts(), solution.tree.num_posts());
+  for (int p = 0; p < solution.tree.num_posts(); ++p) {
+    EXPECT_EQ(loaded.tree.parent(p), solution.tree.parent(p));
+  }
+  // The loaded solution scores identically.
+  EXPECT_NEAR(core::total_recharging_cost(inst, loaded),
+              core::total_recharging_cost(inst, solution), 1e-18);
+}
+
+TEST(SolutionRead, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("wrsn-solution v1\nposts 0\n");
+    EXPECT_THROW(read_solution(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-solution v1\nposts 2\ndeploy 1\nparent 2 2\n");
+    EXPECT_THROW(read_solution(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-solution v1\nposts 2\ndeploy 0 3\nparent 2 2\n");
+    EXPECT_THROW(read_solution(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("wrsn-solution v1\nposts 2\ndeploy 1 1\nparent 5 0\n");
+    EXPECT_THROW(read_solution(buffer), ParseError);
+  }
+}
+
+TEST(FileHelpers, SaveAndLoadThroughDisk) {
+  util::Rng rng(613);
+  const core::Instance inst = test::random_instance(8, 16, 120.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string field_path = (dir / "wrsn_test_field.txt").string();
+  const std::string solution_path = (dir / "wrsn_test_solution.txt").string();
+
+  save_field(field_path, *inst.field());
+  save_solution(solution_path, solution);
+  const geom::Field field = load_field(field_path);
+  const core::Solution loaded = load_solution(solution_path);
+  EXPECT_EQ(field.posts.size(), 8u);
+  EXPECT_EQ(loaded.deployment, solution.deployment);
+
+  std::remove(field_path.c_str());
+  std::remove(solution_path.c_str());
+}
+
+TEST(FileHelpers, MissingFileThrows) {
+  EXPECT_THROW(load_field("/nonexistent/path/field.txt"), ParseError);
+  EXPECT_THROW(save_field("/nonexistent/dir/field.txt", geom::Field{}), ParseError);
+}
+
+// ----------------------------------------------------------------- fuzzing
+
+/// Mutating valid documents must never crash or corrupt silently: every
+/// outcome is either a clean parse or a ParseError/length mismatch caught
+/// by validation (std::invalid_argument from downstream types is also
+/// acceptable when the mutation produced structurally-valid nonsense).
+TEST(Fuzz, MutatedFieldDocumentsNeverCrash) {
+  util::Rng rng(617);
+  geom::FieldConfig cfg;
+  cfg.num_posts = 6;
+  const geom::Field field = geom::generate_field(cfg, rng);
+  std::stringstream buffer;
+  write_field(buffer, field);
+  const std::string original = buffer.str();
+
+  int clean = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = original;
+    const int mutations = rng.uniform_int(1, 4);
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+      }
+    }
+    std::stringstream in(mutated);
+    try {
+      const geom::Field parsed = read_field(in);
+      ++clean;
+      EXPECT_FALSE(parsed.posts.empty());
+    } catch (const ParseError&) {
+      ++rejected;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes must occur: some mutations are benign (digits in
+  // coordinates), many are fatal.
+  EXPECT_GT(clean, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Fuzz, MutatedSolutionDocumentsNeverCrash) {
+  graph::RoutingTree tree(4, 4);
+  for (int p = 0; p < 4; ++p) tree.set_parent(p, 4);
+  const core::Solution solution{tree, {2, 1, 1, 3}};
+  std::stringstream buffer;
+  write_solution(buffer, solution);
+  const std::string original = buffer.str();
+
+  util::Rng rng(619);
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = original;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    std::stringstream in(mutated);
+    try {
+      const core::Solution parsed = read_solution(in);
+      EXPECT_EQ(parsed.tree.num_posts(), static_cast<int>(parsed.deployment.size()));
+    } catch (const ParseError&) {
+      ++rejected;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    } catch (const std::out_of_range&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+// Parameterized round-trip sweep across sizes.
+class RoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripSweep, SolutionsOfManySizes) {
+  const int posts = GetParam();
+  util::Rng rng(700 + static_cast<std::uint64_t>(posts));
+  const core::Instance inst = test::random_instance(posts, posts * 3, 150.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+  std::stringstream buffer;
+  write_solution(buffer, solution);
+  const core::Solution loaded = read_solution(buffer);
+  EXPECT_EQ(loaded.deployment, solution.deployment);
+  for (int p = 0; p < posts; ++p) {
+    EXPECT_EQ(loaded.tree.parent(p), solution.tree.parent(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoundTripSweep, ::testing::Values(1, 2, 5, 13, 40));
+
+}  // namespace
+}  // namespace wrsn::io

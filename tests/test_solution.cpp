@@ -1,0 +1,132 @@
+#include "core/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+Solution star_solution(const Instance& inst, std::vector<int> deployment) {
+  graph::RoutingTree tree(inst.num_posts(), inst.graph().base_station());
+  for (int p = 0; p < inst.num_posts(); ++p) tree.set_parent(p, inst.graph().base_station());
+  return Solution{std::move(tree), std::move(deployment)};
+}
+
+TEST(ValidateSolution, AcceptsWellFormed) {
+  const Instance inst = test::chain_instance(3, 6);
+  const Solution solution = star_solution(inst, {2, 2, 2});
+  EXPECT_TRUE(validate_solution(inst, solution).empty());
+  EXPECT_TRUE(is_valid_solution(inst, solution));
+}
+
+TEST(ValidateSolution, DetectsWrongPostCount) {
+  const Instance inst = test::chain_instance(3, 6);
+  graph::RoutingTree tree(2, 2);
+  tree.set_parent(0, 2);
+  tree.set_parent(1, 2);
+  const Solution bad{tree, {3, 3}};
+  const auto errors = validate_solution(inst, bad);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("post count"), std::string::npos);
+}
+
+TEST(ValidateSolution, DetectsIncompleteTree) {
+  const Instance inst = test::chain_instance(3, 6);
+  graph::RoutingTree tree(3, 3);
+  tree.set_parent(0, 3);  // posts 1, 2 unset
+  const Solution bad{tree, {2, 2, 2}};
+  const auto errors = validate_solution(inst, bad);
+  EXPECT_FALSE(errors.empty());
+  EXPECT_FALSE(is_valid_solution(inst, bad));
+}
+
+TEST(ValidateSolution, DetectsCycle) {
+  const Instance inst = test::chain_instance(3, 6);
+  graph::RoutingTree tree(3, 3);
+  tree.set_parent(0, 1);
+  tree.set_parent(1, 0);
+  tree.set_parent(2, 3);
+  const Solution bad{tree, {2, 2, 2}};
+  EXPECT_FALSE(is_valid_solution(inst, bad));
+}
+
+TEST(ValidateSolution, DetectsOutOfRangeHop) {
+  // Posts at 20 m spacing: post 3 is 80 m from the base -- out of the 75 m
+  // maximum range, so a direct parent is physically impossible.
+  const Instance inst = test::chain_instance(4, 8);
+  graph::RoutingTree tree(4, 4);
+  tree.set_parent(0, 4);
+  tree.set_parent(1, 4);
+  tree.set_parent(2, 4);
+  tree.set_parent(3, 4);  // 80 m > 75 m
+  const Solution bad{tree, {2, 2, 2, 2}};
+  const auto errors = validate_solution(inst, bad);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("cannot reach"), std::string::npos);
+}
+
+TEST(ValidateSolution, DetectsDeploymentProblems) {
+  const Instance inst = test::chain_instance(3, 6);
+  {
+    const Solution bad = star_solution(inst, {2, 2});  // size mismatch
+    EXPECT_FALSE(validate_solution(inst, bad).empty());
+  }
+  {
+    const Solution bad = star_solution(inst, {0, 3, 3});  // empty post
+    const auto errors = validate_solution(inst, bad);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("no sensor node"), std::string::npos);
+  }
+  {
+    const Solution bad = star_solution(inst, {2, 2, 3});  // sums to 7 != 6
+    const auto errors = validate_solution(inst, bad);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("budget"), std::string::npos);
+  }
+}
+
+TEST(ValidateSolution, CollectsMultipleErrors) {
+  const Instance inst = test::chain_instance(3, 6);
+  const Solution bad = star_solution(inst, {0, 0, 3});
+  EXPECT_GE(validate_solution(inst, bad).size(), 3u);  // two empties + budget
+}
+
+TEST(SolutionLevels, MatchesHopDistances) {
+  // Chain at 20 m spacing: hop to neighbor = level 0; post 1 -> base
+  // (40 m) = level 1; post 2 -> base (60 m) = level 2.
+  const Instance inst = test::chain_instance(3, 3);
+  graph::RoutingTree tree(3, 3);
+  tree.set_parent(0, 3);
+  tree.set_parent(1, 3);
+  tree.set_parent(2, 3);
+  const Solution direct{tree, {1, 1, 1}};
+  EXPECT_EQ(solution_levels(inst, direct), (std::vector<int>{0, 1, 2}));
+
+  graph::RoutingTree chain_tree(3, 3);
+  chain_tree.set_parent(0, 3);
+  chain_tree.set_parent(1, 0);
+  chain_tree.set_parent(2, 1);
+  const Solution chained{chain_tree, {1, 1, 1}};
+  EXPECT_EQ(solution_levels(inst, chained), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(SolutionLevels, ConsistentWithSolverOutput) {
+  util::Rng rng(881);
+  const Instance inst = test::random_instance(15, 30, 150.0, rng);
+  const Solution solution = solve_rfh(inst).solution;
+  const auto levels = solution_levels(inst, solution);
+  for (int p = 0; p < inst.num_posts(); ++p) {
+    const int parent = solution.tree.parent(p);
+    // The chosen level must cover the hop distance and be minimal.
+    const double d = inst.graph().distance(p, parent);
+    EXPECT_GE(inst.radio().range(levels[static_cast<std::size_t>(p)]), d);
+    if (levels[static_cast<std::size_t>(p)] > 0) {
+      EXPECT_LT(inst.radio().range(levels[static_cast<std::size_t>(p)] - 1), d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrsn::core

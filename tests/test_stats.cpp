@@ -1,0 +1,156 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wrsn::util {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summarize, MatchesManualComputation) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / 2.0, 1e-12);
+}
+
+TEST(Mean, EmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> values{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 25.0);
+}
+
+TEST(Percentile, ClampsOutOfRange) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(values, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 200.0), 2.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(correlation({}, {}), 0.0);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.5 * i);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighR2) {
+  Rng rng(9);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 2.0 * i + rng.normal(0.0, 1.0));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, DegenerateInput) {
+  const LinearFit fit = linear_fit({}, {});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+}  // namespace
+}  // namespace wrsn::util

@@ -1,0 +1,104 @@
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::viz {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, BareFieldRendersOneCirclePerPost) {
+  util::Rng rng(701);
+  const core::Instance inst = test::random_instance(9, 9, 120.0, rng);
+  const std::string svg = render_svg(inst, nullptr);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 9u);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("base"), std::string::npos);
+}
+
+TEST(Svg, SolutionRendersOneEdgePerPost) {
+  util::Rng rng(709);
+  const core::Instance inst = test::random_instance(11, 33, 130.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+  const std::string svg = render_svg(inst, &solution);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 11u);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 11u);
+}
+
+TEST(Svg, NodeCountLabelsOnlyOnMultiNodePosts) {
+  util::Rng rng(719);
+  const core::Instance inst = test::random_instance(8, 24, 120.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+  int multi = 0;
+  for (int m : solution.deployment) multi += m > 1 ? 1 : 0;
+  SvgOptions options;
+  options.draw_post_labels = false;
+  const std::string svg = render_svg(inst, &solution, options);
+  // Node-count labels are white centered text.
+  EXPECT_EQ(count_occurrences(svg, "fill=\"#ffffff\""), static_cast<std::size_t>(multi));
+}
+
+TEST(Svg, RangeRingsOptional) {
+  util::Rng rng(727);
+  const core::Instance inst = test::random_instance(5, 5, 100.0, rng);
+  SvgOptions rings;
+  rings.draw_range_rings = true;
+  const std::string with = render_svg(inst, nullptr, rings);
+  const std::string without = render_svg(inst, nullptr);
+  // 3 radio levels -> 3 extra circles.
+  EXPECT_EQ(count_occurrences(with, "<circle"), count_occurrences(without, "<circle") + 3);
+}
+
+TEST(Svg, AbstractInstanceRejected) {
+  graph::ReachGraph g(1);
+  g.set_min_level(0, 1, 0);
+  const core::Instance inst = core::Instance::abstract(
+      g, energy::RadioModel::from_energies({1.0}, 0.5), test::paper_charging(), 1);
+  EXPECT_THROW(render_svg(inst, nullptr), std::invalid_argument);
+}
+
+TEST(Svg, SaveWritesWellFormedFile) {
+  util::Rng rng(733);
+  const core::Instance inst = test::random_instance(6, 12, 110.0, rng);
+  const core::Solution solution = core::solve_rfh(inst).solution;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wrsn_test_plan.svg").string();
+  save_svg(path, inst, &solution);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, ScaleOptionChangesCanvas) {
+  util::Rng rng(739);
+  const core::Instance inst = test::random_instance(5, 5, 100.0, rng);
+  SvgOptions small;
+  small.pixels_per_meter = 1.0;
+  SvgOptions big;
+  big.pixels_per_meter = 4.0;
+  const std::string a = render_svg(inst, nullptr, small);
+  const std::string b = render_svg(inst, nullptr, big);
+  EXPECT_NE(a.substr(0, 200), b.substr(0, 200));
+}
+
+}  // namespace
+}  // namespace wrsn::viz

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace wrsn::util {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AddRowValidatesWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, CellByCellConstruction) {
+  Table t({"name", "value", "count"});
+  t.begin_row().add("x").add(2.5, 2).add(7);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "x");
+  EXPECT_EQ(t.rows()[0][1], "2.50");
+  EXPECT_EQ(t.rows()[0][2], "7");
+}
+
+TEST(Table, OverflowingRowThrows) {
+  Table t({"only"});
+  t.begin_row().add("a");
+  EXPECT_THROW(t.add("b"), std::out_of_range);
+}
+
+TEST(Table, AsciiContainsHeadersAndCells) {
+  Table t({"metric", "value"});
+  t.add_row({"cost", "42"});
+  std::ostringstream os;
+  t.print_ascii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("cost"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "multi\nline"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatEnergy, PicksSiPrefix) {
+  EXPECT_EQ(format_energy(8.2592e-6), "8.2592 uJ");
+  EXPECT_EQ(format_energy(5.0e-9, 1), "5.0 nJ");
+  EXPECT_EQ(format_energy(1.5e-3, 1), "1.5 mJ");
+  EXPECT_EQ(format_energy(2.0, 1), "2.0 J");
+  EXPECT_EQ(format_energy(3.0e-13, 1), "0.3 pJ");
+}
+
+}  // namespace
+}  // namespace wrsn::util
