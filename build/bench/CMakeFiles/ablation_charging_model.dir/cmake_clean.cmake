@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_charging_model.dir/ablation_charging_model.cpp.o"
+  "CMakeFiles/ablation_charging_model.dir/ablation_charging_model.cpp.o.d"
+  "ablation_charging_model"
+  "ablation_charging_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_charging_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eta.dir/ablation_eta.cpp.o"
+  "CMakeFiles/ablation_eta.dir/ablation_eta.cpp.o.d"
+  "ablation_eta"
+  "ablation_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fleet_sizing.dir/ablation_fleet_sizing.cpp.o"
+  "CMakeFiles/ablation_fleet_sizing.dir/ablation_fleet_sizing.cpp.o.d"
+  "ablation_fleet_sizing"
+  "ablation_fleet_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fleet_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idb_delta.dir/ablation_idb_delta.cpp.o"
+  "CMakeFiles/ablation_idb_delta.dir/ablation_idb_delta.cpp.o.d"
+  "ablation_idb_delta"
+  "ablation_idb_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idb_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_search.dir/ablation_local_search.cpp.o"
+  "CMakeFiles/ablation_local_search.dir/ablation_local_search.cpp.o.d"
+  "ablation_local_search"
+  "ablation_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

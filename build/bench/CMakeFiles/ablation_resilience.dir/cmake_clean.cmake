@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resilience.dir/ablation_resilience.cpp.o"
+  "CMakeFiles/ablation_resilience.dir/ablation_resilience.cpp.o.d"
+  "ablation_resilience"
+  "ablation_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

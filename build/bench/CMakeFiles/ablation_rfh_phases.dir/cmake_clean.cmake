@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rfh_phases.dir/ablation_rfh_phases.cpp.o"
+  "CMakeFiles/ablation_rfh_phases.dir/ablation_rfh_phases.cpp.o.d"
+  "ablation_rfh_phases"
+  "ablation_rfh_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rfh_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_power_levels.dir/fig10_power_levels.cpp.o"
+  "CMakeFiles/fig10_power_levels.dir/fig10_power_levels.cpp.o.d"
+  "fig10_power_levels"
+  "fig10_power_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_power_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

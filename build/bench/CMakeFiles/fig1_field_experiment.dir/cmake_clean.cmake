@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_field_experiment.dir/fig1_field_experiment.cpp.o"
+  "CMakeFiles/fig1_field_experiment.dir/fig1_field_experiment.cpp.o.d"
+  "fig1_field_experiment"
+  "fig1_field_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_field_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rfh_convergence.dir/fig6_rfh_convergence.cpp.o"
+  "CMakeFiles/fig6_rfh_convergence.dir/fig6_rfh_convergence.cpp.o.d"
+  "fig6_rfh_convergence"
+  "fig6_rfh_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rfh_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_optimal_comparison.dir/fig7_optimal_comparison.cpp.o"
+  "CMakeFiles/fig7_optimal_comparison.dir/fig7_optimal_comparison.cpp.o.d"
+  "fig7_optimal_comparison"
+  "fig7_optimal_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_optimal_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

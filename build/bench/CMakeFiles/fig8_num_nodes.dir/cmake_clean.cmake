@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_num_nodes.dir/fig8_num_nodes.cpp.o"
+  "CMakeFiles/fig8_num_nodes.dir/fig8_num_nodes.cpp.o.d"
+  "fig8_num_nodes"
+  "fig8_num_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_num_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_num_posts.dir/fig9_num_posts.cpp.o"
+  "CMakeFiles/fig9_num_posts.dir/fig9_num_posts.cpp.o.d"
+  "fig9_num_posts"
+  "fig9_num_posts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_num_posts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

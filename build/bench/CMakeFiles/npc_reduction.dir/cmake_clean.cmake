@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npc_reduction.dir/npc_reduction.cpp.o"
+  "CMakeFiles/npc_reduction.dir/npc_reduction.cpp.o.d"
+  "npc_reduction"
+  "npc_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npc_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

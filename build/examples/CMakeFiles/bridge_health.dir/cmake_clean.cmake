@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_health.dir/bridge_health.cpp.o"
+  "CMakeFiles/bridge_health.dir/bridge_health.cpp.o.d"
+  "bridge_health"
+  "bridge_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

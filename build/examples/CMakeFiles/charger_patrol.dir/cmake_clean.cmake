@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charger_patrol.dir/charger_patrol.cpp.o"
+  "CMakeFiles/charger_patrol.dir/charger_patrol.cpp.o.d"
+  "charger_patrol"
+  "charger_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charger_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for charger_patrol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/island_monitoring.dir/island_monitoring.cpp.o"
+  "CMakeFiles/island_monitoring.dir/island_monitoring.cpp.o.d"
+  "island_monitoring"
+  "island_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/island_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

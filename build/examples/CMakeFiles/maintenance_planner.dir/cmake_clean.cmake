@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_planner.dir/maintenance_planner.cpp.o"
+  "CMakeFiles/maintenance_planner.dir/maintenance_planner.cpp.o.d"
+  "maintenance_planner"
+  "maintenance_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_tool.dir/plan_tool.cpp.o"
+  "CMakeFiles/plan_tool.dir/plan_tool.cpp.o.d"
+  "plan_tool"
+  "plan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/CMakeFiles/wrsn.dir/core/allocation.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/allocation.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/wrsn.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/wrsn.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/wrsn.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/failures.cpp" "src/CMakeFiles/wrsn.dir/core/failures.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/failures.cpp.o.d"
+  "/root/repo/src/core/idb.cpp" "src/CMakeFiles/wrsn.dir/core/idb.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/idb.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/wrsn.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/CMakeFiles/wrsn.dir/core/local_search.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/local_search.cpp.o.d"
+  "/root/repo/src/core/pricer.cpp" "src/CMakeFiles/wrsn.dir/core/pricer.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/pricer.cpp.o.d"
+  "/root/repo/src/core/rfh.cpp" "src/CMakeFiles/wrsn.dir/core/rfh.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/rfh.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/CMakeFiles/wrsn.dir/core/solution.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/core/solution.cpp.o.d"
+  "/root/repo/src/energy/charging_model.cpp" "src/CMakeFiles/wrsn.dir/energy/charging_model.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/energy/charging_model.cpp.o.d"
+  "/root/repo/src/energy/radio_model.cpp" "src/CMakeFiles/wrsn.dir/energy/radio_model.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/energy/radio_model.cpp.o.d"
+  "/root/repo/src/fieldexp/powercast.cpp" "src/CMakeFiles/wrsn.dir/fieldexp/powercast.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/fieldexp/powercast.cpp.o.d"
+  "/root/repo/src/geom/field.cpp" "src/CMakeFiles/wrsn.dir/geom/field.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/geom/field.cpp.o.d"
+  "/root/repo/src/geom/point.cpp" "src/CMakeFiles/wrsn.dir/geom/point.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/geom/point.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/wrsn.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/reach_graph.cpp" "src/CMakeFiles/wrsn.dir/graph/reach_graph.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/graph/reach_graph.cpp.o.d"
+  "/root/repo/src/graph/routing_tree.cpp" "src/CMakeFiles/wrsn.dir/graph/routing_tree.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/graph/routing_tree.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/wrsn.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/npc/cnf.cpp" "src/CMakeFiles/wrsn.dir/npc/cnf.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/npc/cnf.cpp.o.d"
+  "/root/repo/src/npc/dpll.cpp" "src/CMakeFiles/wrsn.dir/npc/dpll.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/npc/dpll.cpp.o.d"
+  "/root/repo/src/npc/gadget.cpp" "src/CMakeFiles/wrsn.dir/npc/gadget.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/npc/gadget.cpp.o.d"
+  "/root/repo/src/sim/charger.cpp" "src/CMakeFiles/wrsn.dir/sim/charger.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/charger.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/wrsn.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/CMakeFiles/wrsn.dir/sim/fleet.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/fleet.cpp.o.d"
+  "/root/repo/src/sim/network_sim.cpp" "src/CMakeFiles/wrsn.dir/sim/network_sim.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/network_sim.cpp.o.d"
+  "/root/repo/src/sim/periodic.cpp" "src/CMakeFiles/wrsn.dir/sim/periodic.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/periodic.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/wrsn.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/tour.cpp" "src/CMakeFiles/wrsn.dir/sim/tour.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/sim/tour.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/wrsn.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wrsn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wrsn.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wrsn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/wrsn.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/util/timer.cpp.o.d"
+  "/root/repo/src/viz/chart.cpp" "src/CMakeFiles/wrsn.dir/viz/chart.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/viz/chart.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/wrsn.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/wrsn.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocation.dir/test_allocation.cpp.o"
+  "CMakeFiles/test_allocation.dir/test_allocation.cpp.o.d"
+  "test_allocation"
+  "test_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

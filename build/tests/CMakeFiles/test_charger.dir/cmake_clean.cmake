@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charger.dir/test_charger.cpp.o"
+  "CMakeFiles/test_charger.dir/test_charger.cpp.o.d"
+  "test_charger"
+  "test_charger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chart.dir/test_chart.cpp.o"
+  "CMakeFiles/test_chart.dir/test_chart.cpp.o.d"
+  "test_chart"
+  "test_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost.dir/test_cost.cpp.o"
+  "CMakeFiles/test_cost.dir/test_cost.cpp.o.d"
+  "test_cost"
+  "test_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

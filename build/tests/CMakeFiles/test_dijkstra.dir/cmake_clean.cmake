@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dijkstra.dir/test_dijkstra.cpp.o"
+  "CMakeFiles/test_dijkstra.dir/test_dijkstra.cpp.o.d"
+  "test_dijkstra"
+  "test_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpll.dir/test_dpll.cpp.o"
+  "CMakeFiles/test_dpll.dir/test_dpll.cpp.o.d"
+  "test_dpll"
+  "test_dpll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

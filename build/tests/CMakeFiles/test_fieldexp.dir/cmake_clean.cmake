@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fieldexp.dir/test_fieldexp.cpp.o"
+  "CMakeFiles/test_fieldexp.dir/test_fieldexp.cpp.o.d"
+  "test_fieldexp"
+  "test_fieldexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fieldexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags.dir/test_flags.cpp.o"
+  "CMakeFiles/test_flags.dir/test_flags.cpp.o.d"
+  "test_flags"
+  "test_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet.dir/test_fleet.cpp.o"
+  "CMakeFiles/test_fleet.dir/test_fleet.cpp.o.d"
+  "test_fleet"
+  "test_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadget.dir/test_gadget.cpp.o"
+  "CMakeFiles/test_gadget.dir/test_gadget.cpp.o.d"
+  "test_gadget"
+  "test_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

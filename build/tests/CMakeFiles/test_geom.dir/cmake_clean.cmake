@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom.dir/test_geom.cpp.o"
+  "CMakeFiles/test_geom.dir/test_geom.cpp.o.d"
+  "test_geom"
+  "test_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idb.dir/test_idb.cpp.o"
+  "CMakeFiles/test_idb.dir/test_idb.cpp.o.d"
+  "test_idb"
+  "test_idb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

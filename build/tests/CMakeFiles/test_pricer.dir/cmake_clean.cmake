@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricer.dir/test_pricer.cpp.o"
+  "CMakeFiles/test_pricer.dir/test_pricer.cpp.o.d"
+  "test_pricer"
+  "test_pricer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfh.dir/test_rfh.cpp.o"
+  "CMakeFiles/test_rfh.dir/test_rfh.cpp.o.d"
+  "test_rfh"
+  "test_rfh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_tree.dir/test_routing_tree.cpp.o"
+  "CMakeFiles/test_routing_tree.dir/test_routing_tree.cpp.o.d"
+  "test_routing_tree"
+  "test_routing_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

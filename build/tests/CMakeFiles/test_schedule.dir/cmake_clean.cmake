@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule.dir/test_schedule.cpp.o"
+  "CMakeFiles/test_schedule.dir/test_schedule.cpp.o.d"
+  "test_schedule"
+  "test_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solution.dir/test_solution.cpp.o"
+  "CMakeFiles/test_solution.dir/test_solution.cpp.o.d"
+  "test_solution"
+  "test_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

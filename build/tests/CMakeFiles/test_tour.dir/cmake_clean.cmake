@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tour.dir/test_tour.cpp.o"
+  "CMakeFiles/test_tour.dir/test_tour.cpp.o.d"
+  "test_tour"
+  "test_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
