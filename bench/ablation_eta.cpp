@@ -15,6 +15,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(3);
 
   const std::vector<double> etas{0.001, 0.003, 0.01, 0.03, 0.1};

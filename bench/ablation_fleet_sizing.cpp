@@ -11,6 +11,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 5 : 2);
   const std::uint64_t rounds = args.paper_scale() ? 2000 : 800;
 

@@ -52,6 +52,7 @@ BENCHMARK(BM_Idb)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(3);
 
   // Quality sweep across delta. delta=4 enumerates C(N+3,4) candidates per
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   util::Table table({"solver", "cost [uJ]", "evaluations", "time [s]"});
   const std::vector<int> deltas = args.paper_scale() ? std::vector<int>{1, 2, 4}
                                                      : std::vector<int>{1, 2};
+  util::Timer timer;  // one lap()-segmented stopwatch for every table row
   for (const int delta : deltas) {
     util::RunningStats cost;
     util::RunningStats evals;
@@ -66,9 +68,9 @@ int main(int argc, char** argv) {
     for (int run = 0; run < runs; ++run) {
       util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
       const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
-      util::Timer timer;
+      timer.lap();  // drop the field-generation segment
       const auto result = core::solve_idb(inst, core::IdbOptions{delta, false});
-      seconds.add(timer.elapsed_seconds());
+      seconds.add(timer.lap());
       cost.add(result.cost * 1e6);
       evals.add(static_cast<double>(result.evaluations));
     }
@@ -84,9 +86,9 @@ int main(int argc, char** argv) {
     for (int run = 0; run < runs; ++run) {
       util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
       const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
-      util::Timer timer;
+      timer.lap();  // drop the field-generation segment
       cost.add(core::solve_rfh(inst).cost * 1e6);
-      seconds.add(timer.elapsed_seconds());
+      seconds.add(timer.lap());
     }
     table.begin_row().add("RFH (7 iters)").add(cost.mean(), 4).add("-").add(seconds.mean(), 4);
   }

@@ -16,6 +16,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 8);
   const int posts = 60;
   const int nodes = 240;

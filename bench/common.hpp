@@ -9,6 +9,8 @@
 //                  paper, which can take much longer, mainly fig7's exact
 //                  search)
 //   --csv          also dump CSV after each table
+//   --trace=f.json collect trace spans, write Chrome trace-event JSON
+//   --metrics=f.txt dump the global metrics registry (wrsn-metrics v1)
 #pragma once
 
 #include <cstdio>
@@ -20,6 +22,9 @@
 
 #include "core/instance.hpp"
 #include "geom/field.hpp"
+#include "io/metrics_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -35,6 +40,8 @@ struct BenchArgs {
   std::string scale = "default";
   bool csv = false;
   std::string svg_dir;  // when set, benches write figure SVGs here
+  std::string trace;    // when set, write Chrome trace JSON here
+  std::string metrics;  // when set, write a wrsn-metrics v1 dump here
 
   bool paper_scale() const { return scale == "paper"; }
 
@@ -48,12 +55,46 @@ struct BenchArgs {
     flags.add_string("scale", &args.scale, "default | paper");
     flags.add_bool("csv", &args.csv, "also print CSV");
     flags.add_string("svg-dir", &args.svg_dir, "write figure SVGs into this directory");
+    flags.add_string("trace", &args.trace, "write Chrome trace-event JSON to this file");
+    flags.add_string("metrics", &args.metrics, "write a wrsn-metrics v1 dump to this file");
     if (extra) extra(flags);
     if (!flags.parse(argc, argv, /*allow_unknown=*/true)) std::exit(0);
     return args;
   }
 
   int runs_or(int fallback) const { return runs > 0 ? runs : fallback; }
+};
+
+/// Declares the bench's observability scope: enables tracing when --trace
+/// was given and writes the trace/metrics artifacts on destruction (i.e.
+/// after main's tables printed).  With neither flag set this is inert and
+/// the bench's output is byte-identical to an uninstrumented build.
+class ObsSession {
+ public:
+  explicit ObsSession(const BenchArgs& args) : args_(&args) {
+    if (!args_->trace.empty()) {
+      obs::TraceBuffer::global().clear();
+      obs::TraceBuffer::global().set_enabled(true);
+    }
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession() {
+    if (!args_->trace.empty()) {
+      obs::TraceBuffer::global().set_enabled(false);
+      obs::save_chrome_trace(args_->trace, obs::TraceBuffer::global().events());
+      std::printf("[obs] wrote %s (%zu spans)\n", args_->trace.c_str(),
+                  obs::TraceBuffer::global().size());
+    }
+    if (!args_->metrics.empty()) {
+      io::save_metrics(args_->metrics, obs::Registry::global().snapshot());
+      std::printf("[obs] wrote %s (%zu metrics)\n", args_->metrics.c_str(),
+                  obs::Registry::global().size());
+    }
+  }
+
+ private:
+  const BenchArgs* args_;
 };
 
 /// Square-field instance with the paper's radio/charging defaults;

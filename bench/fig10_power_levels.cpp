@@ -15,6 +15,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
   const int nodes = 600;
   const int posts = 200;

@@ -16,6 +16,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int trials = args.runs_or(40);  // the paper's 40
   const fieldexp::PowercastConfig cfg{};
   util::Rng rng(static_cast<std::uint64_t>(args.seed));

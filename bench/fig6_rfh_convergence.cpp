@@ -4,13 +4,19 @@
 // nodes, average of 20 random post distributions. The total recharging cost
 // falls with iterations and converges within ~7 rounds (sometimes
 // oscillating in a tiny band due to Phase IV rounding).
+//
+// The convergence series is consumed from the solver's obs::Sink iteration
+// events (cost-so-far per iteration) rather than re-derived from the result
+// struct; --trace/--metrics expose the run's spans and counters.
 #include "common.hpp"
 #include "core/rfh.hpp"
+#include "obs/sink.hpp"
 
 using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 10);
   const int iterations = 10;
   const std::vector<int> node_counts{400, 600, 800, 1000};
@@ -28,6 +34,7 @@ int main(int argc, char** argv) {
       node_counts.size(), std::vector<util::RunningStats>(static_cast<std::size_t>(iterations)));
   std::vector<util::RunningStats> converged_at(node_counts.size());
 
+  obs::MetricsSink metrics_sink(obs::Registry::global());
   util::Timer timer;
   for (int run = 0; run < runs; ++run) {
     util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
@@ -36,17 +43,20 @@ int main(int argc, char** argv) {
     for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
       const core::Instance inst = core::Instance::geometric(
           *probe.field(), probe.radio(), probe.charging(), node_counts[mi]);
+      obs::RecordingSink recorder;
+      obs::MultiSink sinks({&recorder, &metrics_sink});
       core::RfhOptions options;
       options.iterations = iterations;
+      options.sink = &sinks;
       const core::RfhResult result = core::solve_rfh(inst, options);
-      for (int it = 0; it < iterations; ++it) {
-        history[mi][static_cast<std::size_t>(it)].add(result.cost_history[static_cast<std::size_t>(it)] * 1e6);
+      for (const obs::RfhIterationEvent& event : recorder.rfh_iterations) {
+        history[mi][static_cast<std::size_t>(event.iteration)].add(event.cost * 1e6);
       }
       // First iteration whose cost is within 0.01% of the best.
       int convergence = iterations;
-      for (int it = 0; it < iterations; ++it) {
-        if (result.cost_history[static_cast<std::size_t>(it)] <= result.cost * 1.0001) {
-          convergence = it + 1;
+      for (const obs::RfhIterationEvent& event : recorder.rfh_iterations) {
+        if (event.cost <= result.cost * 1.0001) {
+          convergence = event.iteration + 1;
           break;
         }
       }

@@ -89,6 +89,7 @@ void emit_rows(const std::vector<std::pair<std::string, Row>>& rows,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(5);  // the paper's 5
 
   // Part (a): N = 10 fixed, M swept.

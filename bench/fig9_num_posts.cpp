@@ -12,6 +12,7 @@ using namespace wrsn;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
   const int nodes = 600;
   const double side = 500.0;
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   std::vector<double> idb_series;
   std::vector<double> rfh_series;
   std::vector<double> base_series;
+  util::Timer timer;  // one lap()-segmented stopwatch for every table row
   for (const int n : post_counts) {
     util::RunningStats idb_cost;
     util::RunningStats rfh_cost;
@@ -32,12 +34,11 @@ int main(int argc, char** argv) {
     for (int run = 0; run < runs; ++run) {
       util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
       const core::Instance inst = bench::make_paper_instance(n, nodes, side, 3, rng);
-      util::Timer timer;
+      timer.lap();  // drop the field-generation segment
       idb_cost.add(core::solve_idb(inst).cost * 1e6);
-      idb_time.add(timer.elapsed_seconds());
-      timer.reset();
+      idb_time.add(timer.lap());
       rfh_cost.add(core::solve_rfh(inst).cost * 1e6);
-      rfh_time.add(timer.elapsed_seconds());
+      rfh_time.add(timer.lap());
       base_cost.add(core::solve_balanced_baseline(inst).cost * 1e6);
     }
     table.begin_row()

@@ -5,15 +5,25 @@
 //
 //   ./plan_tool --posts 40 --nodes 160 --out plan            # random field
 //   ./plan_tool --field site.txt --nodes 90 --solver idb     # surveyed site
+//   ./plan_tool --trace=t.json --metrics=m.txt --report=r.txt
 //
-// Outputs <out>.field.txt, <out>.solution.txt, <out>.svg.
+// Outputs <out>.field.txt, <out>.solution.txt, <out>.svg, and -- when the
+// observability flags are set -- a Chrome trace, a wrsn-metrics dump, and a
+// wrsn-report summary (docs/observability.md).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "core/idb.hpp"
 #include "core/local_search.hpp"
 #include "core/rfh.hpp"
+#include "io/metrics_io.hpp"
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "sim/network_sim.hpp"
 #include "sim/tour.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -33,6 +43,10 @@ int main(int argc, char** argv) {
   double charger_power = 10.0;
   double charger_speed = 5.0;
   int bits = 4096;
+  int sim_rounds = 200;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string report_path;
 
   util::Flags flags;
   flags.add_int("posts", &posts, "posts for a generated field");
@@ -46,7 +60,20 @@ int main(int argc, char** argv) {
   flags.add_double("charger-power", &charger_power, "charger RF power [W]");
   flags.add_double("charger-speed", &charger_speed, "charger travel speed [m/s]");
   flags.add_int("bits", &bits, "bits per report round");
+  flags.add_int("sim-rounds", &sim_rounds, "reporting rounds to simulate on the plan");
+  flags.add_string("trace", &trace_path, "write a Chrome trace-event JSON here");
+  flags.add_string("metrics", &metrics_path, "write a wrsn-metrics v1 dump here");
+  flags.add_string("report", &report_path, "write a wrsn-report v1 summary here");
   if (!flags.parse(argc, argv)) return 0;
+
+  // Observability: one global registry + trace buffer for the whole run.
+  obs::Registry& registry = obs::Registry::global();
+  obs::MetricsSink metrics_sink(registry);
+  obs::TraceBuffer& trace_buffer = obs::TraceBuffer::global();
+  if (!trace_path.empty()) {
+    trace_buffer.clear();
+    trace_buffer.set_enabled(true);
+  }
 
   // Field: surveyed or generated.
   geom::Field field;
@@ -72,28 +99,51 @@ int main(int argc, char** argv) {
   const auto instance = core::Instance::geometric(
       field, radio, energy::ChargingModel::linear(eta), nodes);
 
+  obs::RunReport run_report("wrsn deployment plan");
+  run_report.begin_section("instance")
+      .add("posts", instance.num_posts())
+      .add("nodes", instance.num_nodes())
+      .add("field", field_path.empty() ? "generated" : field_path)
+      .add("seed", static_cast<std::int64_t>(seed))
+      .add("eta", eta)
+      .add("bits_per_report", bits);
+
   // Solve.
   core::Solution solution{graph::RoutingTree(1, 1), {}};
   double cost = 0.0;
+  run_report.begin_section("solver").add("name", solver);
   if (solver == "rfh" || solver == "rfh+ls") {
-    const auto rfh = core::solve_rfh(instance);
+    core::RfhOptions options;
+    options.sink = &metrics_sink;
+    const auto rfh = core::solve_rfh(instance, options);
     solution = rfh.solution;
     cost = rfh.cost;
+    run_report.add("rfh_iterations",
+                   static_cast<std::uint64_t>(rfh.per_iteration_cost.size()));
   } else if (solver == "idb" || solver == "idb+ls") {
-    const auto idb = core::solve_idb(instance);
+    core::IdbOptions options;
+    options.sink = &metrics_sink;
+    const auto idb = core::solve_idb(instance, options);
     solution = idb.solution;
     cost = idb.cost;
+    run_report.add("idb_rounds", idb.rounds)
+        .add("idb_evaluations", idb.evaluations);
   } else {
     std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
     return 1;
   }
   if (solver.ends_with("+ls")) {
-    const auto refined = core::refine_solution(instance, solution);
+    core::LocalSearchOptions options;
+    options.sink = &metrics_sink;
+    const auto refined = core::refine_solution(instance, solution, options);
     solution = refined.solution;
     cost = refined.cost;
+    run_report.add("ls_moves_applied", refined.moves_applied)
+        .add("ls_passes", refined.passes);
   }
   std::printf("solver %s: total recharging cost %s per reported bit\n", solver.c_str(),
               util::format_energy(cost).c_str());
+  run_report.add("cost_j_per_bit", cost);
 
   // Charger feasibility.
   sim::ChargerConfig charger;
@@ -112,6 +162,46 @@ int main(int argc, char** argv) {
         feasibility.min_battery_capacity_j, 4);
   }
   report.print_ascii(std::cout);
+  run_report.begin_section("charger")
+      .add("tour_length_m", tour.length_m)
+      .add("demand_w", feasibility.demand_w)
+      .add("duty_cycle", feasibility.duty)
+      .add("feasible", feasibility.feasible);
+  if (feasibility.feasible) {
+    run_report.add("cycle_time_s", feasibility.cycle_time_s)
+        .add("min_battery_j", feasibility.min_battery_capacity_j);
+  }
+
+  // Dry-run the plan: rounds of reporting against finite batteries, metered
+  // through the same sink so sim/* metrics land next to the solver's.
+  if (sim_rounds > 0) {
+    WRSN_TRACE_SPAN("plan/simulate");
+    sim::NetworkConfig sim_config;
+    sim_config.bits_per_report = bits;
+    sim_config.sink = &metrics_sink;
+    sim::NetworkSim simulation(instance, solution, sim_config);
+    simulation.run_rounds(static_cast<std::uint64_t>(sim_rounds));
+    double battery_min = 0.0;
+    double battery_sum = 0.0;
+    int battery_count = 0;
+    for (const auto& post : simulation.posts()) {
+      for (const auto& node : post.nodes) {
+        battery_min = battery_count == 0 ? node.battery_j : std::min(battery_min, node.battery_j);
+        battery_sum += node.battery_j;
+        ++battery_count;
+      }
+    }
+    std::printf("simulated %llu reporting rounds: %d dead nodes, %s drawn\n",
+                static_cast<unsigned long long>(simulation.rounds_completed()),
+                simulation.dead_node_count(),
+                util::format_energy(simulation.total_consumed()).c_str());
+    run_report.begin_section("simulation")
+        .add("rounds", simulation.rounds_completed())
+        .add("dead_nodes", simulation.dead_node_count())
+        .add("consumed_j", simulation.total_consumed())
+        .add("battery_min_j", battery_min)
+        .add("battery_mean_j", battery_count > 0 ? battery_sum / battery_count : 0.0);
+  }
 
   // Artifacts.
   io::save_field(out + ".field.txt", field);
@@ -119,5 +209,24 @@ int main(int argc, char** argv) {
   viz::save_svg(out + ".svg", instance, &solution);
   std::printf("wrote %s.field.txt, %s.solution.txt, %s.svg\n", out.c_str(), out.c_str(),
               out.c_str());
+  try {
+    if (!trace_path.empty()) {
+      trace_buffer.set_enabled(false);
+      obs::save_chrome_trace(trace_path, trace_buffer.events());
+      std::printf("wrote trace %s (%zu spans)\n", trace_path.c_str(), trace_buffer.size());
+    }
+    if (!metrics_path.empty()) {
+      io::save_metrics(metrics_path, registry.snapshot());
+      std::printf("wrote metrics %s\n", metrics_path.c_str());
+    }
+    if (!report_path.empty()) {
+      run_report.attach_metrics(registry.snapshot());
+      run_report.save(report_path);
+      std::printf("wrote report %s\n", report_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error writing observability artifacts: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/idb.hpp"
 
 #include "core/pricer.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 #include <stdexcept>
 
@@ -41,6 +43,7 @@ void for_each_multiset(int n, int delta,
 
 IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
   if (options.delta < 1) throw std::invalid_argument("IDB requires delta >= 1");
+  WRSN_TRACE_SPAN("idb/solve");
   const int n = instance.num_posts();
 
   std::vector<int> deployment(static_cast<std::size_t>(n), 1);
@@ -69,6 +72,9 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
       --remaining;
       ++result.rounds;
       if (options.record_history) result.cost_history.push_back(best_cost);
+      if (options.sink != nullptr) {
+        options.sink->on_idb_round({result.rounds - 1, best_cost, result.evaluations});
+      }
     }
     deployment = pricer.deployment();
     remaining = 0;
@@ -103,6 +109,9 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
     remaining -= batch;
     ++result.rounds;
     if (options.record_history) result.cost_history.push_back(best_cost);
+    if (options.sink != nullptr) {
+      options.sink->on_idb_round({result.rounds - 1, best_cost, result.evaluations});
+    }
   }
 
   // Final routing for the committed deployment.

@@ -15,6 +15,10 @@
 #include "core/cost.hpp"
 #include "core/solution.hpp"
 
+namespace wrsn::obs {
+class Sink;
+}
+
 namespace wrsn::core {
 
 struct IdbOptions {
@@ -22,6 +26,9 @@ struct IdbOptions {
   int delta = 1;
   /// When true, `cost_history` records the committed cost after each round.
   bool record_history = false;
+  /// Observer notified after every committed round (obs/sink.hpp);
+  /// nullptr = none. Purely observational.
+  obs::Sink* sink = nullptr;
 };
 
 struct IdbResult {

@@ -1,5 +1,8 @@
 #include "core/local_search.hpp"
 
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
 #include <stdexcept>
 
 namespace wrsn::core {
@@ -10,6 +13,7 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
     throw std::invalid_argument("local search requires a valid starting solution");
   }
   if (options.max_passes < 1) throw std::invalid_argument("max_passes must be >= 1");
+  WRSN_TRACE_SPAN("ls/refine");
 
   const int n = instance.num_posts();
   std::vector<int> deployment = start.deployment;
@@ -24,8 +28,11 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
   current = std::min(current, result.initial_cost);
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    WRSN_TRACE_SPAN("ls/pass");
     ++result.passes;
     bool improved = false;
+    const std::uint64_t pass_start_evaluations = result.evaluations;
+    const int pass_start_moves = result.moves_applied;
     // First-improvement scan over all single-node moves a -> b.
     for (int a = 0; a < n; ++a) {
       if (deployment[static_cast<std::size_t>(a)] <= 1) continue;
@@ -35,7 +42,11 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
         ++deployment[static_cast<std::size_t>(b)];
         const double candidate = optimal_cost_for_deployment(instance, deployment);
         ++result.evaluations;
-        if (candidate < current * (1.0 - options.min_relative_gain)) {
+        const bool accepted = candidate < current * (1.0 - options.min_relative_gain);
+        if (options.sink != nullptr) {
+          options.sink->on_local_search_move({pass, a, b, current, candidate, accepted});
+        }
+        if (accepted) {
           current = candidate;
           ++result.moves_applied;
           improved = true;
@@ -47,6 +58,11 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
           --deployment[static_cast<std::size_t>(b)];
         }
       }
+    }
+    if (options.sink != nullptr) {
+      options.sink->on_local_search_pass({pass,
+                                          result.evaluations - pass_start_evaluations,
+                                          result.moves_applied - pass_start_moves, current});
     }
     if (!improved) break;
   }

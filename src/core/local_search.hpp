@@ -15,6 +15,10 @@
 #include "core/cost.hpp"
 #include "core/solution.hpp"
 
+namespace wrsn::obs {
+class Sink;
+}
+
 namespace wrsn::core {
 
 struct LocalSearchOptions {
@@ -23,6 +27,9 @@ struct LocalSearchOptions {
   /// Accept a move only when it improves by more than this relative slack
   /// (guards against cycling on floating-point noise).
   double min_relative_gain = 1e-12;
+  /// Observer notified per candidate move (accept/reject + delta) and per
+  /// pass (obs/sink.hpp); nullptr = none. Purely observational.
+  obs::Sink* sink = nullptr;
 };
 
 struct LocalSearchResult {

@@ -1,6 +1,8 @@
 #include "core/rfh.hpp"
 
 #include "core/allocation.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -140,6 +142,7 @@ std::vector<double> phase4_weights(const Instance& instance, const graph::Routin
 
 RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
   if (options.iterations < 1) throw std::invalid_argument("RFH needs at least one iteration");
+  WRSN_TRACE_SPAN("rfh/solve");
 
   RfhResult result{
       Solution{graph::RoutingTree(instance.num_posts(), instance.graph().base_station()), {}},
@@ -149,32 +152,52 @@ RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
 
   std::vector<int> deployment;  // empty until the first Phase IV
   for (int iter = 0; iter < options.iterations; ++iter) {
+    WRSN_TRACE_SPAN("rfh/iteration");
     // Phase I weights: plain per-bit energy on the first pass, true
     // recharging cost (charging-aware) once a deployment exists.
     const graph::WeightFn weight =
         deployment.empty() ? energy_weight(instance, options.rx_in_weight)
                            : recharging_weight(instance, deployment);
 
-    graph::ShortestPathDag dag = graph::shortest_paths_to_base(instance.graph(), weight);
+    graph::ShortestPathDag dag = [&] {
+      WRSN_TRACE_SPAN("rfh/phase1");
+      return graph::shortest_paths_to_base(instance.graph(), weight);
+    }();
     if (!dag.all_posts_reachable) {
       throw InfeasibleInstance("some post cannot reach the base station");
     }
+    int fat_tree_edges = 0;
+    for (const auto& parents : dag.parents) {
+      fat_tree_edges += static_cast<int>(parents.size());
+    }
 
-    graph::RoutingTree tree = options.concentrate_workload ? rfh_detail::trim_fat_tree(dag)
-                                                           : spt_from_dag(dag);
-    if (options.merge_siblings) rfh_detail::merge_siblings(instance, weight, tree);
+    graph::RoutingTree tree = [&] {
+      WRSN_TRACE_SPAN("rfh/phase2");
+      return options.concentrate_workload ? rfh_detail::trim_fat_tree(dag)
+                                          : spt_from_dag(dag);
+    }();
+    if (options.merge_siblings) {
+      WRSN_TRACE_SPAN("rfh/phase3");
+      rfh_detail::merge_siblings(instance, weight, tree);
+    }
 
-    const std::vector<double> weights =
-        rfh_detail::phase4_weights(instance, tree, options.workload_kind);
-    deployment = lagrange_allocate(weights, instance.num_nodes());
+    {
+      WRSN_TRACE_SPAN("rfh/phase4");
+      const std::vector<double> weights =
+          rfh_detail::phase4_weights(instance, tree, options.workload_kind);
+      deployment = lagrange_allocate(weights, instance.num_nodes());
+    }
 
     Solution candidate{tree, deployment};
     const double cost = total_recharging_cost(instance, candidate);
-    result.cost_history.push_back(cost);
+    result.per_iteration_cost.push_back(cost);
     if (cost < result.cost) {
       result.cost = cost;
       result.solution = std::move(candidate);
       result.best_iteration = iter;
+    }
+    if (options.sink != nullptr) {
+      options.sink->on_rfh_iteration({iter, cost, result.cost, fat_tree_edges});
     }
   }
   return result;

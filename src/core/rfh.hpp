@@ -20,6 +20,10 @@
 #include "core/solution.hpp"
 #include "graph/dijkstra.hpp"
 
+namespace wrsn::obs {
+class Sink;
+}
+
 namespace wrsn::core {
 
 /// What Phase IV uses as the per-post workload alpha_i.
@@ -43,14 +47,18 @@ struct RfhOptions {
   /// include it (it is part of the true cost).
   bool rx_in_weight = false;
   WorkloadKind workload_kind = WorkloadKind::Energy;
+  /// Observer notified after every iteration (obs/sink.hpp); nullptr = none.
+  /// Purely observational: never perturbs the solver's decisions.
+  obs::Sink* sink = nullptr;
 };
 
 struct RfhResult {
   Solution solution;
   /// Cost of `solution` (the best iteration's).
   double cost = 0.0;
-  /// Cost after each iteration, for convergence plots (Fig. 6).
-  std::vector<double> cost_history;
+  /// Cost after each iteration, for convergence plots (Fig. 6); the same
+  /// series the sink's RfhIterationEvent stream carries.
+  std::vector<double> per_iteration_cost;
   int best_iteration = 0;
 };
 

@@ -1,0 +1,134 @@
+#include "io/metrics_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "io/serialize.hpp"
+
+namespace wrsn::io {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void write_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "wrsn-metrics v1\n";
+  for (const obs::MetricSnapshot& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case obs::MetricSnapshot::Kind::Counter:
+        os << "counter " << entry.name << ' ' << entry.counter << '\n';
+        break;
+      case obs::MetricSnapshot::Kind::Gauge:
+        os << "gauge " << entry.name << ' ' << entry.gauge << '\n';
+        break;
+      case obs::MetricSnapshot::Kind::Histogram: {
+        const obs::HistogramSnapshot& h = entry.histogram;
+        os << "histogram " << entry.name << ' ' << h.count << ' ' << h.sum << ' ' << h.min
+           << ' ' << h.max << ' ' << h.buckets.size() << '\n';
+        for (const auto& bucket : h.buckets) {
+          os << "bucket " << entry.name << ' ' << bucket.lower << ' ' << bucket.upper << ' '
+             << bucket.count << '\n';
+        }
+        break;
+      }
+    }
+  }
+}
+
+obs::MetricsSnapshot read_metrics(std::istream& is) {
+  std::string line;
+  bool have_header = false;
+  obs::MetricsSnapshot snapshot;
+  obs::MetricSnapshot* open_histogram = nullptr;
+  std::size_t pending_buckets = 0;
+
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line.substr(first));
+    std::string tag;
+    ss >> tag;
+
+    if (!have_header) {
+      std::string version;
+      ss >> version;
+      if (tag != "wrsn-metrics" || version != "v1") {
+        throw ParseError("expected header 'wrsn-metrics v1', got '" + line + "'");
+      }
+      have_header = true;
+      continue;
+    }
+
+    if (tag == "bucket") {
+      if (open_histogram == nullptr || pending_buckets == 0) {
+        throw ParseError("bucket line outside a histogram: " + line);
+      }
+      std::string name;
+      obs::HistogramSnapshot::Bucket bucket;
+      if (!(ss >> name >> bucket.lower >> bucket.upper >> bucket.count) ||
+          name != open_histogram->name) {
+        throw ParseError("bad bucket line: " + line);
+      }
+      open_histogram->histogram.buckets.push_back(bucket);
+      if (--pending_buckets == 0) open_histogram = nullptr;
+      continue;
+    }
+    if (open_histogram != nullptr) {
+      throw ParseError("histogram '" + open_histogram->name + "' is missing bucket lines");
+    }
+
+    obs::MetricSnapshot entry;
+    if (tag == "counter") {
+      entry.kind = obs::MetricSnapshot::Kind::Counter;
+      if (!(ss >> entry.name >> entry.counter)) throw ParseError("bad counter line: " + line);
+    } else if (tag == "gauge") {
+      entry.kind = obs::MetricSnapshot::Kind::Gauge;
+      if (!(ss >> entry.name >> entry.gauge)) throw ParseError("bad gauge line: " + line);
+    } else if (tag == "histogram") {
+      entry.kind = obs::MetricSnapshot::Kind::Histogram;
+      obs::HistogramSnapshot& h = entry.histogram;
+      std::size_t num_buckets = 0;
+      if (!(ss >> entry.name >> h.count >> h.sum >> h.min >> h.max >> num_buckets)) {
+        throw ParseError("bad histogram line: " + line);
+      }
+      pending_buckets = num_buckets;
+    } else {
+      throw ParseError("unknown metrics line: " + line);
+    }
+    snapshot.entries.push_back(std::move(entry));
+    if (pending_buckets > 0) open_histogram = &snapshot.entries.back();
+  }
+
+  if (!have_header) throw ParseError("empty metrics stream (missing header)");
+  if (open_histogram != nullptr) {
+    throw ParseError("histogram '" + open_histogram->name + "' is missing bucket lines");
+  }
+  return snapshot;
+}
+
+void save_metrics(const std::string& path, const obs::MetricsSnapshot& snapshot) {
+  auto os = open_out(path);
+  write_metrics(os, snapshot);
+}
+
+obs::MetricsSnapshot load_metrics(const std::string& path) {
+  auto is = open_in(path);
+  return read_metrics(is);
+}
+
+}  // namespace wrsn::io

@@ -1,0 +1,35 @@
+// Line-oriented serialization of metrics snapshots.
+//
+// Like fields and solutions (io/serialize.hpp), a metrics dump is an
+// artifact other tooling consumes, so it gets a self-describing
+// round-trippable text format:
+//
+//   wrsn-metrics v1
+//   counter rfh/iterations 7
+//   gauge rfh/final_cost 8.2592347190000003e-06
+//   histogram sim/round_energy_j 200 0.0123 <min> <max> 2
+//   bucket sim/round_energy_j 3.0517578125e-05 6.103515625e-05 140
+//   bucket sim/round_energy_j 6.103515625e-05 0.0001220703125 60
+//
+// histogram lines carry: count, sum, min, max, number-of-bucket-lines;
+// doubles print at max_digits10 so round-trips are bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/serialize.hpp"  // ParseError
+#include "obs/metrics.hpp"
+
+namespace wrsn::io {
+
+void write_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot);
+/// Parses what `write_metrics` wrote; throws ParseError (io/serialize.hpp)
+/// on malformed input.
+obs::MetricsSnapshot read_metrics(std::istream& is);
+
+// File-path convenience wrappers.
+void save_metrics(const std::string& path, const obs::MetricsSnapshot& snapshot);
+obs::MetricsSnapshot load_metrics(const std::string& path);
+
+}  // namespace wrsn::io

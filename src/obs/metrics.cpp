@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wrsn::obs {
+
+namespace {
+
+// CAS loops instead of std::atomic<double>::fetch_add: portable across
+// toolchains that lack the C++20 floating-point atomic extensions.
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept { atomic_add(value_, delta); }
+
+int Histogram::bucket_index(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // non-positive (and NaN) values underflow
+  const int exponent = static_cast<int>(std::floor(std::log2(value)));
+  return std::clamp(exponent - kMinExponent, 0, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower(int index) noexcept {
+  return std::ldexp(1.0, index + kMinExponent);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  return std::ldexp(1.0, index + 1 + kMinExponent);
+}
+
+void Histogram::record(double value) noexcept {
+  // First recorded value seeds min/max; later records fold in via CAS. The
+  // count_ == 0 probe races benignly: a concurrent first record can only
+  // make both threads seed, and CAS keeps the true extremes.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+  }
+  atomic_add(sum_, value);
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.push_back({bucket_lower(i), bucket_upper(i), n});
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+const MetricSnapshot* MetricsSnapshot::find(const std::string& name) const noexcept {
+  for (const MetricSnapshot& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Registry::Slot& Registry::slot(const std::string& name, MetricSnapshot::Kind kind) {
+  if (name.empty() || name.find_first_of(" \t\r\n") != std::string::npos) {
+    throw std::invalid_argument("metric names must be non-empty and whitespace-free: '" +
+                                name + "'");
+  }
+  const auto [it, inserted] = slots_.try_emplace(name);
+  Slot& s = it->second;
+  if (inserted) {
+    s.kind = kind;
+    switch (kind) {
+      case MetricSnapshot::Kind::Counter: s.counter = std::make_unique<Counter>(); break;
+      case MetricSnapshot::Kind::Gauge: s.gauge = std::make_unique<Gauge>(); break;
+      case MetricSnapshot::Kind::Histogram: s.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (s.kind != kind) {
+    throw std::invalid_argument("metric '" + name + "' already registered as another kind");
+  }
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *slot(name, MetricSnapshot::Kind::Counter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *slot(name, MetricSnapshot::Kind::Gauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *slot(name, MetricSnapshot::Kind::Histogram).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {  // std::map: already name-sorted
+    MetricSnapshot entry;
+    entry.name = name;
+    entry.kind = s.kind;
+    switch (s.kind) {
+      case MetricSnapshot::Kind::Counter: entry.counter = s.counter->value(); break;
+      case MetricSnapshot::Kind::Gauge: entry.gauge = s.gauge->value(); break;
+      case MetricSnapshot::Kind::Histogram: entry.histogram = s.histogram->snapshot(); break;
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, s] : slots_) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::Counter: s.counter->reset(); break;
+      case MetricSnapshot::Kind::Gauge: s.gauge->reset(); break;
+      case MetricSnapshot::Kind::Histogram: s.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+util::Table metrics_table(const MetricsSnapshot& snapshot) {
+  util::Table table({"metric", "kind", "value", "count", "min", "mean", "max"});
+  for (const MetricSnapshot& entry : snapshot.entries) {
+    table.begin_row().add(entry.name);
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::Counter:
+        table.add("counter")
+            .add(static_cast<long long>(entry.counter))
+            .add("")
+            .add("")
+            .add("")
+            .add("");
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        table.add("gauge").add(entry.gauge, 6).add("").add("").add("").add("");
+        break;
+      case MetricSnapshot::Kind::Histogram: {
+        const HistogramSnapshot& h = entry.histogram;
+        table.add("histogram")
+            .add(h.sum, 6)
+            .add(static_cast<long long>(h.count))
+            .add(h.count ? util::format_double(h.min, 6) : "")
+            .add(h.count ? util::format_double(h.mean(), 6) : "")
+            .add(h.count ? util::format_double(h.max, 6) : "");
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace wrsn::obs

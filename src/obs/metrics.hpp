@@ -1,0 +1,160 @@
+// Thread-safe metrics registry: the instrumentation substrate every layer
+// (solvers, simulator, benches, tools) reports into.
+//
+// Three metric kinds, all lock-free on the hot path:
+//   * Counter    -- monotonically increasing event count,
+//   * Gauge      -- last-written floating-point level,
+//   * Histogram  -- value distribution over fixed base-2 log-scale buckets
+//                   (bucket i covers [2^(i+kMinExponent), 2^(i+1+kMinExponent)),
+//                   wide enough for nano-joule energies and multi-second
+//                   runtimes alike).
+//
+// A `Registry` owns metrics by name ("rfh/final_cost"); lookup is mutex-
+// guarded but returns a stable reference callers cache, so instrumented
+// loops never touch the lock.  `snapshot()` captures a consistent read-only
+// copy that renders as the existing `util::Table` ASCII/CSV machinery or as
+// the line-oriented `wrsn-metrics v1` format (io/metrics_io.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace wrsn::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (settable both ways, unlike a Counter).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only copy of a histogram's state at snapshot time.
+struct HistogramSnapshot {
+  struct Bucket {
+    double lower = 0.0;  ///< inclusive
+    double upper = 0.0;  ///< exclusive
+    std::uint64_t count = 0;
+  };
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;  ///< meaningful only when count > 0
+  std::vector<Bucket> buckets;  ///< non-empty buckets only, ascending
+
+  double mean() const noexcept { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Distribution over fixed base-2 log-scale buckets.
+class Histogram {
+ public:
+  /// Bucket 0 lower bound is 2^kMinExponent; values at or below it (and all
+  /// non-positive values) land in bucket 0, values >= 2^kMaxExponent in the
+  /// last bucket.  The span covers 1e-12 .. 1e+12 comfortably.
+  static constexpr int kMinExponent = -40;
+  static constexpr int kMaxExponent = 40;
+  static constexpr int kNumBuckets = kMaxExponent - kMinExponent;
+
+  void record(double value) noexcept;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Bucket index `value` falls into (exposed for bucketing tests).
+  static int bucket_index(double value) noexcept;
+  /// Inclusive lower / exclusive upper bound of bucket `index`.
+  static double bucket_lower(int index) noexcept;
+  static double bucket_upper(int index) noexcept;
+
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// One named metric inside a `MetricsSnapshot`.
+struct MetricSnapshot {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::uint64_t counter = 0;  ///< valid when kind == Counter
+  double gauge = 0.0;         ///< valid when kind == Gauge
+  HistogramSnapshot histogram;  ///< valid when kind == Histogram
+};
+
+/// Consistent point-in-time copy of a registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> entries;
+
+  /// Entry lookup by name; nullptr when absent.
+  const MetricSnapshot* find(const std::string& name) const noexcept;
+};
+
+/// Named metric store. Registration is idempotent: asking twice for the same
+/// name (and kind) returns the same object, so call sites need no setup
+/// phase.  Asking for an existing name as a *different* kind throws.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Metric names must be non-empty and whitespace-free ("rfh/final_cost").
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every metric (registrations and cached references stay valid).
+  void reset();
+  std::size_t size() const;
+
+  /// Process-wide default registry (tools and benches report here).
+  static Registry& global();
+
+ private:
+  struct Slot {
+    MetricSnapshot::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& slot(const std::string& name, MetricSnapshot::Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+/// Renders a snapshot with the bench harness's table machinery (ASCII/CSV).
+util::Table metrics_table(const MetricsSnapshot& snapshot);
+
+}  // namespace wrsn::obs

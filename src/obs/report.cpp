@@ -1,0 +1,118 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wrsn::obs {
+
+namespace {
+
+void check_key(const std::string& key) {
+  if (key.empty() || key.find_first_of(" \t\r\n") != std::string::npos) {
+    throw std::invalid_argument("report keys must be non-empty and whitespace-free: '" + key +
+                                "'");
+  }
+}
+
+std::string format_full(double value) {
+  std::ostringstream ss;
+  ss << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return ss.str();
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string title) : title_(std::move(title)) {}
+
+RunReport::Section& RunReport::current() {
+  if (sections_.empty()) begin_section("run");
+  return sections_.back();
+}
+
+RunReport& RunReport::begin_section(const std::string& name) {
+  check_key(name);
+  sections_.push_back({name, {}});
+  return *this;
+}
+
+RunReport& RunReport::add(const std::string& key, const std::string& value) {
+  check_key(key);
+  if (value.find_first_of("\r\n") != std::string::npos) {
+    throw std::invalid_argument("report values must be single-line: key '" + key + "'");
+  }
+  current().items.emplace_back(key, value);
+  return *this;
+}
+
+RunReport& RunReport::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+RunReport& RunReport::add(const std::string& key, double value) {
+  return add(key, format_full(value));
+}
+
+RunReport& RunReport::add(const std::string& key, std::int64_t value) {
+  return add(key, std::to_string(value));
+}
+
+RunReport& RunReport::add(const std::string& key, std::uint64_t value) {
+  return add(key, std::to_string(value));
+}
+
+RunReport& RunReport::add(const std::string& key, int value) {
+  return add(key, std::to_string(value));
+}
+
+RunReport& RunReport::add(const std::string& key, bool value) {
+  return add(key, value ? std::string("true") : std::string("false"));
+}
+
+RunReport& RunReport::attach_metrics(const MetricsSnapshot& snapshot) {
+  begin_section("metrics");
+  for (const MetricSnapshot& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::Counter:
+        add(entry.name, "counter " + std::to_string(entry.counter));
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        add(entry.name, "gauge " + format_full(entry.gauge));
+        break;
+      case MetricSnapshot::Kind::Histogram: {
+        const HistogramSnapshot& h = entry.histogram;
+        std::string line = "histogram count " + std::to_string(h.count) + " sum " +
+                           format_full(h.sum);
+        if (h.count > 0) {
+          line += " min " + format_full(h.min) + " mean " + format_full(h.mean()) + " max " +
+                  format_full(h.max);
+        }
+        add(entry.name, line);
+        break;
+      }
+    }
+  }
+  return *this;
+}
+
+void RunReport::write(std::ostream& os) const {
+  os << "wrsn-report v1\n";
+  os << "title " << title_ << '\n';
+  for (const Section& section : sections_) {
+    os << "section " << section.name << '\n';
+    for (const auto& [key, value] : section.items) {
+      os << "  " << key << ' ' << value << '\n';
+    }
+  }
+}
+
+void RunReport::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open report file for writing: " + path);
+  write(os);
+}
+
+}  // namespace wrsn::obs

@@ -1,0 +1,64 @@
+// Structured run reports: the line-oriented `wrsn-report v1` artifact
+// `plan_tool --report=out.txt` emits.
+//
+// A report is an ordered list of named sections of key/value items plus an
+// optional metrics snapshot; the format follows io/serialize's conventions
+// (self-describing header, one fact per line, '#' comments), so reports
+// diff cleanly in version control and stay trivially greppable:
+//
+//   wrsn-report v1
+//   title planning run
+//   section solver
+//     name rfh+ls
+//     final_cost_j_per_bit 8.2592e-06
+//   section metrics
+//     counter rfh/iterations 7
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wrsn::obs {
+
+/// Builder for one run's report. Keys follow metric-name rules (no
+/// whitespace); values may be any single-line string.
+class RunReport {
+ public:
+  explicit RunReport(std::string title);
+
+  /// Starts (or re-opens) the section subsequent add() calls write into.
+  RunReport& begin_section(const std::string& name);
+  RunReport& add(const std::string& key, const std::string& value);
+  RunReport& add(const std::string& key, const char* value);
+  RunReport& add(const std::string& key, double value);
+  RunReport& add(const std::string& key, std::int64_t value);
+  RunReport& add(const std::string& key, std::uint64_t value);
+  RunReport& add(const std::string& key, int value);
+  RunReport& add(const std::string& key, bool value);
+
+  /// Appends a "metrics" section rendering `snapshot` (one line per metric,
+  /// histogram bucket detail included).
+  RunReport& attach_metrics(const MetricsSnapshot& snapshot);
+
+  void write(std::ostream& os) const;
+  /// Throws std::runtime_error when the path is unwritable.
+  void save(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> items;
+  };
+
+  Section& current();
+
+  std::string title_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace wrsn::obs

@@ -1,0 +1,280 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace wrsn::obs {
+
+namespace {
+
+// Nesting depth of live spans on this thread (any buffer; spans are rare
+// enough that per-buffer bookkeeping isn't worth the indirection).
+thread_local int t_span_depth = 0;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceBuffer::record(std::string name, std::int64_t start_ns, std::int64_t dur_ns,
+                         int depth) {
+  if (!enabled()) return;
+  const std::size_t thread_hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(thread_hashes_.begin(), thread_hashes_.end(), thread_hash);
+  if (it == thread_hashes_.end()) {
+    thread_hashes_.push_back(thread_hash);
+    it = std::prev(thread_hashes_.end());
+  }
+  const int tid = static_cast<int>(it - thread_hashes_.begin());
+  events_.push_back({std::move(name), start_ns, dur_ns, tid, depth});
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_hashes_.clear();
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceBuffer& buffer) noexcept
+    : name_(name), buffer_(buffer.enabled() ? &buffer : nullptr) {
+  if (buffer_ == nullptr) return;  // disabled: skip the clock reads entirely
+  depth_ = t_span_depth++;
+  start_ns_ = util::Timer::now_ns();
+  timer_.reset();
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  --t_span_depth;
+  // An enabled->disabled flip mid-span drops the event inside record().
+  buffer_->record(name_, start_ns_, timer_.elapsed_ns(), depth_);
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  std::int64_t origin = std::numeric_limits<std::int64_t>::max();
+  for (const TraceEvent& e : events) origin = std::min(origin, e.start_ns);
+
+  // Microsecond ts/dur with 3 decimals keeps nanosecond resolution.
+  os << std::fixed << std::setprecision(3);
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"wrsn\",\"ph\":\"X\""
+       << ",\"ts\":" << static_cast<double>(e.start_ns - origin) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << ",\"pid\":0,\"tid\":" << e.tid
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "\n]\n";
+}
+
+namespace {
+
+// Minimal scanner for the writer's own output: a JSON array of flat objects
+// with string/number values and one nested "args" object.
+class TraceJsonScanner {
+ public:
+  explicit TraceJsonScanner(std::istream& is) {
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    text_ = buffer.str();
+  }
+
+  std::vector<TraceEvent> parse() {
+    skip_ws();
+    expect('[');
+    std::vector<TraceEvent> events;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return events;
+    }
+    while (true) {
+      events.push_back(parse_event());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' between events");
+    }
+    return events;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("chrome trace parse error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        c = next();
+        switch (c) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            out += static_cast<char>(std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: out += c;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  TraceEvent parse_event() {
+    skip_ws();
+    expect('{');
+    TraceEvent event;
+    bool saw_complete_phase = false;
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "name") {
+        event.name = parse_string();
+      } else if (key == "ph") {
+        saw_complete_phase = parse_string() == "X";
+      } else if (key == "ts") {
+        event.start_ns = static_cast<std::int64_t>(parse_number() * 1e3 + 0.5);
+      } else if (key == "dur") {
+        event.dur_ns = static_cast<std::int64_t>(parse_number() * 1e3 + 0.5);
+      } else if (key == "tid") {
+        event.tid = static_cast<int>(parse_number());
+      } else if (key == "args") {
+        expect('{');
+        skip_ws();
+        if (peek() != '}') {
+          while (true) {
+            const std::string arg = parse_string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            const double value = parse_number();
+            if (arg == "depth") event.depth = static_cast<int>(value);
+            skip_ws();
+            if (peek() != ',') break;
+            ++pos_;
+            skip_ws();
+          }
+        }
+        skip_ws();
+        expect('}');
+      } else if (peek() == '"') {
+        parse_string();  // unknown string field (e.g. "cat")
+      } else {
+        parse_number();  // unknown numeric field (e.g. "pid")
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' inside event");
+    }
+    if (!saw_complete_phase) fail("event is not a complete ('X') event");
+    return event;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> read_chrome_trace(std::istream& is) {
+  return TraceJsonScanner(is).parse();
+}
+
+void save_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open trace file for writing: " + path);
+  write_chrome_trace(os, events);
+}
+
+}  // namespace wrsn::obs

@@ -1,5 +1,8 @@
 #include "sim/network_sim.hpp"
 
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -35,6 +38,7 @@ NetworkSim::NetworkSim(const core::Instance& instance, const core::Solution& sol
 }
 
 bool NetworkSim::run_round() {
+  WRSN_TRACE_SPAN("sim/round");
   const auto& tree = solution_->tree;
   const double bits = static_cast<double>(config_.bits_per_report);
   bool all_alive = true;
@@ -64,6 +68,7 @@ bool NetworkSim::run_round() {
     }
   }
 
+  double round_consumed = 0.0;
   for (int p = 0; p < instance_->num_posts(); ++p) {
     auto& post = posts_[static_cast<std::size_t>(p)];
     const double through = through_rates[static_cast<std::size_t>(p)];
@@ -89,8 +94,30 @@ bool NetworkSim::run_round() {
     post.tx_bits += tx_bits;
     post.rx_bits += rx_bits;
     post.consumed_j += energy;
+    round_consumed += energy;
   }
   ++rounds_;
+
+  if (config_.sink != nullptr) {
+    // Battery extremes/mean are only gathered when someone is listening;
+    // the default path stays a pure energy-accounting loop.
+    double battery_min = 0.0;
+    double battery_sum = 0.0;
+    std::uint64_t node_count = 0;
+    bool first = true;
+    for (const auto& post : posts_) {
+      for (const auto& node : post.nodes) {
+        if (first || node.battery_j < battery_min) battery_min = node.battery_j;
+        first = false;
+        battery_sum += node.battery_j;
+        ++node_count;
+      }
+    }
+    const double battery_mean =
+        node_count == 0 ? 0.0 : battery_sum / static_cast<double>(node_count);
+    config_.sink->on_sim_round(
+        {rounds_, round_consumed, dead_node_count(), battery_min, battery_mean});
+  }
   return all_alive;
 }
 

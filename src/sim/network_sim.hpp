@@ -17,6 +17,10 @@
 #include "core/solution.hpp"
 #include "sim/schedule.hpp"
 
+namespace wrsn::obs {
+class Sink;
+}
+
 namespace wrsn::sim {
 
 struct NetworkConfig {
@@ -29,6 +33,9 @@ struct NetworkConfig {
   /// Optional time-varying traffic multiplier (null = the paper's constant
   /// one-report-per-round model). See sim/schedule.hpp.
   RateSchedule rate_schedule;
+  /// Observer notified after every round with consumed joules, dead-node
+  /// count, and battery min/mean (obs/sink.hpp); nullptr = none.
+  obs::Sink* sink = nullptr;
 };
 
 /// Per-node battery state.

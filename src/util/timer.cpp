@@ -7,4 +7,22 @@ double Timer::elapsed_seconds() const noexcept {
   return std::chrono::duration<double>(delta).count();
 }
 
+std::int64_t Timer::elapsed_ns() const noexcept {
+  const auto delta = Clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count();
+}
+
+double Timer::lap() noexcept {
+  const auto now = Clock::now();
+  const double seconds = std::chrono::duration<double>(now - lap_).count();
+  lap_ = now;
+  return seconds;
+}
+
+std::int64_t Timer::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace wrsn::util

@@ -1,22 +1,38 @@
-// Wall-clock timing for the benchmark harness (solver runtime comparisons).
+// Wall-clock timing for the benchmark harness (solver runtime comparisons)
+// and the obs trace-span layer.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace wrsn::util {
 
 /// Monotonic stopwatch started at construction.
 class Timer {
  public:
-  Timer() noexcept : start_(Clock::now()) {}
+  Timer() noexcept : start_(Clock::now()), lap_(start_) {}
 
-  void reset() noexcept { start_ = Clock::now(); }
+  void reset() noexcept {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
   double elapsed_seconds() const noexcept;
   double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+  std::int64_t elapsed_ns() const noexcept;
+
+  /// Seconds since the previous lap() (or construction/reset), advancing
+  /// the lap mark: one timer serially times many segments without the
+  /// construct/reset churn of a throwaway stopwatch per segment.
+  double lap() noexcept;
+
+  /// Monotonic timestamp in nanoseconds (steady clock, arbitrary epoch);
+  /// differences of two values are valid durations.
+  static std::int64_t now_ns() noexcept;
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace wrsn::util

@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "io/metrics_io.hpp"
+
+namespace wrsn::obs {
+namespace {
+
+// ----------------------------------------------------------------- Counter
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketIndexMatchesLog2) {
+  // Each positive value must land in the bucket whose [lower, upper) range
+  // contains it; bounds are exact powers of two.
+  for (double v : {1e-9, 3e-6, 0.4, 1.0, 1.5, 2.0, 77.0, 1e6}) {
+    const int index = Histogram::bucket_index(v);
+    EXPECT_GE(v, Histogram::bucket_lower(index)) << v;
+    EXPECT_LT(v, Histogram::bucket_upper(index)) << v;
+  }
+  // Exact powers of two open a new bucket (lower bound is inclusive).
+  EXPECT_EQ(Histogram::bucket_index(2.0), Histogram::bucket_index(3.999));
+  EXPECT_EQ(Histogram::bucket_index(4.0), Histogram::bucket_index(2.0) + 1);
+}
+
+TEST(Histogram, UnderflowOverflowClamp) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-300), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, RecordsCountSumMinMax) {
+  Histogram h;
+  h.record(1.0);
+  h.record(4.0);
+  h.record(0.25);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.25);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1.75);
+  // Three distinct powers-of-two regions -> three non-empty buckets,
+  // ascending.
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_LT(snap.buckets[0].lower, snap.buckets[1].lower);
+  EXPECT_LT(snap.buckets[1].lower, snap.buckets[2].lower);
+  for (const auto& bucket : snap.buckets) EXPECT_EQ(bucket.count, 1u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.record(3.0);
+  h.reset();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_TRUE(snap.buckets.empty());
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(Registry, LookupIsIdempotent) {
+  Registry registry;
+  Counter& a = registry.counter("rfh/iterations");
+  Counter& b = registry.counter("rfh/iterations");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, KindCollisionThrows) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(Registry, RejectsBadNames) {
+  Registry registry;
+  EXPECT_THROW(registry.counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.gauge("has\ttab"), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  Registry registry;
+  registry.counter("z/count").increment(3);
+  registry.gauge("a/level").set(1.5);
+  registry.histogram("m/dist").record(2.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a/level");
+  EXPECT_EQ(snap.entries[1].name, "m/dist");
+  EXPECT_EQ(snap.entries[2].name, "z/count");
+  EXPECT_DOUBLE_EQ(snap.find("a/level")->gauge, 1.5);
+  EXPECT_EQ(snap.find("z/count")->counter, 3u);
+  EXPECT_EQ(snap.find("m/dist")->histogram.count, 1u);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  registry.gauge("g").set(7.0);
+  registry.histogram("h").record(1.0);
+  c.increment(5);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);  // cached reference stays live
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("c")->counter, 0u);
+  EXPECT_DOUBLE_EQ(snap.find("g")->gauge, 0.0);
+  EXPECT_EQ(snap.find("h")->histogram.count, 0u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter& counter = registry.counter("hot/counter");
+  Gauge& gauge = registry.gauge("hot/gauge");
+  Histogram& histogram = registry.histogram("hot/histogram");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.increment();
+        gauge.add(1.0);
+        histogram.record(static_cast<double>(1 + (t + i) % 4));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * static_cast<std::uint64_t>(kPerThread);
+  EXPECT_EQ(counter.value(), kTotal);
+  // Every add is exactly 1.0, so the CAS-looped double sum is exact too.
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kTotal));
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+  std::uint64_t bucket_total = 0;
+  for (const auto& bucket : snap.buckets) bucket_total += bucket.count;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { seen[static_cast<std::size_t>(t)] = &registry.counter("shared"); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+}
+
+// ------------------------------------------------------------ table render
+
+TEST(MetricsTable, OneRowPerMetric) {
+  Registry registry;
+  registry.counter("n").increment(2);
+  registry.gauge("g").set(0.5);
+  registry.histogram("h").record(1.0);
+  const util::Table table = metrics_table(registry.snapshot());
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_columns(), 7u);
+  std::ostringstream ascii;
+  table.print_ascii(ascii);
+  EXPECT_NE(ascii.str().find("counter"), std::string::npos);
+  EXPECT_NE(ascii.str().find("histogram"), std::string::npos);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("g,gauge"), std::string::npos);
+}
+
+// ------------------------------------------------- wrsn-metrics v1 round-trip
+
+TEST(MetricsIo, RoundTripsBitExactly) {
+  Registry registry;
+  registry.counter("rfh/iterations").increment(7);
+  registry.gauge("rfh/final_cost").set(8.2592347e-06);
+  Histogram& h = registry.histogram("sim/round_energy_j");
+  h.record(3.3e-5);
+  h.record(6.1e-5);
+  h.record(1.9e-4);
+  const MetricsSnapshot out = registry.snapshot();
+
+  std::stringstream stream;
+  io::write_metrics(stream, out);
+  EXPECT_EQ(stream.str().rfind("wrsn-metrics v1\n", 0), 0u);
+  const MetricsSnapshot in = io::read_metrics(stream);
+
+  ASSERT_EQ(in.entries.size(), out.entries.size());
+  for (std::size_t i = 0; i < out.entries.size(); ++i) {
+    EXPECT_EQ(in.entries[i].name, out.entries[i].name);
+    EXPECT_EQ(in.entries[i].kind, out.entries[i].kind);
+  }
+  EXPECT_EQ(in.find("rfh/iterations")->counter, 7u);
+  EXPECT_DOUBLE_EQ(in.find("rfh/final_cost")->gauge, 8.2592347e-06);
+  const HistogramSnapshot& hist = in.find("sim/round_energy_j")->histogram;
+  const HistogramSnapshot& orig = out.find("sim/round_energy_j")->histogram;
+  EXPECT_EQ(hist.count, orig.count);
+  EXPECT_DOUBLE_EQ(hist.sum, orig.sum);
+  EXPECT_DOUBLE_EQ(hist.min, orig.min);
+  EXPECT_DOUBLE_EQ(hist.max, orig.max);
+  ASSERT_EQ(hist.buckets.size(), orig.buckets.size());
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hist.buckets[i].lower, orig.buckets[i].lower);
+    EXPECT_DOUBLE_EQ(hist.buckets[i].upper, orig.buckets[i].upper);
+    EXPECT_EQ(hist.buckets[i].count, orig.buckets[i].count);
+  }
+}
+
+TEST(MetricsIo, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return io::read_metrics(is);
+  };
+  EXPECT_THROW(parse(""), io::ParseError);
+  EXPECT_THROW(parse("wrsn-metrics v2\n"), io::ParseError);
+  EXPECT_THROW(parse("wrsn-metrics v1\nwidget a 1\n"), io::ParseError);
+  EXPECT_THROW(parse("wrsn-metrics v1\ncounter only_name\n"), io::ParseError);
+  // Histogram announcing more buckets than it provides.
+  EXPECT_THROW(parse("wrsn-metrics v1\nhistogram h 1 1.0 1.0 1.0 2\nbucket h 1 2 1\n"),
+               io::ParseError);
+  // Stray bucket line.
+  EXPECT_THROW(parse("wrsn-metrics v1\nbucket h 1 2 1\n"), io::ParseError);
+}
+
+}  // namespace
+}  // namespace wrsn::obs

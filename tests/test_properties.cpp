@@ -74,7 +74,7 @@ TEST_P(SolverProperties, CoDesignBeatsOrMatchesBaselineDeployment) {
 TEST_P(SolverProperties, RfhHistoryBestIsReported) {
   const core::Instance inst = make_instance(GetParam());
   const core::RfhResult result = core::solve_rfh(inst);
-  for (double cost : result.cost_history) {
+  for (double cost : result.per_iteration_cost) {
     EXPECT_GE(cost, result.cost - result.cost * 1e-12);
   }
 }

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include "core/baseline.hpp"
 #include "helpers.hpp"
+#include "obs/sink.hpp"
 
 namespace wrsn::core {
 namespace {
@@ -184,7 +186,7 @@ TEST(SolveRfh, ProducesValidSolution) {
     return all;
   }();
   EXPECT_GT(result.cost, 0.0);
-  EXPECT_EQ(result.cost_history.size(), 7u);
+  EXPECT_EQ(result.per_iteration_cost.size(), 7u);
 }
 
 TEST(SolveRfh, DeterministicForSameInstance) {
@@ -203,10 +205,66 @@ TEST(SolveRfh, BestIterationNeverWorseThanFirst) {
   for (int trial = 0; trial < 5; ++trial) {
     const Instance inst = test::random_instance(40, 120, 250.0, rng);
     const RfhResult result = solve_rfh(inst);
-    EXPECT_LE(result.cost, result.cost_history.front() + 1e-18);
+    EXPECT_LE(result.cost, result.per_iteration_cost.front() + 1e-18);
     EXPECT_DOUBLE_EQ(result.cost,
-                     *std::min_element(result.cost_history.begin(), result.cost_history.end()));
+                     *std::min_element(result.per_iteration_cost.begin(), result.per_iteration_cost.end()));
   }
+}
+
+TEST(SolveRfh, ConvergesMonotoneOrPlateau) {
+  // Fig. 6's convergence claim: the running best cost falls monotonically
+  // and, once converged, later iterations stay in a small band around it
+  // (Phase IV rounding can make the raw series oscillate slightly).
+  util::Rng rng(89);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(40, 160, 250.0, rng);
+    const RfhResult result = solve_rfh(inst);
+    double best_so_far = result.per_iteration_cost.front();
+    for (std::size_t it = 0; it < result.per_iteration_cost.size(); ++it) {
+      const double cost = result.per_iteration_cost[it];
+      // Monotone part: the running best never rises ...
+      best_so_far = std::min(best_so_far, cost);
+      // ... and plateau part: no iteration regresses above the first
+      // (charging-oblivious) pass, i.e. oscillation stays bounded.
+      EXPECT_LE(cost, result.per_iteration_cost.front() * (1.0 + 1e-9)) << "iteration " << it;
+    }
+    EXPECT_DOUBLE_EQ(best_so_far, result.cost);
+    // After the best iteration the series plateaus: every later cost stays
+    // within a narrow band of the optimum rather than diverging.
+    for (std::size_t it = static_cast<std::size_t>(result.best_iteration);
+         it < result.per_iteration_cost.size(); ++it) {
+      EXPECT_LE(result.per_iteration_cost[it], result.cost * 1.10) << "iteration " << it;
+    }
+  }
+}
+
+TEST(SolveRfh, SinkSeesEveryIteration) {
+  util::Rng rng(97);
+  const Instance inst = test::random_instance(30, 90, 200.0, rng);
+  obs::RecordingSink sink;
+  RfhOptions options;
+  options.sink = &sink;
+  const RfhResult result = solve_rfh(inst, options);
+
+  ASSERT_EQ(sink.rfh_iterations.size(), result.per_iteration_cost.size());
+  double best = graph::kInfinity;
+  for (std::size_t it = 0; it < sink.rfh_iterations.size(); ++it) {
+    const obs::RfhIterationEvent& event = sink.rfh_iterations[it];
+    EXPECT_EQ(event.iteration, static_cast<int>(it));
+    // The event stream carries exactly the per-iteration series ...
+    EXPECT_DOUBLE_EQ(event.cost, result.per_iteration_cost[it]);
+    // ... and a correct running best.
+    best = std::min(best, event.cost);
+    EXPECT_DOUBLE_EQ(event.best_cost, best);
+    // Phase I's fat tree has at least one parent edge per post.
+    EXPECT_GE(event.fat_tree_edges, inst.num_posts());
+  }
+  EXPECT_DOUBLE_EQ(sink.rfh_iterations.back().best_cost, result.cost);
+
+  // The sink is observational: same instance without a sink, same answer.
+  const RfhResult plain = solve_rfh(inst);
+  EXPECT_DOUBLE_EQ(plain.cost, result.cost);
+  EXPECT_EQ(plain.solution.deployment, result.solution.deployment);
 }
 
 TEST(SolveRfh, IterationImprovesOverBasic) {
@@ -230,7 +288,7 @@ TEST(SolveRfh, SingleIterationOptionsRespected) {
   RfhOptions options;
   options.iterations = 3;
   const RfhResult result = solve_rfh(inst, options);
-  EXPECT_EQ(result.cost_history.size(), 3u);
+  EXPECT_EQ(result.per_iteration_cost.size(), 3u);
   EXPECT_THROW(solve_rfh(inst, RfhOptions{.iterations = 0}), std::invalid_argument);
 }
 

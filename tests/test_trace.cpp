@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace wrsn::obs {
+namespace {
+
+std::vector<TraceEvent> find_all(const std::vector<TraceEvent>& events,
+                                 const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(TraceBuffer, DisabledByDefaultDropsSpans) {
+  TraceBuffer buffer;
+  { TraceSpan span("ignored", buffer); }
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceBuffer, RecordsCompletedSpans) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  { TraceSpan span("work", buffer); }
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].depth, 0);
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceSpan, NestingDepthAndContainment) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan outer("outer", buffer);
+    {
+      TraceSpan inner("inner", buffer);
+      { TraceSpan innermost("innermost", buffer); }
+    }
+    { TraceSpan sibling("inner", buffer); }
+  }
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);  // inner spans close (and record) first
+
+  const TraceEvent outer = find_all(events, "outer").at(0);
+  const TraceEvent innermost = find_all(events, "innermost").at(0);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(innermost.depth, 2);
+  for (const TraceEvent& inner : find_all(events, "inner")) {
+    EXPECT_EQ(inner.depth, 1);
+    // Temporal containment: children start no earlier and end no later.
+    EXPECT_GE(inner.start_ns, outer.start_ns);
+    EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  }
+  EXPECT_GE(outer.dur_ns, innermost.dur_ns);
+}
+
+TEST(TraceSpan, SpansOnSeparateThreadsGetDistinctTids) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  { TraceSpan span("main-thread", buffer); }
+  std::thread worker([&buffer] { TraceSpan span("worker-thread", buffer); });
+  worker.join();
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(find_all(events, "main-thread").at(0).tid,
+            find_all(events, "worker-thread").at(0).tid);
+  // Worker spans nest independently of the main thread's depth.
+  EXPECT_EQ(find_all(events, "worker-thread").at(0).depth, 0);
+}
+
+TEST(TraceMacro, ReportsIntoTheGlobalBuffer) {
+  TraceBuffer& buffer = TraceBuffer::global();
+  buffer.clear();
+  buffer.set_enabled(true);
+  { WRSN_TRACE_SPAN("macro-span"); }
+  buffer.set_enabled(false);
+  const auto events = buffer.events();
+  buffer.clear();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "macro-span");
+}
+
+// ------------------------------------------------ Chrome trace JSON export
+
+TEST(ChromeTrace, EmitsCompleteEventArray) {
+  const std::vector<TraceEvent> events{
+      {"rfh/phase1", 1'000'000, 250'000, 0, 0},
+      {"rfh/phase2", 1'250'000, 100'500, 0, 1},
+  };
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rfh/phase1\""), std::string::npos);
+  // ts rebased to the earliest event, microseconds.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":250.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100.500"), std::string::npos);
+}
+
+TEST(ChromeTrace, RoundTripsThroughAStringStream) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan outer("solve \"quoted\"\n", buffer);  // exercises escaping
+    TraceSpan inner("solve/phase", buffer);
+  }
+  const auto original = buffer.events();
+  ASSERT_EQ(original.size(), 2u);
+
+  std::stringstream stream;
+  write_chrome_trace(stream, original);
+  const auto parsed = read_chrome_trace(stream);
+
+  ASSERT_EQ(parsed.size(), original.size());
+  std::int64_t origin = std::min(original[0].start_ns, original[1].start_ns);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, original[i].name);
+    EXPECT_EQ(parsed[i].tid, original[i].tid);
+    EXPECT_EQ(parsed[i].depth, original[i].depth);
+    // ts/dur survive to the nanosecond (writer keeps 3 decimals of us).
+    EXPECT_EQ(parsed[i].start_ns, original[i].start_ns - origin);
+    EXPECT_EQ(parsed[i].dur_ns, original[i].dur_ns);
+  }
+}
+
+TEST(ChromeTrace, EmptyBufferIsAValidArray) {
+  std::stringstream stream;
+  write_chrome_trace(stream, {});
+  EXPECT_TRUE(read_chrome_trace(stream).empty());
+}
+
+TEST(ChromeTrace, ParserRejectsGarbage) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return read_chrome_trace(is);
+  };
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{}"), std::runtime_error);
+  EXPECT_THROW(parse("[{\"name\":\"x\"}]"), std::runtime_error);  // not ph:"X"
+  EXPECT_THROW(parse("[{\"name\":\"x\",\"ph\":\"X\""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wrsn::obs

@@ -211,7 +211,7 @@ TEST(Workload, RfhIterationsStillConvergeUnderWeights) {
                                             test::paper_charging(), 60, workload);
   const auto result = solve_rfh(inst);
   EXPECT_TRUE(is_valid_solution(inst, result.solution));
-  EXPECT_LE(result.cost, result.cost_history.front() + 1e-18);
+  EXPECT_LE(result.cost, result.per_iteration_cost.front() + 1e-18);
 }
 
 }  // namespace
