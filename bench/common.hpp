@@ -8,6 +8,8 @@
 //   --scale=...    "default" or "paper" (paper = the exact sizes of the
 //                  paper, which can take much longer, mainly fig7's exact
 //                  search)
+//   --threads=<n>  worker threads for parallel solver stages (1 = serial,
+//                  0 = all hardware threads)
 //   --csv          also dump CSV after each table
 //   --trace=f.json collect trace spans, write Chrome trace-event JSON
 //   --metrics=f.txt dump the global metrics registry (wrsn-metrics v1)
@@ -37,6 +39,7 @@ namespace wrsn::bench {
 struct BenchArgs {
   std::int64_t seed = 42;
   int runs = 0;  // 0 = per-bench default
+  int threads = 1;  // parallel solver stages; 0 = all hardware threads
   std::string scale = "default";
   bool csv = false;
   std::string svg_dir;  // when set, benches write figure SVGs here
@@ -52,6 +55,7 @@ struct BenchArgs {
     util::Flags flags;
     flags.add_int64("seed", &args.seed, "base RNG seed");
     flags.add_int("runs", &args.runs, "replications per configuration (0 = default)");
+    flags.add_int("threads", &args.threads, "solver worker threads (0 = all cores)");
     flags.add_string("scale", &args.scale, "default | paper");
     flags.add_bool("csv", &args.csv, "also print CSV");
     flags.add_string("svg-dir", &args.svg_dir, "write figure SVGs into this directory");

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   double charger_speed = 5.0;
   int bits = 4096;
   int sim_rounds = 200;
+  int threads = 1;
+  std::string ls_strategy = "first";
   std::string trace_path;
   std::string metrics_path;
   std::string report_path;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
   flags.add_double("charger-speed", &charger_speed, "charger travel speed [m/s]");
   flags.add_int("bits", &bits, "bits per report round");
   flags.add_int("sim-rounds", &sim_rounds, "reporting rounds to simulate on the plan");
+  flags.add_int("threads", &threads, "local-search pricing threads (0 = all cores)");
+  flags.add_string("ls-strategy", &ls_strategy, "local-search move rule: first | best");
   flags.add_string("trace", &trace_path, "write a Chrome trace-event JSON here");
   flags.add_string("metrics", &metrics_path, "write a wrsn-metrics v1 dump here");
   flags.add_string("report", &report_path, "write a wrsn-report v1 summary here");
@@ -135,11 +139,22 @@ int main(int argc, char** argv) {
   if (solver.ends_with("+ls")) {
     core::LocalSearchOptions options;
     options.sink = &metrics_sink;
+    options.threads = threads;
+    if (ls_strategy == "best") {
+      options.strategy = core::LocalSearchStrategy::kBestImprovement;
+    } else if (ls_strategy != "first") {
+      std::fprintf(stderr, "unknown --ls-strategy '%s' (expected first|best)\n",
+                   ls_strategy.c_str());
+      return 1;
+    }
     const auto refined = core::refine_solution(instance, solution, options);
     solution = refined.solution;
     cost = refined.cost;
     run_report.add("ls_moves_applied", refined.moves_applied)
-        .add("ls_passes", refined.passes);
+        .add("ls_passes", refined.passes)
+        .add("ls_threads", refined.threads_used)
+        .add("ls_strategy", ls_strategy)
+        .add("ls_wasted_evaluations", refined.wasted_evaluations);
   }
   std::printf("solver %s: total recharging cost %s per reported bit\n", solver.c_str(),
               util::format_energy(cost).c_str());

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Rebuilds the solver hot-path micro benchmarks in Release mode and refreshes
+# BENCH_hotpaths.json at the repo root.
+#
+# Usage:  scripts/perf_baseline.sh [--runs N] [--scale paper|ci] [bench flags...]
+#
+# Extra flags (e.g. --threads 4, --benchmark_filter=...) are passed through to
+# the micro_hotpaths binary; --runs maps to --benchmark_repetitions.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" --target micro_hotpaths -j "$(nproc)"
+
+"${build_dir}/bench/micro_hotpaths" \
+  --benchmark_out="${repo_root}/BENCH_hotpaths.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote ${repo_root}/BENCH_hotpaths.json"

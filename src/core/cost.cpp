@@ -78,16 +78,61 @@ graph::WeightFn recharging_weight(const Instance& instance, const std::vector<in
   };
 }
 
+DenseRechargingWeight::DenseRechargingWeight(const Instance& instance,
+                                             const std::vector<int>& deployment)
+    : instance_(&instance),
+      tx_(instance.tx_cost_matrix().data()),
+      stride_(static_cast<std::size_t>(instance.tx_stride())),
+      rx_(instance.rx_energy()),
+      bs_(instance.graph().base_station()),
+      inv_eff_(static_cast<std::size_t>(instance.num_posts())) {
+  assign(deployment);
+}
+
+void DenseRechargingWeight::assign(const std::vector<int>& deployment) {
+  if (deployment.size() != inv_eff_.size()) {
+    throw std::invalid_argument("deployment size does not match the instance");
+  }
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    inv_eff_[i] = 1.0 / instance_->charging().efficiency(deployment[i]);
+  }
+}
+
+void DenseRechargingWeight::set_node_count(int post, int m) {
+  inv_eff_.at(static_cast<std::size_t>(post)) = 1.0 / instance_->charging().efficiency(m);
+}
+
+DenseEnergyWeight::DenseEnergyWeight(const Instance& instance, bool include_rx)
+    : tx_(instance.tx_cost_matrix().data()),
+      stride_(static_cast<std::size_t>(instance.tx_stride())),
+      rx_(instance.rx_energy()),
+      bs_(instance.graph().base_station()),
+      include_rx_(include_rx) {}
+
 double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment) {
-  const auto dag =
-      graph::shortest_paths_to_base(instance.graph(), recharging_weight(instance, deployment));
-  if (!dag.all_posts_reachable) return graph::kInfinity;
+  CostEvalScratch scratch;
+  return optimal_cost_for_deployment(instance, deployment, scratch);
+}
+
+double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment,
+                                   CostEvalScratch& scratch, graph::DijkstraVariant variant) {
+  if (static_cast<int>(deployment.size()) != instance.num_posts()) {
+    throw std::invalid_argument("deployment size does not match the instance");
+  }
+  if (!scratch.weight.has_value() || &scratch.weight->instance() != &instance) {
+    scratch.weight.emplace(instance, deployment);
+  } else {
+    scratch.weight->assign(deployment);
+  }
+  const bool reachable = graph::shortest_distances_to_base(
+      instance.graph(), instance.adjacency(), *scratch.weight, scratch.dijkstra, variant);
+  if (!reachable) return graph::kInfinity;
   // Each source contributes its rate times its per-bit path cost; static
   // draws are routed-independent but still paid through the post's
   // charging efficiency.
   double total = 0.0;
   for (int p = 0; p < instance.num_posts(); ++p) {
-    total += instance.report_rate(p) * dag.dist[static_cast<std::size_t>(p)];
+    total += instance.report_rate(p) * scratch.dijkstra.dist[static_cast<std::size_t>(p)];
     total += instance.charging().charger_energy_for(instance.static_energy(p),
                                                     deployment[static_cast<std::size_t>(p)]);
   }

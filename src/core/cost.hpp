@@ -8,6 +8,7 @@
 // E(p) / (k(m_p) * eta), and the objective is the sum over posts.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/solution.hpp"
@@ -42,10 +43,82 @@ graph::WeightFn energy_weight(const Instance& instance, bool include_rx = false)
 /// deployment and *prices* it.
 graph::WeightFn recharging_weight(const Instance& instance, const std::vector<int>& deployment);
 
+/// Concrete-type counterpart of `recharging_weight` over the instance's
+/// dense tx-cost cache: same values, but a flat-array read the templated
+/// Dijkstra inlines instead of a std::function dispatch per relaxation.
+/// Rebindable with zero allocation -- a single-node move a -> b updates
+/// exactly the two touched efficiencies via `set_node_count`.
+class DenseRechargingWeight {
+ public:
+  DenseRechargingWeight(const Instance& instance, const std::vector<int>& deployment);
+
+  /// Rebinds every post's efficiency to `deployment` (no allocation).
+  void assign(const std::vector<int>& deployment);
+  /// Post `post` now holds `m` nodes; O(1).
+  void set_node_count(int post, int m);
+  const Instance& instance() const noexcept { return *instance_; }
+
+  double operator()(int from, int to) const noexcept {
+    // `from` is always a post here: the reversed-edge Dijkstra never relaxes
+    // an edge out of the base station (it settles first), and the tight-edge
+    // scan only prices post -> * edges -- same contract as recharging_weight.
+    double w = tx_[static_cast<std::size_t>(from) * stride_ + static_cast<std::size_t>(to)] *
+               inv_eff_[static_cast<std::size_t>(from)];
+    if (to != bs_) w += rx_ * inv_eff_[static_cast<std::size_t>(to)];
+    return w;
+  }
+
+ private:
+  const Instance* instance_;
+  const double* tx_;
+  std::size_t stride_;
+  double rx_;
+  int bs_;
+  std::vector<double> inv_eff_;  // 1/(k(m) eta), indexed by post
+};
+
+/// Concrete-type counterpart of `energy_weight` (same values) for the
+/// templated Dijkstra: w = tx energy, plus e_r when `include_rx` and the
+/// receiver is not the base station.
+class DenseEnergyWeight {
+ public:
+  DenseEnergyWeight(const Instance& instance, bool include_rx);
+
+  double operator()(int from, int to) const noexcept {
+    double w = tx_[static_cast<std::size_t>(from) * stride_ + static_cast<std::size_t>(to)];
+    if (include_rx_ && to != bs_) w += rx_;
+    return w;
+  }
+
+ private:
+  const double* tx_;
+  std::size_t stride_;
+  double rx_;
+  int bs_;
+  bool include_rx_;
+};
+
+/// Reusable deployment-pricing state: one Dijkstra run's buffers plus the
+/// rebindable dense weight.  Lets callers price thousands of deployments
+/// with zero steady-state allocation; use one per thread in parallel loops
+/// (the buffers are not synchronized).
+struct CostEvalScratch {
+  graph::DijkstraScratch dijkstra;
+  std::optional<DenseRechargingWeight> weight;  // bound lazily per instance
+};
+
 /// Total recharging cost of the *optimal* routing for a fixed deployment:
 /// sum over posts of the charging-aware shortest-path distance.
 /// Returns graph::kInfinity when some post cannot reach the base station.
 double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment);
+
+/// Scratch-reusing overload of the above -- identical result, but the
+/// solver hot loops (local search, IDB, RFH iterations) call it with a
+/// long-lived scratch so per-candidate pricing allocates nothing and skips
+/// the tight-edge DAG extraction entirely.
+double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment,
+                                   CostEvalScratch& scratch,
+                                   graph::DijkstraVariant variant = graph::DijkstraVariant::kAuto);
 
 /// Extracts a single-parent shortest-path tree from a DAG (first tight
 /// parent, deterministic).

@@ -80,19 +80,24 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
     remaining = 0;
   }
 
+  // One scratch + one tentative buffer for the whole delta > 1 sweep: the
+  // multiset loop prices thousands of candidates and must not allocate or
+  // rebuild weight tables per candidate.
+  CostEvalScratch scratch;
+  std::vector<int> tentative;
   while (remaining > 0) {
     const int batch = std::min(options.delta, remaining);
     double best_cost = graph::kInfinity;
     std::vector<int> best_addition;
 
     idb_detail::for_each_multiset(n, batch, [&](const std::vector<int>& addition) {
-      std::vector<int> tentative = deployment;
+      tentative = deployment;
       for (int i = 0; i < n; ++i) {
         tentative[static_cast<std::size_t>(i)] += addition[static_cast<std::size_t>(i)];
       }
       // Pricing a deployment = one charging-aware Dijkstra: the sum of the
       // per-post shortest-path distances *is* the optimal tree's cost.
-      const double cost = optimal_cost_for_deployment(instance, tentative);
+      const double cost = optimal_cost_for_deployment(instance, tentative, scratch);
       ++result.evaluations;
       if (cost < best_cost) {
         best_cost = cost;
@@ -115,8 +120,9 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
   }
 
   // Final routing for the committed deployment.
-  const auto dag = graph::shortest_paths_to_base(instance.graph(),
-                                                 recharging_weight(instance, deployment));
+  const DenseRechargingWeight weight(instance, deployment);
+  const auto dag =
+      graph::shortest_paths_to_base(instance.graph(), instance.adjacency(), weight);
   if (!dag.all_posts_reachable) {
     throw InfeasibleInstance("some post cannot reach the base station");
   }

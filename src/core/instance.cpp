@@ -34,6 +34,21 @@ Instance::Instance(std::optional<geom::Field> field, graph::ReachGraph graph,
     if (s < 0.0) throw InfeasibleInstance("static energy must be non-negative");
     if (s != 0.0) uniform_workload_ = false;
   }
+
+  // Dense edge-cost cache + adjacency: paid once here, read by every
+  // Dijkstra relaxation afterwards.
+  const int nv = graph_.num_vertices();
+  tx_cost_.assign(static_cast<std::size_t>(nv) * static_cast<std::size_t>(nv),
+                  std::numeric_limits<double>::infinity());
+  for (int from = 0; from < nv; ++from) {
+    for (int to = 0; to < nv; ++to) {
+      const int level = graph_.min_level(from, to);
+      if (level == graph::ReachGraph::kUnreachable) continue;
+      tx_cost_[static_cast<std::size_t>(from) * static_cast<std::size_t>(nv) +
+               static_cast<std::size_t>(to)] = radio_.tx_energy(level);
+    }
+  }
+  adjacency_ = graph::ReachAdjacency(graph_);
 }
 
 Instance Instance::geometric(geom::Field field, energy::RadioModel radio,
@@ -50,11 +65,16 @@ Instance Instance::abstract(graph::ReachGraph graph, energy::RadioModel radio,
 }
 
 double Instance::tx_energy(int from, int to) const {
-  const int level = graph_.min_level(from, to);
-  if (level == graph::ReachGraph::kUnreachable) {
+  const int nv = graph_.num_vertices();
+  if (from < 0 || from >= nv || to < 0 || to >= nv) {
+    throw std::out_of_range("ReachGraph vertex out of range");
+  }
+  const double e = tx_cost_[static_cast<std::size_t>(from) * static_cast<std::size_t>(nv) +
+                            static_cast<std::size_t>(to)];
+  if (!(e < std::numeric_limits<double>::infinity())) {
     throw std::invalid_argument("tx_energy: target unreachable");
   }
-  return radio_.tx_energy(level);
+  return e;
 }
 
 }  // namespace wrsn::core

@@ -7,6 +7,7 @@
 // energy needed to compensate one reporting round is minimal.
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -61,6 +62,23 @@ class Instance {
   /// Per-bit receive energy.
   double rx_energy() const noexcept { return radio_.rx_energy(); }
 
+  /// Dense per-bit tx-energy cache, row-major over all (from, to) vertex
+  /// pairs with stride `tx_stride()`; unreachable pairs hold +infinity.
+  /// Built once at construction so the Dijkstra inner loops read one flat
+  /// array instead of paying a min_level lookup + level-energy call per
+  /// edge relaxation (docs/performance.md).
+  const std::vector<double>& tx_cost_matrix() const noexcept { return tx_cost_; }
+  /// Row stride of `tx_cost_matrix()` (== graph().num_vertices()).
+  int tx_stride() const noexcept { return graph_.num_vertices(); }
+  /// Pointer to `from`'s row of the cache: row[to] = tx energy or +infinity.
+  const double* tx_cost_row(int from) const {
+    return tx_cost_.data() +
+           static_cast<std::size_t>(from) * static_cast<std::size_t>(tx_stride());
+  }
+  /// Reachable-neighbor adjacency lists, built once at construction and
+  /// shared by every Dijkstra run over this instance.
+  const graph::ReachAdjacency& adjacency() const noexcept { return adjacency_; }
+
   /// Post p's relative report rate (1.0 in the paper's uniform setting).
   double report_rate(int p) const { return report_rates_.at(static_cast<std::size_t>(p)); }
   /// Post p's static per-round energy (0 in the paper's setting).
@@ -83,6 +101,8 @@ class Instance {
   std::vector<double> static_energy_;
   bool uniform_workload_ = true;
   double total_report_rate_ = 0.0;
+  std::vector<double> tx_cost_;        // (N+1)^2 row-major, +inf when absent
+  graph::ReachAdjacency adjacency_;
 };
 
 /// Thrown when an instance is infeasible (M < N, disconnected field, ...).

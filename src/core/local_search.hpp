@@ -8,6 +8,12 @@
 // Every candidate is priced with the charging-aware shortest-path routing
 // (optimal for a fixed deployment), so the search walks the same objective
 // the exact solver optimizes and terminates at a local optimum of it.
+//
+// Candidate pricing can run on several threads.  The parallel
+// first-improvement mode speculates ahead in the serial scan order and
+// rewinds past the first accepted move, so the accepted-move sequence -- and
+// therefore the result -- is bit-identical to the serial scan for every
+// thread count; only `wasted_evaluations` (discarded speculation) varies.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +27,28 @@ class Sink;
 
 namespace wrsn::core {
 
+enum class LocalSearchStrategy {
+  /// Accept the first improving move found in (a, b) scan order (default;
+  /// matches the historical serial behavior exactly).
+  kFirstImprovement,
+  /// Sweep the whole neighborhood, apply the single best improving move per
+  /// pass (ties broken toward the smallest (a, b)).
+  kBestImprovement,
+};
+
 struct LocalSearchOptions {
   /// Hard cap on improvement passes (a pass scans all (a, b) moves).
   int max_passes = 50;
   /// Accept a move only when it improves by more than this relative slack
   /// (guards against cycling on floating-point noise).
   double min_relative_gain = 1e-12;
-  /// Observer notified per candidate move (accept/reject + delta) and per
-  /// pass (obs/sink.hpp); nullptr = none. Purely observational.
+  /// Worker threads pricing candidates: 1 = serial, 0 = all hardware
+  /// threads.  Any value yields the same solution (see file comment).
+  int threads = 1;
+  LocalSearchStrategy strategy = LocalSearchStrategy::kFirstImprovement;
+  /// Observer notified per candidate move (accept/reject + delta), per pass
+  /// and per run (obs/sink.hpp); nullptr = none.  Purely observational;
+  /// callbacks always fire from the calling thread in serial scan order.
   obs::Sink* sink = nullptr;
 };
 
@@ -39,8 +59,14 @@ struct LocalSearchResult {
   double initial_cost = 0.0;
   int moves_applied = 0;
   int passes = 0;
-  /// Deployments priced (one charging-aware Dijkstra each).
+  /// Deployments priced (one charging-aware Dijkstra each) that the serial
+  /// scan would also have priced.
   std::uint64_t evaluations = 0;
+  /// Speculative pricings discarded by first-improvement rewinds (always 0
+  /// when threads == 1 or strategy == kBestImprovement).
+  std::uint64_t wasted_evaluations = 0;
+  /// Actual worker count after resolving threads == 0.
+  int threads_used = 1;
 };
 
 /// Refines `start` (which must be valid for `instance`). The result never

@@ -48,7 +48,10 @@ double DeploymentPricer::relax_with(int j, double inv_eff_j, std::vector<double>
   const int n = instance_->num_posts();
   const int bs = g.base_station();
   const auto inv = [&](int v) {
-    return v == j ? inv_eff_j : inv_eff_[static_cast<std::size_t>(v)];
+    if (v == j) return inv_eff_j;
+    // The base station has no efficiency entry; `weight` never uses the
+    // receive term there, so any value works.
+    return v < n ? inv_eff_[static_cast<std::size_t>(v)] : 0.0;
   };
 
   using Item = std::pair<double, int>;

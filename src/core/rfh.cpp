@@ -1,11 +1,13 @@
 #include "core/rfh.hpp"
 
 #include "core/allocation.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 namespace wrsn::core {
@@ -17,6 +19,17 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
   const int bs = dag.base_station;
 
   graph::DagReach reach = graph::compute_dag_reach(dag);
+  // Closure rebuilds are the expensive part of Phase II, so they happen
+  // lazily: deletions mark `reach` stale, and it is refreshed only when a
+  // later decision actually depends on up-to-date values.
+  bool stale = false;
+  static obs::Counter& rebuilds = obs::Registry::global().counter("rfh/closure_rebuilds");
+  const auto refresh = [&] {
+    reach = graph::compute_dag_reach(dag);
+    stale = false;
+    rebuilds.increment();
+  };
+
   std::vector<char> processed(static_cast<std::size_t>(n_vertices), 0);
   processed[static_cast<std::size_t>(bs)] = 1;
 
@@ -25,6 +38,21 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
     // routing workload (number of DAG descendants). Selecting the max each
     // step is equivalent to maintaining the sorted queue and re-positioning
     // entries whose workload changed.
+    //
+    // A stale closure is safe to select from only when every remaining
+    // workload reads zero: deletions never grow a workload, so stale zeros
+    // are exact, the argmax (first unprocessed post) is unchanged, and a
+    // zero-workload post has no descendants to trim either.  Any other
+    // stale state forces a refresh to keep the selection bit-identical to
+    // the eager recompute.
+    if (stale) {
+      int stale_max = 0;
+      for (int v = 0; v < n_posts; ++v) {
+        if (processed[static_cast<std::size_t>(v)]) continue;
+        stale_max = std::max(stale_max, reach.workload[static_cast<std::size_t>(v)]);
+      }
+      if (stale_max > 0) refresh();
+    }
     int p = -1;
     for (int v = 0; v < n_posts; ++v) {
       if (processed[static_cast<std::size_t>(v)]) continue;
@@ -55,14 +83,20 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
         throw std::logic_error("Phase II disconnected a post (bug in trimming)");
       }
     }
-    // Deletions shrink upstream workloads; refresh the closure so later
-    // queue selections see the updated values (the paper's "positions in
-    // the queue may have to be changed").
-    if (any_deleted) reach = graph::compute_dag_reach(dag);
+    // Deletions shrink upstream workloads (the paper's "positions in the
+    // queue may have to be changed"); later selections refresh on demand.
+    if (any_deleted) stale = true;
   }
 
   // Posts may retain several same-cost parents only in exact-tie corner
-  // cases; resolve deterministically toward the busiest parent.
+  // cases; resolve deterministically toward the busiest parent.  The
+  // tie-break reads workloads, so a stale closure matters only when some
+  // post actually has a choice of parents.
+  if (stale) {
+    for (int v = 0; v < n_posts && stale; ++v) {
+      if (dag.parents[static_cast<std::size_t>(v)].size() >= 2) refresh();
+    }
+  }
   graph::RoutingTree tree(n_posts, bs);
   for (int v = 0; v < n_posts; ++v) {
     const auto& parents = dag.parents[static_cast<std::size_t>(v)];
@@ -151,17 +185,29 @@ RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
       0};
 
   std::vector<int> deployment;  // empty until the first Phase IV
+  const DenseEnergyWeight energy(instance, options.rx_in_weight);
+  std::optional<DenseRechargingWeight> recharging;  // rebound per iteration
   for (int iter = 0; iter < options.iterations; ++iter) {
     WRSN_TRACE_SPAN("rfh/iteration");
     // Phase I weights: plain per-bit energy on the first pass, true
-    // recharging cost (charging-aware) once a deployment exists.
-    const graph::WeightFn weight =
-        deployment.empty() ? energy_weight(instance, options.rx_in_weight)
-                           : recharging_weight(instance, deployment);
+    // recharging cost (charging-aware) once a deployment exists.  Both read
+    // the instance's dense tx-cost cache; the recharging weight is rebound
+    // in place instead of rebuilt per iteration.
+    const bool charging_aware = !deployment.empty();
+    if (charging_aware) {
+      if (recharging.has_value()) {
+        recharging->assign(deployment);
+      } else {
+        recharging.emplace(instance, deployment);
+      }
+    }
 
     graph::ShortestPathDag dag = [&] {
       WRSN_TRACE_SPAN("rfh/phase1");
-      return graph::shortest_paths_to_base(instance.graph(), weight);
+      return charging_aware
+                 ? graph::shortest_paths_to_base(instance.graph(), instance.adjacency(),
+                                                 *recharging)
+                 : graph::shortest_paths_to_base(instance.graph(), instance.adjacency(), energy);
     }();
     if (!dag.all_posts_reachable) {
       throw InfeasibleInstance("some post cannot reach the base station");
@@ -178,6 +224,11 @@ RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
     }();
     if (options.merge_siblings) {
       WRSN_TRACE_SPAN("rfh/phase3");
+      // merge_siblings keeps the type-erased WeightFn API (it prices O(n^2)
+      // hops at most, far off the hot path); wrap the dense weights.
+      const graph::WeightFn weight =
+          charging_aware ? graph::WeightFn([&](int u, int v) { return (*recharging)(u, v); })
+                         : graph::WeightFn([&](int u, int v) { return energy(u, v); });
       rfh_detail::merge_siblings(instance, weight, tree);
     }
 

@@ -1,95 +1,27 @@
 #include "graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <queue>
-#include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace wrsn::graph {
 
-namespace {
+namespace detail {
 
-bool tight(double dist_v, double dist_u, double weight, double rel_eps) {
-  const double via = dist_u + weight;
-  const double scale = std::max({std::fabs(dist_v), std::fabs(via), 1e-300});
-  return std::fabs(dist_v - via) <= rel_eps * scale;
+void note_run(bool dense) noexcept {
+  // Cached references: the registry lock is taken once per process, not per
+  // run (obs sits below graph in the layering, see CONTRIBUTING.md).
+  static obs::Counter& dense_runs = obs::Registry::global().counter("dijkstra/dense_runs");
+  static obs::Counter& heap_runs = obs::Registry::global().counter("dijkstra/heap_runs");
+  (dense ? dense_runs : heap_runs).increment();
 }
 
-}  // namespace
+}  // namespace detail
 
 ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const WeightFn& weight,
                                        double rel_tie_eps) {
-  const int n = graph.num_vertices();
-  const int bs = graph.base_station();
-  ShortestPathDag dag;
-  dag.base_station = bs;
-  dag.dist.assign(static_cast<std::size_t>(n), kInfinity);
-  dag.parents.assign(static_cast<std::size_t>(n), {});
-  dag.dist[static_cast<std::size_t>(bs)] = 0.0;
-
-  using Item = std::pair<double, int>;  // (dist, vertex), min-heap
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  heap.emplace(0.0, bs);
-  std::vector<char> settled(static_cast<std::size_t>(n), 0);
-
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (settled[static_cast<std::size_t>(u)]) continue;
-    settled[static_cast<std::size_t>(u)] = 1;
-    // Relax reversed edges: v -> u exists when v can transmit to u.
-    for (int v = 0; v < n; ++v) {
-      if (v == u || settled[static_cast<std::size_t>(v)]) continue;
-      if (!graph.reachable(v, u)) continue;
-      const double w = weight(v, u);
-      if (!(w > 0.0) || !std::isfinite(w)) {
-        throw std::invalid_argument("edge weights must be positive and finite");
-      }
-      const double candidate = d + w;
-      if (candidate < dag.dist[static_cast<std::size_t>(v)]) {
-        dag.dist[static_cast<std::size_t>(v)] = candidate;
-        heap.emplace(candidate, v);
-      }
-    }
-  }
-
-  // Tight-predecessor extraction: v keeps every next hop on some shortest
-  // path. Done as a post-pass so ties discovered in any relaxation order are
-  // all retained.
-  dag.all_posts_reachable = true;
-  for (int v = 0; v < n; ++v) {
-    if (v == bs) continue;
-    if (!std::isfinite(dag.dist[static_cast<std::size_t>(v)])) {
-      dag.all_posts_reachable = false;
-      continue;
-    }
-    for (int u = 0; u < n; ++u) {
-      if (u == v || !graph.reachable(v, u)) continue;
-      if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
-      const double w = weight(v, u);
-      if (tight(dag.dist[static_cast<std::size_t>(v)], dag.dist[static_cast<std::size_t>(u)], w,
-                rel_tie_eps)) {
-        dag.parents[static_cast<std::size_t>(v)].push_back(u);
-      }
-    }
-    if (dag.parents[static_cast<std::size_t>(v)].empty()) {
-      // Numerically impossible unless the tolerance is zero and rounding
-      // split a tie; fall back to the strict argmin so the DAG stays usable.
-      int best = -1;
-      double best_cost = kInfinity;
-      for (int u = 0; u < n; ++u) {
-        if (u == v || !graph.reachable(v, u)) continue;
-        if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
-        const double cost = dag.dist[static_cast<std::size_t>(u)] + weight(v, u);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = u;
-        }
-      }
-      if (best >= 0) dag.parents[static_cast<std::size_t>(v)].push_back(best);
-    }
-  }
-  return dag;
+  const ReachAdjacency adj(graph);
+  return shortest_paths_to_base(graph, adj, weight, rel_tie_eps);
 }
 
 DagReach compute_dag_reach(const ShortestPathDag& dag) {

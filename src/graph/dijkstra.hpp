@@ -6,14 +6,25 @@
 // which Phase II then trims by concentrating workload.  We compute the DAG
 // in one Dijkstra pass from the base station over reversed edges.
 //
-// Edge weights are supplied by a callable so the same machinery serves both
-// the plain energy weights of basic RFH (w = e_tx, optionally + e_rx) and
-// the charging-aware weights of iterative RFH / IDB
-// (w = e_tx/(k(m_u) eta) + e_rx/(k(m_v) eta)).
+// Two ways to supply edge weights:
+//   * the templated overloads take any callable by concrete type, so the
+//     compiler inlines the weight into the relaxation loop (the solver hot
+//     paths pass core::DenseRechargingWeight, a flat-array read);
+//   * the `WeightFn` (std::function) overload is kept as a thin adapter for
+//     cold call sites and ad-hoc lambdas.
+// The templated overloads also take a prebuilt `ReachAdjacency` so repeated
+// runs over one graph skip the O(N^2) reachability probing, and offer a
+// dense O(N^2) no-heap variant that wins on the high-degree graphs the
+// paper's geometric fields produce (see docs/performance.md for the
+// crossover).  All variants produce bit-identical results.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/bitset.hpp"
@@ -41,9 +52,177 @@ struct ShortestPathDag {
   int num_vertices() const noexcept { return static_cast<int>(dist.size()); }
 };
 
+/// Which inner loop a Dijkstra run uses.
+enum class DijkstraVariant {
+  kAuto,   ///< dense when the graph is dense enough (detail::prefer_dense)
+  kHeap,   ///< binary heap, O(E log V) -- wins on sparse graphs
+  kDense,  ///< no-heap linear-scan settle, O(V^2 + E) -- wins on dense ones
+};
+
+/// Reusable buffers for repeated Dijkstra runs over one graph; at steady
+/// state a run performs zero allocations.  One per thread in parallel
+/// callers (buffers are not synchronized).
+struct DijkstraScratch {
+  std::vector<double> dist;
+  std::vector<char> settled;
+  std::vector<std::pair<double, int>> heap;  // heap-variant storage
+};
+
+namespace detail {
+
+/// True when the dense O(V^2) settle scan is expected to beat the heap:
+/// the scan costs ~V^2 flat reads while the heap pays O(log V) bookkeeping
+/// per relaxation, so density (E/V relative to V) decides.
+inline bool prefer_dense(double avg_degree, int num_vertices) noexcept {
+  return avg_degree * 8.0 >= static_cast<double>(num_vertices);
+}
+
+/// Bumps the obs counters dijkstra/{dense,heap}_runs (defined in the .cpp
+/// so this header stays free of obs includes).
+void note_run(bool dense) noexcept;
+
+inline void check_weight(double w) {
+  if (!(w > 0.0) || !std::isfinite(w)) {
+    throw std::invalid_argument("edge weights must be positive and finite");
+  }
+}
+
+inline bool tight_edge(double dist_v, double dist_u, double weight, double rel_eps) {
+  const double via = dist_u + weight;
+  const double scale = std::max({std::fabs(dist_v), std::fabs(via), 1e-300});
+  return std::fabs(dist_v - via) <= rel_eps * scale;
+}
+
+}  // namespace detail
+
+/// Distance-only charging-aware Dijkstra from the base station over
+/// reversed edges: fills `scratch.dist` (indexed by vertex) and returns
+/// true when every post can reach the base.  This is the solver hot path --
+/// deployment pricing needs only the distances, so the O(E) tight-edge
+/// extraction of `shortest_paths_to_base` is skipped entirely.
+template <class WeightT>
+bool shortest_distances_to_base(const ReachGraph& graph, const ReachAdjacency& adj,
+                                const WeightT& weight, DijkstraScratch& scratch,
+                                DijkstraVariant variant = DijkstraVariant::kAuto) {
+  const int n = graph.num_vertices();
+  const int bs = graph.base_station();
+  auto& dist = scratch.dist;
+  auto& settled = scratch.settled;
+  dist.assign(static_cast<std::size_t>(n), kInfinity);
+  settled.assign(static_cast<std::size_t>(n), 0);
+  dist[static_cast<std::size_t>(bs)] = 0.0;
+
+  const bool dense = variant == DijkstraVariant::kDense ||
+                     (variant == DijkstraVariant::kAuto &&
+                      detail::prefer_dense(adj.avg_degree(), n));
+  detail::note_run(dense);
+
+  if (dense) {
+    for (int round = 0; round < n; ++round) {
+      int u = -1;
+      double best = kInfinity;
+      for (int v = 0; v < n; ++v) {
+        if (!settled[static_cast<std::size_t>(v)] && dist[static_cast<std::size_t>(v)] < best) {
+          best = dist[static_cast<std::size_t>(v)];
+          u = v;
+        }
+      }
+      if (u < 0) break;  // the rest is unreachable
+      settled[static_cast<std::size_t>(u)] = 1;
+      const double d = dist[static_cast<std::size_t>(u)];
+      for (int v : adj.in(u)) {
+        if (settled[static_cast<std::size_t>(v)]) continue;
+        const double w = weight(v, u);
+        detail::check_weight(w);
+        const double candidate = d + w;
+        if (candidate < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = candidate;
+        }
+      }
+    }
+  } else {
+    auto& heap = scratch.heap;
+    heap.clear();
+    heap.emplace_back(0.0, bs);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const auto [d, u] = heap.back();
+      heap.pop_back();
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      settled[static_cast<std::size_t>(u)] = 1;
+      for (int v : adj.in(u)) {
+        if (settled[static_cast<std::size_t>(v)]) continue;
+        const double w = weight(v, u);
+        detail::check_weight(w);
+        const double candidate = d + w;
+        if (candidate < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = candidate;
+          heap.emplace_back(candidate, v);
+          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        }
+      }
+    }
+  }
+
+  for (int v = 0; v < n; ++v) {
+    if (v != bs && !std::isfinite(dist[static_cast<std::size_t>(v)])) return false;
+  }
+  return true;
+}
+
 /// Runs Dijkstra from the base station over reversed edges and extracts the
 /// tight-predecessor DAG. `rel_tie_eps` controls when two path costs are
-/// considered equal (relative comparison).
+/// considered equal (relative comparison).  Templated over the weight type;
+/// pass a prebuilt adjacency to amortize the neighbor lists across runs.
+template <class WeightT>
+ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const ReachAdjacency& adj,
+                                       const WeightT& weight, double rel_tie_eps = 1e-9,
+                                       DijkstraVariant variant = DijkstraVariant::kAuto) {
+  const int n = graph.num_vertices();
+  const int bs = graph.base_station();
+  DijkstraScratch scratch;
+  ShortestPathDag dag;
+  dag.base_station = bs;
+  dag.all_posts_reachable =
+      shortest_distances_to_base(graph, adj, weight, scratch, variant);
+  dag.dist = std::move(scratch.dist);
+  dag.parents.assign(static_cast<std::size_t>(n), {});
+
+  // Tight-predecessor extraction: v keeps every next hop on some shortest
+  // path. Done as a post-pass so ties discovered in any relaxation order are
+  // all retained.
+  for (int v = 0; v < n; ++v) {
+    if (v == bs) continue;
+    if (!std::isfinite(dag.dist[static_cast<std::size_t>(v)])) continue;
+    for (int u : adj.out(v)) {
+      if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
+      const double w = weight(v, u);
+      if (detail::tight_edge(dag.dist[static_cast<std::size_t>(v)],
+                             dag.dist[static_cast<std::size_t>(u)], w, rel_tie_eps)) {
+        dag.parents[static_cast<std::size_t>(v)].push_back(u);
+      }
+    }
+    if (dag.parents[static_cast<std::size_t>(v)].empty()) {
+      // Numerically impossible unless the tolerance is zero and rounding
+      // split a tie; fall back to the strict argmin so the DAG stays usable.
+      int best = -1;
+      double best_cost = kInfinity;
+      for (int u : adj.out(v)) {
+        if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
+        const double cost = dag.dist[static_cast<std::size_t>(u)] + weight(v, u);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = u;
+        }
+      }
+      if (best >= 0) dag.parents[static_cast<std::size_t>(v)].push_back(best);
+    }
+  }
+  return dag;
+}
+
+/// Type-erased adapter over the templated overload: builds a fresh
+/// adjacency per call, so prefer the templated form in loops.
 ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const WeightFn& weight,
                                        double rel_tie_eps = 1e-9);
 

@@ -76,6 +76,22 @@ std::vector<int> ReachGraph::in_neighbors(int to) const {
   return result;
 }
 
+ReachAdjacency::ReachAdjacency(const ReachGraph& graph) {
+  const int n = graph.num_vertices();
+  in_.assign(static_cast<std::size_t>(n), {});
+  out_.assign(static_cast<std::size_t>(n), {});
+  std::size_t edges = 0;
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      if (from == to || !graph.reachable(from, to)) continue;
+      out_[static_cast<std::size_t>(from)].push_back(to);
+      in_[static_cast<std::size_t>(to)].push_back(from);
+      ++edges;
+    }
+  }
+  avg_degree_ = static_cast<double>(edges) / static_cast<double>(n);
+}
+
 bool ReachGraph::connected_to_base() const {
   // BFS from the base station along *reversed* edges: u is reached when it
   // can transmit (possibly multi-hop) to the base station.

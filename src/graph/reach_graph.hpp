@@ -62,4 +62,31 @@ class ReachGraph {
   std::vector<double> distance_; // same shape; 0 for abstract graphs
 };
 
+/// Precomputed neighbor lists over a ReachGraph, built once and read by the
+/// Dijkstra hot loops (which would otherwise probe all (N+1)^2 pairs per
+/// run).  `in(u)` lists every v with an edge v -> u (the reversed-edge
+/// relaxation order), `out(v)` every u with v -> u (the tight-predecessor
+/// scan order); both are ascending, matching the historical full-scan order
+/// so results stay bit-identical.  Snapshot semantics: edges added to the
+/// graph after construction are not reflected.
+class ReachAdjacency {
+ public:
+  ReachAdjacency() = default;
+  explicit ReachAdjacency(const ReachGraph& graph);
+
+  int num_vertices() const noexcept { return static_cast<int>(out_.size()); }
+  /// Vertices that can transmit to `u`, ascending.
+  const std::vector<int>& in(int u) const { return in_.at(static_cast<std::size_t>(u)); }
+  /// Vertices `v` can transmit to, ascending.
+  const std::vector<int>& out(int v) const { return out_.at(static_cast<std::size_t>(v)); }
+  /// Directed edges divided by vertices -- the density signal the Dijkstra
+  /// variant selection keys on.
+  double avg_degree() const noexcept { return avg_degree_; }
+
+ private:
+  std::vector<std::vector<int>> in_;
+  std::vector<std::vector<int>> out_;
+  double avg_degree_ = 0.0;
+};
+
 }  // namespace wrsn::graph

@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace wrsn::util {
+
+namespace {
+// Set while a thread is executing a parallel_for body; a nested call must
+// not block on the pool (its workers may be the very threads waiting).
+thread_local bool t_inside_body = false;
+}  // namespace
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : num_workers_(threads == 0 ? hardware_threads() : threads) {
+  if (num_workers_ < 1) throw std::invalid_argument("ThreadPool needs >= 1 thread");
+  errors_.resize(static_cast<std::size_t>(num_workers_));
+  threads_.reserve(static_cast<std::size_t>(num_workers_ - 1));
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Body* body = nullptr;
+    std::int64_t n = 0;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      n = n_;
+    }
+    const std::int64_t begin = chunk_begin(n, num_workers_, worker);
+    const std::int64_t end = chunk_begin(n, num_workers_, worker + 1);
+    if (begin < end) {
+      t_inside_body = true;
+      try {
+        (*body)(begin, end, worker);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(worker)] = std::current_exception();
+      }
+      t_inside_body = false;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--running_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n, const Body& body) {
+  if (!body) throw std::invalid_argument("parallel_for requires a body");
+  if (n <= 0) return;
+  if (num_workers_ == 1 || t_inside_body) {
+    // Serial pool or nested call: run inline, exceptions propagate as-is.
+    body(0, n, 0);
+    return;
+  }
+
+  for (auto& e : errors_) e = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    running_ = num_workers_ - 1;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  // The caller is worker 0.
+  const std::int64_t end0 = chunk_begin(n, num_workers_, 1);
+  if (end0 > 0) {
+    t_inside_body = true;
+    try {
+      body(0, end0, 0);
+    } catch (...) {
+      errors_[0] = std::current_exception();
+    }
+    t_inside_body = false;
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return running_ == 0; });
+    body_ = nullptr;
+  }
+  for (const auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wrsn::util

@@ -1,0 +1,71 @@
+// Deterministic fork-join worker pool for the solver hot paths.
+//
+// `parallel_for(n, body)` statically partitions [0, n) into size()
+// contiguous chunks -- chunk w is [w*n/T, (w+1)*n/T) -- and runs
+// body(begin, end, worker) with worker == chunk index.  The calling thread
+// executes chunk 0 itself; persistent workers 1..T-1 execute theirs
+// concurrently.  Because the partition depends only on (n, T), which worker
+// computes which index is a pure function of the inputs: per-index results
+// written to caller-owned slots are deterministic regardless of scheduling,
+// and per-worker scratch buffers never race.  With T == 1 the body runs
+// inline on the caller and no synchronization happens at all.
+//
+// Exceptions thrown by the body are captured per worker and rethrown on the
+// calling thread after every chunk finished; when several chunks throw, the
+// lowest-numbered worker's exception wins (deterministic again).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wrsn::util {
+
+class ThreadPool {
+ public:
+  /// Pool of `threads` workers including the calling thread (so `threads`-1
+  /// std::threads are spawned); 0 = hardware_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1), the T of the static partition.
+  int size() const noexcept { return num_workers_; }
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int hardware_threads() noexcept;
+
+  using Body = std::function<void(std::int64_t begin, std::int64_t end, int worker)>;
+
+  /// Runs body over the static partition of [0, n) and blocks until every
+  /// chunk finished.  Reentrant calls from inside a body run inline as
+  /// worker 0 (no deadlock, still deterministic).
+  void parallel_for(std::int64_t n, const Body& body);
+
+  /// Chunk w's first index under a static partition of [0, n) into
+  /// `workers` chunks (exposed for the determinism tests).
+  static std::int64_t chunk_begin(std::int64_t n, int workers, int w) noexcept {
+    return n * static_cast<std::int64_t>(w) / static_cast<std::int64_t>(workers);
+  }
+
+ private:
+  void worker_loop(int worker);
+
+  int num_workers_;
+  std::vector<std::exception_ptr> errors_;  // slot per worker, main writes 0
+  std::vector<std::thread> threads_;        // workers 1..T-1
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const Body* body_ = nullptr;   // valid while a generation is in flight
+  std::int64_t n_ = 0;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wrsn::util

@@ -116,6 +116,102 @@ TEST(Cost, OptimalCostMonotoneInDeployment) {
   EXPECT_LT(after, before);
 }
 
+TEST(Cost, DenseRechargingWeightMatchesTypeErased) {
+  util::Rng rng(511);
+  const Instance inst = test::random_instance(10, 30, 140.0, rng);
+  std::vector<int> deployment = balanced_deployment(10, 30);
+  deployment[2] += 3;
+  deployment[7] -= 1;
+  const graph::WeightFn erased = recharging_weight(inst, deployment);
+  DenseRechargingWeight dense(inst, deployment);
+  const int n = inst.graph().num_vertices();
+  for (int from = 0; from < inst.num_posts(); ++from) {
+    for (int to = 0; to < n; ++to) {
+      if (from == to || !inst.graph().reachable(from, to)) continue;
+      EXPECT_EQ(dense(from, to), erased(from, to)) << from << "->" << to;
+    }
+  }
+
+  // Rebinding updates exactly the touched posts' efficiencies.
+  std::vector<int> moved = deployment;
+  --moved[2];
+  ++moved[0];
+  dense.set_node_count(2, moved[2]);
+  dense.set_node_count(0, moved[0]);
+  const graph::WeightFn erased_moved = recharging_weight(inst, moved);
+  for (int from = 0; from < inst.num_posts(); ++from) {
+    for (int to = 0; to < n; ++to) {
+      if (from == to || !inst.graph().reachable(from, to)) continue;
+      EXPECT_EQ(dense(from, to), erased_moved(from, to));
+    }
+  }
+}
+
+TEST(Cost, DenseRechargingWeightValidatesDeploymentSize) {
+  const Instance inst = test::chain_instance(3, 6);
+  EXPECT_THROW(DenseRechargingWeight(inst, {1, 1}), std::invalid_argument);
+  DenseRechargingWeight weight(inst, {2, 2, 2});
+  EXPECT_THROW(weight.assign({1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Cost, DenseEnergyWeightMatchesTypeErased) {
+  util::Rng rng(521);
+  const Instance inst = test::random_instance(8, 16, 130.0, rng);
+  const int n = inst.graph().num_vertices();
+  for (bool include_rx : {false, true}) {
+    const graph::WeightFn erased = energy_weight(inst, include_rx);
+    const DenseEnergyWeight dense(inst, include_rx);
+    for (int from = 0; from < inst.num_posts(); ++from) {
+      for (int to = 0; to < n; ++to) {
+        if (from == to || !inst.graph().reachable(from, to)) continue;
+        EXPECT_EQ(dense(from, to), erased(from, to));
+      }
+    }
+  }
+}
+
+TEST(Cost, ScratchOverloadIsBitIdenticalToLegacy) {
+  // The scratch-reusing pricing is the solver hot path; it must agree with
+  // the allocating overload to the last bit across many deployments, and
+  // across both Dijkstra variants, even when the scratch is reused.
+  util::Rng rng(523);
+  const Instance inst = test::random_instance(12, 36, 150.0, rng);
+  CostEvalScratch scratch;
+  std::vector<int> deployment = balanced_deployment(12, 36);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int a = rng.uniform_int(0, 11);
+    const int b = rng.uniform_int(0, 11);
+    if (deployment[static_cast<std::size_t>(a)] > 1 && a != b) {
+      --deployment[static_cast<std::size_t>(a)];
+      ++deployment[static_cast<std::size_t>(b)];
+    }
+    const double reference = optimal_cost_for_deployment(inst, deployment);
+    EXPECT_EQ(optimal_cost_for_deployment(inst, deployment, scratch), reference);
+    EXPECT_EQ(optimal_cost_for_deployment(inst, deployment, scratch,
+                                          graph::DijkstraVariant::kHeap),
+              reference);
+    EXPECT_EQ(optimal_cost_for_deployment(inst, deployment, scratch,
+                                          graph::DijkstraVariant::kDense),
+              reference);
+  }
+}
+
+TEST(Cost, ScratchRebindsAcrossInstances) {
+  // One scratch reused against two different instances must rebind its
+  // cached weight instead of pricing against the stale instance.
+  util::Rng rng(541);
+  const Instance first = test::random_instance(8, 16, 130.0, rng);
+  const Instance second = test::random_instance(8, 16, 130.0, rng);
+  const std::vector<int> deployment = balanced_deployment(8, 16);
+  CostEvalScratch scratch;
+  EXPECT_EQ(optimal_cost_for_deployment(first, deployment, scratch),
+            optimal_cost_for_deployment(first, deployment));
+  EXPECT_EQ(optimal_cost_for_deployment(second, deployment, scratch),
+            optimal_cost_for_deployment(second, deployment));
+  EXPECT_EQ(optimal_cost_for_deployment(first, deployment, scratch),
+            optimal_cost_for_deployment(first, deployment));
+}
+
 TEST(Cost, SptFromDagThrowsOnUnreachable) {
   graph::ReachGraph g(2);
   g.set_min_level(0, 2, 0);

@@ -202,6 +202,135 @@ TEST(Dijkstra, MatchesBellmanFordOracleOnRandomGraphs) {
   }
 }
 
+// ------------------------------------------------------- adjacency + variants
+
+TEST(ReachAdjacency, ListsMatchReachabilityAndStayAscending) {
+  util::Rng rng(311);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.uniform_int(2, 12);
+    ReachGraph g(n);
+    for (int u = 0; u <= n; ++u) {
+      for (int v = 0; v <= n; ++v) {
+        if (u != v && rng.bernoulli(0.35)) g.set_min_level(u, v, 0);
+      }
+    }
+    const ReachAdjacency adj(g);
+    ASSERT_EQ(adj.num_vertices(), n + 1);
+    int edges = 0;
+    for (int u = 0; u <= n; ++u) {
+      for (int v = 0; v <= n; ++v) {
+        if (u == v) continue;
+        const bool listed = std::find(adj.out(u).begin(), adj.out(u).end(), v) != adj.out(u).end();
+        EXPECT_EQ(listed, g.reachable(u, v)) << u << "->" << v;
+        const bool listed_in =
+            std::find(adj.in(v).begin(), adj.in(v).end(), u) != adj.in(v).end();
+        EXPECT_EQ(listed_in, g.reachable(u, v));
+        if (g.reachable(u, v)) ++edges;
+      }
+    }
+    for (int v = 0; v <= n; ++v) {
+      EXPECT_TRUE(std::is_sorted(adj.out(v).begin(), adj.out(v).end()));
+      EXPECT_TRUE(std::is_sorted(adj.in(v).begin(), adj.in(v).end()));
+    }
+    EXPECT_DOUBLE_EQ(adj.avg_degree(), static_cast<double>(edges) / (n + 1));
+  }
+}
+
+TEST(Dijkstra, HeapAndDenseVariantsAreBitIdentical) {
+  // Both inner loops perform the same relaxation arithmetic over the same
+  // edge set, so distances and parent lists must match to the last bit.
+  util::Rng rng(313);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = rng.uniform_int(3, 14);
+    ReachGraph g(n);
+    std::vector<double> weights(static_cast<std::size_t>((n + 1) * (n + 1)), 0.0);
+    for (int u = 0; u <= n; ++u) {
+      for (int v = 0; v <= n; ++v) {
+        if (u == v) continue;
+        if (rng.bernoulli(0.5)) {
+          g.set_min_level(u, v, 0);
+          weights[static_cast<std::size_t>(u * (n + 1) + v)] = rng.uniform(0.1, 10.0);
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!g.reachable(v, v + 1)) {
+        g.set_min_level(v, v + 1, 0);
+        weights[static_cast<std::size_t>(v * (n + 1) + v + 1)] = rng.uniform(0.1, 10.0);
+      }
+    }
+    const auto weight = [&](int from, int to) {
+      return weights[static_cast<std::size_t>(from * (n + 1) + to)];
+    };
+    const ReachAdjacency adj(g);
+    const auto heap = shortest_paths_to_base(g, adj, weight, 1e-9, DijkstraVariant::kHeap);
+    const auto dense = shortest_paths_to_base(g, adj, weight, 1e-9, DijkstraVariant::kDense);
+    ASSERT_EQ(heap.dist.size(), dense.dist.size());
+    for (std::size_t v = 0; v < heap.dist.size(); ++v) {
+      EXPECT_EQ(heap.dist[v], dense.dist[v]) << "vertex " << v << " trial " << trial;
+      EXPECT_EQ(heap.parents[v], dense.parents[v]) << "vertex " << v << " trial " << trial;
+    }
+    EXPECT_EQ(heap.all_posts_reachable, dense.all_posts_reachable);
+
+    // The WeightFn adapter must agree with both.
+    const auto erased = shortest_paths_to_base(g, WeightFn(weight));
+    for (std::size_t v = 0; v < heap.dist.size(); ++v) {
+      EXPECT_EQ(erased.dist[v], heap.dist[v]);
+      EXPECT_EQ(erased.parents[v], heap.parents[v]);
+    }
+  }
+}
+
+TEST(Dijkstra, DistanceOnlyMatchesDagDistances) {
+  ReachGraph g(3);
+  g.set_min_level(0, 1, 0);
+  g.set_min_level(1, 2, 0);
+  g.set_min_level(2, 3, 0);
+  g.set_min_level(0, 3, 0);
+  const auto weight = [](int from, int to) { return from == 0 && to == 3 ? 10.0 : 1.0; };
+  const ReachAdjacency adj(g);
+  const auto dag = shortest_paths_to_base(g, adj, weight);
+
+  DijkstraScratch scratch;
+  for (auto variant : {DijkstraVariant::kAuto, DijkstraVariant::kHeap, DijkstraVariant::kDense}) {
+    EXPECT_TRUE(shortest_distances_to_base(g, adj, weight, scratch, variant));
+    ASSERT_EQ(scratch.dist.size(), dag.dist.size());
+    for (std::size_t v = 0; v < dag.dist.size(); ++v) {
+      EXPECT_EQ(scratch.dist[v], dag.dist[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Dijkstra, DistanceOnlyReportsUnreachable) {
+  ReachGraph g(2);
+  g.set_min_level(0, 2, 0);  // post 1 disconnected
+  const ReachAdjacency adj(g);
+  DijkstraScratch scratch;
+  const auto unit = [](int, int) { return 1.0; };
+  EXPECT_FALSE(shortest_distances_to_base(g, adj, unit, scratch, DijkstraVariant::kHeap));
+  EXPECT_FALSE(shortest_distances_to_base(g, adj, unit, scratch, DijkstraVariant::kDense));
+  EXPECT_TRUE(std::isinf(scratch.dist[1]));
+}
+
+TEST(Dijkstra, ScratchReuseAcrossDifferentGraphSizes) {
+  DijkstraScratch scratch;
+  const auto unit = [](int, int) { return 1.0; };
+  for (int n : {5, 2, 9}) {
+    ReachGraph g(n);
+    for (int v = 0; v < n; ++v) g.set_min_level(v, v + 1, 0);
+    const ReachAdjacency adj(g);
+    EXPECT_TRUE(shortest_distances_to_base(g, adj, unit, scratch));
+    ASSERT_EQ(static_cast<int>(scratch.dist.size()), n + 1);
+    EXPECT_DOUBLE_EQ(scratch.dist[0], static_cast<double>(n));
+  }
+}
+
+TEST(Dijkstra, PreferDenseCrossover) {
+  EXPECT_TRUE(detail::prefer_dense(16.0, 100));   // dense graph, small V
+  EXPECT_FALSE(detail::prefer_dense(4.0, 100));   // sparse
+  EXPECT_TRUE(detail::prefer_dense(3.0, 10));     // tiny graphs: always dense
+}
+
 // ------------------------------------------------------------ DAG closure
 
 TEST(DagReach, ChainWorkloads) {

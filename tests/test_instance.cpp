@@ -81,5 +81,46 @@ TEST(Instance, RandomInstanceHelperIsConnected) {
   EXPECT_EQ(inst.num_posts(), 30);
 }
 
+TEST(Instance, TxCostCacheMatchesRadioTable) {
+  util::Rng rng(23);
+  const Instance inst = test::random_instance(12, 24, 150.0, rng);
+  const int nv = inst.graph().num_vertices();
+  ASSERT_EQ(inst.tx_stride(), nv);
+  ASSERT_EQ(static_cast<int>(inst.tx_cost_matrix().size()), nv * nv);
+  for (int from = 0; from < nv; ++from) {
+    const double* row = inst.tx_cost_row(from);
+    for (int to = 0; to < nv; ++to) {
+      if (from == to || !inst.graph().reachable(from, to)) {
+        EXPECT_TRUE(std::isinf(row[to])) << from << "->" << to;
+      } else {
+        EXPECT_EQ(row[to], inst.radio().tx_energy(inst.graph().min_level(from, to)));
+        EXPECT_EQ(inst.tx_energy(from, to), row[to]);
+      }
+    }
+  }
+}
+
+TEST(Instance, TxEnergyStillValidatesArguments) {
+  const Instance inst = test::chain_instance(3, 6);
+  EXPECT_THROW(inst.tx_energy(-1, 0), std::out_of_range);
+  EXPECT_THROW(inst.tx_energy(0, 99), std::out_of_range);
+  EXPECT_NO_THROW(inst.tx_energy(0, 2));  // 40 m apart, within the 50 m level
+  EXPECT_THROW(inst.tx_energy(3, 3), std::invalid_argument);  // base to itself
+  EXPECT_THROW(inst.tx_energy(0, 0), std::invalid_argument);  // self loop
+}
+
+TEST(Instance, AdjacencyPrebuiltAndConsistent) {
+  util::Rng rng(29);
+  const Instance inst = test::random_instance(10, 20, 140.0, rng);
+  const graph::ReachAdjacency& adj = inst.adjacency();
+  EXPECT_EQ(adj.num_vertices(), inst.graph().num_vertices());
+  for (int v = 0; v < adj.num_vertices(); ++v) {
+    for (int u : adj.out(v)) {
+      EXPECT_TRUE(inst.graph().reachable(v, u));
+    }
+  }
+  EXPECT_GT(adj.avg_degree(), 0.0);
+}
+
 }  // namespace
 }  // namespace wrsn::core

@@ -9,6 +9,8 @@
 #include "core/idb.hpp"
 #include "core/rfh.hpp"
 #include "helpers.hpp"
+#include "obs/sink.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wrsn::core {
 namespace {
@@ -103,6 +105,171 @@ TEST(LocalSearch, RfhPlusRefinementApproachesIdb) {
   }
   EXPECT_LE(refined_total, rfh_total);
   EXPECT_LE(refined_total, idb_total * 1.03);
+}
+
+TEST(LocalSearch, RejectsNegativeThreads) {
+  const Instance inst = test::chain_instance(2, 4);
+  const auto start = solve_balanced_baseline(inst).solution;
+  LocalSearchOptions options;
+  options.threads = -1;
+  EXPECT_THROW(refine_solution(inst, start, options), std::invalid_argument);
+}
+
+TEST(LocalSearch, ThreadsZeroResolvesToHardware) {
+  const Instance inst = test::chain_instance(3, 9);
+  const auto start = solve_balanced_baseline(inst).solution;
+  LocalSearchOptions options;
+  options.threads = 0;
+  const auto result = refine_solution(inst, start, options);
+  EXPECT_EQ(result.threads_used, util::ThreadPool::hardware_threads());
+}
+
+TEST(LocalSearch, SerialRunsNeverWasteEvaluations) {
+  util::Rng rng(9001);
+  const Instance inst = test::random_instance(10, 30, 140.0, rng);
+  const auto result = refine_solution(inst, solve_rfh(inst).solution);
+  EXPECT_EQ(result.threads_used, 1);
+  EXPECT_EQ(result.wasted_evaluations, 0u);
+}
+
+TEST(LocalSearch, ParallelMatchesSerialBitForBit) {
+  // The speculative parallel scan must reproduce the serial run exactly:
+  // same deployment, same cost to the last bit, same logical evaluation and
+  // move counts.  Only wasted speculation may differ.
+  for (std::uint64_t seed : {9001u, 9002u, 9003u}) {
+    util::Rng rng(seed);
+    const Instance inst = test::random_instance(10, 30, 140.0, rng);
+    const Solution start = solve_rfh(inst).solution;
+
+    LocalSearchOptions serial;
+    serial.threads = 1;
+    const auto base = refine_solution(inst, start, serial);
+
+    for (int threads : {2, 3, 8}) {
+      LocalSearchOptions parallel;
+      parallel.threads = threads;
+      const auto result = refine_solution(inst, start, parallel);
+      EXPECT_EQ(result.solution.deployment, base.solution.deployment)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.cost, base.cost) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.evaluations, base.evaluations)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.moves_applied, base.moves_applied);
+      EXPECT_EQ(result.passes, base.passes);
+      EXPECT_EQ(result.threads_used, threads);
+      for (int p = 0; p < inst.num_posts(); ++p) {
+        EXPECT_EQ(result.solution.tree.parent(p), base.solution.tree.parent(p));
+      }
+    }
+  }
+}
+
+TEST(LocalSearch, ParallelEmitsIdenticalMoveEventStream) {
+  // Sink callbacks fire from the calling thread in serial scan order, so the
+  // observable event stream is independent of the thread count too.
+  util::Rng rng(9002);
+  const Instance inst = test::random_instance(10, 30, 140.0, rng);
+  const Solution start = solve_rfh(inst).solution;
+
+  obs::RecordingSink serial_sink;
+  LocalSearchOptions serial;
+  serial.threads = 1;
+  serial.sink = &serial_sink;
+  refine_solution(inst, start, serial);
+
+  obs::RecordingSink parallel_sink;
+  LocalSearchOptions parallel;
+  parallel.threads = 4;
+  parallel.sink = &parallel_sink;
+  refine_solution(inst, start, parallel);
+
+  ASSERT_EQ(parallel_sink.local_search_moves.size(), serial_sink.local_search_moves.size());
+  for (std::size_t i = 0; i < serial_sink.local_search_moves.size(); ++i) {
+    const auto& a = serial_sink.local_search_moves[i];
+    const auto& b = parallel_sink.local_search_moves[i];
+    EXPECT_EQ(a.pass, b.pass) << "event " << i;
+    EXPECT_EQ(a.from_post, b.from_post) << "event " << i;
+    EXPECT_EQ(a.to_post, b.to_post) << "event " << i;
+    EXPECT_EQ(a.old_cost, b.old_cost) << "event " << i;
+    EXPECT_EQ(a.new_cost, b.new_cost) << "event " << i;
+    EXPECT_EQ(a.accepted, b.accepted) << "event " << i;
+  }
+  ASSERT_EQ(parallel_sink.local_search_passes.size(), serial_sink.local_search_passes.size());
+  ASSERT_EQ(serial_sink.local_search_runs.size(), 1u);
+  ASSERT_EQ(parallel_sink.local_search_runs.size(), 1u);
+  EXPECT_EQ(serial_sink.local_search_runs[0].threads, 1);
+  EXPECT_EQ(parallel_sink.local_search_runs[0].threads, 4);
+  EXPECT_EQ(parallel_sink.local_search_runs[0].evaluations,
+            serial_sink.local_search_runs[0].evaluations);
+  EXPECT_EQ(serial_sink.local_search_runs[0].wasted_evaluations, 0u);
+}
+
+TEST(LocalSearch, BestImprovementReachesComparableCost) {
+  // Best-improvement walks a different trajectory but must land within tie
+  // tolerance of (or below) the first-improvement local optimum's quality
+  // class: never worse than the start, valid, and within a few percent of
+  // the serial result on these small instances.
+  for (std::uint64_t seed : {9001u, 9002u, 9003u}) {
+    util::Rng rng(seed);
+    const Instance inst = test::random_instance(10, 30, 140.0, rng);
+    const Solution start = solve_rfh(inst).solution;
+
+    const auto first = refine_solution(inst, start);
+
+    LocalSearchOptions best_options;
+    best_options.strategy = LocalSearchStrategy::kBestImprovement;
+    best_options.threads = 2;
+    const auto best = refine_solution(inst, start, best_options);
+    EXPECT_TRUE(is_valid_solution(inst, best.solution));
+    EXPECT_LE(best.cost, best.initial_cost * (1.0 + 1e-12)) << "seed " << seed;
+    EXPECT_LE(best.cost, first.cost * 1.05) << "seed " << seed;
+    EXPECT_EQ(best.wasted_evaluations, 0u);
+    // One applied move per improving pass, by construction.
+    EXPECT_LE(best.moves_applied, best.passes);
+  }
+}
+
+TEST(LocalSearch, GoldenRegressionAgainstPreCacheSolver) {
+  // Exact outputs recorded from the pre-rework solver (seed commit): the
+  // scratch-reusing pricing and speculative machinery must not change the
+  // refined cost, the accepted-move count, or the evaluation count.
+  struct Golden {
+    std::uint64_t seed;
+    double cost;
+    int moves;
+    std::uint64_t evaluations;
+  };
+  const std::vector<Golden> goldens = {
+      {9001, 4.2911625744047618e-05, 3, 271},
+      {9002, 5.6360839843750001e-05, 4, 271},
+      {9003, 0.00010665338541666666, 5, 145},
+  };
+  for (const Golden& golden : goldens) {
+    util::Rng rng(golden.seed);
+    const Instance inst = test::random_instance(10, 30, 140.0, rng);
+    const auto result = refine_solution(inst, solve_rfh(inst).solution);
+    EXPECT_DOUBLE_EQ(result.cost, golden.cost) << "seed " << golden.seed;
+    EXPECT_EQ(result.moves_applied, golden.moves) << "seed " << golden.seed;
+    EXPECT_EQ(result.evaluations, golden.evaluations) << "seed " << golden.seed;
+  }
+}
+
+TEST(LocalSearch, RunEventMatchesResult) {
+  util::Rng rng(9003);
+  const Instance inst = test::random_instance(10, 30, 140.0, rng);
+  obs::RecordingSink sink;
+  LocalSearchOptions options;
+  options.threads = 2;
+  options.sink = &sink;
+  const auto result = refine_solution(inst, solve_rfh(inst).solution, options);
+  ASSERT_EQ(sink.local_search_runs.size(), 1u);
+  const auto& run = sink.local_search_runs[0];
+  EXPECT_EQ(run.threads, result.threads_used);
+  EXPECT_FALSE(run.best_improvement);
+  EXPECT_EQ(run.evaluations, result.evaluations);
+  EXPECT_EQ(run.wasted_evaluations, result.wasted_evaluations);
+  EXPECT_EQ(run.passes, result.passes);
+  EXPECT_EQ(run.moves_applied, result.moves_applied);
 }
 
 }  // namespace

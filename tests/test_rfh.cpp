@@ -329,6 +329,50 @@ TEST(SolveRfh, BeatsChargingObliviousBaseline) {
   EXPECT_LT(rfh_total, baseline_total);
 }
 
+TEST(SolveRfh, GoldenRegressionAgainstPreCacheSolver) {
+  // Exact outputs recorded from the solver before the dense-cache / lazy
+  // closure rework (seed commit).  The rework must be observationally
+  // invisible: same cost to the last bit, same deployment, same tree, same
+  // best iteration on every seeded field.
+  struct Golden {
+    std::uint64_t seed;
+    double cost;
+    int best_iteration;
+    std::vector<int> deployment;
+    std::vector<int> parents;
+  };
+  const std::vector<Golden> goldens = {
+      {7101, 8.5444986979166693e-05, 1,
+       {2, 2, 2, 9, 3, 2, 2, 2, 2, 2, 2, 4, 6, 2},
+       {12, 12, 4, 14, 12, 11, 3, 3, 12, 11, 3, 12, 3, 12}},
+      {7102, 7.9993923611111127e-05, 2,
+       {2, 2, 6, 9, 2, 3, 2, 3, 2, 3, 2, 2, 2, 2},
+       {7, 5, 3, 14, 3, 2, 14, 3, 3, 2, 9, 3, 14, 2}},
+      {7103, 0.00010206770833333334, 0,
+       {2, 6, 5, 5, 6, 3, 2, 1, 2, 3, 1, 3, 1, 2},
+       {3, 4, 14, 1, 14, 3, 3, 2, 11, 1, 2, 2, 5, 9}},
+      {7104, 9.8724330357142872e-05, 1,
+       {2, 7, 4, 2, 2, 1, 3, 3, 3, 2, 2, 2, 8, 1},
+       {6, 12, 1, 12, 2, 2, 7, 12, 1, 1, 8, 2, 14, 2}},
+      {7105, 8.9479622395833346e-05, 1,
+       {2, 2, 2, 2, 4, 5, 2, 4, 2, 6, 2, 2, 5, 2},
+       {7, 5, 4, 12, 12, 14, 7, 5, 14, 14, 4, 4, 9, 4}},
+  };
+  for (const Golden& golden : goldens) {
+    util::Rng rng(golden.seed);
+    const Instance inst = test::random_instance(14, 42, 160.0, rng);
+    const RfhResult result = solve_rfh(inst);
+    EXPECT_DOUBLE_EQ(result.cost, golden.cost) << "seed " << golden.seed;
+    EXPECT_EQ(result.best_iteration, golden.best_iteration) << "seed " << golden.seed;
+    EXPECT_EQ(result.solution.deployment, golden.deployment) << "seed " << golden.seed;
+    ASSERT_EQ(golden.parents.size(), 14u);
+    for (int p = 0; p < 14; ++p) {
+      EXPECT_EQ(result.solution.tree.parent(p), golden.parents[static_cast<std::size_t>(p)])
+          << "seed " << golden.seed << " post " << p;
+    }
+  }
+}
+
 TEST(SolveRfh, TightBudgetOneNodePerPost) {
   util::Rng rng(83);
   const Instance inst = test::random_instance(20, 20, 150.0, rng);

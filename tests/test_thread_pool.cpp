@@ -1,0 +1,179 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wrsn::util {
+namespace {
+
+TEST(ThreadPool, ReportsAtLeastOneHardwareThread) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, RejectsNegativeThreadCount) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    const std::int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallel_for(n, [&](std::int64_t begin, std::int64_t end, int) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, StaticPartitionIsDeterministic) {
+  // Which worker owns which index is a pure function of (n, threads): two
+  // runs must record identical ownership, and the chunks must tile [0, n).
+  ThreadPool pool(4);
+  const std::int64_t n = 103;
+  std::vector<int> owner_a(static_cast<std::size_t>(n), -1);
+  std::vector<int> owner_b(static_cast<std::size_t>(n), -1);
+  for (auto* owner : {&owner_a, &owner_b}) {
+    pool.parallel_for(n, [owner](std::int64_t begin, std::int64_t end, int worker) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        (*owner)[static_cast<std::size_t>(i)] = worker;
+      }
+    });
+  }
+  EXPECT_EQ(owner_a, owner_b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int w = owner_a[static_cast<std::size_t>(i)];
+    ASSERT_GE(w, 0) << "index " << i << " never ran";
+    EXPECT_LE(ThreadPool::chunk_begin(n, 4, w), i);
+    EXPECT_LT(i, ThreadPool::chunk_begin(n, 4, w + 1));
+  }
+}
+
+TEST(ThreadPool, ChunkBoundsTileTheRange) {
+  for (int workers : {1, 2, 3, 8}) {
+    for (std::int64_t n : {0LL, 1LL, 7LL, 64LL, 1001LL}) {
+      EXPECT_EQ(ThreadPool::chunk_begin(n, workers, 0), 0);
+      EXPECT_EQ(ThreadPool::chunk_begin(n, workers, workers), n);
+      for (int w = 0; w < workers; ++w) {
+        EXPECT_LE(ThreadPool::chunk_begin(n, workers, w),
+                  ThreadPool::chunk_begin(n, workers, w + 1));
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  pool.parallel_for(-5, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  pool.parallel_for(10, [&](std::int64_t begin, std::int64_t end, int worker) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+    EXPECT_EQ(worker, 0);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromCallerChunk) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::int64_t begin, std::int64_t, int) {
+                                   if (begin == 0) throw std::runtime_error("chunk 0");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromWorkerChunk) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [](std::int64_t begin, std::int64_t, int worker) {
+      if (worker == 3) throw std::runtime_error("worker 3 failed");
+      (void)begin;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 3 failed");
+  }
+}
+
+TEST(ThreadPool, LowestWorkerExceptionWinsWhenSeveralThrow) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    try {
+      pool.parallel_for(100, [](std::int64_t, std::int64_t, int worker) {
+        throw std::runtime_error("worker " + std::to_string(worker));
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "worker 0");
+    }
+  }
+}
+
+TEST(ThreadPool, UsableAgainAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(3, [](std::int64_t, std::int64_t, int) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, [&](std::int64_t begin, std::int64_t end, int) {
+    std::int64_t local = 0;
+    for (std::int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(2, [&](std::int64_t, std::int64_t, int) {
+    // Reentrant use must not deadlock; the nested loop runs inline.
+    pool.parallel_for(5, [&](std::int64_t begin, std::int64_t end, int worker) {
+      EXPECT_EQ(worker, 0);
+      inner_calls.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(inner_calls.load(), 10);
+}
+
+TEST(ThreadPool, ManySmallRoundsStaySane) {
+  // Stress the generation counter/wakeup protocol, not the throughput.
+  ThreadPool pool(3);
+  std::int64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(round % 7, [&](std::int64_t begin, std::int64_t end, int) {
+      sum.fetch_add(end - begin);
+    });
+    total += sum.load();
+  }
+  std::int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) expected += round % 7;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace wrsn::util
