@@ -3,11 +3,10 @@
 // The paper assumes k(m) = m ("linear"); the field experiment only shows
 // linear-or-sublinear. This bench re-solves the Fig. 8 midpoint under
 // sub-linear and saturating gains and reports how much of the co-design
-// advantage survives.
+// advantage survives.  One exp::ExperimentRunner sweep per gain shape
+// (the charging model is spec-level, not an axis); paired seeding keeps
+// the fields identical across shapes.
 #include "common.hpp"
-#include "core/baseline.hpp"
-#include "core/idb.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
@@ -18,43 +17,44 @@ int main(int argc, char** argv) {
 
   struct Model {
     const char* name;
-    energy::ChargingModel charging;
+    const char* kind;
+    double param;
   };
   const std::vector<Model> models{
-      {"linear k(m)=m (paper)", energy::ChargingModel::linear(0.01)},
-      {"sub-linear k(m)=m^0.8", energy::ChargingModel::sub_linear(0.01, 0.8)},
-      {"sub-linear k(m)=m^0.5", energy::ChargingModel::sub_linear(0.01, 0.5)},
-      {"saturating cap=4", energy::ChargingModel::saturating(0.01, 4.0)},
-      {"saturating cap=8", energy::ChargingModel::saturating(0.01, 8.0)},
+      {"linear k(m)=m (paper)", "linear", 1.0},
+      {"sub-linear k(m)=m^0.8", "sublinear", 0.8},
+      {"sub-linear k(m)=m^0.5", "sublinear", 0.5},
+      {"saturating cap=4", "saturating", 4.0},
+      {"saturating cap=8", "saturating", 8.0},
   };
 
   util::Table table({"charging model", "IDB [uJ]", "RFH [uJ]", "Balanced [uJ]",
                      "co-design gain vs balanced [%]", "max m (IDB)"});
   for (const auto& model : models) {
-    util::RunningStats idb_cost;
-    util::RunningStats rfh_cost;
-    util::RunningStats base_cost;
-    util::RunningStats max_m;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance probe = bench::make_paper_instance(60, 240, 400.0, 3, rng);
-      const core::Instance inst = core::Instance::geometric(
-          *probe.field(), probe.radio(), model.charging, 240);
-      const auto idb = core::solve_idb(inst);
-      idb_cost.add(idb.cost * 1e6);
-      rfh_cost.add(core::solve_rfh(inst).cost * 1e6);
-      base_cost.add(core::solve_balanced_baseline(inst).cost * 1e6);
-      int biggest = 0;
-      for (int m : idb.solution.deployment) biggest = std::max(biggest, m);
-      max_m.add(biggest);
-    }
+    exp::SweepSpec spec;
+    spec.name = std::string("ablation_charging_") + model.kind;
+    spec.side = 400.0;
+    spec.charging_kind = model.kind;
+    spec.charging_param = model.param;
+    spec.posts_axis = {60};
+    spec.nodes_axis = {240};
+    spec.levels_axis = {3};
+    spec.eta_axis = {0.01};
+    spec.runs = runs;
+    spec.base_seed = static_cast<std::uint64_t>(args.seed);
+    spec.solvers = {"idb", "rfh", "balanced"};
+    const exp::SweepResult result = bench::run_sweep(spec, args);
+
+    const double idb = result.cost_stats(0, 0).mean() * 1e6;
+    const double rfh = result.cost_stats(0, 1).mean() * 1e6;
+    const double balanced = result.cost_stats(0, 2).mean() * 1e6;
     table.begin_row()
         .add(model.name)
-        .add(idb_cost.mean(), 4)
-        .add(rfh_cost.mean(), 4)
-        .add(base_cost.mean(), 4)
-        .add((1.0 - idb_cost.mean() / base_cost.mean()) * 100.0, 2)
-        .add(max_m.mean(), 1);
+        .add(idb, 4)
+        .add(rfh, 4)
+        .add(balanced, 4)
+        .add((1.0 - idb / balanced) * 100.0, 2)
+        .add(result.diag_stats(0, 0, "sol/max_m").mean(), 1);
   }
   bench::emit(table, args,
               "Ablation: charging-gain shape (400x400m, N=60, M=240, avg of " +

@@ -55,43 +55,37 @@ int main(int argc, char** argv) {
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(3);
 
-  // Quality sweep across delta. delta=4 enumerates C(N+3,4) candidates per
-  // round and takes ~30s; it only runs at --scale=paper.
+  // Quality sweep across delta, run through exp::ExperimentRunner. delta=4
+  // enumerates C(N+3,4) candidates per round and takes ~30s; it only runs
+  // at --scale=paper.
   util::Table table({"solver", "cost [uJ]", "evaluations", "time [s]"});
-  const std::vector<int> deltas = args.paper_scale() ? std::vector<int>{1, 2, 4}
-                                                     : std::vector<int>{1, 2};
-  util::Timer timer;  // one lap()-segmented stopwatch for every table row
-  for (const int delta : deltas) {
-    util::RunningStats cost;
-    util::RunningStats evals;
-    util::RunningStats seconds;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
-      timer.lap();  // drop the field-generation segment
-      const auto result = core::solve_idb(inst, core::IdbOptions{delta, false});
-      seconds.add(timer.lap());
-      cost.add(result.cost * 1e6);
-      evals.add(static_cast<double>(result.evaluations));
-    }
+  exp::SweepSpec spec;
+  spec.name = "ablation_idb_delta";
+  spec.side = 300.0;
+  spec.posts_axis = {40};
+  spec.nodes_axis = {120};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = args.paper_scale()
+                     ? std::vector<std::string>{"idb:delta=1", "idb:delta=2", "idb:delta=4",
+                                                "rfh"}
+                     : std::vector<std::string>{"idb:delta=1", "idb:delta=2", "rfh"};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
+  const int rfh_index = static_cast<int>(spec.solvers.size()) - 1;
+  for (int s = 0; s < rfh_index; ++s) {
     table.begin_row()
-        .add("IDB delta=" + std::to_string(delta))
-        .add(cost.mean(), 4)
-        .add(evals.mean(), 0)
-        .add(seconds.mean(), 4);
+        .add("IDB delta=" + spec.solvers[static_cast<std::size_t>(s)].substr(10))
+        .add(result.cost_stats(0, s).mean() * 1e6, 4)
+        .add(result.diag_stats(0, s, "idb/evaluations").mean(), 0)
+        .add(bench::sweep_seconds(result, 0, s).mean(), 4);
   }
-  {
-    util::RunningStats cost;
-    util::RunningStats seconds;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance inst = bench::make_paper_instance(40, 120, 300.0, 3, rng);
-      timer.lap();  // drop the field-generation segment
-      cost.add(core::solve_rfh(inst).cost * 1e6);
-      seconds.add(timer.lap());
-    }
-    table.begin_row().add("RFH (7 iters)").add(cost.mean(), 4).add("-").add(seconds.mean(), 4);
-  }
+  table.begin_row()
+      .add("RFH (7 iters)")
+      .add(result.cost_stats(0, rfh_index).mean() * 1e6, 4)
+      .add("-")
+      .add(bench::sweep_seconds(result, 0, rfh_index).mean(), 4);
   bench::emit(table, args,
               "Ablation: IDB delta quality/runtime (N=40, M=120, avg of " +
                   std::to_string(runs) + " fields)");

@@ -2,11 +2,9 @@
 //
 // Question: how much of the RFH-vs-IDB gap does a cheap move-neighborhood
 // hill climb recover, and at what runtime? Compares RFH, RFH+LS, IDB and
-// IDB+LS on mid-size fields.
+// IDB+LS on mid-size fields, all as solver-registry specs through
+// exp::ExperimentRunner.
 #include "common.hpp"
-#include "core/idb.hpp"
-#include "core/local_search.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
@@ -14,56 +12,36 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
-  const int posts = 50;
-  const int nodes = 200;
-  const double side = 350.0;
 
-  util::RunningStats rfh_cost;
-  util::RunningStats rfh_ls_cost;
-  util::RunningStats idb_cost;
-  util::RunningStats idb_ls_cost;
-  util::RunningStats rfh_time;
-  util::RunningStats rfh_ls_time;
-  util::RunningStats idb_time;
-  util::RunningStats ls_moves;
-
-  util::Timer timer;  // one lap()-segmented stopwatch for every pipeline
-  for (int run = 0; run < runs; ++run) {
-    util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-    const core::Instance inst = bench::make_paper_instance(posts, nodes, side, 3, rng);
-
-    timer.lap();  // drop the field-generation segment
-    const auto rfh = core::solve_rfh(inst);
-    rfh_time.add(timer.lap());
-    rfh_cost.add(rfh.cost * 1e6);
-
-    const auto rfh_ls = core::refine_solution(inst, rfh.solution);
-    rfh_ls_time.add(timer.lap());
-    rfh_ls_cost.add(rfh_ls.cost * 1e6);
-    ls_moves.add(rfh_ls.moves_applied);
-
-    const auto idb = core::solve_idb(inst);
-    idb_time.add(timer.lap());
-    idb_cost.add(idb.cost * 1e6);
-    idb_ls_cost.add(core::refine_solution(inst, idb.solution).cost * 1e6);
-  }
+  exp::SweepSpec spec;
+  spec.name = "ablation_local_search";
+  spec.side = 350.0;
+  spec.posts_axis = {50};
+  spec.nodes_axis = {200};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"rfh", "rfh+ls", "idb", "idb+ls"};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table({"pipeline", "cost [uJ]", "vs IDB [%]", "time [s]"});
-  const double reference = idb_cost.mean();
-  auto row = [&](const char* name, const util::RunningStats& cost, double seconds) {
+  const double reference = result.cost_stats(0, 2).mean() * 1e6;
+  const std::vector<const char*> labels{"RFH", "RFH + local search", "IDB d=1",
+                                        "IDB + local search"};
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    const double cost = result.cost_stats(0, static_cast<int>(s)).mean() * 1e6;
     table.begin_row()
-        .add(name)
-        .add(cost.mean(), 4)
-        .add((cost.mean() / reference - 1.0) * 100.0, 2)
-        .add(seconds, 3);
-  };
-  row("RFH", rfh_cost, rfh_time.mean());
-  row("RFH + local search", rfh_ls_cost, rfh_time.mean() + rfh_ls_time.mean());
-  row("IDB d=1", idb_cost, idb_time.mean());
-  row("IDB + local search", idb_ls_cost, idb_time.mean());
+        .add(labels[s])
+        .add(cost, 4)
+        .add((cost / reference - 1.0) * 100.0, 2)
+        .add(bench::sweep_seconds(result, 0, static_cast<int>(s)).mean(), 3);
+  }
   bench::emit(table, args,
               "Ablation: local-search refinement (350x350m, N=50, M=200, avg of " +
-                  std::to_string(runs) + " fields; mean LS moves = " +
-                  util::format_double(ls_moves.mean(), 1) + ")");
+                  std::to_string(runs) + " fields; mean LS moves on RFH = " +
+                  util::format_double(result.diag_stats(0, 1, "ls/moves").mean(), 1) +
+                  ", on IDB = " +
+                  util::format_double(result.diag_stats(0, 3, "ls/moves").mean(), 1) + ")");
   return 0;
 }

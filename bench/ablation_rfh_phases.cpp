@@ -1,10 +1,11 @@
 // Ablation A1 (DESIGN.md): what each RFH design choice buys.
 //
 // Toggles Phase II workload concentration, Phase III sibling merging, the
-// Phase IV workload definition, and the iterative refinement, on the Fig. 8
-// midpoint configuration (N=100, M=600, 500x500m).
+// Phase IV workload definition, the Phase IV integerization rule, and the
+// iterative refinement, on the Fig. 8 midpoint configuration (N=100, M=600,
+// 500x500m).  Each variant is a solver-registry spec string priced by
+// exp::ExperimentRunner on the same paired fields.
 #include "common.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
@@ -13,51 +14,42 @@ int main(int argc, char** argv) {
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
 
-  struct Variant {
-    const char* name;
-    core::RfhOptions options;
+  const std::vector<std::pair<const char*, const char*>> variants{
+      {"full RFH (7 iters)", "rfh"},
+      {"basic RFH (1 iter)", "rfh:iterations=1"},
+      {"no Phase II concentration", "rfh:concentrate=0"},
+      {"no Phase III sibling merge", "rfh:merge=0"},
+      {"plain SPT + Lagrange deploy", "rfh:concentrate=0,merge=0"},
+      {"Phase IV weights = bits (paper literal)", "rfh:workload=bits"},
+      {"Phase I weight includes e_r", "rfh:rx-weight=1"},
+      // Allocation-rule ablation: exact greedy integerization of the Phase
+      // IV subproblem vs the paper's smallest-share rounding (the source of
+      // the Fig. 7a gap, EXPERIMENTS.md note 1).
+      {"Phase IV greedy-exact allocation", "rfh:alloc=greedy"},
+      {"basic RFH + greedy allocation", "rfh:iterations=1,alloc=greedy"},
   };
-  std::vector<Variant> variants;
-  {
-    core::RfhOptions base;
-    variants.push_back({"full RFH (7 iters)", base});
-    core::RfhOptions v = base;
-    v.iterations = 1;
-    variants.push_back({"basic RFH (1 iter)", v});
-    v = base;
-    v.concentrate_workload = false;
-    variants.push_back({"no Phase II concentration", v});
-    v = base;
-    v.merge_siblings = false;
-    variants.push_back({"no Phase III sibling merge", v});
-    v = base;
-    v.concentrate_workload = false;
-    v.merge_siblings = false;
-    variants.push_back({"plain SPT + Lagrange deploy", v});
-    v = base;
-    v.workload_kind = core::WorkloadKind::Bits;
-    variants.push_back({"Phase IV weights = bits (paper literal)", v});
-    v = base;
-    v.rx_in_weight = true;
-    variants.push_back({"Phase I weight includes e_r", v});
-  }
 
-  std::vector<util::RunningStats> costs(variants.size());
-  for (int run = 0; run < runs; ++run) {
-    util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-    const core::Instance inst = bench::make_paper_instance(100, 600, 500.0, 3, rng);
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-      costs[v].add(core::solve_rfh(inst, variants[v].options).cost * 1e6);
-    }
-  }
+  exp::SweepSpec spec;
+  spec.name = "ablation_rfh_phases";
+  spec.side = 500.0;
+  spec.posts_axis = {100};
+  spec.nodes_axis = {600};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers.clear();
+  for (const auto& [label, solver] : variants) spec.solvers.push_back(solver);
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table({"variant", "cost [uJ]", "vs full RFH [%]"});
-  const double reference = costs[0].mean();
+  const double reference = result.cost_stats(0, 0).mean() * 1e6;
   for (std::size_t v = 0; v < variants.size(); ++v) {
+    const double cost = result.cost_stats(0, static_cast<int>(v)).mean() * 1e6;
     table.begin_row()
-        .add(variants[v].name)
-        .add(costs[v].mean(), 4)
-        .add((costs[v].mean() / reference - 1.0) * 100.0, 2);
+        .add(variants[v].first)
+        .add(cost, 4)
+        .add((cost / reference - 1.0) * 100.0, 2);
   }
   bench::emit(table, args,
               "Ablation: RFH phases (500x500m, N=100, M=600, avg of " + std::to_string(runs) +

@@ -23,6 +23,8 @@
 #include <string>
 
 #include "core/instance.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 #include "geom/field.hpp"
 #include "io/metrics_io.hpp"
 #include "obs/metrics.hpp"
@@ -116,6 +118,31 @@ inline core::Instance make_paper_instance(int posts, int nodes, double side, int
     return core::Instance::geometric(field, radio, energy::ChargingModel::linear(eta), nodes);
   }
   throw std::runtime_error("could not sample a connected field");
+}
+
+/// Runs `spec` on the experiment engine with the bench's --threads.  Every
+/// figure bench funnels its grid through here: the SweepResult is
+/// bit-identical for any thread count, so the tables below never depend on
+/// --threads.
+inline exp::SweepResult run_sweep(const exp::SweepSpec& spec, const BenchArgs& args) {
+  exp::RunnerOptions options;
+  options.threads = args.threads;
+  exp::ExperimentRunner runner(spec, options);
+  return runner.run();
+}
+
+/// Mean wall seconds of one (config, solver) cell (nondeterministic, for
+/// the runtime columns the legacy benches also printed).
+inline util::RunningStats sweep_seconds(const exp::SweepResult& result, int config_index,
+                                        int solver_index) {
+  util::RunningStats stats;
+  for (int run = 0; run < result.runs; ++run) {
+    const exp::SolverOutcome& outcome =
+        result.trials[static_cast<std::size_t>(config_index * result.runs + run)]
+            .outcomes[static_cast<std::size_t>(solver_index)];
+    if (outcome.ok) stats.add(outcome.seconds);
+  }
+  return stats;
 }
 
 /// Saves `chart` as <svg_dir>/<filename> when --svg-dir was given.

@@ -4,12 +4,11 @@
 // with ranges {25, 50, ..., 25k} m, average of 20 random fields. Finding:
 // the cost stays essentially flat in k -- the d^4 amplifier cost makes
 // short hops dominate, so extra long ranges go unused.
-#include <algorithm>
-
+//
+// Runs on exp::ExperimentRunner.  The level-usage columns come from the
+// runner's sol/* diagnostics (sol/max_level, sol/long_hop_share), which
+// compute exactly what the legacy bench derived from solution_levels.
 #include "common.hpp"
-#include "core/idb.hpp"
-#include "core/rfh.hpp"
-#include "core/solution.hpp"
 
 using namespace wrsn;
 
@@ -17,47 +16,37 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
-  const int nodes = 600;
-  const int posts = 200;
-  const double side = 500.0;
-  const std::vector<int> level_counts{3, 4, 5, 6};
+
+  exp::SweepSpec spec;
+  spec.name = "fig10";
+  spec.side = 500.0;
+  spec.posts_axis = {200};
+  spec.nodes_axis = {600};
+  spec.levels_axis = {3, 4, 5, 6};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"idb", "rfh"};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table({"power levels", "IDB d=1 [uJ]", "RFH [uJ]",
                      "max level used (RFH)", "share of hops at level >= 3 [%]"});
   std::vector<double> xs;
   std::vector<double> idb_series;
   std::vector<double> rfh_series;
-  for (const int k : level_counts) {
-    util::RunningStats idb_cost;
-    util::RunningStats rfh_cost;
-    util::RunningStats max_level;
-    util::RunningStats long_hops;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance inst = bench::make_paper_instance(posts, nodes, side, k, rng);
-      idb_cost.add(core::solve_idb(inst).cost * 1e6);
-      const auto rfh = core::solve_rfh(inst);
-      rfh_cost.add(rfh.cost * 1e6);
-      const auto levels = core::solution_levels(inst, rfh.solution);
-      int used_max = 0;
-      int longs = 0;
-      for (int level : levels) {
-        used_max = std::max(used_max, level);
-        longs += level >= 3 ? 1 : 0;
-      }
-      max_level.add(used_max + 1);  // 1-based for readability
-      long_hops.add(100.0 * longs / static_cast<double>(levels.size()));
-    }
+  for (std::size_t c = 0; c < spec.levels_axis.size(); ++c) {
+    const int config = static_cast<int>(c);
+    const double idb = result.cost_stats(config, 0).mean() * 1e6;
+    const double rfh = result.cost_stats(config, 1).mean() * 1e6;
     table.begin_row()
-        .add(k)
-        .add(idb_cost.mean(), 4)
-        .add(rfh_cost.mean(), 4)
-        .add(max_level.mean(), 2)
-        .add(long_hops.mean(), 2);
-    xs.push_back(k);
-    idb_series.push_back(idb_cost.mean());
-    rfh_series.push_back(rfh_cost.mean());
-    std::printf("[fig10] finished k=%d\n", k);
+        .add(spec.levels_axis[c])
+        .add(idb, 4)
+        .add(rfh, 4)
+        .add(result.diag_stats(config, 1, "sol/max_level").mean(), 2)
+        .add(result.diag_stats(config, 1, "sol/long_hop_share").mean(), 2);
+    xs.push_back(spec.levels_axis[c]);
+    idb_series.push_back(idb);
+    rfh_series.push_back(rfh);
   }
   bench::emit(table, args,
               "Fig. 10: cost vs number of power levels (500x500m, N=200, M=600, avg of " +
@@ -72,5 +61,7 @@ int main(int argc, char** argv) {
     chart.add_series("RFH", xs, rfh_series);
     bench::maybe_save_chart(chart, args, "fig10_power_levels.svg");
   }
+  std::printf("[fig10] %d trials in %.1f s via the experiment engine\n",
+              spec.num_trials(), result.wall_seconds);
   return 0;
 }

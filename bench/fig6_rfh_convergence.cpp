@@ -5,12 +5,11 @@
 // falls with iterations and converges within ~7 rounds (sometimes
 // oscillating in a tiny band due to Phase IV rounding).
 //
-// The convergence series is consumed from the solver's obs::Sink iteration
-// events (cost-so-far per iteration) rather than re-derived from the result
-// struct; --trace/--metrics expose the run's spans and counters.
+// Runs on exp::ExperimentRunner.  The per-iteration series and convergence
+// round come from the rfh solver's diagnostics (rfh/iter_cost_<i>,
+// rfh/convergence_round); paired seeding shares one field per run across
+// all node budgets exactly like the legacy bench's probe instance.
 #include "common.hpp"
-#include "core/rfh.hpp"
-#include "obs/sink.hpp"
 
 using namespace wrsn;
 
@@ -19,55 +18,31 @@ int main(int argc, char** argv) {
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 10);
   const int iterations = 10;
-  const std::vector<int> node_counts{400, 600, 800, 1000};
-  const int posts = 100;
-  const double side = 500.0;
+
+  util::Timer timer;
+  exp::SweepSpec spec;
+  spec.name = "fig6";
+  spec.side = 500.0;
+  spec.posts_axis = {100};
+  spec.nodes_axis = {400, 600, 800, 1000};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"rfh:iterations=" + std::to_string(iterations)};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table([&] {
     std::vector<std::string> headers{"iteration"};
-    for (int m : node_counts) headers.push_back("M=" + std::to_string(m) + " cost [uJ]");
+    for (int m : spec.nodes_axis) headers.push_back("M=" + std::to_string(m) + " cost [uJ]");
     return headers;
   }());
-
-  // history[m_index][iteration] accumulated over runs.
-  std::vector<std::vector<util::RunningStats>> history(
-      node_counts.size(), std::vector<util::RunningStats>(static_cast<std::size_t>(iterations)));
-  std::vector<util::RunningStats> converged_at(node_counts.size());
-
-  obs::MetricsSink metrics_sink(obs::Registry::global());
-  util::Timer timer;
-  for (int run = 0; run < runs; ++run) {
-    util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-    // One field per run, shared by all node budgets (paper-style pairing).
-    const core::Instance probe = bench::make_paper_instance(posts, node_counts[0], side, 3, rng);
-    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
-      const core::Instance inst = core::Instance::geometric(
-          *probe.field(), probe.radio(), probe.charging(), node_counts[mi]);
-      obs::RecordingSink recorder;
-      obs::MultiSink sinks({&recorder, &metrics_sink});
-      core::RfhOptions options;
-      options.iterations = iterations;
-      options.sink = &sinks;
-      const core::RfhResult result = core::solve_rfh(inst, options);
-      for (const obs::RfhIterationEvent& event : recorder.rfh_iterations) {
-        history[mi][static_cast<std::size_t>(event.iteration)].add(event.cost * 1e6);
-      }
-      // First iteration whose cost is within 0.01% of the best.
-      int convergence = iterations;
-      for (const obs::RfhIterationEvent& event : recorder.rfh_iterations) {
-        if (event.cost <= result.cost * 1.0001) {
-          convergence = event.iteration + 1;
-          break;
-        }
-      }
-      converged_at[mi].add(convergence);
-    }
-  }
-
   for (int it = 0; it < iterations; ++it) {
     table.begin_row().add(it + 1);
-    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
-      table.add(history[mi][static_cast<std::size_t>(it)].mean(), 4);
+    for (std::size_t mi = 0; mi < spec.nodes_axis.size(); ++mi) {
+      const util::RunningStats cost = result.diag_stats(
+          static_cast<int>(mi), 0, "rfh/iter_cost_" + std::to_string(it));
+      table.add(cost.mean() * 1e6, 4);
     }
   }
   bench::emit(table, args,
@@ -81,22 +56,26 @@ int main(int argc, char** argv) {
     options.y_label = "total recharging cost [uJ]";
     options.y_from_zero = false;
     viz::LineChart chart(options);
-    for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
+    for (std::size_t mi = 0; mi < spec.nodes_axis.size(); ++mi) {
       std::vector<double> xs;
       std::vector<double> ys;
       for (int it = 0; it < iterations; ++it) {
         xs.push_back(it + 1);
-        ys.push_back(history[mi][static_cast<std::size_t>(it)].mean());
+        ys.push_back(result.diag_stats(static_cast<int>(mi), 0,
+                                       "rfh/iter_cost_" + std::to_string(it))
+                         .mean() *
+                     1e6);
       }
-      chart.add_series("M=" + std::to_string(node_counts[mi]), xs, ys);
+      chart.add_series("M=" + std::to_string(spec.nodes_axis[mi]), xs, ys);
     }
     bench::maybe_save_chart(chart, args, "fig6_rfh_convergence.svg");
   }
 
   util::Table conv({"M", "mean iterations to converge", "max"});
-  for (std::size_t mi = 0; mi < node_counts.size(); ++mi) {
-    conv.begin_row().add(node_counts[mi]).add(converged_at[mi].mean(), 2).add(
-        converged_at[mi].max(), 0);
+  for (std::size_t mi = 0; mi < spec.nodes_axis.size(); ++mi) {
+    const util::RunningStats rounds =
+        result.diag_stats(static_cast<int>(mi), 0, "rfh/convergence_round");
+    conv.begin_row().add(spec.nodes_axis[mi]).add(rounds.mean(), 2).add(rounds.max(), 0);
   }
   bench::emit(conv, args, "Fig. 6 companion: convergence round (paper: <= 7)");
 

@@ -9,80 +9,62 @@
 // The exact search is exponential (C(M-1, N-1) compositions); the default
 // scale trims part (b) to N <= 10 so the bench finishes quickly.  Run with
 // --scale=paper for the full Fig. 7 grid.
+//
+// Both parts run on exp::ExperimentRunner; the paired seed stride of 1000
+// (and part (b)'s +777 base offset) reproduce the legacy seeding exactly.
 #include "common.hpp"
-#include "core/baseline.hpp"
-#include "core/exact.hpp"
-#include "core/idb.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
 namespace {
 
-struct Row {
-  util::RunningStats optimal;
-  util::RunningStats idb;
-  util::RunningStats rfh;
-  util::RunningStats baseline;
-  util::RunningStats exact_seconds;
-};
-
-Row run_config(int posts, int nodes, int runs, std::uint64_t seed) {
-  Row row;
-  for (int run = 0; run < runs; ++run) {
-    util::Rng rng(seed + static_cast<std::uint64_t>(run) * 1000);
-    const core::Instance inst = bench::make_paper_instance(posts, nodes, 200.0, 3, rng);
-    util::Timer timer;
-    const auto exact = core::solve_exact(inst);
-    row.exact_seconds.add(timer.elapsed_seconds());
-    row.optimal.add(exact.cost * 1e6);
-    row.idb.add(core::solve_idb(inst).cost * 1e6);
-    row.rfh.add(core::solve_rfh(inst).cost * 1e6);
-    row.baseline.add(core::solve_balanced_baseline(inst).cost * 1e6);
-  }
-  return row;
-}
-
-void emit_chart(const std::vector<std::pair<std::string, Row>>& rows,
-                const std::vector<int>& xs_int, const bench::BenchArgs& args,
-                const std::string& x_label, const std::string& title,
-                const std::string& filename) {
+/// Formats one part's sweep: Optimal/IDB/RFH/Balanced columns plus ratios.
+void emit_part(const exp::SweepSpec& spec, const exp::SweepResult& result,
+               const std::vector<int>& xs_int, const std::string& config_prefix,
+               bool prefix_is_posts, const bench::BenchArgs& args, const std::string& title,
+               const std::string& x_label, const std::string& chart_title,
+               const std::string& filename) {
+  util::Table table({"config", "Optimal [uJ]", "IDB d=1 [uJ]", "RFH [uJ]", "Balanced [uJ]",
+                     "IDB/Opt", "RFH/Opt", "exact search [s]"});
   std::vector<double> xs(xs_int.begin(), xs_int.end());
-  std::vector<double> optimal;
-  std::vector<double> idb;
-  std::vector<double> rfh;
-  for (const auto& [label, row] : rows) {
-    optimal.push_back(row.optimal.mean());
-    idb.push_back(row.idb.mean());
-    rfh.push_back(row.rfh.mean());
+  std::vector<double> optimal_series;
+  std::vector<double> idb_series;
+  std::vector<double> rfh_series;
+  for (std::size_t c = 0; c < xs_int.size(); ++c) {
+    const int config = static_cast<int>(c);
+    const double optimal = result.cost_stats(config, 0).mean() * 1e6;
+    const double idb = result.cost_stats(config, 1).mean() * 1e6;
+    const double rfh = result.cost_stats(config, 2).mean() * 1e6;
+    const double balanced = result.cost_stats(config, 3).mean() * 1e6;
+    const std::string label = prefix_is_posts
+                                  ? "N=" + std::to_string(xs_int[c]) + ", " + config_prefix
+                                  : config_prefix + ", M=" + std::to_string(xs_int[c]);
+    table.begin_row()
+        .add(label)
+        .add(optimal, 4)
+        .add(idb, 4)
+        .add(rfh, 4)
+        .add(balanced, 4)
+        .add(idb / optimal, 4)
+        .add(rfh / optimal, 4)
+        .add(bench::sweep_seconds(result, config, 0).mean(), 3);
+    optimal_series.push_back(optimal);
+    idb_series.push_back(idb);
+    rfh_series.push_back(rfh);
   }
+  bench::emit(table, args, title);
+
   viz::ChartOptions options;
-  options.title = title;
+  options.title = chart_title;
   options.x_label = x_label;
   options.y_label = "total recharging cost [uJ]";
   viz::LineChart chart(options);
-  chart.add_series("Optimal", xs, optimal);
-  chart.add_series("IDB d=1", xs, idb);
-  chart.add_series("RFH", xs, rfh);
+  chart.add_series("Optimal", xs, optimal_series);
+  chart.add_series("IDB d=1", xs, idb_series);
+  chart.add_series("RFH", xs, rfh_series);
   bench::maybe_save_chart(chart, args, filename);
-}
-
-void emit_rows(const std::vector<std::pair<std::string, Row>>& rows,
-               const bench::BenchArgs& args, const std::string& title) {
-  util::Table table({"config", "Optimal [uJ]", "IDB d=1 [uJ]", "RFH [uJ]", "Balanced [uJ]",
-                     "IDB/Opt", "RFH/Opt", "exact search [s]"});
-  for (const auto& [label, row] : rows) {
-    table.begin_row()
-        .add(label)
-        .add(row.optimal.mean(), 4)
-        .add(row.idb.mean(), 4)
-        .add(row.rfh.mean(), 4)
-        .add(row.baseline.mean(), 4)
-        .add(row.idb.mean() / row.optimal.mean(), 4)
-        .add(row.rfh.mean() / row.optimal.mean(), 4)
-        .add(row.exact_seconds.mean(), 3);
-  }
-  bench::emit(table, args, title);
+  std::printf("[%s] %d trials in %.1f s via the experiment engine\n", spec.name.c_str(),
+              spec.num_trials(), result.wall_seconds);
 }
 
 }  // namespace
@@ -92,36 +74,44 @@ int main(int argc, char** argv) {
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(5);  // the paper's 5
 
+  exp::SweepSpec base;
+  base.side = 200.0;
+  base.levels_axis = {3};
+  base.eta_axis = {0.01};
+  base.runs = runs;
+  base.seed_stride = 1000;  // the legacy Rng(seed + run * 1000)
+  base.solvers = {"exact", "idb", "rfh", "balanced"};
+
   // Part (a): N = 10 fixed, M swept.
   {
-    std::vector<std::pair<std::string, Row>> rows;
-    const std::vector<int> nodes = args.paper_scale() ? std::vector<int>{20, 24, 28, 32, 36}
-                                                      : std::vector<int>{20, 24, 28};
-    for (const int m : nodes) {
-      rows.emplace_back("N=10, M=" + std::to_string(m),
-                        run_config(10, m, runs, static_cast<std::uint64_t>(args.seed)));
-      std::printf("[fig7a] finished M=%d\n", m);
-    }
-    emit_rows(rows, args, "Fig. 7(a): cost vs number of sensor nodes (200x200m, N=10, avg of " +
-                              std::to_string(runs) + " fields)");
-    emit_chart(rows, nodes, args, "number of sensor nodes M",
-               "Fig. 7(a): heuristics vs optimal", "fig7a_optimal_comparison.svg");
+    exp::SweepSpec spec = base;
+    spec.name = "fig7a";
+    spec.posts_axis = {10};
+    spec.nodes_axis = args.paper_scale() ? std::vector<int>{20, 24, 28, 32, 36}
+                                         : std::vector<int>{20, 24, 28};
+    spec.base_seed = static_cast<std::uint64_t>(args.seed);
+    const exp::SweepResult result = bench::run_sweep(spec, args);
+    emit_part(spec, result, spec.nodes_axis, "N=10", /*prefix_is_posts=*/false, args,
+              "Fig. 7(a): cost vs number of sensor nodes (200x200m, N=10, avg of " +
+                  std::to_string(runs) + " fields)",
+              "number of sensor nodes M", "Fig. 7(a): heuristics vs optimal",
+              "fig7a_optimal_comparison.svg");
   }
 
   // Part (b): M = 36 fixed, N swept.
   {
-    std::vector<std::pair<std::string, Row>> rows;
-    const std::vector<int> posts = args.paper_scale() ? std::vector<int>{8, 9, 10, 11, 12}
-                                                      : std::vector<int>{8, 9, 10};
-    for (const int n : posts) {
-      rows.emplace_back("N=" + std::to_string(n) + ", M=36",
-                        run_config(n, 36, runs, static_cast<std::uint64_t>(args.seed) + 777));
-      std::printf("[fig7b] finished N=%d\n", n);
-    }
-    emit_rows(rows, args, "Fig. 7(b): cost vs number of posts (200x200m, M=36, avg of " +
-                              std::to_string(runs) + " fields)");
-    emit_chart(rows, posts, args, "number of posts N",
-               "Fig. 7(b): heuristics vs optimal", "fig7b_optimal_comparison.svg");
+    exp::SweepSpec spec = base;
+    spec.name = "fig7b";
+    spec.posts_axis = args.paper_scale() ? std::vector<int>{8, 9, 10, 11, 12}
+                                         : std::vector<int>{8, 9, 10};
+    spec.nodes_axis = {36};
+    spec.base_seed = static_cast<std::uint64_t>(args.seed) + 777;
+    const exp::SweepResult result = bench::run_sweep(spec, args);
+    emit_part(spec, result, spec.posts_axis, "M=36", /*prefix_is_posts=*/true, args,
+              "Fig. 7(b): cost vs number of posts (200x200m, M=36, avg of " +
+                  std::to_string(runs) + " fields)",
+              "number of posts N", "Fig. 7(b): heuristics vs optimal",
+              "fig7b_optimal_comparison.svg");
   }
   return 0;
 }

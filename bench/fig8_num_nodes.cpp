@@ -4,10 +4,11 @@
 // 20 random fields. Finding: IDB(delta=1) leads RFH by ~5%, both fall as M
 // grows; RFH is far cheaper to run (see the runtime column and
 // ablation_idb_delta).
+//
+// The trial grid runs on exp::ExperimentRunner (one ~30-line spec + this
+// formatter); paired seeding reproduces the legacy `Rng(seed + run)` fields
+// exactly, so the cost columns match the pre-engine bench bit for bit.
 #include "common.hpp"
-#include "core/baseline.hpp"
-#include "core/idb.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
@@ -15,9 +16,18 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
-  const int posts = 100;
-  const double side = 500.0;
-  const std::vector<int> node_counts{200, 400, 600, 800, 1000};
+
+  exp::SweepSpec spec;
+  spec.name = "fig8";
+  spec.side = 500.0;
+  spec.posts_axis = {100};
+  spec.nodes_axis = {200, 400, 600, 800, 1000};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"idb", "rfh", "balanced"};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table({"M", "IDB d=1 [uJ]", "RFH [uJ]", "Balanced [uJ]", "RFH/IDB",
                      "IDB time [s]", "RFH time [s]"});
@@ -25,36 +35,23 @@ int main(int argc, char** argv) {
   std::vector<double> idb_series;
   std::vector<double> rfh_series;
   std::vector<double> base_series;
-  util::Timer timer;  // one lap()-segmented stopwatch for every table row
-  for (const int m : node_counts) {
-    util::RunningStats idb_cost;
-    util::RunningStats rfh_cost;
-    util::RunningStats base_cost;
-    util::RunningStats idb_time;
-    util::RunningStats rfh_time;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance inst = bench::make_paper_instance(posts, m, side, 3, rng);
-      timer.lap();  // drop the field-generation segment
-      idb_cost.add(core::solve_idb(inst).cost * 1e6);
-      idb_time.add(timer.lap());
-      rfh_cost.add(core::solve_rfh(inst).cost * 1e6);
-      rfh_time.add(timer.lap());
-      base_cost.add(core::solve_balanced_baseline(inst).cost * 1e6);
-    }
+  for (std::size_t c = 0; c < spec.nodes_axis.size(); ++c) {
+    const int config = static_cast<int>(c);
+    const double idb = result.cost_stats(config, 0).mean() * 1e6;
+    const double rfh = result.cost_stats(config, 1).mean() * 1e6;
+    const double balanced = result.cost_stats(config, 2).mean() * 1e6;
     table.begin_row()
-        .add(m)
-        .add(idb_cost.mean(), 4)
-        .add(rfh_cost.mean(), 4)
-        .add(base_cost.mean(), 4)
-        .add(rfh_cost.mean() / idb_cost.mean(), 4)
-        .add(idb_time.mean(), 3)
-        .add(rfh_time.mean(), 3);
-    xs.push_back(m);
-    idb_series.push_back(idb_cost.mean());
-    rfh_series.push_back(rfh_cost.mean());
-    base_series.push_back(base_cost.mean());
-    std::printf("[fig8] finished M=%d\n", m);
+        .add(spec.nodes_axis[c])
+        .add(idb, 4)
+        .add(rfh, 4)
+        .add(balanced, 4)
+        .add(rfh / idb, 4)
+        .add(bench::sweep_seconds(result, config, 0).mean(), 3)
+        .add(bench::sweep_seconds(result, config, 1).mean(), 3);
+    xs.push_back(spec.nodes_axis[c]);
+    idb_series.push_back(idb);
+    rfh_series.push_back(rfh);
+    base_series.push_back(balanced);
   }
   bench::emit(table, args,
               "Fig. 8: cost vs number of sensor nodes (500x500m, N=100, avg of " +
@@ -70,5 +67,7 @@ int main(int argc, char** argv) {
     chart.add_series("Balanced baseline", xs, base_series);
     bench::maybe_save_chart(chart, args, "fig8_num_nodes.svg");
   }
+  std::printf("[fig8] %d trials in %.1f s via the experiment engine\n",
+              spec.num_trials(), result.wall_seconds);
   return 0;
 }

@@ -3,10 +3,10 @@
 // Paper setup: 500m x 500m, M = 600 nodes, N in {100,...,300}, average of
 // 20 random fields. Finding: "a similar trend as Fig. 8" -- IDB(delta=1)
 // stays ahead of RFH across the sweep.
+//
+// Runs on exp::ExperimentRunner; paired seeding keeps the cost columns
+// identical to the legacy per-bench loops.
 #include "common.hpp"
-#include "core/baseline.hpp"
-#include "core/idb.hpp"
-#include "core/rfh.hpp"
 
 using namespace wrsn;
 
@@ -14,9 +14,18 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::ObsSession obs_session(args);
   const int runs = args.runs_or(args.paper_scale() ? 20 : 5);
-  const int nodes = 600;
-  const double side = 500.0;
-  const std::vector<int> post_counts{100, 150, 200, 250, 300};
+
+  exp::SweepSpec spec;
+  spec.name = "fig9";
+  spec.side = 500.0;
+  spec.posts_axis = {100, 150, 200, 250, 300};
+  spec.nodes_axis = {600};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"idb", "rfh", "balanced"};
+  const exp::SweepResult result = bench::run_sweep(spec, args);
 
   util::Table table({"N", "IDB d=1 [uJ]", "RFH [uJ]", "Balanced [uJ]", "RFH/IDB",
                      "IDB time [s]", "RFH time [s]"});
@@ -24,36 +33,23 @@ int main(int argc, char** argv) {
   std::vector<double> idb_series;
   std::vector<double> rfh_series;
   std::vector<double> base_series;
-  util::Timer timer;  // one lap()-segmented stopwatch for every table row
-  for (const int n : post_counts) {
-    util::RunningStats idb_cost;
-    util::RunningStats rfh_cost;
-    util::RunningStats base_cost;
-    util::RunningStats idb_time;
-    util::RunningStats rfh_time;
-    for (int run = 0; run < runs; ++run) {
-      util::Rng rng(static_cast<std::uint64_t>(args.seed) + run);
-      const core::Instance inst = bench::make_paper_instance(n, nodes, side, 3, rng);
-      timer.lap();  // drop the field-generation segment
-      idb_cost.add(core::solve_idb(inst).cost * 1e6);
-      idb_time.add(timer.lap());
-      rfh_cost.add(core::solve_rfh(inst).cost * 1e6);
-      rfh_time.add(timer.lap());
-      base_cost.add(core::solve_balanced_baseline(inst).cost * 1e6);
-    }
+  for (std::size_t c = 0; c < spec.posts_axis.size(); ++c) {
+    const int config = static_cast<int>(c);
+    const double idb = result.cost_stats(config, 0).mean() * 1e6;
+    const double rfh = result.cost_stats(config, 1).mean() * 1e6;
+    const double balanced = result.cost_stats(config, 2).mean() * 1e6;
     table.begin_row()
-        .add(n)
-        .add(idb_cost.mean(), 4)
-        .add(rfh_cost.mean(), 4)
-        .add(base_cost.mean(), 4)
-        .add(rfh_cost.mean() / idb_cost.mean(), 4)
-        .add(idb_time.mean(), 3)
-        .add(rfh_time.mean(), 3);
-    xs.push_back(n);
-    idb_series.push_back(idb_cost.mean());
-    rfh_series.push_back(rfh_cost.mean());
-    base_series.push_back(base_cost.mean());
-    std::printf("[fig9] finished N=%d\n", n);
+        .add(spec.posts_axis[c])
+        .add(idb, 4)
+        .add(rfh, 4)
+        .add(balanced, 4)
+        .add(rfh / idb, 4)
+        .add(bench::sweep_seconds(result, config, 0).mean(), 3)
+        .add(bench::sweep_seconds(result, config, 1).mean(), 3);
+    xs.push_back(spec.posts_axis[c]);
+    idb_series.push_back(idb);
+    rfh_series.push_back(rfh);
+    base_series.push_back(balanced);
   }
   bench::emit(table, args,
               "Fig. 9: cost vs number of posts (500x500m, M=600, avg of " +
@@ -69,5 +65,7 @@ int main(int argc, char** argv) {
     chart.add_series("Balanced baseline", xs, base_series);
     bench::maybe_save_chart(chart, args, "fig9_num_posts.svg");
   }
+  std::printf("[fig9] %d trials in %.1f s via the experiment engine\n",
+              spec.num_trials(), result.wall_seconds);
   return 0;
 }

@@ -1,0 +1,131 @@
+// wrsn experiment CLI: run a declarative `wrsn-scenario v1` sweep through
+// exp::ExperimentRunner and emit per-trial artifacts + a summary table.
+//
+//   ./exp_tool --init my.scenario.json           # write a template spec
+//   ./exp_tool --spec my.scenario.json           # run it (summary to stdout)
+//   ./exp_tool --spec s.json --threads 8 --checkpoint s.ckpt
+//              --csv rows.csv --json rows.json
+//   ./exp_tool --list-solvers                    # registry catalogue
+//
+// Determinism: stdout (summary table, --csv=- rows) is bit-identical for
+// every --threads value; wall times and progress go to stderr, and the
+// nondeterministic seconds column only appears with --timings.  Killing a
+// checkpointed run and re-running the same command resumes: finished
+// trials are restored from the checkpoint, not re-priced.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string init_path;
+  std::string checkpoint_path;
+  std::string csv_path;
+  std::string json_path;
+  int threads = 1;
+  bool timings = false;
+  bool list_solvers = false;
+  bool progress = false;
+
+  util::Flags flags;
+  flags.add_string("spec", &spec_path, "wrsn-scenario v1 file to run");
+  flags.add_string("init", &init_path, "write a template scenario to this path and exit");
+  flags.add_string("checkpoint", &checkpoint_path,
+                   "checkpoint file: append finished trials, resume done ones");
+  flags.add_string("csv", &csv_path, "write per-trial CSV rows here ('-' = stdout)");
+  flags.add_string("json", &json_path, "write per-trial wrsn-exp-rows v1 JSON here");
+  flags.add_int("threads", &threads, "worker threads (0 = all cores); results identical");
+  flags.add_bool("timings", &timings, "include nondeterministic seconds in artifacts");
+  flags.add_bool("list-solvers", &list_solvers, "print the solver registry and exit");
+  flags.add_bool("progress", &progress, "print per-trial progress to stderr");
+  if (!flags.parse(argc, argv)) return 0;
+
+  try {
+    if (list_solvers) {
+      const auto& registry = core::SolverRegistry::global();
+      util::Table table({"solver", "description"});
+      for (const std::string& name : registry.names()) {
+        table.begin_row().add(name).add(registry.help(name));
+      }
+      table.print_ascii(std::cout);
+      return 0;
+    }
+    if (!init_path.empty()) {
+      exp::SweepSpec template_spec;
+      template_spec.name = "example";
+      template_spec.solvers = {"rfh", "idb", "balanced"};
+      template_spec.save(init_path);
+      std::printf("wrote template scenario %s\n", init_path.c_str());
+      return 0;
+    }
+    if (spec_path.empty()) {
+      std::fprintf(stderr, "exp_tool: --spec=<file> is required (or --init / --list-solvers)\n");
+      return 1;
+    }
+
+    const exp::SweepSpec spec = exp::SweepSpec::load(spec_path);
+    exp::RunnerOptions options;
+    options.threads = threads;
+    options.checkpoint_path = checkpoint_path;
+    if (progress) {
+      options.on_trial = [&spec](const exp::TrialRow& row) {
+        std::fprintf(stderr, "[exp] trial %d/%d %s run %d%s\n", row.trial + 1,
+                     spec.num_trials(), row.config.label().c_str(), row.run,
+                     row.resumed ? " (resumed)" : "");
+      };
+    }
+    exp::ExperimentRunner runner(spec, options);
+    const exp::SweepResult result = runner.run();
+
+    // Deterministic summary: one row per (config, solver) cell.
+    const std::vector<exp::ScenarioConfig> configs = spec.expand();
+    util::Table summary({"config", "solver", "mean cost [uJ]", "min", "max", "ok"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      for (std::size_t s = 0; s < result.solver_names.size(); ++s) {
+        const util::RunningStats stats =
+            result.cost_stats(static_cast<int>(c), static_cast<int>(s));
+        summary.begin_row()
+            .add(configs[c].label())
+            .add(result.solver_names[s])
+            .add(stats.mean() * 1e6, 4)
+            .add(stats.min() * 1e6, 4)
+            .add(stats.max() * 1e6, 4)
+            .add(std::to_string(stats.count()) + "/" + std::to_string(spec.runs));
+      }
+    }
+    std::cout << "== " << spec.name << ": "
+              << exp::SweepSpec::fingerprint_hex(spec.fingerprint()) << " ==\n";
+    summary.print_ascii(std::cout);
+
+    if (!csv_path.empty()) {
+      if (csv_path == "-") {
+        exp::write_rows_csv(std::cout, result, timings);
+      } else {
+        std::ofstream out(csv_path);
+        if (!out) throw std::runtime_error("cannot open '" + csv_path + "' for writing");
+        exp::write_rows_csv(out, result, timings);
+        std::fprintf(stderr, "[exp] wrote %s\n", csv_path.c_str());
+      }
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open '" + json_path + "' for writing");
+      exp::write_rows_json(out, spec, result, timings);
+      std::fprintf(stderr, "[exp] wrote %s\n", json_path.c_str());
+    }
+    std::fprintf(stderr, "[exp] %d trials (%d resumed) in %.1f s on %d thread(s)\n",
+                 spec.num_trials(), result.resumed_trials, result.wall_seconds, threads);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "exp_tool: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -14,9 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/idb.hpp"
-#include "core/local_search.hpp"
-#include "core/rfh.hpp"
+#include "core/solver.hpp"
 #include "io/metrics_io.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -55,7 +53,8 @@ int main(int argc, char** argv) {
   flags.add_int("nodes", &nodes, "sensor-node budget");
   flags.add_double("side", &side, "generated field side length [m]");
   flags.add_int64("seed", &seed, "RNG seed for field generation");
-  flags.add_string("solver", &solver, "rfh | rfh+ls | idb | idb+ls");
+  flags.add_string("solver", &solver,
+                   "registry spec, e.g. rfh+ls, idb:delta=2, rfh:alloc=greedy, exact");
   flags.add_string("field", &field_path, "load a surveyed field instead of generating");
   flags.add_string("out", &out, "output file prefix");
   flags.add_double("eta", &eta, "single-node charging efficiency");
@@ -112,49 +111,39 @@ int main(int argc, char** argv) {
       .add("eta", eta)
       .add("bits_per_report", bits);
 
-  // Solve.
+  // Solve via the unified solver registry; --solver takes any registry spec.
+  // The standalone --threads / --ls-strategy flags are folded into "+ls"
+  // specs unless the spec already sets them explicitly.
   core::Solution solution{graph::RoutingTree(1, 1), {}};
   double cost = 0.0;
   run_report.begin_section("solver").add("name", solver);
-  if (solver == "rfh" || solver == "rfh+ls") {
-    core::RfhOptions options;
-    options.sink = &metrics_sink;
-    const auto rfh = core::solve_rfh(instance, options);
-    solution = rfh.solution;
-    cost = rfh.cost;
-    run_report.add("rfh_iterations",
-                   static_cast<std::uint64_t>(rfh.per_iteration_cost.size()));
-  } else if (solver == "idb" || solver == "idb+ls") {
-    core::IdbOptions options;
-    options.sink = &metrics_sink;
-    const auto idb = core::solve_idb(instance, options);
-    solution = idb.solution;
-    cost = idb.cost;
-    run_report.add("idb_rounds", idb.rounds)
-        .add("idb_evaluations", idb.evaluations);
-  } else {
-    std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
-    return 1;
-  }
-  if (solver.ends_with("+ls")) {
-    core::LocalSearchOptions options;
-    options.sink = &metrics_sink;
-    options.threads = threads;
-    if (ls_strategy == "best") {
-      options.strategy = core::LocalSearchStrategy::kBestImprovement;
-    } else if (ls_strategy != "first") {
-      std::fprintf(stderr, "unknown --ls-strategy '%s' (expected first|best)\n",
-                   ls_strategy.c_str());
-      return 1;
+  try {
+    core::SolverSpec spec = core::SolverSpec::parse(solver);
+    if (spec.name.ends_with("+ls")) {
+      const auto has_option = [&spec](const std::string& key) {
+        return std::any_of(spec.options.begin(), spec.options.end(),
+                           [&key](const auto& kv) { return kv.first == key; });
+      };
+      if (!has_option("ls-threads")) spec.options.emplace_back("ls-threads",
+                                                               std::to_string(threads));
+      if (!has_option("ls-strategy")) spec.options.emplace_back("ls-strategy", ls_strategy);
     }
-    const auto refined = core::refine_solution(instance, solution, options);
-    solution = refined.solution;
-    cost = refined.cost;
-    run_report.add("ls_moves_applied", refined.moves_applied)
-        .add("ls_passes", refined.passes)
-        .add("ls_threads", refined.threads_used)
-        .add("ls_strategy", ls_strategy)
-        .add("ls_wasted_evaluations", refined.wasted_evaluations);
+    const std::unique_ptr<core::Solver> engine = core::SolverRegistry::global().create(spec);
+    const core::SolverRun run = engine->solve(instance, &metrics_sink);
+    solution = run.solution;
+    cost = run.cost;
+    for (const auto& [key, value] : run.diagnostics.items) {
+      if (key.rfind("rfh/iter_cost_", 0) == 0) continue;  // keep the report compact
+      run_report.add(key, value);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "solver '%s': %s\n", solver.c_str(), error.what());
+    std::fprintf(stderr, "registered solvers:\n");
+    const auto& solvers = core::SolverRegistry::global();
+    for (const std::string& name : solvers.names()) {
+      std::fprintf(stderr, "  %-10s %s\n", name.c_str(), solvers.help(name).c_str());
+    }
+    return 1;
   }
   std::printf("solver %s: total recharging cost %s per reported bit\n", solver.c_str(),
               util::format_energy(cost).c_str());

@@ -236,7 +236,9 @@ RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
       WRSN_TRACE_SPAN("rfh/phase4");
       const std::vector<double> weights =
           rfh_detail::phase4_weights(instance, tree, options.workload_kind);
-      deployment = lagrange_allocate(weights, instance.num_nodes());
+      deployment = options.allocation == AllocationRule::kGreedyExact
+                       ? greedy_allocate(weights, instance.num_nodes())
+                       : lagrange_allocate(weights, instance.num_nodes());
     }
 
     Solution candidate{tree, deployment};

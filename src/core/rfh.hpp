@@ -35,6 +35,18 @@ enum class WorkloadKind {
   Bits,
 };
 
+/// How Phase IV turns the fractional Lagrange shares into integers.
+enum class AllocationRule {
+  /// The paper's iterative smallest-share-first rounding
+  /// (core::lagrange_allocate).  Can misplace a node on small instances --
+  /// the measured 3-6 % Fig. 7a gap traces to it (EXPERIMENTS.md note 1).
+  kPaperRounding,
+  /// Exact integer optimum of the Phase IV subproblem by greedy
+  /// marginal-gain assignment (core::greedy_allocate).  Never worse than
+  /// the paper's rounding for a fixed tree.
+  kGreedyExact,
+};
+
 struct RfhOptions {
   /// Number of I-IV passes; 1 = basic RFH. The paper uses 7 for its figures.
   int iterations = 7;
@@ -47,6 +59,8 @@ struct RfhOptions {
   /// include it (it is part of the true cost).
   bool rx_in_weight = false;
   WorkloadKind workload_kind = WorkloadKind::Energy;
+  /// Phase IV integerization rule (paper rounding vs exact greedy).
+  AllocationRule allocation = AllocationRule::kPaperRounding;
   /// Observer notified after every iteration (obs/sink.hpp); nullptr = none.
   /// Purely observational: never perturbs the solver's decisions.
   obs::Sink* sink = nullptr;

@@ -1,0 +1,141 @@
+// Unified solver interface: every deployment+routing algorithm in `core`
+// behind one polymorphic face, created by name from a registry.
+//
+// The experiment engine (src/exp), the planning CLI, and the figure benches
+// all need "run algorithm X with options Y on instance Z" without hard-coding
+// a call site per algorithm.  A solver is addressed by a *spec string*:
+//
+//   rfh                         defaults
+//   rfh:iterations=1            basic one-pass RFH
+//   rfh:alloc=greedy            exact Phase IV integerization
+//   rfh+ls:ls-strategy=best     RFH then best-improvement local search
+//   idb:delta=2                 IDB placing two nodes per round
+//   exact:bnb=0                 exhaustive enumeration (test oracle)
+//   balanced | minhop           charging-oblivious baselines
+//
+// Implementations are stateless: `solve` is const and re-entrant, so one
+// Solver instance can price trials from many threads at once (the experiment
+// runner relies on this).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace wrsn::obs {
+class Sink;
+}
+
+namespace wrsn::core {
+
+/// Ordered numeric facts a solver reports about one run (iteration counts,
+/// candidate evaluations, ...).  Numbers only, so rows stream to CSV and
+/// aggregate across replications without per-solver glue.
+struct SolverDiagnostics {
+  std::vector<std::pair<std::string, double>> items;
+
+  void add(std::string key, double value) { items.emplace_back(std::move(key), value); }
+  /// First value recorded under `key`, or nullopt.
+  std::optional<double> find(std::string_view key) const noexcept;
+};
+
+/// A solver run's complete outcome.
+struct SolverRun {
+  Solution solution;
+  /// Total recharging cost of `solution` (the paper's objective).
+  double cost = 0.0;
+  SolverDiagnostics diagnostics;
+};
+
+/// Polymorphic deployment+routing solver.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical spec this solver was created from (e.g. "idb:delta=2").
+  const std::string& name() const noexcept { return name_; }
+
+  /// Solves `instance`; `sink` (may be nullptr) observes solver events.
+  /// Must be const and re-entrant: the experiment runner calls one solver
+  /// object from several threads concurrently.
+  virtual SolverRun solve(const Instance& instance, obs::Sink* sink = nullptr) const = 0;
+
+ protected:
+  explicit Solver(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// A parsed solver spec: `name[:key=value[,key=value...]]`.
+struct SolverSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  /// Parses a spec string; throws std::invalid_argument on syntax errors.
+  static SolverSpec parse(std::string_view text);
+  /// Reassembles the spec (name plus options in their given order).
+  std::string canonical() const;
+};
+
+/// Typed option access for factories.  Tracks which keys were read so the
+/// registry can reject typos ("unknown option 'iters' for solver 'rfh'")
+/// instead of silently running the wrong configuration.
+class SolverOptionReader {
+ public:
+  explicit SolverOptionReader(const SolverSpec& spec);
+
+  int get_int(std::string_view key, int fallback);
+  double get_double(std::string_view key, double fallback);
+  bool get_bool(std::string_view key, bool fallback);
+  std::string get_string(std::string_view key, std::string fallback);
+
+  /// Throws std::invalid_argument when any option key was never read.
+  void check_all_consumed() const;
+
+ private:
+  const std::string* raw(std::string_view key);
+
+  const SolverSpec* spec_;
+  std::vector<bool> consumed_;
+};
+
+/// Name -> factory registry.  `global()` arrives pre-populated with every
+/// built-in solver; tests and downstream applications may add their own.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>(const SolverSpec&)>;
+
+  /// The process-wide registry with all built-ins registered.
+  static SolverRegistry& global();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate name.
+  void add(std::string name, std::string help, Factory factory);
+  bool contains(std::string_view name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// One-line description of `name` (empty when unknown).
+  std::string help(std::string_view name) const;
+
+  /// Parses `spec_text` and builds the solver.  Throws std::invalid_argument
+  /// on an unknown name (the message lists the registered names) or an
+  /// unknown/ill-typed option.
+  std::unique_ptr<Solver> create(std::string_view spec_text) const;
+  std::unique_ptr<Solver> create(const SolverSpec& spec) const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+
+  std::vector<std::pair<std::string, Entry>> entries_;  // insertion order
+};
+
+}  // namespace wrsn::core

@@ -39,6 +39,8 @@ class ChargingModel {
 
   double eta() const noexcept { return eta_; }
   ChargingKind kind() const noexcept { return kind_; }
+  /// Shape parameter (SubLinear exponent or Saturating cap; 1.0 for Linear).
+  double param() const noexcept { return param_; }
 
   /// The gain factor k(m); k(1) == 1 for every kind.
   double gain(int m) const;

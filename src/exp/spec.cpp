@@ -1,0 +1,236 @@
+#include "exp/spec.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "geom/field.hpp"
+#include "util/rng.hpp"
+
+namespace wrsn::exp {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) { throw std::invalid_argument(what); }
+
+std::string seed_mode_name(SeedMode mode) {
+  return mode == SeedMode::kPaired ? "paired" : "independent";
+}
+
+SeedMode seed_mode_from_name(const std::string& name) {
+  if (name == "paired") return SeedMode::kPaired;
+  if (name == "independent") return SeedMode::kIndependent;
+  throw io::JsonError("unknown seed mode '" + name + "' (expected paired|independent)");
+}
+
+io::Json int_axis_to_json(const std::vector<int>& axis) {
+  io::Json out = io::Json::array();
+  for (int v : axis) out.push_back(io::Json(v));
+  return out;
+}
+
+io::Json double_axis_to_json(const std::vector<double>& axis) {
+  io::Json out = io::Json::array();
+  for (double v : axis) out.push_back(io::Json(v));
+  return out;
+}
+
+std::vector<int> int_axis_from_json(const io::Json& json) {
+  std::vector<int> out;
+  for (const io::Json& v : json.as_array()) out.push_back(v.as_int());
+  return out;
+}
+
+std::vector<double> double_axis_from_json(const io::Json& json) {
+  std::vector<double> out;
+  for (const io::Json& v : json.as_array()) out.push_back(v.as_double());
+  return out;
+}
+
+energy::ChargingModel make_charging(const SweepSpec& spec, double eta) {
+  if (spec.charging_kind == "linear") return energy::ChargingModel::linear(eta);
+  if (spec.charging_kind == "sublinear") {
+    return energy::ChargingModel::sub_linear(eta, spec.charging_param);
+  }
+  if (spec.charging_kind == "saturating") {
+    return energy::ChargingModel::saturating(eta, spec.charging_param);
+  }
+  bad_spec("unknown charging kind '" + spec.charging_kind +
+           "' (expected linear|sublinear|saturating)");
+}
+
+}  // namespace
+
+std::string ScenarioConfig::label() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "N=%d M=%d k=%d eta=%g", posts, nodes, levels, eta);
+  return buffer;
+}
+
+void SweepSpec::validate() const {
+  if (name.empty()) bad_spec("scenario name must not be empty");
+  if (side <= 0.0) bad_spec("field side must be positive");
+  if (range_step <= 0.0) bad_spec("radio range step must be positive");
+  if (posts_axis.empty() || nodes_axis.empty() || levels_axis.empty() || eta_axis.empty()) {
+    bad_spec("every sweep axis needs at least one value");
+  }
+  if (runs < 1) bad_spec("runs must be >= 1");
+  if (solvers.empty()) bad_spec("at least one solver spec is required");
+  make_charging(*this, eta_axis.front());  // throws on an unknown kind
+  for (int posts : posts_axis) {
+    if (posts < 1) bad_spec("posts axis values must be >= 1");
+  }
+  for (int levels : levels_axis) {
+    if (levels < 1) bad_spec("levels axis values must be >= 1");
+  }
+  for (double eta : eta_axis) {
+    if (eta <= 0.0 || eta >= 1.0) bad_spec("eta axis values must be in (0, 1)");
+  }
+}
+
+std::vector<ScenarioConfig> SweepSpec::expand() const {
+  std::vector<ScenarioConfig> configs;
+  configs.reserve(static_cast<std::size_t>(num_configs()));
+  for (int posts : posts_axis) {
+    for (int nodes : nodes_axis) {
+      for (int levels : levels_axis) {
+        for (double eta : eta_axis) {
+          configs.push_back(ScenarioConfig{posts, nodes, levels, eta});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+int SweepSpec::num_configs() const noexcept {
+  return static_cast<int>(posts_axis.size() * nodes_axis.size() * levels_axis.size() *
+                          eta_axis.size());
+}
+
+std::uint64_t SweepSpec::field_seed(int config_index, int run) const {
+  if (seed_mode == SeedMode::kPaired) {
+    return base_seed + static_cast<std::uint64_t>(run) * seed_stride;
+  }
+  const std::uint64_t trial =
+      static_cast<std::uint64_t>(config_index) * static_cast<std::uint64_t>(runs) +
+      static_cast<std::uint64_t>(run);
+  return util::derive_seed(base_seed, trial);
+}
+
+core::Instance SweepSpec::build_instance(const ScenarioConfig& config,
+                                         std::uint64_t field_seed) const {
+  geom::FieldConfig field_config;
+  field_config.width = side;
+  field_config.height = side;
+  field_config.num_posts = config.posts;
+  const auto radio = energy::RadioModel::uniform_levels(config.levels, range_step);
+  util::Rng rng(field_seed);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const geom::Field field = geom::generate_field(field_config, rng);
+    if (!geom::is_connected(field, radio.max_range())) continue;
+    return core::Instance::geometric(field, radio, make_charging(*this, config.eta),
+                                     config.nodes);
+  }
+  throw std::runtime_error("could not sample a connected field for " + config.label());
+}
+
+io::Json SweepSpec::to_json() const {
+  io::Json field = io::Json::object();
+  field.set("side", io::Json(side));
+  field.set("range_step", io::Json(range_step));
+
+  io::Json charging = io::Json::object();
+  charging.set("kind", io::Json(charging_kind));
+  charging.set("param", io::Json(charging_param));
+
+  io::Json axes = io::Json::object();
+  axes.set("posts", int_axis_to_json(posts_axis));
+  axes.set("nodes", int_axis_to_json(nodes_axis));
+  axes.set("levels", int_axis_to_json(levels_axis));
+  axes.set("eta", double_axis_to_json(eta_axis));
+
+  io::Json seed = io::Json::object();
+  seed.set("base", io::Json(base_seed));
+  seed.set("mode", io::Json(seed_mode_name(seed_mode)));
+  seed.set("stride", io::Json(seed_stride));
+
+  io::Json solver_list = io::Json::array();
+  for (const std::string& solver : solvers) solver_list.push_back(io::Json(solver));
+
+  io::Json out = io::Json::object();
+  out.set("format", io::Json(std::string("wrsn-scenario v1")));
+  out.set("name", io::Json(name));
+  out.set("field", std::move(field));
+  out.set("charging", std::move(charging));
+  out.set("axes", std::move(axes));
+  out.set("runs", io::Json(runs));
+  out.set("seed", std::move(seed));
+  out.set("solvers", std::move(solver_list));
+  return out;
+}
+
+SweepSpec SweepSpec::from_json(const io::Json& json) {
+  if (json.at("format").as_string() != "wrsn-scenario v1") {
+    throw io::JsonError("not a wrsn-scenario v1 document (format = '" +
+                        json.at("format").as_string() + "')");
+  }
+  SweepSpec spec;
+  spec.name = json.at("name").as_string();
+  const io::Json& field = json.at("field");
+  spec.side = field.at("side").as_double();
+  spec.range_step = field.at("range_step").as_double();
+  const io::Json& charging = json.at("charging");
+  spec.charging_kind = charging.at("kind").as_string();
+  spec.charging_param = charging.at("param").as_double();
+  const io::Json& axes = json.at("axes");
+  spec.posts_axis = int_axis_from_json(axes.at("posts"));
+  spec.nodes_axis = int_axis_from_json(axes.at("nodes"));
+  spec.levels_axis = int_axis_from_json(axes.at("levels"));
+  spec.eta_axis = double_axis_from_json(axes.at("eta"));
+  spec.runs = json.at("runs").as_int();
+  const io::Json& seed = json.at("seed");
+  spec.base_seed = seed.at("base").as_uint64();
+  spec.seed_mode = seed_mode_from_name(seed.at("mode").as_string());
+  spec.seed_stride = seed.at("stride").as_uint64();
+  spec.solvers.clear();
+  for (const io::Json& solver : json.at("solvers").as_array()) {
+    spec.solvers.push_back(solver.as_string());
+  }
+  spec.validate();
+  return spec;
+}
+
+void SweepSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << to_json().dump(2) << "\n";
+  if (!out) throw std::runtime_error("failed writing scenario to '" + path + "'");
+}
+
+SweepSpec SweepSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(io::Json::parse(buffer.str()));
+}
+
+std::uint64_t SweepSpec::fingerprint() const {
+  const std::string canonical = to_json().dump();
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis
+  for (unsigned char c : canonical) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string SweepSpec::fingerprint_hex(std::uint64_t fingerprint) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace wrsn::exp

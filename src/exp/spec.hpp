@@ -1,0 +1,110 @@
+// Declarative experiment scenarios.
+//
+// A `SweepSpec` describes a whole experiment campaign -- a grid of instance
+// configurations (posts N x nodes M x power levels k x charging efficiency
+// eta), a replication count, a seeding policy, and the list of solver specs
+// (core::SolverRegistry strings) to price on every sampled instance.  The
+// spec is the *complete* input: two processes loading the same spec build
+// bit-identical instances and therefore produce bit-identical trial rows,
+// which is what makes checkpoint/resume and cross-machine comparison sound.
+//
+// Specs serialize as `wrsn-scenario v1` JSON (io/json.hpp); the FNV-1a
+// fingerprint of the canonical dump keys checkpoint compatibility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "io/json.hpp"
+
+namespace wrsn::exp {
+
+/// One point of the sweep grid: a concrete instance configuration.
+struct ScenarioConfig {
+  int posts = 0;     ///< N
+  int nodes = 0;     ///< M
+  int levels = 0;    ///< k radio power levels
+  double eta = 0.0;  ///< single-node charging efficiency
+
+  /// Short human-readable tag ("N=100 M=600 k=3 eta=0.01").
+  std::string label() const;
+};
+
+/// How per-trial field seeds derive from the base seed.
+enum class SeedMode {
+  /// field_seed = base + run * stride: every configuration at replication r
+  /// sees the same seed, i.e. paired samples across the grid.  With
+  /// stride = 1 this reproduces the legacy benches' `Rng(seed + run)`
+  /// seeding exactly (fig6/8/9/10); fig7 uses stride = 1000.
+  kPaired,
+  /// field_seed = util::derive_seed(base, trial): every trial of the sweep
+  /// draws an independent stream (SplitMix64-derived, order-free).
+  kIndependent,
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+
+  // Instance family: square side x side field, base station lower-left,
+  // radio ranges {step, 2*step, ..., k*step} with the paper's Eq.-(1)
+  // constants, fields resampled until connected at d_max.
+  double side = 500.0;
+  double range_step = 25.0;
+  /// Charging gain shape: "linear" | "sublinear" | "saturating".
+  std::string charging_kind = "linear";
+  /// SubLinear exponent or Saturating cap (ignored for linear).
+  double charging_param = 1.0;
+
+  // Sweep axes; the grid is the cartesian product in this nesting order
+  // (posts outermost, eta innermost).  Every axis must be non-empty.
+  std::vector<int> posts_axis{100};
+  std::vector<int> nodes_axis{600};
+  std::vector<int> levels_axis{3};
+  std::vector<double> eta_axis{0.01};
+
+  /// Replications per configuration.
+  int runs = 5;
+  std::uint64_t base_seed = 42;
+  SeedMode seed_mode = SeedMode::kPaired;
+  /// Per-run seed increment in paired mode (unused when independent).
+  std::uint64_t seed_stride = 1;
+
+  /// Solver spec strings (core::SolverRegistry), all priced per trial on
+  /// the SAME instance (paired solver comparison, as the figure benches do).
+  std::vector<std::string> solvers{"rfh"};
+
+  /// Throws std::invalid_argument on an ill-formed spec (empty axis,
+  /// runs < 1, no solvers, unknown charging kind, non-positive geometry).
+  void validate() const;
+
+  /// The configuration grid in canonical order.
+  std::vector<ScenarioConfig> expand() const;
+  int num_configs() const noexcept;
+  /// Total trials = num_configs() * runs; trial ids are config-major:
+  /// trial = config_index * runs + run.
+  int num_trials() const noexcept { return num_configs() * runs; }
+
+  /// Field seed of (config, run) under the spec's seed mode.  Depends only
+  /// on the spec and the indices -- never on execution order or thread
+  /// count -- so results are reproducible trial by trial.
+  std::uint64_t field_seed(int config_index, int run) const;
+
+  /// Samples the instance for `config` from `field_seed` (rejection-samples
+  /// fields until connected, exactly like the legacy benches' helper).
+  core::Instance build_instance(const ScenarioConfig& config, std::uint64_t field_seed) const;
+
+  io::Json to_json() const;
+  static SweepSpec from_json(const io::Json& json);
+  void save(const std::string& path) const;
+  static SweepSpec load(const std::string& path);
+
+  /// FNV-1a (64-bit) over the canonical compact JSON dump.  Checkpoints
+  /// store it; a resumed run refuses a checkpoint whose fingerprint
+  /// differs (the rows would belong to different instances).
+  std::uint64_t fingerprint() const;
+  static std::string fingerprint_hex(std::uint64_t fingerprint);
+};
+
+}  // namespace wrsn::exp

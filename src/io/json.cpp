@@ -1,0 +1,394 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrsn::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw JsonError("json: " + what); }
+
+std::string kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::Null: return "null";
+    case Json::Kind::Bool: return "bool";
+    case Json::Kind::Number: return "number";
+    case Json::Kind::String: return "string";
+    case Json::Kind::Array: return "array";
+    case Json::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+/// Shortest %g form that still round-trips the double exactly.
+std::string format_double(double value) {
+  if (!std::isfinite(value)) fail("cannot serialize a non-finite number");
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail_at("trailing content after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail_at(const std::string& what) const {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail_at("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail_at(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail_at("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail_at("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail_at("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      if (peek() != '"') fail_at("expected an object key");
+      std::string key = parse_string();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail_at("expected ',' or '}'");
+    }
+    return Json(std::move(members));
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array items;
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail_at("expected ',' or ']'");
+    }
+    return Json(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail_at("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail_at("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail_at("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail_at("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail_at("bad \\u escape digit");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs unsupported:
+          // scenario files are ASCII; reject rather than emit garbage).
+          if (code >= 0xD800 && code <= 0xDFFF) fail_at("surrogate escapes unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail_at("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string lexical(text_.substr(start, pos_ - start));
+    // Validate via strtod: catches "", "-", "1.", "1e", and friends.
+    if (lexical.empty()) fail_at("expected a value");
+    errno = 0;
+    char* end = nullptr;
+    (void)std::strtod(lexical.c_str(), &end);
+    if (end != lexical.c_str() + lexical.size() || errno == ERANGE) {
+      fail("invalid number '" + lexical + "' at offset " + std::to_string(start));
+    }
+    return Json::raw_number(lexical);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Json::Json(std::int64_t value) : kind_(Kind::Number) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  number_ = buf;
+}
+
+Json::Json(std::uint64_t value) : kind_(Kind::Number) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  number_ = buf;
+}
+
+Json::Json(double value) : kind_(Kind::Number), number_(format_double(value)) {}
+
+Json Json::raw_number(std::string lexical) {
+  Json value(0.0);
+  value.number_ = std::move(lexical);
+  return value;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) fail("expected bool, got " + kind_name(kind_));
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::Number) fail("expected number, got " + kind_name(kind_));
+  return std::strtod(number_.c_str(), nullptr);
+}
+
+std::int64_t Json::as_int64() const {
+  if (kind_ != Kind::Number) fail("expected number, got " + kind_name(kind_));
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(number_.c_str(), &end, 10);
+  if (end != number_.c_str() + number_.size() || errno == ERANGE) {
+    fail("number '" + number_ + "' is not a 64-bit integer");
+  }
+  return v;
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (kind_ != Kind::Number) fail("expected number, got " + kind_name(kind_));
+  if (!number_.empty() && number_[0] == '-') fail("number '" + number_ + "' is negative");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(number_.c_str(), &end, 10);
+  if (end != number_.c_str() + number_.size() || errno == ERANGE) {
+    fail("number '" + number_ + "' is not an unsigned 64-bit integer");
+  }
+  return v;
+}
+
+int Json::as_int() const {
+  const std::int64_t v = as_int64();
+  if (v < INT32_MIN || v > INT32_MAX) fail("number '" + number_ + "' overflows int");
+  return static_cast<int>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) fail("expected string, got " + kind_name(kind_));
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::Array) fail("expected array, got " + kind_name(kind_));
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::Object) fail("expected object, got " + kind_name(kind_));
+  return object_;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) fail("missing key '" + std::string(key) + "'");
+  return *found;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (kind_ != Kind::Object) fail("set() on a non-object");
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (kind_ != Kind::Array) fail("push_back() on a non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += number_; break;
+    case Kind::String: dump_string(out, string_); break;
+    case Kind::Array: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_pad(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::Object: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_pad(depth + 1);
+        dump_string(out, object_[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_pad(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace wrsn::io

@@ -1,0 +1,104 @@
+// Minimal JSON value, parser, and writer.
+//
+// The experiment layer needs a structured interchange format for scenario
+// files (`wrsn-scenario v1`) and trial-row artifacts that external tooling
+// (Python, jq, spreadsheets) can consume directly -- a job the line-oriented
+// formats in io/serialize were never meant for.  This is a deliberately
+// small JSON implementation: UTF-8 pass-through strings, ordered objects
+// (so canonical dumps are byte-stable, which the experiment checkpoints
+// fingerprint), and numbers kept in lexical form so 64-bit seeds survive a
+// parse -> dump round-trip without going through a double.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wrsn::io {
+
+/// Thrown on malformed JSON input or a type-mismatched accessor.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value. Copyable; objects keep insertion order.
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() noexcept : kind_(Kind::Null) {}
+  Json(std::nullptr_t) noexcept : kind_(Kind::Null) {}
+  Json(bool value) noexcept : kind_(Kind::Bool), bool_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value);
+  Json(std::uint64_t value);
+  Json(double value);
+  Json(const char* value) : kind_(Kind::String), string_(value) {}
+  Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+  Json(Array value) : kind_(Kind::Array), array_(std::move(value)) {}
+  Json(Object value) : kind_(Kind::Object), object_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+  /// Number carrying an already-validated lexical form verbatim (used by the
+  /// parser so 64-bit seeds never round-trip through a double).
+  static Json raw_number(std::string lexical);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  bool is_number() const noexcept { return kind_ == Kind::Number; }
+  bool is_string() const noexcept { return kind_ == Kind::String; }
+  bool is_array() const noexcept { return kind_ == Kind::Array; }
+  bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  /// Typed reads; every accessor throws JsonError on a kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  int as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object lookup; throws JsonError when absent (use `find` to probe).
+  const Json& at(std::string_view key) const;
+  /// Object lookup; nullptr when this is not an object or the key is absent.
+  const Json* find(std::string_view key) const noexcept;
+  bool contains(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+  /// Object append (no de-duplication; scenario files never repeat keys).
+  Json& set(std::string key, Json value);
+  /// Array append.
+  Json& push_back(Json value);
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  static Json parse(std::string_view text);
+
+  /// Serializes. indent < 0 -> single line; otherwise pretty-printed with
+  /// `indent` spaces per level.  Dumps are deterministic: members appear in
+  /// insertion order and numbers print their lexical form.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::string number_;  // lexical form, valid when kind_ == Number
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace wrsn::io

@@ -1,0 +1,33 @@
+// JSON codecs for the core domain objects.
+//
+// Counterpart of the line-oriented formats in io/serialize for tooling that
+// wants structured data: fields, radio/charging models, whole (geometric)
+// instances, and solutions round-trip through io::Json bit-exactly (doubles
+// are printed with round-trip precision).  The experiment layer (src/exp)
+// builds its `wrsn-scenario v1` files on the same primitives.
+#pragma once
+
+#include "core/solution.hpp"
+#include "geom/field.hpp"
+#include "io/json.hpp"
+
+namespace wrsn::io {
+
+Json field_to_json(const geom::Field& field);
+geom::Field field_from_json(const Json& json);
+
+Json radio_to_json(const energy::RadioModel& radio);
+energy::RadioModel radio_from_json(const Json& json);
+
+Json charging_to_json(const energy::ChargingModel& charging);
+energy::ChargingModel charging_from_json(const Json& json);
+
+/// Geometric instances only (field + Eq.-(1) radio + charging + budget);
+/// abstract reachability-graph instances (the NP gadget) throw JsonError.
+Json instance_to_json(const core::Instance& instance);
+core::Instance instance_from_json(const Json& json);
+
+Json solution_to_json(const core::Solution& solution);
+core::Solution solution_from_json(const Json& json);
+
+}  // namespace wrsn::io

@@ -84,6 +84,11 @@ double Rng::normal(double mean, double stddev) noexcept {
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  std::uint64_t x = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(x);
+}
+
 Rng Rng::split() noexcept {
   // A fresh generator seeded from this one's stream; streams are effectively
   // independent because the seed passes through SplitMix64 again.

@@ -53,4 +53,10 @@ class Rng {
   bool has_spare_normal_ = false;
 };
 
+/// Decorrelated per-trial seed: the SplitMix64 finalizer applied to
+/// `base + (index + 1) * golden_gamma`.  A pure function of its inputs, so
+/// experiment trials can be seeded in any order -- and from any number of
+/// worker threads -- with bit-identical results (src/exp/runner.hpp).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
 }  // namespace wrsn::util

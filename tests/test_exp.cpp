@@ -1,0 +1,249 @@
+// exp::SweepSpec and exp::ExperimentRunner: scenario files, seed derivation,
+// thread-count and execution-order independence, and checkpoint resume.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exp/spec.hpp"
+#include "io/json.hpp"
+#include "util/rng.hpp"
+
+#ifndef WRSN_TEST_DATA_DIR
+#define WRSN_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace wrsn {
+namespace {
+
+/// Small two-config sweep that solves in well under a second.
+exp::SweepSpec small_spec() {
+  exp::SweepSpec spec;
+  spec.name = "unit";
+  spec.side = 250.0;
+  spec.posts_axis = {25};
+  spec.nodes_axis = {80, 120};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = 2;
+  spec.base_seed = 9001;
+  spec.solvers = {"rfh", "idb"};
+  return spec;
+}
+
+/// Flattened (trial, solver, cost, diagnostics) view for exact comparisons.
+std::string result_signature(const exp::SweepResult& result) {
+  std::ostringstream out;
+  exp::write_rows_csv(out, result, /*include_timings=*/false);
+  return out.str();
+}
+
+/// Temp-file path unique to the current test.
+std::string temp_path(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "wrsn_" + info->name() + "_" + tag;
+}
+
+TEST(SweepSpec, ExpandAndTrialLayout) {
+  exp::SweepSpec spec = small_spec();
+  spec.posts_axis = {10, 20};
+  spec.eta_axis = {0.01, 0.05};
+  EXPECT_EQ(spec.num_configs(), 2 * 2 * 1 * 2);
+  EXPECT_EQ(spec.num_trials(), spec.num_configs() * spec.runs);
+  const auto configs = spec.expand();
+  ASSERT_EQ(static_cast<int>(configs.size()), spec.num_configs());
+  // posts outermost, eta innermost.
+  EXPECT_EQ(configs[0].posts, 10);
+  EXPECT_EQ(configs[0].eta, 0.01);
+  EXPECT_EQ(configs[1].eta, 0.05);
+  EXPECT_EQ(configs.back().posts, 20);
+  EXPECT_EQ(configs.back().nodes, 120);
+}
+
+TEST(SweepSpec, ValidateRejectsBadSpecs) {
+  exp::SweepSpec spec = small_spec();
+  spec.runs = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.solvers = {"no-such-solver"};
+  EXPECT_THROW(exp::ExperimentRunner(spec, {}), std::invalid_argument);
+  spec = small_spec();
+  spec.charging_kind = "cubic";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.eta_axis = {0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(SweepSpec, SeedModes) {
+  exp::SweepSpec spec = small_spec();
+  // Paired: same run index -> same field across configs (legacy benches
+  // reuse one probe field per run across the whole axis).
+  EXPECT_EQ(spec.field_seed(0, 1), spec.field_seed(1, 1));
+  EXPECT_EQ(spec.field_seed(0, 1), spec.base_seed + 1);
+  spec.seed_stride = 1000;
+  EXPECT_EQ(spec.field_seed(0, 3), spec.base_seed + 3000);
+  // Independent: every trial gets its own SplitMix64-derived stream.
+  spec.seed_mode = exp::SeedMode::kIndependent;
+  EXPECT_NE(spec.field_seed(0, 1), spec.field_seed(1, 1));
+  EXPECT_EQ(spec.field_seed(0, 1), util::derive_seed(spec.base_seed, 1));
+  EXPECT_EQ(spec.field_seed(1, 0), util::derive_seed(spec.base_seed, 2));
+}
+
+TEST(SweepSpec, JsonRoundTripPreservesFingerprint) {
+  const exp::SweepSpec spec = small_spec();
+  const exp::SweepSpec back = exp::SweepSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.nodes_axis, spec.nodes_axis);
+  EXPECT_EQ(back.base_seed, spec.base_seed);
+  EXPECT_EQ(back.solvers, spec.solvers);
+  EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+  // Any material change moves the fingerprint.
+  exp::SweepSpec changed = spec;
+  changed.runs += 1;
+  EXPECT_NE(changed.fingerprint(), spec.fingerprint());
+}
+
+TEST(SweepSpec, GoldenScenarioFileLoads) {
+  const std::string path = std::string(WRSN_TEST_DATA_DIR) + "/golden_scenario.json";
+  const exp::SweepSpec golden = exp::SweepSpec::load(path);
+  EXPECT_EQ(golden.name, "golden");
+  EXPECT_EQ(golden.side, 250.0);
+  EXPECT_EQ(golden.nodes_axis, (std::vector<int>{80, 120}));
+  EXPECT_EQ(golden.base_seed, 9001u);
+  EXPECT_EQ(golden.solvers, (std::vector<std::string>{"rfh", "idb"}));
+  // The golden file is the dump of small_spec() (name aside): loading it
+  // must reproduce the in-code spec's trials exactly.
+  exp::SweepSpec code = small_spec();
+  code.name = "golden";
+  EXPECT_EQ(golden.fingerprint(), code.fingerprint());
+  // Save -> load is the identity on the canonical dump.
+  const std::string copy = temp_path("golden_copy.json");
+  golden.save(copy);
+  EXPECT_EQ(exp::SweepSpec::load(copy).to_json().dump(), golden.to_json().dump());
+  std::remove(copy.c_str());
+}
+
+TEST(ExperimentRunner, ThreadCountDoesNotChangeResults) {
+  const exp::SweepSpec spec = small_spec();
+  exp::RunnerOptions serial;
+  serial.threads = 1;
+  const exp::SweepResult one = exp::ExperimentRunner(spec, serial).run();
+  exp::RunnerOptions parallel;
+  parallel.threads = 4;
+  const exp::SweepResult four = exp::ExperimentRunner(spec, parallel).run();
+  // Bit-identical artifacts: costs, diagnostics, ordering.
+  EXPECT_EQ(result_signature(one), result_signature(four));
+  ASSERT_EQ(one.trials.size(), four.trials.size());
+  for (std::size_t t = 0; t < one.trials.size(); ++t) {
+    ASSERT_EQ(one.trials[t].outcomes.size(), four.trials[t].outcomes.size());
+    for (std::size_t s = 0; s < one.trials[t].outcomes.size(); ++s) {
+      EXPECT_EQ(one.trials[t].outcomes[s].cost, four.trials[t].outcomes[s].cost);
+    }
+  }
+}
+
+TEST(ExperimentRunner, TrialsAreExecutionOrderIndependent) {
+  // Seeds depend only on (config, run), never on completion order, so a
+  // sweep restricted to one config must price it identically to the full
+  // grid (same field seeds, same instances).
+  const exp::SweepSpec full = small_spec();
+  exp::SweepSpec only_second = full;
+  only_second.nodes_axis = {120};
+  const exp::SweepResult full_run = exp::ExperimentRunner(full, {}).run();
+  const exp::SweepResult second_run = exp::ExperimentRunner(only_second, {}).run();
+  for (int run = 0; run < full.runs; ++run) {
+    const auto& from_full = full_run.trials[static_cast<std::size_t>(1 * full.runs + run)];
+    const auto& alone = second_run.trials[static_cast<std::size_t>(run)];
+    EXPECT_EQ(from_full.field_seed, alone.field_seed);
+    for (std::size_t s = 0; s < from_full.outcomes.size(); ++s) {
+      EXPECT_EQ(from_full.outcomes[s].cost, alone.outcomes[s].cost);
+    }
+  }
+}
+
+TEST(ExperimentRunner, CheckpointResumeSkipsDoneTrials) {
+  const exp::SweepSpec spec = small_spec();
+  const std::string path = temp_path("resume.ckpt");
+  std::remove(path.c_str());
+
+  exp::RunnerOptions options;
+  options.checkpoint_path = path;
+  const exp::SweepResult first = exp::ExperimentRunner(spec, options).run();
+  EXPECT_EQ(first.resumed_trials, 0);
+
+  // Second run resumes everything and reproduces the artifact bit-for-bit.
+  const exp::SweepResult resumed = exp::ExperimentRunner(spec, options).run();
+  EXPECT_EQ(resumed.resumed_trials, spec.num_trials());
+  EXPECT_EQ(result_signature(resumed), result_signature(first));
+  for (const auto& trial : resumed.trials) EXPECT_TRUE(trial.resumed);
+
+  // Truncate mid-block: the damaged tail is re-run, the intact prefix kept.
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GT(lines.size(), 4u);
+  std::ofstream out(path, std::ios::trunc);
+  for (std::size_t i = 0; i + 3 < lines.size(); ++i) out << lines[i] << "\n";
+  out.close();
+  const exp::SweepResult partial = exp::ExperimentRunner(spec, options).run();
+  EXPECT_GT(partial.resumed_trials, 0);
+  EXPECT_LT(partial.resumed_trials, spec.num_trials());
+  EXPECT_EQ(result_signature(partial), result_signature(first));
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, CheckpointRejectsForeignFingerprint) {
+  const exp::SweepSpec spec = small_spec();
+  const std::string path = temp_path("foreign.ckpt");
+  std::remove(path.c_str());
+  exp::RunnerOptions options;
+  options.checkpoint_path = path;
+  exp::ExperimentRunner(spec, options).run();
+  exp::SweepSpec other = spec;
+  other.base_seed += 1;
+  EXPECT_THROW(exp::ExperimentRunner(other, options).run(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, SolverErrorsAreRecordedPerRow) {
+  exp::SweepSpec spec = small_spec();
+  spec.nodes_axis = {80};
+  spec.runs = 1;
+  // N=25 posts but only 10 nodes: deployment needs >= 1 node per post, so
+  // every solver must fail on this config -- recorded, not thrown.
+  spec.nodes_axis = {10};
+  const exp::SweepResult result = exp::ExperimentRunner(spec, {}).run();
+  ASSERT_EQ(result.trials.size(), 1u);
+  for (const auto& outcome : result.trials[0].outcomes) {
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_FALSE(outcome.error.empty());
+  }
+  EXPECT_EQ(result.cost_stats(0, 0).count(), 0);
+}
+
+TEST(ExperimentRunner, CsvAndJsonWritersAreStable) {
+  exp::SweepSpec spec = small_spec();
+  spec.nodes_axis = {80};
+  spec.runs = 1;
+  const exp::SweepResult result = exp::ExperimentRunner(spec, {}).run();
+  std::ostringstream csv;
+  exp::write_rows_csv(csv, result, false);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("trial,config,run,posts,nodes,levels,eta,field_seed,solver,status,cost"),
+            std::string::npos);
+  EXPECT_NE(text.find("rfh/iterations"), std::string::npos);
+  EXPECT_EQ(text.find("seconds"), std::string::npos) << "timings must be opt-in";
+  std::ostringstream json;
+  exp::write_rows_json(json, spec, result, false);
+  const io::Json doc = io::Json::parse(json.str());
+  EXPECT_EQ(doc.at("format").as_string(), "wrsn-exp-rows v1");
+  EXPECT_EQ(doc.at("rows").as_array().size(), 2u);  // 1 trial x 2 solvers
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,122 @@
+// io::Json parser/writer and the domain-object JSON codecs.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/idb.hpp"
+#include "core/rfh.hpp"
+#include "helpers.hpp"
+#include "io/json_codec.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(io::Json::parse("null").is_null());
+  EXPECT_TRUE(io::Json::parse("true").as_bool());
+  EXPECT_FALSE(io::Json::parse("false").as_bool());
+  EXPECT_EQ(io::Json::parse("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(io::Json::parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(io::Json::parse("\"hi \\\"there\\\"\"").as_string(), "hi \"there\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  io::Json obj = io::Json::object();
+  obj.set("zeta", 1).set("alpha", 2).set("mid", io::Json::array());
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":[]}");
+  // Parse -> dump is the identity on already-minimal documents, which is
+  // what makes scenario fingerprints stable.
+  EXPECT_EQ(io::Json::parse(obj.dump()).dump(), obj.dump());
+}
+
+TEST(Json, NumbersStayLexical) {
+  // A 64-bit seed must survive parse -> dump without double truncation.
+  const std::string big = "18446744073709551615";
+  EXPECT_EQ(io::Json::parse(big).dump(), big);
+  EXPECT_EQ(io::Json::parse(big).as_uint64(), 18446744073709551615ULL);
+  EXPECT_EQ(io::Json(std::uint64_t{9007199254740993ULL}).dump(), "9007199254740993");
+  // Doubles print with round-trip precision.
+  const double value = 0.1 + 0.2;
+  EXPECT_DOUBLE_EQ(io::Json::parse(io::Json(value).dump()).as_double(), value);
+}
+
+TEST(Json, NestedDocumentRoundTrips) {
+  const std::string text =
+      R"({"a":[1,2,{"b":null}],"c":{"d":"x","e":[true,false]},"f":-0.25})";
+  EXPECT_EQ(io::Json::parse(text).dump(), text);
+  const io::Json doc = io::Json::parse(text);
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("b").is_null());
+  EXPECT_EQ(doc.at("c").at("d").as_string(), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), io::JsonError);
+}
+
+TEST(Json, PrettyPrintReparses) {
+  io::Json obj = io::Json::object();
+  obj.set("axes", io::Json::array().push_back(1).push_back(2)).set("name", "s");
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(io::Json::parse(pretty).dump(), obj.dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(io::Json::parse(""), io::JsonError);
+  EXPECT_THROW(io::Json::parse("{"), io::JsonError);
+  EXPECT_THROW(io::Json::parse("[1,]"), io::JsonError);
+  EXPECT_THROW(io::Json::parse("{\"a\" 1}"), io::JsonError);
+  EXPECT_THROW(io::Json::parse("nul"), io::JsonError);
+  EXPECT_THROW(io::Json::parse("1 2"), io::JsonError);
+  EXPECT_THROW(io::Json::parse("'single'"), io::JsonError);
+}
+
+TEST(Json, AccessorsCheckKinds) {
+  const io::Json number = io::Json::parse("3");
+  EXPECT_THROW(number.as_string(), io::JsonError);
+  EXPECT_THROW(number.as_array(), io::JsonError);
+  EXPECT_THROW(io::Json::parse("\"x\"").as_double(), io::JsonError);
+  EXPECT_THROW(io::Json::parse("2.5").as_int(), io::JsonError);
+}
+
+TEST(JsonCodec, FieldRoundTrips) {
+  util::Rng rng(7);
+  const core::Instance inst = test::random_instance(12, 40, 150.0, rng);
+  ASSERT_TRUE(inst.field().has_value());
+  const geom::Field& field = *inst.field();
+  const geom::Field back = io::field_from_json(io::field_to_json(field));
+  ASSERT_EQ(back.posts.size(), field.posts.size());
+  EXPECT_EQ(back.base_station.x, field.base_station.x);
+  EXPECT_EQ(back.base_station.y, field.base_station.y);
+  for (std::size_t i = 0; i < field.posts.size(); ++i) {
+    EXPECT_EQ(back.posts[i].x, field.posts[i].x);
+    EXPECT_EQ(back.posts[i].y, field.posts[i].y);
+  }
+}
+
+TEST(JsonCodec, InstanceRoundTripsBitExactly) {
+  util::Rng rng(11);
+  const core::Instance inst = test::random_instance(10, 30, 140.0, rng);
+  const core::Instance back = io::instance_from_json(io::instance_to_json(inst));
+  ASSERT_EQ(back.num_posts(), inst.num_posts());
+  EXPECT_EQ(back.num_nodes(), inst.num_nodes());
+  // The reconstructed instance must price solutions identically: solve the
+  // original, price on the round-tripped copy.
+  const auto original = core::solve_idb(inst);
+  const auto replay = core::solve_idb(back);
+  EXPECT_EQ(replay.cost, original.cost);
+}
+
+TEST(JsonCodec, SolutionRoundTripsBitExactly) {
+  util::Rng rng(13);
+  const core::Instance inst = test::random_instance(10, 30, 140.0, rng);
+  const auto rfh = core::solve_rfh(inst);
+  const core::Solution back = io::solution_from_json(io::solution_to_json(rfh.solution));
+  EXPECT_EQ(back.deployment, rfh.solution.deployment);
+  for (int post = 0; post < inst.num_posts(); ++post) {
+    EXPECT_EQ(back.tree.parent(post), rfh.solution.tree.parent(post));
+  }
+  EXPECT_EQ(core::solution_levels(inst, back), core::solution_levels(inst, rfh.solution));
+}
+
+}  // namespace
+}  // namespace wrsn
