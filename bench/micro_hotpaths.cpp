@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <map>
 #include <queue>
 #include <string>
 #include <vector>
@@ -22,8 +23,10 @@
 #include "common.hpp"
 #include "core/cost.hpp"
 #include "core/local_search.hpp"
+#include "core/pricer.hpp"
 #include "core/rfh.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -149,6 +152,35 @@ const std::vector<int>& pricing_deployment() {
   return deployment;
 }
 
+// Per-size instances for the move-pricing scaling benchmarks (N = 50/100/300
+// via ->Arg), cached so repetitions reuse one field.
+const core::Instance& move_instance(int posts) {
+  static std::map<int, core::Instance> cache;
+  auto it = cache.find(posts);
+  if (it == cache.end()) {
+    util::Rng rng(static_cast<std::uint64_t>(g_seed) + static_cast<std::uint64_t>(posts));
+    it = cache
+             .emplace(posts,
+                      bench::make_paper_instance(posts, 3 * posts, side_for(posts), 3, rng))
+             .first;
+  }
+  return it->second;
+}
+
+// Deterministic candidate-move sequence over a deployment of 3 nodes per
+// post: every donor always has spares, and the (a, b) pairs sweep varied
+// distances so both pricing paths see representative repairs.
+struct MoveSequence {
+  int n;
+  std::size_t i = 0;
+  std::pair<int, int> next() {
+    const int a = static_cast<int>(i % static_cast<std::size_t>(n));
+    const int off = 1 + static_cast<int>(i % static_cast<std::size_t>(n - 1));
+    ++i;
+    return {a, (a + off) % n};
+  }
+};
+
 // Smaller field for the end-to-end local-search runs (a single refine prices
 // thousands of deployments).
 const core::Instance& ls_instance() {
@@ -252,13 +284,54 @@ void BM_price_deployment_cached_dense(benchmark::State& state) {
 }
 BENCHMARK(BM_price_deployment_cached_dense);
 
-void run_local_search(benchmark::State& state, int threads,
-                      core::LocalSearchStrategy strategy) {
+// Candidate-move pricing, the local-search inner loop: one fresh Dijkstra
+// per move (the pre-PR-4 path) ...
+void BM_move_price_full(benchmark::State& state) {
+  const auto& inst = move_instance(static_cast<int>(state.range(0)));
+  const int n = inst.num_posts();
+  std::vector<int> deployment(static_cast<std::size_t>(n), 3);
+  core::CostEvalScratch scratch;
+  MoveSequence moves{n};
+  for (auto _ : state) {
+    const auto [a, b] = moves.next();
+    --deployment[static_cast<std::size_t>(a)];
+    ++deployment[static_cast<std::size_t>(b)];
+    benchmark::DoNotOptimize(optimal_cost_for_deployment(inst, deployment, scratch));
+    ++deployment[static_cast<std::size_t>(a)];
+    --deployment[static_cast<std::size_t>(b)];
+  }
+}
+BENCHMARK(BM_move_price_full)->Arg(50)->Arg(100)->Arg(300);
+
+// ... vs dynamic shortest-path repair (core::DeploymentPricer).  The same
+// move sequence; `region` reports the average repaired-subtree size drawn
+// from the pricer/repair_region_size histogram.
+void BM_move_price_incremental(benchmark::State& state) {
+  const auto& inst = move_instance(static_cast<int>(state.range(0)));
+  const int n = inst.num_posts();
+  const core::DeploymentPricer pricer(inst, std::vector<int>(static_cast<std::size_t>(n), 3));
+  MoveSequence moves{n};
+  auto& regions = obs::Registry::global().histogram("pricer/repair_region_size");
+  const std::uint64_t count0 = regions.count();
+  const double sum0 = regions.sum();
+  for (auto _ : state) {
+    const auto [a, b] = moves.next();
+    benchmark::DoNotOptimize(pricer.cost_with_moved_node(a, b));
+  }
+  const std::uint64_t repairs = regions.count() - count0;
+  state.counters["region"] =
+      repairs > 0 ? (regions.sum() - sum0) / static_cast<double>(repairs) : 0.0;
+}
+BENCHMARK(BM_move_price_incremental)->Arg(50)->Arg(100)->Arg(300);
+
+void run_local_search(benchmark::State& state, int threads, core::LocalSearchStrategy strategy,
+                      core::MovePricing pricing = core::MovePricing::kIncremental) {
   const auto& inst = ls_instance();
   const auto& start = ls_start();
   core::LocalSearchOptions options;
   options.threads = threads;
   options.strategy = strategy;
+  options.pricing = pricing;
   std::uint64_t evaluations = 0;
   std::uint64_t wasted = 0;
   double cost = 0.0;
@@ -278,6 +351,12 @@ void BM_local_search_serial(benchmark::State& state) {
   run_local_search(state, 1, core::LocalSearchStrategy::kFirstImprovement);
 }
 BENCHMARK(BM_local_search_serial)->Unit(benchmark::kMillisecond);
+
+void BM_local_search_serial_full_pricing(benchmark::State& state) {
+  run_local_search(state, 1, core::LocalSearchStrategy::kFirstImprovement,
+                   core::MovePricing::kFull);
+}
+BENCHMARK(BM_local_search_serial_full_pricing)->Unit(benchmark::kMillisecond);
 
 void BM_local_search_parallel(benchmark::State& state) {
   run_local_search(state, g_threads, core::LocalSearchStrategy::kFirstImprovement);
@@ -304,6 +383,15 @@ int main(int argc, char** argv) {
     repetitions = "--benchmark_repetitions=" + std::to_string(args.runs);
     bench_argv.push_back(repetitions.data());
   }
+  // The JSON context's "library_build_type" reports how the *benchmark
+  // library* was compiled (distro packages often ship it as debug), not this
+  // binary.  Publish our own compile mode so scripts/perf_baseline.sh can
+  // refuse to record a baseline from an unoptimized build.
+#if defined(NDEBUG) && (defined(__OPTIMIZE__) || defined(_MSC_VER))
+  benchmark::AddCustomContext("wrsn_build_type", "release");
+#else
+  benchmark::AddCustomContext("wrsn_build_type", "debug");
+#endif
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   benchmark::RunSpecifiedBenchmarks();

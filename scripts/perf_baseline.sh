@@ -15,9 +15,25 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_dir}" --target micro_hotpaths -j "$(nproc)"
 
+# Record to a staging file and only publish it after checking the context
+# block says the *binary* was optimized.  (The stock "library_build_type"
+# field reflects how the Google Benchmark library itself was compiled --
+# distro packages ship it as debug -- so micro_hotpaths additionally emits
+# "wrsn_build_type" for this binary's own NDEBUG/optimization state.)
+staging="$(mktemp "${repo_root}/BENCH_hotpaths.json.XXXXXX")"
+trap 'rm -f "${staging}"' EXIT
+
 "${build_dir}/bench/micro_hotpaths" \
-  --benchmark_out="${repo_root}/BENCH_hotpaths.json" \
+  --benchmark_out="${staging}" \
   --benchmark_out_format=json \
   "$@"
 
+if ! grep -q '"wrsn_build_type": "release"' "${staging}"; then
+  echo "error: micro_hotpaths was not an optimized Release build;" \
+       "refusing to record the perf baseline" >&2
+  exit 1
+fi
+
+mv "${staging}" "${repo_root}/BENCH_hotpaths.json"
+trap - EXIT
 echo "Wrote ${repo_root}/BENCH_hotpaths.json"

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "core/idb.hpp"
+#include "core/pricer.hpp"
 
 namespace wrsn::core {
 
@@ -37,8 +39,14 @@ namespace {
 struct SearchState {
   const Instance* instance;
   const ExactOptions* options;
+  // `pricer` is kept in lockstep with `current` (every branch decision is a
+  // committed incremental add/remove), so leaf pricing is O(1) base_cost()
+  // and the optimistic lower bound is one multi-seeded relaxation instead of
+  // a fresh Dijkstra per node of the search tree.
+  DeploymentPricer* pricer;
   std::vector<int> current;
   std::vector<int> best;
+  std::vector<std::pair<int, int>> additions;  // reused bound buffer
   double best_cost = graph::kInfinity;
   std::uint64_t evaluations = 0;
   std::uint64_t pruned = 0;
@@ -56,12 +64,25 @@ struct SearchState {
     return aborted;
   }
 
+  // Walks post's count (and the pricer, in lockstep) to `target`.
+  void set_count(int post, int target) {
+    int& count = current[static_cast<std::size_t>(post)];
+    while (count < target) {
+      pricer->add_node(post);
+      ++count;
+    }
+    while (count > target) {
+      pricer->remove_node(post);
+      --count;
+    }
+  }
+
   void dfs(int post, int remaining) {
     if (budget_exhausted()) return;
     const int n = instance->num_posts();
     if (post == n) {
       // remaining == 0 guaranteed by the per-level bounds below.
-      const double cost = optimal_cost_for_deployment(*instance, current);
+      const double cost = pricer->base_cost();
       ++evaluations;
       if (cost < best_cost) {
         best_cost = cost;
@@ -75,20 +96,21 @@ struct SearchState {
     if (undecided_after == 0) {
       // Last post must absorb the entire remaining budget.
       if (remaining > cap()) return;
-      current[static_cast<std::size_t>(post)] = remaining;
+      set_count(post, remaining);
       dfs(post + 1, 0);
-      current[static_cast<std::size_t>(post)] = 1;
+      set_count(post, 1);
       return;
     }
 
-    // Bound evaluation costs a full Dijkstra; amortize it by checking only
-    // every other level (the bound tightens slowly between siblings).
+    // The bound tightens slowly between siblings; checking only every other
+    // level keeps its (now cheap) cost amortized further.
     if (options->branch_and_bound && best_cost < graph::kInfinity && post % 2 == 0) {
       // Admissible bound: cost is strictly decreasing in each m_i, so give
-      // every undecided post the maximum any single post could receive.
-      std::vector<int> optimistic = current;
-      for (int i = post; i < n; ++i) optimistic[static_cast<std::size_t>(i)] = hi;
-      const double bound = optimal_cost_for_deployment(*instance, optimistic);
+      // every undecided post (all sitting at 1) the maximum any single post
+      // could receive.
+      additions.clear();
+      for (int i = post; i < n; ++i) additions.emplace_back(i, hi - 1);
+      const double bound = pricer->cost_with_added_nodes(additions);
       if (bound >= best_cost) {
         ++pruned;
         return;
@@ -98,11 +120,11 @@ struct SearchState {
     // Descend large-first: concentrating nodes early tends to match the
     // optimum's shape, improving the incumbent quickly.
     for (int take = hi; take >= 1; --take) {
-      current[static_cast<std::size_t>(post)] = take;
+      set_count(post, take);
       dfs(post + 1, remaining - take);
       if (aborted) break;
     }
-    current[static_cast<std::size_t>(post)] = 1;
+    set_count(post, 1);
   }
 };
 
@@ -130,9 +152,15 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
     throw InfeasibleInstance("max_per_post cap leaves no feasible deployment");
   }
 
+  // One full Dijkstra at the all-ones root; every branch decision after this
+  // is an incremental repair.  (Construction throws InfeasibleInstance when a
+  // post cannot reach the base -- previously surfaced at the first leaf.)
+  DeploymentPricer pricer(instance, std::vector<int>(static_cast<std::size_t>(n), 1));
+
   SearchState state;
   state.instance = &instance;
   state.options = &options;
+  state.pricer = &pricer;
   state.current.assign(static_cast<std::size_t>(n), 1);
 
   if (options.warm_start) {

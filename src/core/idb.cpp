@@ -71,7 +71,7 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
       pricer.add_node(best_post);
       --remaining;
       ++result.rounds;
-      if (options.record_history) result.cost_history.push_back(best_cost);
+      if (options.record_history) result.per_iteration_cost.push_back(best_cost);
       if (options.sink != nullptr) {
         options.sink->on_idb_round({result.rounds - 1, best_cost, result.evaluations});
       }
@@ -113,7 +113,7 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
     }
     remaining -= batch;
     ++result.rounds;
-    if (options.record_history) result.cost_history.push_back(best_cost);
+    if (options.record_history) result.per_iteration_cost.push_back(best_cost);
     if (options.sink != nullptr) {
       options.sink->on_idb_round({result.rounds - 1, best_cost, result.evaluations});
     }

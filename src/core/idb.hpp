@@ -24,7 +24,7 @@ namespace wrsn::core {
 struct IdbOptions {
   /// Nodes placed per round (the paper's system parameter delta >= 1).
   int delta = 1;
-  /// When true, `cost_history` records the committed cost after each round.
+  /// When true, `per_iteration_cost` records the committed cost after each round.
   bool record_history = false;
   /// Observer notified after every committed round (obs/sink.hpp);
   /// nullptr = none. Purely observational.
@@ -37,7 +37,9 @@ struct IdbResult {
   int rounds = 0;
   /// Number of candidate deployments priced (each = one Dijkstra run).
   std::uint64_t evaluations = 0;
-  std::vector<double> cost_history;
+  /// Committed cost after each round when `record_history` is set (matches
+  /// RfhResult::per_iteration_cost), for convergence plots.
+  std::vector<double> per_iteration_cost;
 };
 
 /// Runs IDB on `instance`.

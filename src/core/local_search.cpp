@@ -1,5 +1,7 @@
 #include "core/local_search.hpp"
 
+#include "core/pricer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -62,18 +64,22 @@ struct Candidate {
   double cost = 0.0;
 };
 
-// One per worker: pricing buffers plus a private deployment copy, so the
-// parallel batch touches no shared mutable state.
+// One per worker: pricing buffers plus a private deployment copy (kFull) or
+// a private dynamic pricer (kIncremental), so the parallel batch touches no
+// shared mutable state.
 struct EvalContext {
   CostEvalScratch scratch;
   std::vector<int> deployment;
+  std::optional<DeploymentPricer> pricer;
+  /// Committed moves already replayed into `pricer`.
+  std::size_t synced = 0;
 };
 
 // Prices candidates [begin, end) of `batch` against `base` into their `cost`
 // fields.  Each candidate differs from `base` by one move; apply, price, undo.
-void price_chunk(const Instance& instance, const std::vector<int>& base,
-                 std::vector<Candidate>& batch, std::int64_t begin, std::int64_t end,
-                 EvalContext& ctx) {
+void price_chunk_full(const Instance& instance, const std::vector<int>& base,
+                      std::vector<Candidate>& batch, std::int64_t begin, std::int64_t end,
+                      EvalContext& ctx) {
   ctx.deployment = base;
   for (std::int64_t i = begin; i < end; ++i) {
     Candidate& cand = batch[static_cast<std::size_t>(i)];
@@ -83,6 +89,32 @@ void price_chunk(const Instance& instance, const std::vector<int>& base,
     ++ctx.deployment[static_cast<std::size_t>(cand.a)];
     --ctx.deployment[static_cast<std::size_t>(cand.b)];
   }
+}
+
+// Incremental variant: each worker owns a DeploymentPricer built from the
+// start deployment and synced by replaying the committed-move log, so its
+// state is a pure function of (start, committed) -- bitwise identical across
+// workers and thread counts.  Candidates are then priced by dynamic repair.
+void price_chunk_incremental(const Instance& instance, const std::vector<int>& start,
+                             const std::vector<std::pair<int, int>>& committed,
+                             std::vector<Candidate>& batch, std::int64_t begin, std::int64_t end,
+                             EvalContext& ctx) {
+  static obs::Counter& incremental_evals =
+      obs::Registry::global().counter("ls/incremental_evals");
+  if (!ctx.pricer.has_value()) {
+    ctx.pricer.emplace(instance, start);
+    ctx.synced = 0;
+  }
+  while (ctx.synced < committed.size()) {
+    const auto& [a, b] = committed[ctx.synced];
+    ctx.pricer->move_node(a, b);
+    ++ctx.synced;
+  }
+  for (std::int64_t i = begin; i < end; ++i) {
+    Candidate& cand = batch[static_cast<std::size_t>(i)];
+    cand.cost = ctx.pricer->cost_with_moved_node(cand.a, cand.b);
+  }
+  incremental_evals.increment(static_cast<std::uint64_t>(end - begin));
 }
 
 }  // namespace
@@ -100,6 +132,11 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
   const int threads =
       options.threads == 0 ? util::ThreadPool::hardware_threads() : options.threads;
   std::vector<int> deployment = start.deployment;
+  const std::vector<int>& start_deployment = start.deployment;
+  const bool incremental = options.pricing == MovePricing::kIncremental;
+  // Committed moves in acceptance order; worker pricers replay this log to
+  // sync (appends happen only between batches, on the calling thread).
+  std::vector<std::pair<int, int>> committed;
 
   LocalSearchResult result{start, 0.0, 0.0, 0, 0, 0, 0, threads};
 
@@ -117,13 +154,18 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
 
   auto price_batch = [&](std::vector<Candidate>& batch) {
     const auto count = static_cast<std::int64_t>(batch.size());
+    const auto chunk = [&](std::int64_t begin, std::int64_t end, int worker) {
+      EvalContext& ctx = contexts[static_cast<std::size_t>(worker)];
+      if (incremental) {
+        price_chunk_incremental(instance, start_deployment, committed, batch, begin, end, ctx);
+      } else {
+        price_chunk_full(instance, deployment, batch, begin, end, ctx);
+      }
+    };
     if (pool.has_value() && count > 1) {
-      pool->parallel_for(count, [&](std::int64_t begin, std::int64_t end, int worker) {
-        price_chunk(instance, deployment, batch, begin, end,
-                    contexts[static_cast<std::size_t>(worker)]);
-      });
+      pool->parallel_for(count, chunk);
     } else {
-      price_chunk(instance, deployment, batch, 0, count, contexts[0]);
+      chunk(0, count, 0);
     }
   };
 
@@ -167,6 +209,7 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
         const Candidate& move = batch[static_cast<std::size_t>(best)];
         --deployment[static_cast<std::size_t>(move.a)];
         ++deployment[static_cast<std::size_t>(move.b)];
+        committed.emplace_back(move.a, move.b);
         current = move.cost;
         ++result.moves_applied;
         improved = true;
@@ -206,6 +249,7 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
           if (accepted) {
             --deployment[static_cast<std::size_t>(cand.a)];
             ++deployment[static_cast<std::size_t>(cand.b)];
+            committed.emplace_back(cand.a, cand.b);
             current = cand.cost;
             ++result.moves_applied;
             improved = true;

@@ -8,6 +8,9 @@
 // Every candidate is priced with the charging-aware shortest-path routing
 // (optimal for a fixed deployment), so the search walks the same objective
 // the exact solver optimizes and terminates at a local optimum of it.
+// By default candidates are priced by dynamic shortest-path repair
+// (core::DeploymentPricer) instead of a fresh Dijkstra each; see
+// MovePricing below for the equivalence contract.
 //
 // Candidate pricing can run on several threads.  The parallel
 // first-improvement mode speculates ahead in the serial scan order and
@@ -36,6 +39,16 @@ enum class LocalSearchStrategy {
   kBestImprovement,
 };
 
+enum class MovePricing {
+  /// One fresh charging-aware Dijkstra per candidate (the historical path;
+  /// golden-regression tests pin against it bit-for-bit).
+  kFull,
+  /// Dynamic shortest-path repair per candidate (core::DeploymentPricer):
+  /// equal to kFull within the FP-summation tolerance documented in
+  /// docs/performance.md, and >= 5x faster at N = 300 (default).
+  kIncremental,
+};
+
 struct LocalSearchOptions {
   /// Hard cap on improvement passes (a pass scans all (a, b) moves).
   int max_passes = 50;
@@ -46,6 +59,11 @@ struct LocalSearchOptions {
   /// threads.  Any value yields the same solution (see file comment).
   int threads = 1;
   LocalSearchStrategy strategy = LocalSearchStrategy::kFirstImprovement;
+  /// How candidate moves are priced.  kIncremental changes costs only at the
+  /// floating-point summation level; the accepted-move sequence is identical
+  /// whenever no two candidates price within ~1e-12 relative of each other
+  /// (`min_relative_gain` absorbs ulp-level accept flips).
+  MovePricing pricing = MovePricing::kIncremental;
   /// Observer notified per candidate move (accept/reject + delta), per pass
   /// and per run (obs/sink.hpp); nullptr = none.  Purely observational;
   /// callbacks always fire from the calling thread in serial scan order.

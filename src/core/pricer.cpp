@@ -1,32 +1,74 @@
 #include "core/pricer.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace wrsn::core {
+namespace {
+
+// Cached registry references: the lock is taken once per process, not per
+// repair (same pattern as graph/dijkstra.cpp's run counters).
+void note_repair_region(std::size_t region_size) noexcept {
+  static obs::Histogram& sizes =
+      obs::Registry::global().histogram("pricer/repair_region_size");
+  sizes.record(static_cast<double>(region_size));
+}
+
+void note_full_fallback() noexcept {
+  static obs::Counter& fallbacks = obs::Registry::global().counter("pricer/full_fallbacks");
+  fallbacks.increment();
+}
+
+// Concrete weight functor over a pricer-owned efficiency table, for the
+// templated full-recompute Dijkstra (same arithmetic as
+// DeploymentPricer::weight_with and core::DenseRechargingWeight).
+struct TableWeight {
+  const Instance* instance;
+  const std::vector<double>* inv;
+  int bs;
+  double rx;
+
+  double operator()(int from, int to) const noexcept {
+    double w = instance->tx_cost_row(from)[to] * (*inv)[static_cast<std::size_t>(from)];
+    if (to != bs) w += rx * (*inv)[static_cast<std::size_t>(to)];
+    return w;
+  }
+};
+
+}  // namespace
 
 DeploymentPricer::DeploymentPricer(const Instance& instance, std::vector<int> deployment)
-    : instance_(&instance), deployment_(std::move(deployment)) {
+    : DeploymentPricer(instance, std::move(deployment), Options{}) {}
+
+DeploymentPricer::DeploymentPricer(const Instance& instance, std::vector<int> deployment,
+                                   Options options)
+    : instance_(&instance),
+      options_(options),
+      bs_(instance.graph().base_station()),
+      rx_(instance.rx_energy()),
+      deployment_(std::move(deployment)) {
   const int n = instance.num_posts();
   if (static_cast<int>(deployment_.size()) != n) {
     throw std::invalid_argument("deployment size does not match the instance");
   }
   inv_eff_.resize(deployment_.size());
   for (std::size_t i = 0; i < deployment_.size(); ++i) {
-    inv_eff_[i] = 1.0 / instance.charging().efficiency(deployment_[i]);
+    inv_eff_[i] = inv_efficiency(static_cast<int>(i), deployment_[i]);
   }
-  const auto dag =
-      graph::shortest_paths_to_base(instance.graph(), recharging_weight(instance, deployment_));
-  if (!dag.all_posts_reachable) {
-    throw InfeasibleInstance("some post cannot reach the base station");
-  }
-  dist_ = dag.dist;
+  full_recompute(inv_eff_, dist_, &parent_);
   static_sum_ = 0.0;
   for (int p = 0; p < n; ++p) {
     static_sum_ += instance.static_energy(p) * inv_eff_[static_cast<std::size_t>(p)];
   }
   base_cost_ = weighted_distance_sum(dist_) + static_sum_;
+  in_region_.assign(static_cast<std::size_t>(n) + 1, 0);
+}
+
+double DeploymentPricer::inv_efficiency(int /*post*/, int count) const {
+  return 1.0 / instance_->charging().efficiency(count);
 }
 
 double DeploymentPricer::weighted_distance_sum(const std::vector<double>& dist) const {
@@ -37,89 +79,317 @@ double DeploymentPricer::weighted_distance_sum(const std::vector<double>& dist) 
   return total;
 }
 
-double DeploymentPricer::weight(int u, int v, double inv_eff_u, double inv_eff_v) const {
-  double w = instance_->tx_energy(u, v) * inv_eff_u;
-  if (v != instance_->graph().base_station()) w += instance_->rx_energy() * inv_eff_v;
-  return w;
-}
-
-double DeploymentPricer::relax_with(int j, double inv_eff_j, std::vector<double>& dist) const {
-  const auto& g = instance_->graph();
+void DeploymentPricer::full_recompute(const std::vector<double>& inv,
+                                      std::vector<double>& dist,
+                                      std::vector<int>* parents) const {
+  const TableWeight weight{instance_, &inv, bs_, rx_};
+  const bool reachable = graph::shortest_distances_to_base(
+      instance_->graph(), instance_->adjacency(), weight, full_scratch_, options_.variant);
+  if (!reachable) {
+    throw InfeasibleInstance("some post cannot reach the base station");
+  }
+  dist = full_scratch_.dist;
+  if (parents == nullptr) return;
+  // Rebuild one strict-argmin tight parent per post.  The argmin (not a
+  // tolerance-tight first match) keeps decremental repair regions honest:
+  // a post whose cheapest next hop avoids post `a` never lands in a's
+  // invalidation region.
+  const auto& adj = instance_->adjacency();
   const int n = instance_->num_posts();
-  const int bs = g.base_station();
-  const auto inv = [&](int v) {
-    if (v == j) return inv_eff_j;
-    // The base station has no efficiency entry; `weight` never uses the
-    // receive term there, so any value works.
-    return v < n ? inv_eff_[static_cast<std::size_t>(v)] : 0.0;
-  };
-
-  using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-
-  // Seed 1: j's own distance can improve through any out-edge (its
-  // transmit term got cheaper).
-  {
-    double best = dist[static_cast<std::size_t>(j)];
-    for (int u = 0; u < n + 1; ++u) {
-      if (u == j || !g.reachable(j, u)) continue;
+  parents->assign(static_cast<std::size_t>(n), -1);
+  for (int p = 0; p < n; ++p) {
+    int best = -1;
+    double best_cost = graph::kInfinity;
+    for (int u : adj.out(p)) {
       const double du = dist[static_cast<std::size_t>(u)];
       if (!std::isfinite(du)) continue;
-      const double cand = weight(j, u, inv(j), inv(u)) + du;
-      if (cand < best) best = cand;
+      const double cand = weight_with(inv, p, u) + du;
+      if (cand < best_cost) {
+        best_cost = cand;
+        best = u;
+      }
     }
-    if (best < dist[static_cast<std::size_t>(j)]) {
-      dist[static_cast<std::size_t>(j)] = best;
-      heap.emplace(best, j);
-    }
+    // Unreachable posts were rejected above, so an argmin always exists.
+    (*parents)[static_cast<std::size_t>(p)] = best;
   }
-  // Seed 2: hops into j got cheaper (receive term), even if dist(j) is
-  // unchanged.
-  for (int v = 0; v < n; ++v) {
-    if (v == j || !g.reachable(v, j)) continue;
-    const double cand = weight(v, j, inv(v), inv(j)) + dist[static_cast<std::size_t>(j)];
-    if (cand < dist[static_cast<std::size_t>(v)]) {
-      dist[static_cast<std::size_t>(v)] = cand;
-      heap.emplace(cand, v);
-    }
-  }
+}
 
-  // Improve-only Dijkstra continuation (lazy deletions).
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
-    for (int v = 0; v < n; ++v) {
-      if (v == u || v == bs || !g.reachable(v, u)) continue;
-      const double cand = weight(v, u, inv(v), inv(u)) + dist[static_cast<std::size_t>(u)];
+void DeploymentPricer::improve_relax(const std::vector<int>& sources,
+                                     const std::vector<double>& inv,
+                                     std::vector<double>& dist,
+                                     std::vector<int>* parents) const {
+  const auto& adj = instance_->adjacency();
+  heap_.clear();
+  const auto push = [&](double d, int v) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+
+  for (int j : sources) {
+    // Seed 1: j's own distance can improve through any out-edge (its
+    // transmit term got cheaper).
+    {
+      double best = dist[static_cast<std::size_t>(j)];
+      int best_parent = -1;
+      for (int u : adj.out(j)) {
+        const double du = dist[static_cast<std::size_t>(u)];
+        if (!std::isfinite(du)) continue;
+        const double cand = weight_with(inv, j, u) + du;
+        if (cand < best) {
+          best = cand;
+          best_parent = u;
+        }
+      }
+      if (best < dist[static_cast<std::size_t>(j)]) {
+        dist[static_cast<std::size_t>(j)] = best;
+        if (parents != nullptr) (*parents)[static_cast<std::size_t>(j)] = best_parent;
+        push(best, j);
+      }
+    }
+    // Seed 2: hops into j got cheaper (receive term), even if dist(j) is
+    // unchanged.
+    for (int v : adj.in(j)) {
+      if (v == bs_) continue;
+      const double cand = weight_with(inv, v, j) + dist[static_cast<std::size_t>(j)];
       if (cand < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = cand;
-        heap.emplace(cand, v);
+        if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = j;
+        push(cand, v);
       }
     }
   }
 
-  return weighted_distance_sum(dist);
+  // Improve-only Dijkstra continuation (lazy deletions).
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
+    for (int v : adj.in(u)) {
+      if (v == bs_) continue;
+      const double cand = weight_with(inv, v, u) + dist[static_cast<std::size_t>(u)];
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = u;
+        push(cand, v);
+      }
+    }
+  }
+}
+
+void DeploymentPricer::refresh_children() const {
+  if (!children_stale_) return;
+  const int n = instance_->num_posts();
+  const std::size_t vertices = static_cast<std::size_t>(n) + 1;
+  child_offset_.assign(vertices + 1, 0);
+  for (int p = 0; p < n; ++p) {
+    ++child_offset_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(p)]) + 1];
+  }
+  for (std::size_t v = 1; v <= vertices; ++v) child_offset_[v] += child_offset_[v - 1];
+  child_list_.assign(static_cast<std::size_t>(n), 0);
+  std::vector<int> cursor(child_offset_.begin(), child_offset_.end() - 1);
+  for (int p = 0; p < n; ++p) {
+    child_list_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(parent_[static_cast<std::size_t>(p)])]++)] = p;
+  }
+  children_stale_ = false;
+}
+
+void DeploymentPricer::collect_region(int a) const {
+  refresh_children();
+  region_.clear();
+  region_.push_back(a);
+  in_region_[static_cast<std::size_t>(a)] = 1;
+  // The region is a's subtree in the parent tree: exactly the vertices whose
+  // committed shortest path uses an edge incident to a.  region_ doubles as
+  // the BFS work list.
+  for (std::size_t head = 0; head < region_.size(); ++head) {
+    const int v = region_[head];
+    for (int i = child_offset_[static_cast<std::size_t>(v)];
+         i < child_offset_[static_cast<std::size_t>(v) + 1]; ++i) {
+      const int c = child_list_[static_cast<std::size_t>(i)];
+      if (in_region_[static_cast<std::size_t>(c)]) continue;
+      in_region_[static_cast<std::size_t>(c)] = 1;
+      region_.push_back(c);
+    }
+  }
+}
+
+void DeploymentPricer::repair_increase(int a, const std::vector<double>& inv,
+                                       std::vector<double>& dist,
+                                       std::vector<int>* parents) const {
+  const int n = instance_->num_posts();
+  collect_region(a);
+  note_repair_region(region_.size());
+  if (static_cast<double>(region_.size()) >
+      options_.full_recompute_fraction * static_cast<double>(n)) {
+    for (int v : region_) in_region_[static_cast<std::size_t>(v)] = 0;
+    note_full_fallback();
+    full_recompute(inv, dist, parents);
+    return;
+  }
+
+  const auto& adj = instance_->adjacency();
+  heap_.clear();
+  const auto push = [&](double d, int v) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+
+  // Invalidate the region, then re-seed every region vertex from its intact
+  // (out-of-region) neighbors; distances outside the region are exact for
+  // the new weights because only edges incident to `a` got more expensive.
+  for (int v : region_) dist[static_cast<std::size_t>(v)] = graph::kInfinity;
+  for (int v : region_) {
+    double best = graph::kInfinity;
+    int best_parent = -1;
+    for (int u : adj.out(v)) {
+      if (in_region_[static_cast<std::size_t>(u)]) continue;
+      const double du = dist[static_cast<std::size_t>(u)];
+      if (!std::isfinite(du)) continue;
+      const double cand = weight_with(inv, v, u) + du;
+      if (cand < best) {
+        best = cand;
+        best_parent = u;
+      }
+    }
+    if (best_parent >= 0) {
+      dist[static_cast<std::size_t>(v)] = best;
+      if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = best_parent;
+      push(best, v);
+    }
+  }
+
+  // Bounded Dijkstra: relaxations stay inside the region (everything else
+  // is already exact), with the usual lazy-deletion staleness check.
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
+    for (int v : adj.in(u)) {
+      if (v == bs_ || !in_region_[static_cast<std::size_t>(v)]) continue;
+      const double cand = weight_with(inv, v, u) + dist[static_cast<std::size_t>(u)];
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = u;
+        push(cand, v);
+      }
+    }
+  }
+
+  for (int v : region_) in_region_[static_cast<std::size_t>(v)] = 0;
 }
 
 double DeploymentPricer::cost_with_extra_node(int j) const {
   if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
-  std::vector<double> dist = dist_;
-  const double inv_eff_j =
-      1.0 / instance_->charging().efficiency(deployment_[static_cast<std::size_t>(j)] + 1);
+  scratch_dist_ = dist_;
+  scratch_inv_ = inv_eff_;
+  const double inv_eff_j = inv_efficiency(j, deployment_[static_cast<std::size_t>(j)] + 1);
+  scratch_inv_[static_cast<std::size_t>(j)] = inv_eff_j;
   const double static_term = static_sum_ + instance_->static_energy(j) *
                                                (inv_eff_j - inv_eff_[static_cast<std::size_t>(j)]);
-  return relax_with(j, inv_eff_j, dist) + static_term;
+  sources_ = {j};
+  improve_relax(sources_, scratch_inv_, scratch_dist_, nullptr);
+  return weighted_distance_sum(scratch_dist_) + static_term;
+}
+
+double DeploymentPricer::cost_with_removed_node(int a) const {
+  if (a < 0 || a >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  if (deployment_[static_cast<std::size_t>(a)] < 2) {
+    throw std::invalid_argument("cannot remove the last node from a post");
+  }
+  scratch_dist_ = dist_;
+  scratch_inv_ = inv_eff_;
+  const double inv_eff_a = inv_efficiency(a, deployment_[static_cast<std::size_t>(a)] - 1);
+  scratch_inv_[static_cast<std::size_t>(a)] = inv_eff_a;
+  const double static_term = static_sum_ + instance_->static_energy(a) *
+                                               (inv_eff_a - inv_eff_[static_cast<std::size_t>(a)]);
+  repair_increase(a, scratch_inv_, scratch_dist_, nullptr);
+  return weighted_distance_sum(scratch_dist_) + static_term;
+}
+
+double DeploymentPricer::cost_with_moved_node(int a, int b) const {
+  const int n = instance_->num_posts();
+  if (a < 0 || a >= n || b < 0 || b >= n) throw std::out_of_range("post index out of range");
+  if (a == b) return base_cost_;
+  if (deployment_[static_cast<std::size_t>(a)] < 2) {
+    throw std::invalid_argument("cannot remove the last node from a post");
+  }
+  const double inv_eff_a = inv_efficiency(a, deployment_[static_cast<std::size_t>(a)] - 1);
+  const double inv_eff_b = inv_efficiency(b, deployment_[static_cast<std::size_t>(b)] + 1);
+  // Phase 1 -- the removal (weight increase) under {a new, b old}: repaired
+  // distances are exact for that intermediate weight set.  Phase 2 -- the
+  // addition, a pure weight decrease from there: improve-only relaxation
+  // lands on the exact fixpoint for {a new, b new}.
+  scratch_dist_ = dist_;
+  scratch_inv_ = inv_eff_;
+  scratch_inv_[static_cast<std::size_t>(a)] = inv_eff_a;
+  repair_increase(a, scratch_inv_, scratch_dist_, nullptr);
+  scratch_inv_[static_cast<std::size_t>(b)] = inv_eff_b;
+  sources_ = {b};
+  improve_relax(sources_, scratch_inv_, scratch_dist_, nullptr);
+  const double static_term =
+      static_sum_ +
+      instance_->static_energy(a) * (inv_eff_a - inv_eff_[static_cast<std::size_t>(a)]) +
+      instance_->static_energy(b) * (inv_eff_b - inv_eff_[static_cast<std::size_t>(b)]);
+  return weighted_distance_sum(scratch_dist_) + static_term;
+}
+
+double DeploymentPricer::cost_with_added_nodes(
+    const std::vector<std::pair<int, int>>& extra) const {
+  const int n = instance_->num_posts();
+  scratch_inv_ = inv_eff_;
+  sources_.clear();
+  double static_term = static_sum_;
+  for (const auto& [j, count] : extra) {
+    if (j < 0 || j >= n) throw std::out_of_range("post index out of range");
+    if (count < 0) throw std::invalid_argument("extra node counts must be >= 0");
+    if (count == 0) continue;
+    const double inv_eff_j = inv_efficiency(j, deployment_[static_cast<std::size_t>(j)] + count);
+    static_term +=
+        instance_->static_energy(j) * (inv_eff_j - scratch_inv_[static_cast<std::size_t>(j)]);
+    scratch_inv_[static_cast<std::size_t>(j)] = inv_eff_j;
+    sources_.push_back(j);
+  }
+  if (sources_.empty()) return base_cost_;
+  scratch_dist_ = dist_;
+  improve_relax(sources_, scratch_inv_, scratch_dist_, nullptr);
+  return weighted_distance_sum(scratch_dist_) + static_term;
 }
 
 void DeploymentPricer::add_node(int j) {
   if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
   ++deployment_[static_cast<std::size_t>(j)];
   const double old_inv = inv_eff_[static_cast<std::size_t>(j)];
-  inv_eff_[static_cast<std::size_t>(j)] =
-      1.0 / instance_->charging().efficiency(deployment_[static_cast<std::size_t>(j)]);
+  inv_eff_[static_cast<std::size_t>(j)] = inv_efficiency(j, deployment_[static_cast<std::size_t>(j)]);
   static_sum_ += instance_->static_energy(j) * (inv_eff_[static_cast<std::size_t>(j)] - old_inv);
-  base_cost_ = relax_with(j, inv_eff_[static_cast<std::size_t>(j)], dist_) + static_sum_;
+  sources_ = {j};
+  improve_relax(sources_, inv_eff_, dist_, &parent_);
+  children_stale_ = true;
+  base_cost_ = weighted_distance_sum(dist_) + static_sum_;
+}
+
+void DeploymentPricer::remove_node(int a) {
+  if (a < 0 || a >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  if (deployment_[static_cast<std::size_t>(a)] < 2) {
+    throw std::invalid_argument("cannot remove the last node from a post");
+  }
+  --deployment_[static_cast<std::size_t>(a)];
+  const double old_inv = inv_eff_[static_cast<std::size_t>(a)];
+  inv_eff_[static_cast<std::size_t>(a)] = inv_efficiency(a, deployment_[static_cast<std::size_t>(a)]);
+  static_sum_ += instance_->static_energy(a) * (inv_eff_[static_cast<std::size_t>(a)] - old_inv);
+  repair_increase(a, inv_eff_, dist_, &parent_);
+  children_stale_ = true;
+  base_cost_ = weighted_distance_sum(dist_) + static_sum_;
+}
+
+void DeploymentPricer::move_node(int a, int b) {
+  const int n = instance_->num_posts();
+  if (a < 0 || a >= n || b < 0 || b >= n) throw std::out_of_range("post index out of range");
+  if (a == b) return;
+  remove_node(a);
+  add_node(b);
 }
 
 }  // namespace wrsn::core

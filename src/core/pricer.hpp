@@ -1,19 +1,38 @@
-// Incremental deployment pricing for IDB-style searches.
+// Dynamic deployment pricing: incremental shortest-path repair for every
+// single-post deployment change.
 //
-// IDB(delta=1) prices N candidate deployments per round, each differing
-// from the committed one by a single extra node.  A fresh Dijkstra per
-// candidate costs O(N^2); but adding a node at post j only *decreases*
-// edge weights (those incident to j), so the new shortest-path distances
-// can be obtained from the old ones by propagating improvements -- usually
-// touching a handful of vertices.  This turns IDB's inner loop from
-// O(N * Dijkstra) into nearly O(N + affected region), a ~20x speedup at
-// the paper's largest scales (N = 300).
+// Deployment searches (IDB, local search, the exact branch-and-bound) price
+// thousands of candidate deployments, each differing from a committed one at
+// one or two posts.  A fresh Dijkstra per candidate costs O(N^2); but a
+// deployment change at post j only reweights the edges incident to j, so the
+// new shortest-path distances can be repaired from the old ones:
 //
-// Correctness: improve-only relaxation from the seeded vertices restores
-// the exact shortest-path fixpoint after weight decreases (unit-tested
-// against fresh Dijkstra runs on random instances).
+//   * additions (m_j + 1) only *decrease* weights: improve-only relaxation
+//     seeded at j restores the exact fixpoint, usually touching a handful of
+//     vertices;
+//   * removals (m_j - 1) *increase* weights: only vertices whose shortest
+//     path routes through j can get worse.  The pricer maintains one tight
+//     parent per vertex, invalidates exactly j's subtree in that tree
+//     (the "repair region"), re-seeds each region vertex from its intact
+//     out-neighbors, and re-runs a Dijkstra bounded to the region.  When the
+//     region exceeds `Options::full_recompute_fraction` of the posts it
+//     falls back to one full dense recompute instead;
+//   * moves (a -> b) compose a removal repair and an addition relaxation.
+//
+// This turns candidate pricing from O(N * Dijkstra) into nearly
+// O(N + affected region) -- a >= 5x win at the paper's largest scales
+// (N = 300, bench/micro_hotpaths BM_move_price_*), with region sizes
+// recorded in the `pricer/repair_region_size` histogram and fallbacks in
+// `pricer/full_fallbacks` (docs/observability.md).
+//
+// Correctness: every repaired distance equals a fresh Dijkstra on the
+// modified deployment up to floating-point summation order (relative 1e-9,
+// the library-wide FP-tolerance contract; see docs/performance.md).  The
+// add-only path preserves the historical arithmetic exactly.  Instances of
+// this class are not thread-safe; parallel searches keep one per worker.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/cost.hpp"
@@ -22,11 +41,25 @@
 namespace wrsn::core {
 
 /// Maintains charging-aware shortest-path distances for a deployment and
-/// prices one-node additions without full recomputation.
+/// prices single-post additions, removals and moves without full
+/// recomputation.
 class DeploymentPricer {
  public:
+  struct Options {
+    /// Decremental repairs whose region exceeds this fraction of the posts
+    /// fall back to one full recompute (the bounded repair would do more
+    /// work than a fresh dense Dijkstra).
+    double full_recompute_fraction = 0.5;
+    /// Inner-loop variant for full recomputes (construction and fallback).
+    graph::DijkstraVariant variant = graph::DijkstraVariant::kAuto;
+  };
+
   /// `deployment` must have one entry >= 1 per post. Runs one full Dijkstra.
+  /// (Two overloads rather than `Options options = {}`: a nested class with
+  /// default member initializers cannot be brace-defaulted in an enclosing
+  /// class's default argument.)
   DeploymentPricer(const Instance& instance, std::vector<int> deployment);
+  DeploymentPricer(const Instance& instance, std::vector<int> deployment, Options options);
 
   const std::vector<int>& deployment() const noexcept { return deployment_; }
   /// Total recharging cost of the current deployment under optimal routing.
@@ -35,28 +68,87 @@ class DeploymentPricer {
   /// Cost if one extra node were placed at post `j` (const: does not
   /// commit). Exact, up to floating-point summation order.
   double cost_with_extra_node(int j) const;
+  /// Cost if one node were removed from post `a` (requires m_a >= 2).
+  double cost_with_removed_node(int a) const;
+  /// Cost if one node moved from post `a` to post `b` (requires m_a >= 2).
+  /// `a == b` returns `base_cost()`.
+  double cost_with_moved_node(int a, int b) const;
+  /// Cost with `extra[i].second >= 0` additional nodes at post
+  /// `extra[i].first` (posts must be distinct): one multi-seeded improve-only
+  /// relaxation.  Prices the exact solver's optimistic tail bound.
+  double cost_with_added_nodes(const std::vector<std::pair<int, int>>& extra) const;
 
   /// Commits an extra node at post `j`, updating distances incrementally.
   void add_node(int j);
+  /// Commits removing one node from post `a` (requires m_a >= 2).
+  void remove_node(int a);
+  /// Commits moving one node from post `a` to post `b` (requires m_a >= 2).
+  void move_node(int a, int b);
 
   /// Current distance of `v` to the base station (for tests/diagnostics).
   double distance(int v) const { return dist_.at(static_cast<std::size_t>(v)); }
+  /// Current tight next hop of post `p` toward the base station
+  /// (for tests/diagnostics).
+  int parent(int p) const { return parent_.at(static_cast<std::size_t>(p)); }
 
  private:
-  double weight(int u, int v, double inv_eff_u, double inv_eff_v) const;
-  /// Improve-only relaxation: `dist` already holds valid upper bounds that
-  /// are exact everywhere except possibly around post `j`, whose efficiency
-  /// factor is `inv_eff_j`. Returns the rate-weighted post-distance sum.
-  double relax_with(int j, double inv_eff_j, std::vector<double>& dist) const;
+  // Edge weight under the efficiency table `inv`: the charging-aware
+  // w(u,v) = e_tx(u,v)/(k(m_u) eta) + [v != base] e_r/(k(m_v) eta).
+  double weight_with(const std::vector<double>& inv, int u, int v) const {
+    double w = instance_->tx_cost_row(u)[v] * inv[static_cast<std::size_t>(u)];
+    if (v != bs_) w += rx_ * inv[static_cast<std::size_t>(v)];
+    return w;
+  }
+
+  /// Improve-only relaxation seeded at `sources` (posts whose efficiency
+  /// just improved): restores the fixpoint after weight decreases.  Updates
+  /// `parents` when non-null.
+  void improve_relax(const std::vector<int>& sources, const std::vector<double>& inv,
+                     std::vector<double>& dist, std::vector<int>* parents) const;
+  /// Decremental repair after a weight increase at post `a`: invalidates
+  /// a's parent-tree subtree, re-seeds it, and reruns a bounded Dijkstra
+  /// over the region (or falls back to `full_recompute`).
+  void repair_increase(int a, const std::vector<double>& inv, std::vector<double>& dist,
+                       std::vector<int>* parents) const;
+  /// One fresh dense-machinery Dijkstra under `inv`; rebuilds `parents`
+  /// from scratch when non-null.
+  void full_recompute(const std::vector<double>& inv, std::vector<double>& dist,
+                      std::vector<int>* parents) const;
+  /// Collects a's subtree in the committed parent tree into `region_` /
+  /// `in_region_` (caller must clear `in_region_` flags afterwards).
+  void collect_region(int a) const;
+  /// Rebuilds the cached children lists of the parent tree when stale.
+  void refresh_children() const;
   /// Sum over posts of report_rate(p) * dist[p].
   double weighted_distance_sum(const std::vector<double>& dist) const;
+  double inv_efficiency(int post, int count) const;
 
   const Instance* instance_;
+  Options options_;
+  int bs_ = 0;
+  double rx_ = 0.0;
   std::vector<int> deployment_;
   std::vector<double> inv_eff_;  // 1/(k(m) eta) per post
   std::vector<double> dist_;     // per vertex, exact for current deployment
+  std::vector<int> parent_;      // per post: a tight next hop toward the base
   double base_cost_ = 0.0;
   double static_sum_ = 0.0;      // sum of static_p / (k(m_p) eta)
+
+  // Children lists of the committed parent tree (CSR layout), rebuilt
+  // lazily: candidate evaluations between two commits share one build.
+  mutable std::vector<int> child_offset_;
+  mutable std::vector<int> child_list_;
+  mutable bool children_stale_ = true;
+
+  // Reusable buffers for candidate evaluation and repair.  They make the
+  // const pricing methods non-reentrant: one pricer per thread.
+  mutable std::vector<double> scratch_dist_;
+  mutable std::vector<double> scratch_inv_;
+  mutable std::vector<int> sources_;
+  mutable std::vector<int> region_;
+  mutable std::vector<char> in_region_;
+  mutable std::vector<std::pair<double, int>> heap_;
+  mutable graph::DijkstraScratch full_scratch_;
 };
 
 }  // namespace wrsn::core

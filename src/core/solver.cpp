@@ -29,6 +29,12 @@ struct LsConfig {
     } else if (strategy != "first") {
       bad_spec("unknown ls-strategy '" + strategy + "' (expected first|best)");
     }
+    const std::string pricing = reader.get_string("ls-pricing", "incremental");
+    if (pricing == "full") {
+      config.options.pricing = MovePricing::kFull;
+    } else if (pricing != "incremental") {
+      bad_spec("unknown ls-pricing '" + pricing + "' (expected full|incremental)");
+    }
     return config;
   }
 };
@@ -180,7 +186,8 @@ void register_builtins(SolverRegistry& registry) {
                });
   registry.add("rfh+ls",
                "RFH followed by move-neighborhood local search (RFH options plus "
-               "ls-threads, ls-passes, ls-strategy=first|best)",
+               "ls-threads, ls-passes, ls-strategy=first|best, "
+               "ls-pricing=full|incremental)",
                [](const SolverSpec& spec) -> std::unique_ptr<Solver> {
                  SolverOptionReader reader(spec);
                  RfhOptions options = read_rfh_options(reader);
@@ -199,7 +206,7 @@ void register_builtins(SolverRegistry& registry) {
                });
   registry.add("idb+ls",
                "IDB followed by local search (delta plus ls-threads, ls-passes, "
-               "ls-strategy=first|best)",
+               "ls-strategy=first|best, ls-pricing=full|incremental)",
                [](const SolverSpec& spec) -> std::unique_ptr<Solver> {
                  SolverOptionReader reader(spec);
                  IdbOptions options;

@@ -31,9 +31,9 @@ inline core::Instance chain_instance(int num_posts, int num_nodes) {
 }
 
 /// Random connected instance on a square field (rejection-samples until the
-/// field is connected at d_max = 75 m).
-inline core::Instance random_instance(int num_posts, int num_nodes, double side,
-                                      util::Rng& rng) {
+/// field is connected at d_max = 75 m) under an explicit charging model.
+inline core::Instance random_instance(int num_posts, int num_nodes, double side, util::Rng& rng,
+                                      const energy::ChargingModel& charging) {
   geom::FieldConfig cfg;
   cfg.width = side;
   cfg.height = side;
@@ -42,10 +42,16 @@ inline core::Instance random_instance(int num_posts, int num_nodes, double side,
   for (int attempt = 0; attempt < 1000; ++attempt) {
     const geom::Field field = geom::generate_field(cfg, rng);
     if (geom::is_connected(field, radio.max_range())) {
-      return core::Instance::geometric(field, radio, paper_charging(), num_nodes);
+      return core::Instance::geometric(field, radio, charging, num_nodes);
     }
   }
   throw std::runtime_error("could not generate a connected field");
+}
+
+/// Random connected instance under the paper's linear charging model.
+inline core::Instance random_instance(int num_posts, int num_nodes, double side,
+                                      util::Rng& rng) {
+  return random_instance(num_posts, num_nodes, side, rng, paper_charging());
 }
 
 }  // namespace wrsn::test

@@ -97,11 +97,11 @@ TEST(SolveIdb, HistoryIsMonotoneNonIncreasing) {
   util::Rng rng(113);
   const Instance inst = test::random_instance(12, 36, 150.0, rng);
   const IdbResult result = solve_idb(inst, IdbOptions{1, true});
-  ASSERT_EQ(result.cost_history.size(), 24u);
-  for (std::size_t i = 1; i < result.cost_history.size(); ++i) {
-    EXPECT_LE(result.cost_history[i], result.cost_history[i - 1] * (1.0 + 1e-12));
+  ASSERT_EQ(result.per_iteration_cost.size(), 24u);
+  for (std::size_t i = 1; i < result.per_iteration_cost.size(); ++i) {
+    EXPECT_LE(result.per_iteration_cost[i], result.per_iteration_cost[i - 1] * (1.0 + 1e-12));
   }
-  EXPECT_NEAR(result.cost, result.cost_history.back(), result.cost * 1e-9);
+  EXPECT_NEAR(result.cost, result.per_iteration_cost.back(), result.cost * 1e-9);
 }
 
 TEST(SolveIdb, DeterministicForSameInstance) {

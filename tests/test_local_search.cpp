@@ -230,7 +230,8 @@ TEST(LocalSearch, BestImprovementReachesComparableCost) {
 }
 
 TEST(LocalSearch, GoldenRegressionAgainstPreCacheSolver) {
-  // Exact outputs recorded from the pre-rework solver (seed commit): the
+  // Exact outputs recorded from the pre-rework solver (seed commit): under
+  // kFull pricing (the historical per-candidate fresh Dijkstra), the
   // scratch-reusing pricing and speculative machinery must not change the
   // refined cost, the accepted-move count, or the evaluation count.
   struct Golden {
@@ -247,10 +248,65 @@ TEST(LocalSearch, GoldenRegressionAgainstPreCacheSolver) {
   for (const Golden& golden : goldens) {
     util::Rng rng(golden.seed);
     const Instance inst = test::random_instance(10, 30, 140.0, rng);
-    const auto result = refine_solution(inst, solve_rfh(inst).solution);
+    LocalSearchOptions options;
+    options.pricing = MovePricing::kFull;
+    const auto result = refine_solution(inst, solve_rfh(inst).solution, options);
     EXPECT_DOUBLE_EQ(result.cost, golden.cost) << "seed " << golden.seed;
     EXPECT_EQ(result.moves_applied, golden.moves) << "seed " << golden.seed;
     EXPECT_EQ(result.evaluations, golden.evaluations) << "seed " << golden.seed;
+  }
+}
+
+TEST(LocalSearch, IncrementalPricingMatchesFullOnGoldenInstances) {
+  // The dynamic-repair pricer changes candidate costs only at the FP
+  // summation level; on the golden instances the accepted-move sequence,
+  // evaluation counts, final deployment and (within 1e-9 relative) the final
+  // cost must match kFull -- serial and parallel, both strategies.
+  for (std::uint64_t seed : {9001u, 9002u, 9003u}) {
+    util::Rng rng(seed);
+    const Instance inst = test::random_instance(10, 30, 140.0, rng);
+    const Solution start = solve_rfh(inst).solution;
+    for (const auto strategy :
+         {LocalSearchStrategy::kFirstImprovement, LocalSearchStrategy::kBestImprovement}) {
+      for (int threads : {1, 4}) {
+        obs::RecordingSink full_sink;
+        LocalSearchOptions full;
+        full.pricing = MovePricing::kFull;
+        full.strategy = strategy;
+        full.threads = threads;
+        full.sink = &full_sink;
+        const auto full_result = refine_solution(inst, start, full);
+
+        obs::RecordingSink inc_sink;
+        LocalSearchOptions inc = full;
+        inc.pricing = MovePricing::kIncremental;
+        inc.sink = &inc_sink;
+        const auto inc_result = refine_solution(inst, start, inc);
+
+        const auto label = [&] {
+          return ::testing::Message() << "seed " << seed << " strategy "
+                                      << (strategy == LocalSearchStrategy::kBestImprovement)
+                                      << " threads " << threads;
+        };
+        EXPECT_EQ(inc_result.solution.deployment, full_result.solution.deployment) << label();
+        EXPECT_EQ(inc_result.moves_applied, full_result.moves_applied) << label();
+        EXPECT_EQ(inc_result.passes, full_result.passes) << label();
+        EXPECT_EQ(inc_result.evaluations, full_result.evaluations) << label();
+        EXPECT_NEAR(inc_result.cost, full_result.cost, full_result.cost * 1e-9) << label();
+        // Identical accepted-move event stream (costs within tolerance).
+        ASSERT_EQ(inc_sink.local_search_moves.size(), full_sink.local_search_moves.size())
+            << label();
+        for (std::size_t i = 0; i < full_sink.local_search_moves.size(); ++i) {
+          const auto& f = full_sink.local_search_moves[i];
+          const auto& g = inc_sink.local_search_moves[i];
+          EXPECT_EQ(g.from_post, f.from_post) << label() << " event " << i;
+          EXPECT_EQ(g.to_post, f.to_post) << label() << " event " << i;
+          EXPECT_EQ(g.accepted, f.accepted) << label() << " event " << i;
+          EXPECT_NEAR(g.new_cost, f.new_cost, std::abs(f.new_cost) * 1e-9)
+              << label() << " event " << i;
+        }
+      }
+    }
   }
 }
 

@@ -83,6 +83,184 @@ TEST(Pricer, RejectsBadInput) {
   DeploymentPricer pricer(inst, balanced_deployment(5, 10));
   EXPECT_THROW(pricer.cost_with_extra_node(5), std::out_of_range);
   EXPECT_THROW(pricer.add_node(-1), std::out_of_range);
+  EXPECT_THROW(pricer.cost_with_removed_node(-1), std::out_of_range);
+  EXPECT_THROW(pricer.cost_with_moved_node(0, 5), std::out_of_range);
+  EXPECT_THROW(pricer.remove_node(5), std::out_of_range);
+  EXPECT_THROW(pricer.move_node(-1, 0), std::out_of_range);
+  EXPECT_THROW(pricer.cost_with_added_nodes({{0, -1}}), std::invalid_argument);
+  // Removing (or moving away) the last node of a post is not a deployment.
+  DeploymentPricer thin(inst, std::vector<int>(5, 1));
+  EXPECT_THROW(thin.cost_with_removed_node(2), std::invalid_argument);
+  EXPECT_THROW(thin.cost_with_moved_node(2, 3), std::invalid_argument);
+  EXPECT_THROW(thin.remove_node(2), std::invalid_argument);
+  EXPECT_THROW(thin.move_node(2, 3), std::invalid_argument);
+}
+
+TEST(Pricer, RemovalPricesMatchNaiveForEveryPost) {
+  // Decremental repair exactness: cost_with_removed_node equals a fresh
+  // Dijkstra on the reduced deployment, for every removable post.
+  util::Rng rng(1201);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(15, 45, 150.0, rng);
+    std::vector<int> deployment = balanced_deployment(15, 38 + trial);
+    const DeploymentPricer pricer(inst, deployment);
+    for (int a = 0; a < inst.num_posts(); ++a) {
+      if (deployment[static_cast<std::size_t>(a)] < 2) continue;
+      auto modified = deployment;
+      --modified[static_cast<std::size_t>(a)];
+      const double naive = optimal_cost_for_deployment(inst, modified);
+      EXPECT_NEAR(pricer.cost_with_removed_node(a), naive, naive * 1e-9)
+          << "trial " << trial << " post " << a;
+    }
+  }
+}
+
+TEST(Pricer, MovePricesMatchNaiveForEveryPair) {
+  util::Rng rng(1217);
+  const Instance inst = test::random_instance(12, 36, 140.0, rng);
+  std::vector<int> deployment = balanced_deployment(12, 30);
+  const DeploymentPricer pricer(inst, deployment);
+  for (int a = 0; a < inst.num_posts(); ++a) {
+    if (deployment[static_cast<std::size_t>(a)] < 2) continue;
+    for (int b = 0; b < inst.num_posts(); ++b) {
+      if (b == a) continue;
+      auto modified = deployment;
+      --modified[static_cast<std::size_t>(a)];
+      ++modified[static_cast<std::size_t>(b)];
+      const double naive = optimal_cost_for_deployment(inst, modified);
+      EXPECT_NEAR(pricer.cost_with_moved_node(a, b), naive, naive * 1e-9)
+          << "move " << a << " -> " << b;
+    }
+  }
+}
+
+TEST(Pricer, MoveToSamePostIsNoOp) {
+  util::Rng rng(1223);
+  const Instance inst = test::random_instance(10, 25, 130.0, rng);
+  DeploymentPricer pricer(inst, balanced_deployment(10, 25));
+  const double base = pricer.base_cost();
+  EXPECT_EQ(pricer.cost_with_moved_node(4, 4), base);
+  pricer.move_node(4, 4);
+  EXPECT_EQ(pricer.base_cost(), base);
+}
+
+TEST(Pricer, BatchAddPricesMatchNaive) {
+  // cost_with_added_nodes (the exact solver's tail bound) vs fresh Dijkstra.
+  util::Rng rng(1229);
+  const Instance inst = test::random_instance(12, 40, 140.0, rng);
+  std::vector<int> deployment = balanced_deployment(12, 20);
+  const DeploymentPricer pricer(inst, deployment);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<int, int>> extra;
+    auto modified = deployment;
+    for (int j = 0; j < inst.num_posts(); ++j) {
+      const int count = rng.uniform_int(0, 2);
+      if (count == 0 && trial % 2 == 0) continue;  // mix of skipped and count=0 entries
+      extra.emplace_back(j, count);
+      modified[static_cast<std::size_t>(j)] += count;
+    }
+    const double naive = optimal_cost_for_deployment(inst, modified);
+    EXPECT_NEAR(pricer.cost_with_added_nodes(extra), naive, naive * 1e-9) << "trial " << trial;
+  }
+  EXPECT_EQ(pricer.cost_with_added_nodes({}), pricer.base_cost());
+}
+
+// Random walk of committed add/remove/move mutations: the pricer's state
+// (cost, per-vertex distances, parent tightness) must keep matching a fresh
+// Dijkstra on the current deployment.
+void check_committed_walk(const Instance& inst, DeploymentPricer::Options options,
+                          unsigned seed) {
+  util::Rng rng(seed);
+  const int n = inst.num_posts();
+  std::vector<int> deployment = balanced_deployment(n, 3 * n);
+  DeploymentPricer pricer(inst, deployment, options);
+  for (int step = 0; step < 60; ++step) {
+    const int kind = rng.uniform_int(0, 2);
+    const int a = rng.uniform_int(0, n - 1);
+    const int b = rng.uniform_int(0, n - 1);
+    if (kind == 0) {
+      pricer.add_node(a);
+      ++deployment[static_cast<std::size_t>(a)];
+    } else if (kind == 1 && deployment[static_cast<std::size_t>(a)] >= 2) {
+      pricer.remove_node(a);
+      --deployment[static_cast<std::size_t>(a)];
+    } else if (kind == 2 && deployment[static_cast<std::size_t>(a)] >= 2) {
+      pricer.move_node(a, b);
+      --deployment[static_cast<std::size_t>(a)];
+      ++deployment[static_cast<std::size_t>(b)];
+    } else {
+      continue;
+    }
+    const double naive = optimal_cost_for_deployment(inst, deployment);
+    ASSERT_NEAR(pricer.base_cost(), naive, naive * 1e-9) << "step " << step;
+    const auto dag =
+        graph::shortest_paths_to_base(inst.graph(), recharging_weight(inst, deployment));
+    for (int v = 0; v < n; ++v) {
+      ASSERT_NEAR(pricer.distance(v), dag.dist[static_cast<std::size_t>(v)],
+                  dag.dist[static_cast<std::size_t>(v)] * 1e-9)
+          << "step " << step << " vertex " << v;
+      // The maintained parent must stay a tight next hop.
+      const int p = pricer.parent(v);
+      ASSERT_GE(p, 0);
+      ASSERT_NEAR(pricer.distance(v),
+                  recharging_weight(inst, deployment)(v, p) + pricer.distance(p),
+                  pricer.distance(v) * 1e-9)
+          << "step " << step << " vertex " << v;
+    }
+  }
+}
+
+TEST(Pricer, CommittedMutationsTrackFreshDijkstraAcrossChargingModels) {
+  util::Rng rng(1301);
+  const energy::ChargingModel models[] = {
+      energy::ChargingModel::linear(0.01),
+      energy::ChargingModel::sub_linear(0.01, 0.8),
+      energy::ChargingModel::saturating(0.01, 4.0),
+  };
+  unsigned seed = 1303;
+  for (const auto& charging : models) {
+    const Instance inst = test::random_instance(14, 60, 150.0, rng, charging);
+    for (const auto variant : {graph::DijkstraVariant::kHeap, graph::DijkstraVariant::kDense}) {
+      DeploymentPricer::Options options;
+      options.variant = variant;
+      check_committed_walk(inst, options, seed++);
+    }
+  }
+}
+
+TEST(Pricer, CandidateRemovalsMatchAcrossChargingModels) {
+  util::Rng rng(1307);
+  const energy::ChargingModel models[] = {
+      energy::ChargingModel::linear(0.01),
+      energy::ChargingModel::sub_linear(0.01, 0.7),
+      energy::ChargingModel::saturating(0.01, 3.0),
+  };
+  for (const auto& charging : models) {
+    const Instance inst = test::random_instance(12, 36, 140.0, rng, charging);
+    std::vector<int> deployment = balanced_deployment(12, 30);
+    const DeploymentPricer pricer(inst, deployment);
+    for (int a = 0; a < inst.num_posts(); ++a) {
+      if (deployment[static_cast<std::size_t>(a)] < 2) continue;
+      auto modified = deployment;
+      --modified[static_cast<std::size_t>(a)];
+      const double naive = optimal_cost_for_deployment(inst, modified);
+      EXPECT_NEAR(pricer.cost_with_removed_node(a), naive, naive * 1e-9);
+      const int b = (a + 5) % 12;
+      ++modified[static_cast<std::size_t>(b)];
+      const double naive_move = optimal_cost_for_deployment(inst, modified);
+      EXPECT_NEAR(pricer.cost_with_moved_node(a, b), naive_move, naive_move * 1e-9);
+    }
+  }
+}
+
+TEST(Pricer, ZeroFallbackThresholdForcesFullRecomputeAndStaysExact) {
+  // full_recompute_fraction = 0 makes every decremental repair take the
+  // fallback path; results must be identical to the bounded repair.
+  util::Rng rng(1319);
+  const Instance inst = test::random_instance(12, 40, 140.0, rng);
+  DeploymentPricer::Options fallback_only;
+  fallback_only.full_recompute_fraction = 0.0;
+  check_committed_walk(inst, fallback_only, 1321);
 }
 
 TEST(Pricer, IdbFastPathMakesOptimalGreedySteps) {

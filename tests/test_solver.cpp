@@ -55,6 +55,20 @@ TEST(SolverRegistry, UnknownSolverAndOptionThrow) {
   EXPECT_THROW(registry.create("rfh:iterationz=3"), std::invalid_argument);
   EXPECT_THROW(registry.create("idb:delta=abc"), std::invalid_argument);
   EXPECT_THROW(registry.create("rfh:merge=maybe"), std::invalid_argument);
+  EXPECT_THROW(registry.create("rfh+ls:ls-pricing=fast"), std::invalid_argument);
+}
+
+TEST(SolverRegistry, LsPricingOptionsBothSolveAndAgree) {
+  util::Rng rng(23);
+  const core::Instance inst = test::random_instance(12, 36, 150.0, rng);
+  const auto& registry = core::SolverRegistry::global();
+  const auto full = registry.create("rfh+ls:ls-pricing=full")->solve(inst);
+  const auto incremental = registry.create("rfh+ls:ls-pricing=incremental")->solve(inst);
+  const auto default_mode = registry.create("rfh+ls")->solve(inst);
+  EXPECT_EQ(incremental.solution.deployment, full.solution.deployment);
+  EXPECT_NEAR(incremental.cost, full.cost, full.cost * 1e-9);
+  // The default is incremental.
+  EXPECT_EQ(default_mode.cost, incremental.cost);
 }
 
 TEST(SolverRegistry, RfhMatchesDirectCall) {
