@@ -1,0 +1,103 @@
+// Online resilience curves: delivery ratio vs fault hazard, per solver.
+//
+// The paper's robustness story is offline (multi-node posts tolerate node
+// loss, ablation_resilience.cpp prices failure sets after the fact).  This
+// bench runs the *online* counterpart on sim::NetworkSim's fault machinery:
+// each solver's plan is simulated for a few hundred rounds under a sweep of
+// per-round post-destruction hazards with no repair, so the delivery-ratio
+// curves expose how much traffic each routing tree's shape puts at risk
+// (deep charging-aware trees vs the flatter min-hop baseline).  A second
+// sweep holds the hazard fixed and compares the repair policies themselves
+// (none / reroute / maintain) on the IDB plan, including repair latency.
+// Under immediate reroute the repair lands in the same round as the fault,
+// so delivery is solver-independent -- which is why the solver comparison
+// runs without repair.
+//
+// Everything runs through exp::ExperimentRunner, so rows are bit-identical
+// for any --threads and land in the standard CSV/JSON formats
+// (docs/formats.md).
+#include "common.hpp"
+
+using namespace wrsn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::ObsSession obs_session(args);
+  const int runs = args.runs_or(3);
+  const std::vector<double> hazards = {0.0, 0.002, 0.005, 0.01, 0.02};
+
+  exp::SweepSpec spec;
+  spec.name = "resilience_curves";
+  // Denser geometry than the paper sweeps (200m side, 4 power levels): the
+  // fault story needs alternative paths near the base station.  On sparse
+  // fields the base often has a single gateway post, and once that dies no
+  // repair policy can help -- every curve collapses to the same line.
+  spec.side = 200.0;
+  spec.posts_axis = {40};
+  spec.nodes_axis = {160};
+  spec.levels_axis = {4};
+  spec.eta_axis = {0.01};
+  spec.hazard_axis = hazards;
+  spec.runs = runs;
+  spec.base_seed = static_cast<std::uint64_t>(args.seed);
+  spec.solvers = {"rfh", "idb", "minhop"};
+  spec.sim_rounds = args.paper_scale() ? 1000 : 200;
+  spec.sim_repair = "none";
+
+  const exp::SweepResult result = bench::run_sweep(spec, args);
+
+  util::Table table({"hazard/round", "RFH delivery", "IDB delivery", "min-hop delivery",
+                     "destroyed posts"});
+  std::vector<std::vector<double>> delivery(spec.solvers.size());
+  for (std::size_t h = 0; h < hazards.size(); ++h) {
+    const int config = static_cast<int>(h);
+    for (std::size_t s = 0; s < spec.solvers.size(); ++s) {
+      delivery[s].push_back(
+          result.diag_stats(config, static_cast<int>(s), "sim/delivery_ratio").mean());
+    }
+    table.begin_row()
+        .add(hazards[h], 3)
+        .add(delivery[0].back(), 4)
+        .add(delivery[1].back(), 4)
+        .add(delivery[2].back(), 4)
+        .add(result.diag_stats(config, 1, "sim/destroyed_posts").mean(), 2);
+  }
+  bench::emit(table, args,
+              "Online resilience (200x200m, N=40, M=160, " + std::to_string(spec.sim_rounds) +
+                  " rounds, no repair, " + std::to_string(runs) +
+                  " fields): delivery ratio vs per-round post-destruction hazard");
+
+  viz::ChartOptions chart_options;
+  chart_options.title = "Delivery ratio vs fault hazard (no repair)";
+  chart_options.x_label = "post destruction hazard per round";
+  chart_options.y_label = "delivered / originated bits";
+  viz::LineChart chart(chart_options);
+  chart.add_series("RFH", hazards, delivery[0]);
+  chart.add_series("IDB", hazards, delivery[1]);
+  chart.add_series("min-hop", hazards, delivery[2]);
+  bench::maybe_save_chart(chart, args, "resilience_curves.svg");
+
+  // Repair-policy comparison at a fixed hazard, same fields and fault
+  // sequences for all three policies (the spec seeds are identical).
+  util::Table policies({"repair policy", "delivery ratio", "dropped bits", "reroutes",
+                        "repair latency [rounds]"});
+  const double fixed_hazard = 0.01;
+  for (const std::string policy : {"none", "reroute", "maintain"}) {
+    exp::SweepSpec policy_spec = spec;
+    policy_spec.name = "resilience_policies_" + policy;
+    policy_spec.hazard_axis = {fixed_hazard};
+    policy_spec.solvers = {"idb"};
+    policy_spec.sim_repair = policy;
+    const exp::SweepResult policy_result = bench::run_sweep(policy_spec, args);
+    policies.begin_row()
+        .add(policy)
+        .add(policy_result.diag_stats(0, 0, "sim/delivery_ratio").mean(), 4)
+        .add(policy_result.diag_stats(0, 0, "sim/dropped_bits").mean(), 0)
+        .add(policy_result.diag_stats(0, 0, "sim/reroutes").mean(), 1)
+        .add(policy_result.diag_stats(0, 0, "sim/repair_latency_mean").mean(), 2);
+  }
+  bench::emit(policies, args,
+              "Repair policies on the IDB plan (hazard " + std::to_string(fixed_hazard) +
+                  "/round): buffering alone vs incremental reroute vs periodic maintenance");
+  return 0;
+}

@@ -42,6 +42,11 @@ int main(int argc, char** argv) {
   double charger_speed = 5.0;
   int bits = 4096;
   int sim_rounds = 200;
+  double sim_faults = 0.0;
+  double sim_node_faults = 0.0;
+  double sim_outages = 0.0;
+  std::string sim_repair = "none";
+  std::int64_t sim_fault_seed = 7;
   int threads = 1;
   std::string ls_strategy = "first";
   std::string trace_path;
@@ -62,6 +67,13 @@ int main(int argc, char** argv) {
   flags.add_double("charger-speed", &charger_speed, "charger travel speed [m/s]");
   flags.add_int("bits", &bits, "bits per report round");
   flags.add_int("sim-rounds", &sim_rounds, "reporting rounds to simulate on the plan");
+  flags.add_double("sim-faults", &sim_faults,
+                   "per-round post destruction hazard during the simulation");
+  flags.add_double("sim-node-faults", &sim_node_faults, "per-round node death hazard");
+  flags.add_double("sim-outages", &sim_outages, "per-round transient link outage hazard");
+  flags.add_string("sim-repair", &sim_repair,
+                   "reaction to faults: none | reroute | maintain");
+  flags.add_int64("sim-fault-seed", &sim_fault_seed, "fault model RNG seed");
   flags.add_int("threads", &threads, "local-search pricing threads (0 = all cores)");
   flags.add_string("ls-strategy", &ls_strategy, "local-search move rule: first | best");
   flags.add_string("trace", &trace_path, "write a Chrome trace-event JSON here");
@@ -183,6 +195,16 @@ int main(int argc, char** argv) {
     sim::NetworkConfig sim_config;
     sim_config.bits_per_report = bits;
     sim_config.sink = &metrics_sink;
+    sim_config.faults.seed = static_cast<std::uint64_t>(sim_fault_seed);
+    sim_config.faults.post_destruction_hazard = sim_faults;
+    sim_config.faults.node_death_hazard = sim_node_faults;
+    sim_config.faults.link_outage_hazard = sim_outages;
+    try {
+      sim_config.repair = sim::repair_policy_from_name(sim_repair);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "--sim-repair: %s\n", error.what());
+      return 1;
+    }
     sim::NetworkSim simulation(instance, solution, sim_config);
     simulation.run_rounds(static_cast<std::uint64_t>(sim_rounds));
     double battery_min = 0.0;
@@ -205,6 +227,26 @@ int main(int argc, char** argv) {
         .add("consumed_j", simulation.total_consumed())
         .add("battery_min_j", battery_min)
         .add("battery_mean_j", battery_count > 0 ? battery_sum / battery_count : 0.0);
+    if (sim_config.faults.enabled() || sim_config.repair != sim::RepairPolicy::kNone) {
+      std::printf(
+          "resilience: %llu faults, %d posts destroyed, delivery ratio %.4f, "
+          "%llu reroutes, mean repair latency %.1f rounds\n",
+          static_cast<unsigned long long>(simulation.faults_injected()),
+          simulation.destroyed_post_count(), simulation.delivery_ratio(),
+          static_cast<unsigned long long>(simulation.reroutes()),
+          simulation.repair_latency_mean());
+      run_report.begin_section("resilience")
+          .add("repair_policy", sim::repair_policy_name(sim_config.repair))
+          .add("faults_injected", static_cast<std::int64_t>(simulation.faults_injected()))
+          .add("destroyed_posts", simulation.destroyed_post_count())
+          .add("failed_nodes", simulation.failed_node_count())
+          .add("delivery_ratio", simulation.delivery_ratio())
+          .add("delivered_bits", simulation.delivered_bits_total())
+          .add("dropped_bits", simulation.dropped_bits_total())
+          .add("backlog_bits", simulation.backlog_bits_total())
+          .add("reroutes", static_cast<std::int64_t>(simulation.reroutes()))
+          .add("repair_latency_mean_rounds", simulation.repair_latency_mean());
+    }
   }
 
   // Artifacts.

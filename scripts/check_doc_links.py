@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Walks every tracked .md file and verifies
+
+  * relative links point at files that exist (queries ignored, external
+    schemes skipped),
+  * fragment links -- both `other.md#anchor` and in-page `#anchor` --
+    resolve to a heading in the target file (GitHub anchor rules),
+  * backtick-quoted doc references like `docs/simulation.md` in prose
+    name real files.
+
+Stdlib only; exits non-zero listing every broken reference.
+
+    python3 scripts/check_doc_links.py
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+# `docs/foo.md` or `scripts/foo.py` mentioned in prose as inline code.
+INLINE_FILE_RE = re.compile(r"`((?:docs|scripts|examples|tests|src|bench)/[A-Za-z0-9_./-]+)`")
+EXTERNAL_RE = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in {".git", "build", "figures"}]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def github_anchor(heading):
+    """GitHub's anchor algorithm: lowercase, drop everything but word
+    characters/spaces/hyphens, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    # Strip markdown links in headings, keep the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def parse_file(path):
+    """Returns (links, inline_refs, anchors) for one markdown file."""
+    links = []
+    inline_refs = []
+    anchors = set()
+    seen_counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                anchor = github_anchor(heading.group(1))
+                count = seen_counts.get(anchor, 0)
+                seen_counts[anchor] = count + 1
+                anchors.add(anchor if count == 0 else f"{anchor}-{count}")
+                continue
+            for match in LINK_RE.finditer(line):
+                links.append((lineno, match.group(1)))
+            for match in INLINE_FILE_RE.finditer(line):
+                inline_refs.append((lineno, match.group(1)))
+    return links, inline_refs, anchors
+
+
+def main():
+    files = sorted(markdown_files())
+    anchors_by_file = {}
+    parsed = {}
+    for path in files:
+        links, inline_refs, anchors = parse_file(path)
+        parsed[path] = (links, inline_refs)
+        anchors_by_file[path] = anchors
+
+    errors = []
+    for path in files:
+        rel = os.path.relpath(path, REPO)
+        base = os.path.dirname(path)
+        links, inline_refs = parsed[path]
+
+        for lineno, target in links:
+            if EXTERNAL_RE.match(target):
+                continue
+            target = target.split("?")[0]
+            if target.startswith("#"):
+                dest, fragment = path, target[1:]
+            else:
+                dest_part, _, fragment = target.partition("#")
+                dest = os.path.normpath(os.path.join(base, dest_part))
+            if not os.path.exists(dest):
+                errors.append(f"{rel}:{lineno}: broken link '{target}' (no such file)")
+                continue
+            if fragment and dest.endswith(".md"):
+                dest_anchors = anchors_by_file.get(dest)
+                if dest_anchors is None:
+                    dest_anchors = parse_file(dest)[2]
+                    anchors_by_file[dest] = dest_anchors
+                if fragment.lower() not in dest_anchors:
+                    errors.append(
+                        f"{rel}:{lineno}: broken anchor '{target}' "
+                        f"(no heading '#{fragment}' in {os.path.relpath(dest, REPO)})")
+
+        for lineno, ref in inline_refs:
+            # Inline-code mentions: flag only ones that look like concrete
+            # files (have an extension) but do not exist.
+            root, ext = os.path.splitext(ref)
+            if not ext or ext.startswith(".md#"):
+                continue
+            if not os.path.exists(os.path.join(REPO, ref)):
+                errors.append(f"{rel}:{lineno}: prose references missing file `{ref}`")
+
+    if errors:
+        print(f"check_doc_links: {len(errors)} broken reference(s)", file=sys.stderr)
+        for error in errors:
+            print("  " + error, file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Smoke-runs the README's shell snippets so the quickstart can never rot.
+#
+# Extracts every ```sh fence from README.md, joins continuation lines, and
+# executes each command that invokes an example binary (build/examples/...)
+# in a scratch directory wired to the real build tree.  Heavy commands --
+# the cmake/ctest build block and the figure benches -- are checked for
+# existence only, not executed (CI builds and runs them elsewhere).
+#
+# Any ```json fence containing a `wrsn-scenario v1` document is written to
+# s.json first, so the README's scenario example is exactly what the
+# README's exp_tool command then runs.
+#
+#   scripts/check_doc_snippets.sh [build-dir]   # default: ./build
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+build="$(cd "$build" && pwd)"
+readme="$repo/README.md"
+
+if [[ ! -d "$build/examples" ]]; then
+  echo "check_doc_snippets: no build tree at $build (configure+build first)" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+ln -s "$build" "$work/build"
+ln -s "$repo/tests" "$work/tests"
+cd "$work"
+
+# README scenario example -> s.json (the file the exp_tool snippet expects).
+python3 - "$readme" <<'EOF'
+import re, sys
+text = open(sys.argv[1], encoding="utf-8").read()
+for block in re.findall(r"```json\n(.*?)```", text, re.S):
+    if "wrsn-scenario v1" in block:
+        open("s.json", "w", encoding="utf-8").write(block)
+        break
+EOF
+
+# Pull the sh fences, join "\"-continued lines, drop comments/blank lines.
+mapfile -t commands < <(python3 - "$readme" <<'EOF'
+import re, sys
+text = open(sys.argv[1], encoding="utf-8").read()
+for block in re.findall(r"```sh\n(.*?)```", text, re.S):
+    joined = re.sub(r"\\\n\s*", " ", block)
+    for line in joined.splitlines():
+        line = line.split("#")[0].strip()
+        if line:
+            print(line)
+EOF
+)
+
+[[ ${#commands[@]} -gt 0 ]] || { echo "check_doc_snippets: no sh fences found" >&2; exit 1; }
+
+ran=0
+for cmd in "${commands[@]}"; do
+  first="${cmd%% *}"
+  case "$first" in
+    build/examples/*)
+      [[ -x "$first" ]] || { echo "FAIL: $first does not exist" >&2; exit 1; }
+      # The README shows --threads 8; scale the smoke run to the machine.
+      echo "RUN  $cmd"
+      eval "$cmd" >/dev/null
+      ran=$((ran + 1))
+      ;;
+    build/*)
+      # Benches: existence check only (a full figure run is minutes).
+      # `first` may be a glob like build/bench/ablation_*.
+      if ! compgen -G "$first" >/dev/null; then
+        echo "FAIL: $first does not exist" >&2
+        exit 1
+      fi
+      echo "SKIP $cmd (bench; existence checked)"
+      ;;
+    cmake|ctest|for)
+      echo "SKIP $cmd (build/test block; CI runs it directly)"
+      ;;
+    *)
+      echo "SKIP $cmd (not a repo binary)"
+      ;;
+  esac
+done
+
+# The quickstart's artifacts must actually have appeared.
+for artifact in t.json m.txt r.txt rows.csv rows.json s.ckpt; do
+  [[ -s "$artifact" ]] || { echo "FAIL: snippet did not produce $artifact" >&2; exit 1; }
+done
+head -1 m.txt | grep -q "wrsn-metrics v1" || { echo "FAIL: m.txt is not wrsn-metrics v1" >&2; exit 1; }
+head -1 r.txt | grep -q "wrsn-report v1" || { echo "FAIL: r.txt is not wrsn-report v1" >&2; exit 1; }
+head -1 s.ckpt | grep -q "wrsn-exp-checkpoint v1" || { echo "FAIL: s.ckpt is not a checkpoint" >&2; exit 1; }
+head -1 rows.csv | grep -q "^trial,config,run," || { echo "FAIL: rows.csv header mismatch" >&2; exit 1; }
+
+echo "check_doc_snippets: OK ($ran snippet command(s) executed)"

@@ -58,6 +58,7 @@ DeploymentPricer::DeploymentPricer(const Instance& instance, std::vector<int> de
   for (std::size_t i = 0; i < deployment_.size(); ++i) {
     inv_eff_[i] = inv_efficiency(static_cast<int>(i), deployment_[i]);
   }
+  disabled_.assign(deployment_.size(), 0);
   full_recompute(inv_eff_, dist_, &parent_);
   static_sum_ = 0.0;
   for (int p = 0; p < n; ++p) {
@@ -73,7 +74,18 @@ double DeploymentPricer::inv_efficiency(int /*post*/, int count) const {
 
 double DeploymentPricer::weighted_distance_sum(const std::vector<double>& dist) const {
   double total = 0.0;
+  if (num_disabled_ == 0) {
+    // The historical summation, preserved exactly so existing golden
+    // regressions stay bit-identical.
+    for (int p = 0; p < instance_->num_posts(); ++p) {
+      total += instance_->report_rate(p) * dist[static_cast<std::size_t>(p)];
+    }
+    return total;
+  }
+  // Disabled posts originate no reports; enabled-but-unreachable posts keep
+  // infinite distance, which correctly makes the total infinite.
   for (int p = 0; p < instance_->num_posts(); ++p) {
+    if (disabled_[static_cast<std::size_t>(p)]) continue;
     total += instance_->report_rate(p) * dist[static_cast<std::size_t>(p)];
   }
   return total;
@@ -82,6 +94,55 @@ double DeploymentPricer::weighted_distance_sum(const std::vector<double>& dist) 
 void DeploymentPricer::full_recompute(const std::vector<double>& inv,
                                       std::vector<double>& dist,
                                       std::vector<int>* parents) const {
+  if (num_disabled_ > 0) {
+    // Disabled posts carry +infinity efficiency entries, which the shared
+    // Dijkstra machinery rejects (detail::check_weight) -- and unreachable
+    // survivors are expected here, not an error.  Run a dense Dijkstra that
+    // tolerates both: infinite edges never relax, cut-off posts simply keep
+    // kInfinity.
+    const auto& adj = instance_->adjacency();
+    const int n = instance_->num_posts();
+    const std::size_t vertices = static_cast<std::size_t>(n) + 1;
+    dist.assign(vertices, graph::kInfinity);
+    dist[static_cast<std::size_t>(bs_)] = 0.0;
+    settled_.assign(vertices, 0);
+    for (std::size_t iter = 0; iter < vertices; ++iter) {
+      int u = -1;
+      double du = graph::kInfinity;
+      for (std::size_t v = 0; v < vertices; ++v) {
+        if (!settled_[v] && dist[v] < du) {
+          du = dist[v];
+          u = static_cast<int>(v);
+        }
+      }
+      if (u < 0) break;  // everything reachable is settled
+      settled_[static_cast<std::size_t>(u)] = 1;
+      for (int v : adj.in(u)) {
+        if (v == bs_ || settled_[static_cast<std::size_t>(v)]) continue;
+        const double cand = weight_with(inv, v, u) + du;
+        if (cand < dist[static_cast<std::size_t>(v)]) dist[static_cast<std::size_t>(v)] = cand;
+      }
+    }
+    if (parents == nullptr) return;
+    parents->assign(static_cast<std::size_t>(n), -1);
+    for (int p = 0; p < n; ++p) {
+      if (!std::isfinite(dist[static_cast<std::size_t>(p)])) continue;
+      int best = -1;
+      double best_cost = graph::kInfinity;
+      for (int u : adj.out(p)) {
+        const double du = dist[static_cast<std::size_t>(u)];
+        if (!std::isfinite(du)) continue;
+        const double cand = weight_with(inv, p, u) + du;
+        if (cand < best_cost) {
+          best_cost = cand;
+          best = u;
+        }
+      }
+      (*parents)[static_cast<std::size_t>(p)] = best;
+    }
+    return;
+  }
+
   const TableWeight weight{instance_, &inv, bs_, rx_};
   const bool reachable = graph::shortest_distances_to_base(
       instance_->graph(), instance_->adjacency(), weight, full_scratch_, options_.variant);
@@ -183,12 +244,15 @@ void DeploymentPricer::refresh_children() const {
   const std::size_t vertices = static_cast<std::size_t>(n) + 1;
   child_offset_.assign(vertices + 1, 0);
   for (int p = 0; p < n; ++p) {
+    // Disabled/unreachable posts have parent -1: they hang off nothing.
+    if (parent_[static_cast<std::size_t>(p)] < 0) continue;
     ++child_offset_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(p)]) + 1];
   }
   for (std::size_t v = 1; v <= vertices; ++v) child_offset_[v] += child_offset_[v - 1];
   child_list_.assign(static_cast<std::size_t>(n), 0);
   std::vector<int> cursor(child_offset_.begin(), child_offset_.end() - 1);
   for (int p = 0; p < n; ++p) {
+    if (parent_[static_cast<std::size_t>(p)] < 0) continue;
     child_list_[static_cast<std::size_t>(
         cursor[static_cast<std::size_t>(parent_[static_cast<std::size_t>(p)])]++)] = p;
   }
@@ -283,6 +347,7 @@ void DeploymentPricer::repair_increase(int a, const std::vector<double>& inv,
 
 double DeploymentPricer::cost_with_extra_node(int j) const {
   if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  if (is_disabled(j)) throw std::invalid_argument("cannot add a node to a disabled post");
   scratch_dist_ = dist_;
   scratch_inv_ = inv_eff_;
   const double inv_eff_j = inv_efficiency(j, deployment_[static_cast<std::size_t>(j)] + 1);
@@ -360,6 +425,7 @@ double DeploymentPricer::cost_with_added_nodes(
 
 void DeploymentPricer::add_node(int j) {
   if (j < 0 || j >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  if (is_disabled(j)) throw std::invalid_argument("cannot add a node to a disabled post");
   ++deployment_[static_cast<std::size_t>(j)];
   const double old_inv = inv_eff_[static_cast<std::size_t>(j)];
   inv_eff_[static_cast<std::size_t>(j)] = inv_efficiency(j, deployment_[static_cast<std::size_t>(j)]);
@@ -390,6 +456,29 @@ void DeploymentPricer::move_node(int a, int b) {
   if (a == b) return;
   remove_node(a);
   add_node(b);
+}
+
+void DeploymentPricer::disable_post(int a) {
+  if (a < 0 || a >= instance_->num_posts()) throw std::out_of_range("post index out of range");
+  if (disabled_[static_cast<std::size_t>(a)]) {
+    throw std::invalid_argument("post is already disabled");
+  }
+  // The static term leaves the objective before the efficiency goes to
+  // +infinity (a destroyed site senses nothing and costs nothing).
+  static_sum_ -= instance_->static_energy(a) * inv_eff_[static_cast<std::size_t>(a)];
+  deployment_[static_cast<std::size_t>(a)] = 0;
+  inv_eff_[static_cast<std::size_t>(a)] = graph::kInfinity;
+  disabled_[static_cast<std::size_t>(a)] = 1;
+  ++num_disabled_;
+  // Every edge through `a` just became unusable -- the same shape as a
+  // removal's weight increase, so the same subtree-invalidation repair
+  // applies.  `a` itself re-seeds to infinity (all its out-edges are
+  // infinite); survivors re-attach through intact neighbors or stay cut off.
+  repair_increase(a, inv_eff_, dist_, &parent_);
+  dist_[static_cast<std::size_t>(a)] = graph::kInfinity;
+  parent_[static_cast<std::size_t>(a)] = -1;
+  children_stale_ = true;
+  base_cost_ = weighted_distance_sum(dist_) + static_sum_;
 }
 
 }  // namespace wrsn::core

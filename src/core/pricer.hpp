@@ -17,7 +17,12 @@
 //     out-neighbors, and re-runs a Dijkstra bounded to the region.  When the
 //     region exceeds `Options::full_recompute_fraction` of the posts it
 //     falls back to one full dense recompute instead;
-//   * moves (a -> b) compose a removal repair and an addition relaxation.
+//   * moves (a -> b) compose a removal repair and an addition relaxation;
+//   * disabling a post (site destroyed, all nodes lost) drives its edge
+//     weights to +infinity and repairs the survivors the same way a removal
+//     does -- the online fault-repair loop in sim::NetworkSim re-attaches
+//     orphaned subtrees from the repaired parent tree instead of re-running
+//     Dijkstra per fault.
 //
 // This turns candidate pricing from O(N * Dijkstra) into nearly
 // O(N + affected region) -- a >= 5x win at the paper's largest scales
@@ -84,6 +89,17 @@ class DeploymentPricer {
   void remove_node(int a);
   /// Commits moving one node from post `a` to post `b` (requires m_a >= 2).
   void move_node(int a, int b);
+  /// Commits taking post `a` out of service entirely (site destroyed, all
+  /// nodes lost): its deployment drops to zero, every edge through it
+  /// becomes unusable, and its report no longer contributes to the cost.
+  /// Survivors cut off from the base station keep `distance() == infinity`
+  /// and `parent() == -1`; `base_cost()` is infinite while any enabled post
+  /// is unreachable.  Throws std::invalid_argument if already disabled.
+  void disable_post(int a);
+  bool is_disabled(int p) const {
+    return !disabled_.empty() && disabled_.at(static_cast<std::size_t>(p)) != 0;
+  }
+  int num_disabled() const noexcept { return num_disabled_; }
 
   /// Current distance of `v` to the base station (for tests/diagnostics).
   double distance(int v) const { return dist_.at(static_cast<std::size_t>(v)); }
@@ -128,11 +144,14 @@ class DeploymentPricer {
   int bs_ = 0;
   double rx_ = 0.0;
   std::vector<int> deployment_;
-  std::vector<double> inv_eff_;  // 1/(k(m) eta) per post
+  std::vector<double> inv_eff_;  // 1/(k(m) eta) per post; +inf when disabled
   std::vector<double> dist_;     // per vertex, exact for current deployment
   std::vector<int> parent_;      // per post: a tight next hop toward the base
+                                 // (-1 for disabled/unreachable posts)
+  std::vector<char> disabled_;   // posts taken out of service
+  int num_disabled_ = 0;
   double base_cost_ = 0.0;
-  double static_sum_ = 0.0;      // sum of static_p / (k(m_p) eta)
+  double static_sum_ = 0.0;      // sum of static_p / (k(m_p) eta), enabled posts
 
   // Children lists of the committed parent tree (CSR layout), rebuilt
   // lazily: candidate evaluations between two commits share one build.
@@ -148,6 +167,7 @@ class DeploymentPricer {
   mutable std::vector<int> region_;
   mutable std::vector<char> in_region_;
   mutable std::vector<std::pair<double, int>> heap_;
+  mutable std::vector<char> settled_;  // for the disabled-aware dense Dijkstra
   mutable graph::DijkstraScratch full_scratch_;
 };
 

@@ -13,6 +13,7 @@
 #include "core/solution.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
+#include "sim/network_sim.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -50,6 +51,39 @@ void add_solution_facts(const core::Instance& instance, const core::Solution& so
   diagnostics.add("sol/max_level", used_max + 1);  // 1-based for readability
   diagnostics.add("sol/long_hop_share",
                   100.0 * long_hops / static_cast<double>(levels.empty() ? 1 : levels.size()));
+}
+
+/// Post-solve simulation stage: runs the solution through sim::NetworkSim
+/// under the trial's fault sequence and folds the resilience outcomes into
+/// the diagnostics (so they flow through checkpoints, CSV and JSON without
+/// any format change).  Every solver on a trial sees the same fault seed --
+/// delivery ratios compare paired, like costs do.
+void add_simulation_facts(const SweepSpec& spec, const TrialRow& row,
+                          const core::Instance& instance, const core::Solution& solution,
+                          core::SolverDiagnostics& diagnostics) {
+  sim::NetworkConfig config;
+  config.bits_per_report = spec.sim_bits_per_report;
+  config.battery_capacity_j = spec.sim_battery_j;
+  config.backlog_capacity_reports = spec.sim_backlog_reports;
+  config.faults.seed = spec.sim_seed(row.config_index, row.run);
+  config.faults.post_destruction_hazard = row.config.hazard;
+  config.faults.node_death_hazard = spec.sim_node_death_hazard;
+  config.faults.link_outage_hazard = spec.sim_link_outage_hazard;
+  config.faults.link_outage_rounds = spec.sim_link_outage_rounds;
+  config.repair = sim::repair_policy_from_name(spec.sim_repair);
+  config.maintenance_period = spec.sim_maintenance_period;
+
+  sim::NetworkSim sim(instance, solution, config);
+  sim.run_rounds(static_cast<std::uint64_t>(spec.sim_rounds));
+
+  diagnostics.add("sim/delivery_ratio", sim.delivery_ratio());
+  diagnostics.add("sim/delivered_bits", sim.delivered_bits_total());
+  diagnostics.add("sim/dropped_bits", sim.dropped_bits_total());
+  diagnostics.add("sim/faults", static_cast<double>(sim.faults_injected()));
+  diagnostics.add("sim/reroutes", static_cast<double>(sim.reroutes()));
+  diagnostics.add("sim/repair_latency_mean", sim.repair_latency_mean());
+  diagnostics.add("sim/destroyed_posts", sim.destroyed_post_count());
+  diagnostics.add("sim/dead_nodes", sim.dead_node_count());
 }
 
 struct LoadedCheckpoint {
@@ -318,6 +352,10 @@ SweepResult ExperimentRunner::run() {
           outcome.cost = solved.cost;
           outcome.diagnostics = std::move(solved.diagnostics);
           add_solution_facts(*instance, solved.solution, outcome.diagnostics);
+          if (spec_.sim_rounds > 0) {
+            add_simulation_facts(spec_, row, *instance, solved.solution,
+                                 outcome.diagnostics);
+          }
           if (options_.keep_solutions) outcome.solution = std::move(solved.solution);
         } catch (const std::exception& error) {
           outcome.seconds = solve_timer.elapsed_seconds();
@@ -353,7 +391,7 @@ void write_rows_csv(std::ostream& out, const SweepResult& result, bool include_t
     }
   }
 
-  out << "trial,config,run,posts,nodes,levels,eta,field_seed,solver,status,cost,error";
+  out << "trial,config,run,posts,nodes,levels,eta,hazard,field_seed,solver,status,cost,error";
   if (include_timings) out << ",seconds";
   for (const std::string& key : diag_keys) out << ',' << csv_escape(key);
   out << '\n';
@@ -363,7 +401,8 @@ void write_rows_csv(std::ostream& out, const SweepResult& result, bool include_t
       const SolverOutcome& outcome = row.outcomes[s];
       out << row.trial << ',' << row.config_index << ',' << row.run << ','
           << row.config.posts << ',' << row.config.nodes << ',' << row.config.levels << ','
-          << artifact_double(row.config.eta) << ',' << row.field_seed << ','
+          << artifact_double(row.config.eta) << ',' << artifact_double(row.config.hazard)
+          << ',' << row.field_seed << ','
           << csv_escape(result.solver_names[s]) << ',' << (outcome.ok ? "ok" : "error")
           << ',';
       if (outcome.ok) out << artifact_double(outcome.cost);
@@ -392,6 +431,7 @@ void write_rows_json(std::ostream& out, const SweepSpec& spec, const SweepResult
       entry.set("nodes", io::Json(row.config.nodes));
       entry.set("levels", io::Json(row.config.levels));
       entry.set("eta", io::Json(row.config.eta));
+      entry.set("hazard", io::Json(row.config.hazard));
       entry.set("field_seed", io::Json(row.field_seed));
       entry.set("solver", io::Json(result.solver_names[s]));
       entry.set("ok", io::Json(outcome.ok));

@@ -111,7 +111,7 @@ class ExperimentRunner {
 };
 
 /// Streams one CSV row per (trial, solver).  Fixed columns:
-///   trial,config,run,posts,nodes,levels,eta,field_seed,solver,status,cost,error
+///   trial,config,run,posts,nodes,levels,eta,hazard,field_seed,solver,status,cost,error
 /// then (with `include_timings`) the nondeterministic seconds column, then
 /// one column per diagnostic key (union over all rows, ordered by first
 /// appearance; blank when a row lacks the key).

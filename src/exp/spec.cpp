@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "geom/field.hpp"
+#include "sim/fault_model.hpp"
 #include "util/rng.hpp"
 
 namespace wrsn::exp {
@@ -64,14 +65,20 @@ energy::ChargingModel make_charging(const SweepSpec& spec, double eta) {
 std::string ScenarioConfig::label() const {
   char buffer[96];
   std::snprintf(buffer, sizeof(buffer), "N=%d M=%d k=%d eta=%g", posts, nodes, levels, eta);
-  return buffer;
+  std::string out = buffer;
+  if (hazard != 0.0) {
+    std::snprintf(buffer, sizeof(buffer), " hz=%g", hazard);
+    out += buffer;
+  }
+  return out;
 }
 
 void SweepSpec::validate() const {
   if (name.empty()) bad_spec("scenario name must not be empty");
   if (side <= 0.0) bad_spec("field side must be positive");
   if (range_step <= 0.0) bad_spec("radio range step must be positive");
-  if (posts_axis.empty() || nodes_axis.empty() || levels_axis.empty() || eta_axis.empty()) {
+  if (posts_axis.empty() || nodes_axis.empty() || levels_axis.empty() || eta_axis.empty() ||
+      hazard_axis.empty()) {
     bad_spec("every sweep axis needs at least one value");
   }
   if (runs < 1) bad_spec("runs must be >= 1");
@@ -86,6 +93,32 @@ void SweepSpec::validate() const {
   for (double eta : eta_axis) {
     if (eta <= 0.0 || eta >= 1.0) bad_spec("eta axis values must be in (0, 1)");
   }
+  for (double hazard : hazard_axis) {
+    if (!(hazard >= 0.0) || hazard >= 1.0) bad_spec("hazard axis values must be in [0, 1)");
+  }
+  if (sim_rounds < 0) bad_spec("sim rounds must be >= 0");
+  if (sim_rounds > 0) {
+    if (sim_bits_per_report < 1) bad_spec("sim bits per report must be >= 1");
+    if (sim_battery_j <= 0.0) bad_spec("sim battery capacity must be positive");
+    if (sim_backlog_reports < 0) bad_spec("sim backlog bound must be >= 0 reports");
+    if (sim_link_outage_rounds < 1) bad_spec("sim link outage duration must be >= 1 round");
+    if (!(sim_node_death_hazard >= 0.0) || sim_node_death_hazard >= 1.0) {
+      bad_spec("sim node death hazard must be in [0, 1)");
+    }
+    if (!(sim_link_outage_hazard >= 0.0) || sim_link_outage_hazard >= 1.0) {
+      bad_spec("sim link outage hazard must be in [0, 1)");
+    }
+    if (sim_maintenance_period < 1) bad_spec("sim maintenance period must be >= 1 round");
+    try {
+      sim::repair_policy_from_name(sim_repair);
+    } catch (const std::invalid_argument& error) {
+      bad_spec(error.what());
+    }
+  } else {
+    for (double hazard : hazard_axis) {
+      if (hazard != 0.0) bad_spec("a non-zero hazard axis requires sim_rounds > 0");
+    }
+  }
 }
 
 std::vector<ScenarioConfig> SweepSpec::expand() const {
@@ -95,7 +128,9 @@ std::vector<ScenarioConfig> SweepSpec::expand() const {
     for (int nodes : nodes_axis) {
       for (int levels : levels_axis) {
         for (double eta : eta_axis) {
-          configs.push_back(ScenarioConfig{posts, nodes, levels, eta});
+          for (double hazard : hazard_axis) {
+            configs.push_back(ScenarioConfig{posts, nodes, levels, eta, hazard});
+          }
         }
       }
     }
@@ -105,7 +140,7 @@ std::vector<ScenarioConfig> SweepSpec::expand() const {
 
 int SweepSpec::num_configs() const noexcept {
   return static_cast<int>(posts_axis.size() * nodes_axis.size() * levels_axis.size() *
-                          eta_axis.size());
+                          eta_axis.size() * hazard_axis.size());
 }
 
 std::uint64_t SweepSpec::field_seed(int config_index, int run) const {
@@ -116,6 +151,15 @@ std::uint64_t SweepSpec::field_seed(int config_index, int run) const {
       static_cast<std::uint64_t>(config_index) * static_cast<std::uint64_t>(runs) +
       static_cast<std::uint64_t>(run);
   return util::derive_seed(base_seed, trial);
+}
+
+std::uint64_t SweepSpec::sim_seed(int config_index, int run) const {
+  const std::uint64_t trial =
+      static_cast<std::uint64_t>(config_index) * static_cast<std::uint64_t>(runs) +
+      static_cast<std::uint64_t>(run);
+  // Salted so the fault stream is decorrelated from the field stream even
+  // in independent seed mode (where field_seed uses the same derivation).
+  return util::derive_seed(base_seed ^ 0x5afe'fa17'70f5'eedbULL, trial);
 }
 
 core::Instance SweepSpec::build_instance(const ScenarioConfig& config,
@@ -149,6 +193,11 @@ io::Json SweepSpec::to_json() const {
   axes.set("nodes", int_axis_to_json(nodes_axis));
   axes.set("levels", int_axis_to_json(levels_axis));
   axes.set("eta", double_axis_to_json(eta_axis));
+  // Emitted only when non-default so legacy scenarios keep their canonical
+  // dump -- and therefore their checkpoint fingerprint -- byte-identical.
+  if (!(hazard_axis.size() == 1 && hazard_axis.front() == 0.0)) {
+    axes.set("hazard", double_axis_to_json(hazard_axis));
+  }
 
   io::Json seed = io::Json::object();
   seed.set("base", io::Json(base_seed));
@@ -167,6 +216,21 @@ io::Json SweepSpec::to_json() const {
   out.set("runs", io::Json(runs));
   out.set("seed", std::move(seed));
   out.set("solvers", std::move(solver_list));
+  // The simulation stage block is emitted only when active (same
+  // fingerprint-stability rationale as the hazard axis above).
+  if (sim_rounds > 0) {
+    io::Json sim = io::Json::object();
+    sim.set("rounds", io::Json(sim_rounds));
+    sim.set("bits_per_report", io::Json(sim_bits_per_report));
+    sim.set("battery_j", io::Json(sim_battery_j));
+    sim.set("backlog_reports", io::Json(sim_backlog_reports));
+    sim.set("link_outage_rounds", io::Json(sim_link_outage_rounds));
+    sim.set("node_death_hazard", io::Json(sim_node_death_hazard));
+    sim.set("link_outage_hazard", io::Json(sim_link_outage_hazard));
+    sim.set("repair", io::Json(sim_repair));
+    sim.set("maintenance_period", io::Json(sim_maintenance_period));
+    out.set("sim", std::move(sim));
+  }
   return out;
 }
 
@@ -188,6 +252,9 @@ SweepSpec SweepSpec::from_json(const io::Json& json) {
   spec.nodes_axis = int_axis_from_json(axes.at("nodes"));
   spec.levels_axis = int_axis_from_json(axes.at("levels"));
   spec.eta_axis = double_axis_from_json(axes.at("eta"));
+  if (const io::Json* hazard = axes.find("hazard")) {
+    spec.hazard_axis = double_axis_from_json(*hazard);
+  }
   spec.runs = json.at("runs").as_int();
   const io::Json& seed = json.at("seed");
   spec.base_seed = seed.at("base").as_uint64();
@@ -196,6 +263,17 @@ SweepSpec SweepSpec::from_json(const io::Json& json) {
   spec.solvers.clear();
   for (const io::Json& solver : json.at("solvers").as_array()) {
     spec.solvers.push_back(solver.as_string());
+  }
+  if (const io::Json* sim = json.find("sim")) {
+    spec.sim_rounds = sim->at("rounds").as_int();
+    spec.sim_bits_per_report = sim->at("bits_per_report").as_int();
+    spec.sim_battery_j = sim->at("battery_j").as_double();
+    spec.sim_backlog_reports = sim->at("backlog_reports").as_int();
+    spec.sim_link_outage_rounds = sim->at("link_outage_rounds").as_int();
+    spec.sim_node_death_hazard = sim->at("node_death_hazard").as_double();
+    spec.sim_link_outage_hazard = sim->at("link_outage_hazard").as_double();
+    spec.sim_repair = sim->at("repair").as_string();
+    spec.sim_maintenance_period = sim->at("maintenance_period").as_int();
   }
   spec.validate();
   return spec;

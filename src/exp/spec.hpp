@@ -23,12 +23,14 @@ namespace wrsn::exp {
 
 /// One point of the sweep grid: a concrete instance configuration.
 struct ScenarioConfig {
-  int posts = 0;     ///< N
-  int nodes = 0;     ///< M
-  int levels = 0;    ///< k radio power levels
-  double eta = 0.0;  ///< single-node charging efficiency
+  int posts = 0;       ///< N
+  int nodes = 0;       ///< M
+  int levels = 0;      ///< k radio power levels
+  double eta = 0.0;    ///< single-node charging efficiency
+  double hazard = 0.0; ///< per-round post-destruction hazard (0 = no faults)
 
-  /// Short human-readable tag ("N=100 M=600 k=3 eta=0.01").
+  /// Short human-readable tag ("N=100 M=600 k=3 eta=0.01", plus " hz=..."
+  /// when the fault axis is active).
   std::string label() const;
 };
 
@@ -58,11 +60,15 @@ struct SweepSpec {
   double charging_param = 1.0;
 
   // Sweep axes; the grid is the cartesian product in this nesting order
-  // (posts outermost, eta innermost).  Every axis must be non-empty.
+  // (posts outermost, hazard innermost).  Every axis must be non-empty.
+  // The hazard axis sweeps the per-round post-destruction probability of
+  // the simulation stage; its default {0.0} keeps legacy specs (and their
+  // fingerprints) unchanged.
   std::vector<int> posts_axis{100};
   std::vector<int> nodes_axis{600};
   std::vector<int> levels_axis{3};
   std::vector<double> eta_axis{0.01};
+  std::vector<double> hazard_axis{0.0};
 
   /// Replications per configuration.
   int runs = 5;
@@ -74,6 +80,21 @@ struct SweepSpec {
   /// Solver spec strings (core::SolverRegistry), all priced per trial on
   /// the SAME instance (paired solver comparison, as the figure benches do).
   std::vector<std::string> solvers{"rfh"};
+
+  // Post-solve simulation stage (sim::NetworkSim).  sim_rounds = 0 (the
+  // default) disables the stage entirely, which also keeps legacy scenario
+  // JSON -- and its checkpoint fingerprint -- byte-identical.  When active,
+  // every solver's solution on a trial is simulated under the SAME fault
+  // sequence (seeded from sim_seed), so delivery ratios compare paired.
+  int sim_rounds = 0;
+  int sim_bits_per_report = 1024;
+  double sim_battery_j = 0.05;
+  int sim_backlog_reports = 8;             ///< per-post backlog bound
+  int sim_link_outage_rounds = 3;          ///< outage duration once drawn
+  double sim_node_death_hazard = 0.0;      ///< per-round, per-post
+  double sim_link_outage_hazard = 0.0;     ///< per-round, per-post
+  std::string sim_repair = "none";         ///< none | reroute | maintain
+  int sim_maintenance_period = 50;         ///< rounds between maintenance visits
 
   /// Throws std::invalid_argument on an ill-formed spec (empty axis,
   /// runs < 1, no solvers, unknown charging kind, non-positive geometry).
@@ -90,6 +111,12 @@ struct SweepSpec {
   /// on the spec and the indices -- never on execution order or thread
   /// count -- so results are reproducible trial by trial.
   std::uint64_t field_seed(int config_index, int run) const;
+
+  /// Fault-model seed of (config, run) for the simulation stage: a
+  /// SplitMix64 derivation of the salted base seed by trial id, so it is --
+  /// like field_seed -- a pure function of the spec and the indices,
+  /// independent of execution order and thread count.
+  std::uint64_t sim_seed(int config_index, int run) const;
 
   /// Samples the instance for `config` from `field_seed` (rejection-samples
   /// fields until connected, exactly like the legacy benches' helper).

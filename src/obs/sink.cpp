@@ -24,7 +24,13 @@ MetricsSink::MetricsSink(Registry& registry)
       sim_consumed_j_(&registry.gauge("sim/consumed_j")),
       sim_round_energy_j_(&registry.histogram("sim/round_energy_j")),
       sim_battery_min_j_(&registry.gauge("sim/battery_min_j")),
-      sim_battery_mean_j_(&registry.gauge("sim/battery_mean_j")) {}
+      sim_battery_mean_j_(&registry.gauge("sim/battery_mean_j")),
+      sim_faults_injected_(&registry.counter("sim/faults_injected")),
+      sim_reroutes_(&registry.counter("sim/reroutes")),
+      sim_delivered_bits_(&registry.gauge("sim/delivered_bits")),
+      sim_dropped_bits_(&registry.gauge("sim/dropped_bits")),
+      sim_backlog_bits_(&registry.gauge("sim/backlog_bits")),
+      sim_repair_latency_(&registry.histogram("sim/repair_latency_rounds")) {}
 
 void MetricsSink::on_rfh_iteration(const RfhIterationEvent& event) {
   rfh_iterations_->increment();
@@ -67,6 +73,16 @@ void MetricsSink::on_sim_round(const SimRoundEvent& event) {
   sim_round_energy_j_->record(event.consumed_j);
   sim_battery_min_j_->set(event.battery_min_j);
   sim_battery_mean_j_->set(event.battery_mean_j);
+  sim_reroutes_->increment(static_cast<std::uint64_t>(event.reroutes));
+  sim_delivered_bits_->add(event.delivered_bits);
+  sim_dropped_bits_->add(event.dropped_bits);
+  sim_backlog_bits_->set(event.backlog_bits);
+}
+
+void MetricsSink::on_sim_fault(const SimFaultEvent&) { sim_faults_injected_->increment(); }
+
+void MetricsSink::on_sim_repair(const SimRepairEvent& event) {
+  sim_repair_latency_->record(static_cast<double>(event.latency_rounds));
 }
 
 }  // namespace wrsn::obs

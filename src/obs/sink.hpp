@@ -60,13 +60,35 @@ struct IdbRoundEvent {
   std::uint64_t evaluations = 0;  ///< cumulative candidates priced so far
 };
 
-/// The network simulator completed one reporting round.
+/// The network simulator completed one reporting round.  The trailing
+/// resilience fields stay zero when fault injection is off.
 struct SimRoundEvent {
   std::uint64_t round = 0;       ///< 1-based round count after this round
   double consumed_j = 0.0;       ///< energy drawn across all posts this round
   int dead_nodes = 0;            ///< cumulative dead nodes
   double battery_min_j = 0.0;    ///< min residual battery across all nodes
   double battery_mean_j = 0.0;   ///< mean residual battery across all nodes
+  double delivered_bits = 0.0;   ///< bits that reached the base this round
+  double dropped_bits = 0.0;     ///< bits dropped this round (backlog overflow/loss)
+  double backlog_bits = 0.0;     ///< bits buffered in orphaned subtrees right now
+  int faults = 0;                ///< faults injected this round
+  int reroutes = 0;              ///< routing-tree parent changes this round
+};
+
+/// The fault model injected one fault into the running simulation.
+struct SimFaultEvent {
+  std::uint64_t round = 0;       ///< 1-based round in which the fault landed
+  int kind = 0;                  ///< 0 = post destroyed, 1 = node death, 2 = link outage
+  int post = 0;
+  int duration_rounds = 0;       ///< outage length; 0 for permanent faults
+};
+
+/// A previously disconnected post regained a path to the base station
+/// (rerouted around the damage, outage expired, or maintenance visit).
+struct SimRepairEvent {
+  std::uint64_t round = 0;             ///< 1-based round of the reconnection
+  int post = 0;
+  std::uint64_t latency_rounds = 0;    ///< rounds the post spent disconnected
 };
 
 /// Observer interface; every handler defaults to a no-op so sinks override
@@ -80,6 +102,8 @@ class Sink {
   virtual void on_local_search_run(const LocalSearchRunEvent&) {}
   virtual void on_idb_round(const IdbRoundEvent&) {}
   virtual void on_sim_round(const SimRoundEvent&) {}
+  virtual void on_sim_fault(const SimFaultEvent&) {}
+  virtual void on_sim_repair(const SimRepairEvent&) {}
 };
 
 /// Appends every event to public vectors; the test/bench workhorse
@@ -101,6 +125,8 @@ class RecordingSink : public Sink {
   }
   void on_idb_round(const IdbRoundEvent& event) override { idb_rounds.push_back(event); }
   void on_sim_round(const SimRoundEvent& event) override { sim_rounds.push_back(event); }
+  void on_sim_fault(const SimFaultEvent& event) override { sim_faults.push_back(event); }
+  void on_sim_repair(const SimRepairEvent& event) override { sim_repairs.push_back(event); }
 
   void clear() {
     rfh_iterations.clear();
@@ -109,6 +135,8 @@ class RecordingSink : public Sink {
     local_search_runs.clear();
     idb_rounds.clear();
     sim_rounds.clear();
+    sim_faults.clear();
+    sim_repairs.clear();
   }
 
   std::vector<RfhIterationEvent> rfh_iterations;
@@ -117,6 +145,8 @@ class RecordingSink : public Sink {
   std::vector<LocalSearchRunEvent> local_search_runs;
   std::vector<IdbRoundEvent> idb_rounds;
   std::vector<SimRoundEvent> sim_rounds;
+  std::vector<SimFaultEvent> sim_faults;
+  std::vector<SimRepairEvent> sim_repairs;
 };
 
 /// Folds events into a `Registry` under the canonical metric names
@@ -127,7 +157,9 @@ class RecordingSink : public Sink {
 ///   ls/parallel_runs, ls/parallel_threads, ls/parallel_wasted_evaluations,
 ///   idb/rounds, idb/evaluations, idb/final_cost,
 ///   sim/rounds, sim/dead_nodes, sim/consumed_j, sim/round_energy_j,
-///   sim/battery_min_j, sim/battery_mean_j
+///   sim/battery_min_j, sim/battery_mean_j,
+///   sim/faults_injected, sim/reroutes, sim/delivered_bits, sim/dropped_bits,
+///   sim/backlog_bits, sim/repair_latency_rounds
 class MetricsSink : public Sink {
  public:
   explicit MetricsSink(Registry& registry = Registry::global());
@@ -138,6 +170,8 @@ class MetricsSink : public Sink {
   void on_local_search_run(const LocalSearchRunEvent& event) override;
   void on_idb_round(const IdbRoundEvent& event) override;
   void on_sim_round(const SimRoundEvent& event) override;
+  void on_sim_fault(const SimFaultEvent& event) override;
+  void on_sim_repair(const SimRepairEvent& event) override;
 
  private:
   // Cached on construction so event handlers never touch the registry lock.
@@ -163,6 +197,12 @@ class MetricsSink : public Sink {
   Histogram* sim_round_energy_j_;
   Gauge* sim_battery_min_j_;
   Gauge* sim_battery_mean_j_;
+  Counter* sim_faults_injected_;
+  Counter* sim_reroutes_;
+  Gauge* sim_delivered_bits_;
+  Gauge* sim_dropped_bits_;
+  Gauge* sim_backlog_bits_;
+  Histogram* sim_repair_latency_;
 };
 
 /// Fans every event out to a list of non-owned sinks.
@@ -191,6 +231,12 @@ class MultiSink : public Sink {
   }
   void on_sim_round(const SimRoundEvent& event) override {
     for (Sink* s : sinks_) s->on_sim_round(event);
+  }
+  void on_sim_fault(const SimFaultEvent& event) override {
+    for (Sink* s : sinks_) s->on_sim_fault(event);
+  }
+  void on_sim_repair(const SimRepairEvent& event) override {
+    for (Sink* s : sinks_) s->on_sim_repair(event);
   }
 
  private:

@@ -1,0 +1,62 @@
+#include "sim/fault_model.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace wrsn::sim {
+
+void FaultConfig::validate() const {
+  const auto check_hazard = [](double h, const char* what) {
+    if (!(h >= 0.0) || h >= 1.0) {
+      throw std::invalid_argument(std::string(what) + " hazard must be in [0, 1)");
+    }
+  };
+  check_hazard(post_destruction_hazard, "post destruction");
+  check_hazard(node_death_hazard, "node death");
+  check_hazard(link_outage_hazard, "link outage");
+  if (link_outage_rounds < 1) {
+    throw std::invalid_argument("link outage duration must be >= 1 round");
+  }
+}
+
+FaultModel::FaultModel(FaultConfig config, int num_posts)
+    : config_(config), num_posts_(num_posts) {
+  config_.validate();
+  if (num_posts < 1) throw std::invalid_argument("fault model needs at least one post");
+}
+
+void FaultModel::sample_round(std::uint64_t round, std::vector<Fault>& out) const {
+  out.clear();
+  util::Rng rng(util::derive_seed(config_.seed, round));
+  for (int p = 0; p < num_posts_; ++p) {
+    // Fixed draw order per post: destruction, node death, outage.  All
+    // three draws happen even at hazard 0 so the stream is invariant
+    // under hazard changes.
+    const bool destroyed = rng.bernoulli(config_.post_destruction_hazard);
+    const bool node_died = rng.bernoulli(config_.node_death_hazard);
+    const bool outage = rng.bernoulli(config_.link_outage_hazard);
+    if (destroyed) out.push_back({FaultKind::kPostDestroyed, p, 0});
+    if (node_died) out.push_back({FaultKind::kNodeDeath, p, 0});
+    if (outage) out.push_back({FaultKind::kLinkOutage, p, config_.link_outage_rounds});
+  }
+}
+
+std::string repair_policy_name(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kNone: return "none";
+    case RepairPolicy::kImmediateReroute: return "reroute";
+    case RepairPolicy::kPeriodicMaintenance: return "maintain";
+  }
+  throw std::invalid_argument("unknown repair policy");
+}
+
+RepairPolicy repair_policy_from_name(const std::string& name) {
+  if (name == "none") return RepairPolicy::kNone;
+  if (name == "reroute") return RepairPolicy::kImmediateReroute;
+  if (name == "maintain") return RepairPolicy::kPeriodicMaintenance;
+  throw std::invalid_argument("unknown repair policy '" + name +
+                              "' (expected none|reroute|maintain)");
+}
+
+}  // namespace wrsn::sim

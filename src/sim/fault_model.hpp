@@ -1,0 +1,90 @@
+// Deterministic, seeded fault injection for the network simulator.
+//
+// The paper motivates multi-node posts partly with fault tolerance (§III)
+// but evaluates only the offline question (core/failures assesses a failure
+// set after the fact).  This module supplies the *online* half: a stochastic
+// fault process that NetworkSim samples at the start of every reporting
+// round -- post destruction (the site and all its nodes are lost), single
+// node death (one node of a post fails, reducing the charging gain k(m)),
+// and transient link outages (a post's uplink radio is down for a configured
+// number of rounds).
+//
+// Determinism contract: each round's draws come from a fresh
+// Rng(util::derive_seed(seed, round)) and posts are sampled in index order,
+// so the candidate-fault stream is a pure function of (seed, round) --
+// independent of simulation state, thread count, or how many rounds were
+// already run.  The simulator filters candidates against its current state
+// (a destroyed post cannot be destroyed twice), which keeps the whole
+// simulation a pure function of (solution, config).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wrsn::sim {
+
+enum class FaultKind {
+  kPostDestroyed = 0,  ///< the site and every node on it are lost permanently
+  kNodeDeath = 1,      ///< one node of the post fails permanently
+  kLinkOutage = 2,     ///< the post's own uplink is down for duration_rounds
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kPostDestroyed;
+  int post = 0;
+  int duration_rounds = 0;  ///< only meaningful for kLinkOutage
+};
+
+/// Per-round hazard rates.  A hazard of h means each post independently
+/// suffers that fault in a round with probability h.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double post_destruction_hazard = 0.0;
+  double node_death_hazard = 0.0;
+  double link_outage_hazard = 0.0;
+  /// Rounds a link outage lasts once drawn.
+  int link_outage_rounds = 3;
+
+  bool enabled() const noexcept {
+    return post_destruction_hazard > 0.0 || node_death_hazard > 0.0 ||
+           link_outage_hazard > 0.0;
+  }
+  /// Throws std::invalid_argument on hazards outside [0, 1) or a
+  /// non-positive outage duration.
+  void validate() const;
+};
+
+/// Samples candidate faults round by round (see the determinism contract in
+/// the header comment).  Stateless between calls: sampling round 7 twice
+/// returns the same faults whether or not rounds 0..6 were sampled first.
+class FaultModel {
+ public:
+  FaultModel(FaultConfig config, int num_posts);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Appends this round's candidate faults to `out` (cleared first).
+  /// Candidates are unfiltered: the caller decides whether a fault applies
+  /// to its current state.  Every post consumes the same three Bernoulli
+  /// draws per round regardless of hazards, so the stream never shifts when
+  /// one hazard changes.
+  void sample_round(std::uint64_t round, std::vector<Fault>& out) const;
+
+ private:
+  FaultConfig config_;
+  int num_posts_ = 0;
+};
+
+/// How the simulator reacts to faults (sim/network_sim.hpp wires these in).
+enum class RepairPolicy {
+  kNone = 0,                ///< orphaned subtrees buffer, then drop
+  kImmediateReroute = 1,    ///< re-attach survivors via core::DeploymentPricer
+  kPeriodicMaintenance = 2, ///< re-optimize routing every maintenance_period rounds
+};
+
+std::string repair_policy_name(RepairPolicy policy);
+/// Parses "none" | "reroute" | "maintain"; throws std::invalid_argument.
+RepairPolicy repair_policy_from_name(const std::string& name);
+
+}  // namespace wrsn::sim

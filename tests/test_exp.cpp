@@ -234,8 +234,9 @@ TEST(ExperimentRunner, CsvAndJsonWritersAreStable) {
   std::ostringstream csv;
   exp::write_rows_csv(csv, result, false);
   const std::string text = csv.str();
-  EXPECT_NE(text.find("trial,config,run,posts,nodes,levels,eta,field_seed,solver,status,cost"),
-            std::string::npos);
+  EXPECT_NE(
+      text.find("trial,config,run,posts,nodes,levels,eta,hazard,field_seed,solver,status,cost"),
+      std::string::npos);
   EXPECT_NE(text.find("rfh/iterations"), std::string::npos);
   EXPECT_EQ(text.find("seconds"), std::string::npos) << "timings must be opt-in";
   std::ostringstream json;
@@ -243,6 +244,117 @@ TEST(ExperimentRunner, CsvAndJsonWritersAreStable) {
   const io::Json doc = io::Json::parse(json.str());
   EXPECT_EQ(doc.at("format").as_string(), "wrsn-exp-rows v1");
   EXPECT_EQ(doc.at("rows").as_array().size(), 2u);  // 1 trial x 2 solvers
+}
+
+TEST(SweepSpec, HazardAxisExpandsInnermostAndValidates) {
+  exp::SweepSpec spec = small_spec();
+  spec.hazard_axis = {0.0, 0.01};
+  spec.sim_rounds = 20;
+  EXPECT_EQ(spec.num_configs(), 1 * 2 * 1 * 1 * 2);
+  const auto configs = spec.expand();
+  EXPECT_EQ(configs[0].hazard, 0.0);
+  EXPECT_EQ(configs[1].hazard, 0.01);
+  EXPECT_EQ(configs[0].nodes, configs[1].nodes);
+  EXPECT_NO_THROW(spec.validate());
+  // A non-zero hazard without a simulation stage is meaningless.
+  spec.sim_rounds = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.sim_rounds = 20;
+  spec.hazard_axis = {1.5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.hazard_axis = {0.01};
+  spec.sim_repair = "teleport";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(SweepSpec, SimSeedIsPerTrialAndDecorrelatedFromFieldSeed) {
+  exp::SweepSpec spec = small_spec();
+  EXPECT_NE(spec.sim_seed(0, 0), spec.sim_seed(0, 1));
+  EXPECT_NE(spec.sim_seed(0, 0), spec.sim_seed(1, 0));
+  spec.seed_mode = exp::SeedMode::kIndependent;
+  EXPECT_NE(spec.sim_seed(0, 1), spec.field_seed(0, 1));
+}
+
+TEST(SweepSpec, SimBlockRoundTripsAndLegacyDumpIsUnchanged) {
+  // Without a simulation stage the JSON dump must not mention hazard or sim
+  // at all -- existing scenario files and checkpoint fingerprints predate
+  // them and must stay valid.
+  const exp::SweepSpec plain = small_spec();
+  const std::string dump = plain.to_json().dump();
+  EXPECT_EQ(dump.find("hazard"), std::string::npos);
+  EXPECT_EQ(dump.find("\"sim\""), std::string::npos);
+
+  exp::SweepSpec sim_spec = small_spec();
+  sim_spec.hazard_axis = {0.0, 0.02};
+  sim_spec.sim_rounds = 50;
+  sim_spec.sim_bits_per_report = 512;
+  sim_spec.sim_battery_j = 0.1;
+  sim_spec.sim_backlog_reports = 4;
+  sim_spec.sim_link_outage_rounds = 5;
+  sim_spec.sim_node_death_hazard = 0.001;
+  sim_spec.sim_link_outage_hazard = 0.002;
+  sim_spec.sim_repair = "maintain";
+  sim_spec.sim_maintenance_period = 25;
+  const exp::SweepSpec back = exp::SweepSpec::from_json(sim_spec.to_json());
+  EXPECT_EQ(back.hazard_axis, sim_spec.hazard_axis);
+  EXPECT_EQ(back.sim_rounds, 50);
+  EXPECT_EQ(back.sim_bits_per_report, 512);
+  EXPECT_EQ(back.sim_battery_j, 0.1);
+  EXPECT_EQ(back.sim_backlog_reports, 4);
+  EXPECT_EQ(back.sim_link_outage_rounds, 5);
+  EXPECT_EQ(back.sim_node_death_hazard, 0.001);
+  EXPECT_EQ(back.sim_link_outage_hazard, 0.002);
+  EXPECT_EQ(back.sim_repair, "maintain");
+  EXPECT_EQ(back.sim_maintenance_period, 25);
+  EXPECT_EQ(back.fingerprint(), sim_spec.fingerprint());
+  EXPECT_NE(sim_spec.fingerprint(), plain.fingerprint());
+}
+
+TEST(ExperimentRunner, SimulationStageIsThreadIdentical) {
+  // The resilience acceptance bar: identical (scenario, seed) must give
+  // bit-identical rows -- including every sim/* diagnostic -- for any
+  // thread count.
+  exp::SweepSpec spec = small_spec();
+  spec.nodes_axis = {80};
+  spec.hazard_axis = {0.0, 0.01};
+  spec.sim_rounds = 50;
+  spec.sim_repair = "reroute";
+  exp::RunnerOptions serial;
+  serial.threads = 1;
+  exp::RunnerOptions parallel;
+  parallel.threads = 4;
+  const exp::SweepResult one = exp::ExperimentRunner(spec, serial).run();
+  const exp::SweepResult four = exp::ExperimentRunner(spec, parallel).run();
+  EXPECT_EQ(result_signature(one), result_signature(four));
+  // The sim stage actually ran and attached its facts.
+  EXPECT_NE(result_signature(one).find("sim/delivery_ratio"), std::string::npos);
+  // Hazard 0.01 config saw faults; hazard 0 config did not.
+  EXPECT_EQ(one.diag_stats(0, 0, "sim/faults").mean(), 0.0);
+  EXPECT_GT(one.diag_stats(1, 0, "sim/faults").mean(), 0.0);
+}
+
+TEST(ExperimentRunner, RepairPolicyChangesSimOutcomeNotSolve) {
+  exp::SweepSpec spec = small_spec();
+  spec.side = 200.0;
+  spec.nodes_axis = {80};
+  spec.levels_axis = {4};
+  spec.solvers = {"idb"};
+  spec.hazard_axis = {0.02};
+  spec.sim_rounds = 100;
+  spec.runs = 2;
+  exp::SweepSpec none = spec;
+  none.sim_repair = "none";
+  exp::SweepSpec reroute = spec;
+  reroute.sim_repair = "reroute";
+  const exp::SweepResult a = exp::ExperimentRunner(none, {}).run();
+  const exp::SweepResult b = exp::ExperimentRunner(reroute, {}).run();
+  // Same instances, same solve costs; repair only moves the sim outcomes.
+  EXPECT_EQ(a.cost_stats(0, 0).mean(), b.cost_stats(0, 0).mean());
+  EXPECT_EQ(a.diag_stats(0, 0, "sim/faults").mean(),
+            b.diag_stats(0, 0, "sim/faults").mean());
+  EXPECT_GE(b.diag_stats(0, 0, "sim/delivery_ratio").mean(),
+            a.diag_stats(0, 0, "sim/delivery_ratio").mean());
+  EXPECT_GT(b.diag_stats(0, 0, "sim/reroutes").mean(), 0.0);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <numeric>
 
+#include "core/baseline.hpp"
 #include "core/idb.hpp"
 #include "core/rfh.hpp"
 #include "helpers.hpp"
@@ -147,6 +148,105 @@ TEST(AssessFailure, FixedDeploymentStaysNearRedeployedOptimum) {
     EXPECT_GE(gap, 0.90) << "victim " << victim;
     EXPECT_LE(gap, 1.50) << "victim " << victim;
   }
+}
+
+TEST(RemovePosts, DuplicateIndicesCollapse) {
+  // Duplicates in the failure set must behave exactly like the deduplicated
+  // set -- the mask representation makes {1, 1, 2} identical to {1, 2}.
+  util::Rng rng(1031);
+  const Instance inst = test::random_instance(10, 20, 130.0, rng);
+  const SubInstance once = remove_posts(inst, {1, 2}, 14);
+  const SubInstance twice = remove_posts(inst, {1, 1, 2, 2, 1}, 14);
+  EXPECT_EQ(once.instance.num_posts(), twice.instance.num_posts());
+  EXPECT_EQ(once.to_original, twice.to_original);
+  EXPECT_EQ(once.from_original, twice.from_original);
+}
+
+TEST(RemovePosts, NegativeIndexRejected) {
+  const Instance inst = test::chain_instance(3, 6);
+  EXPECT_THROW(remove_posts(inst, {-1}, 4), std::out_of_range);
+  EXPECT_THROW(remove_posts(inst, {0, -2}, 4), std::out_of_range);
+}
+
+TEST(AssessFailure, BaseAdjacentFailureOnSparseChain) {
+  // A 50 m-spaced chain (max range 75 m): the base-adjacent post is the only
+  // gateway, so its loss disconnects every survivor.
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.width = 300.0;
+  field.height = 1.0;
+  for (int i = 1; i <= 4; ++i) field.posts.push_back({50.0 * i, 0.0});
+  const Instance inst = Instance::geometric(field, test::paper_radio(),
+                                            test::paper_charging(), 8);
+  const auto plan = solve_idb(inst);
+  const FailureImpact impact = assess_failure(inst, plan.solution, {0});
+  EXPECT_FALSE(impact.connected);
+  EXPECT_TRUE(std::isinf(impact.cost_fixed_deployment));
+  EXPECT_EQ(impact.nodes_lost, plan.solution.deployment[0]);
+  EXPECT_FALSE(impact.routing_fixed.has_value());
+}
+
+TEST(AssessFailure, BaseAdjacentFailureWithAlternativeGateway) {
+  // The dense 20 m chain keeps multiple posts within base range: losing the
+  // nearest one must re-route the survivors, not disconnect them.
+  const Instance inst = test::chain_instance(4, 8);
+  const auto plan = solve_idb(inst);
+  const FailureImpact impact = assess_failure(inst, plan.solution, {0});
+  ASSERT_TRUE(impact.connected);
+  ASSERT_TRUE(impact.routing_fixed.has_value());
+  const auto& tree = impact.routing_fixed->tree;
+  for (int p = 1; p < 4; ++p) EXPECT_NE(tree.parent(p), 0);
+}
+
+TEST(AssessFailure, AllButOneSurvivorStillAssessable) {
+  const Instance inst = test::chain_instance(4, 8);
+  const auto plan = solve_idb(inst);
+  // Post 0 (20 m from the base) survives alone: still a network.
+  const FailureImpact alone = assess_failure(inst, plan.solution, {1, 2, 3});
+  EXPECT_TRUE(alone.connected);
+  ASSERT_TRUE(alone.routing_fixed.has_value());
+  EXPECT_EQ(alone.routing_fixed->tree.parent(0), inst.graph().base_station());
+  EXPECT_GT(alone.cost_fixed_deployment, 0.0);
+  // Every post failing is degenerate but must not throw.
+  const FailureImpact none = assess_failure(inst, plan.solution, {0, 1, 2, 3});
+  EXPECT_FALSE(none.connected);
+}
+
+TEST(AssessFailure, InvalidIndicesRejected) {
+  const Instance inst = test::chain_instance(3, 6);
+  const auto plan = solve_idb(inst);
+  EXPECT_THROW(assess_failure(inst, plan.solution, {3}), std::out_of_range);
+  EXPECT_THROW(assess_failure(inst, plan.solution, {-1}), std::out_of_range);
+}
+
+TEST(AssessFailure, FixedCostMatchesFreshDijkstraOracle) {
+  // cost_fixed_deployment must equal an independent shortest-path pricing of
+  // the surviving deployment on the induced sub-instance.
+  util::Rng rng(1033);
+  int assessed = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance inst = test::random_instance(12, 30, 140.0, rng);
+    const auto plan = solve_idb(inst);
+    const std::vector<int> failed = {rng.uniform_int(0, 5), rng.uniform_int(6, 11)};
+    const FailureImpact impact = assess_failure(inst, plan.solution, failed);
+    if (!impact.connected) continue;
+    int survivor_nodes = 0;
+    for (int p = 0; p < 12; ++p) {
+      if (p != failed[0] && p != failed[1]) {
+        survivor_nodes += plan.solution.deployment[static_cast<std::size_t>(p)];
+      }
+    }
+    const SubInstance sub = remove_posts(inst, failed, survivor_nodes);
+    std::vector<int> kept(sub.to_original.size());
+    for (std::size_t si = 0; si < sub.to_original.size(); ++si) {
+      kept[si] =
+          plan.solution.deployment[static_cast<std::size_t>(sub.to_original[si])];
+    }
+    const double oracle = optimal_cost_for_deployment(sub.instance, kept);
+    EXPECT_NEAR(impact.cost_fixed_deployment, oracle, oracle * 1e-9) << "trial " << trial;
+    ++assessed;
+  }
+  EXPECT_GT(assessed, 1);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wrsn::sim {
+namespace {
+
+TEST(FaultConfig, ValidatesHazardsAndDuration) {
+  FaultConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.post_destruction_hazard = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = FaultConfig{};
+  cfg.node_death_hazard = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = FaultConfig{};
+  cfg.link_outage_hazard = 0.5;
+  cfg.link_outage_rounds = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FaultConfig, EnabledOnlyWithPositiveHazard) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  cfg.link_outage_hazard = 0.01;
+  EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(FaultModel, ZeroHazardSamplesNothing) {
+  FaultConfig cfg;
+  cfg.seed = 99;
+  FaultModel model(cfg, 50);
+  std::vector<Fault> out{{FaultKind::kNodeDeath, 3, 0}};  // must be cleared
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    model.sample_round(r, out);
+    EXPECT_TRUE(out.empty()) << "round " << r;
+  }
+}
+
+TEST(FaultModel, DeterministicAndOrderIndependent) {
+  FaultConfig cfg;
+  cfg.seed = 1234;
+  cfg.post_destruction_hazard = 0.02;
+  cfg.node_death_hazard = 0.05;
+  cfg.link_outage_hazard = 0.03;
+  FaultModel a(cfg, 30);
+  FaultModel b(cfg, 30);
+
+  std::vector<Fault> fa;
+  std::vector<Fault> fb;
+  // b samples the rounds backwards: per-round draws must not depend on
+  // which rounds were sampled before (stateless contract).
+  std::vector<std::vector<Fault>> forward(20);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    a.sample_round(r, fa);
+    forward[r] = fa;
+  }
+  for (std::uint64_t r = 20; r-- > 0;) {
+    b.sample_round(r, fb);
+    ASSERT_EQ(fb.size(), forward[r].size()) << "round " << r;
+    for (std::size_t i = 0; i < fb.size(); ++i) {
+      EXPECT_EQ(fb[i].kind, forward[r][i].kind);
+      EXPECT_EQ(fb[i].post, forward[r][i].post);
+      EXPECT_EQ(fb[i].duration_rounds, forward[r][i].duration_rounds);
+    }
+  }
+}
+
+TEST(FaultModel, StreamInvariantUnderOtherHazards) {
+  // Every post consumes three Bernoulli draws per round regardless of which
+  // hazards are on, so turning node deaths on must not shift the
+  // destruction stream.
+  FaultConfig only_destruction;
+  only_destruction.seed = 77;
+  only_destruction.post_destruction_hazard = 0.05;
+  FaultConfig both = only_destruction;
+  both.node_death_hazard = 0.2;
+
+  FaultModel a(only_destruction, 25);
+  FaultModel b(both, 25);
+  std::vector<Fault> fa;
+  std::vector<Fault> fb;
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    a.sample_round(r, fa);
+    b.sample_round(r, fb);
+    std::vector<int> destroyed_a;
+    std::vector<int> destroyed_b;
+    for (const Fault& f : fa) {
+      if (f.kind == FaultKind::kPostDestroyed) destroyed_a.push_back(f.post);
+    }
+    for (const Fault& f : fb) {
+      if (f.kind == FaultKind::kPostDestroyed) destroyed_b.push_back(f.post);
+    }
+    EXPECT_EQ(destroyed_a, destroyed_b) << "round " << r;
+  }
+}
+
+TEST(FaultModel, HazardRateIsApproximatelyHonored) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.post_destruction_hazard = 0.1;
+  const int posts = 40;
+  const int rounds = 2000;
+  FaultModel model(cfg, posts);
+  std::vector<Fault> out;
+  std::uint64_t total = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    model.sample_round(r, out);
+    total += out.size();
+  }
+  const double rate = static_cast<double>(total) / (posts * rounds);
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(FaultModel, OutagesCarryConfiguredDuration) {
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.link_outage_hazard = 0.2;
+  cfg.link_outage_rounds = 7;
+  FaultModel model(cfg, 10);
+  std::vector<Fault> out;
+  bool seen = false;
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    model.sample_round(r, out);
+    for (const Fault& f : out) {
+      ASSERT_EQ(f.kind, FaultKind::kLinkOutage);
+      EXPECT_EQ(f.duration_rounds, 7);
+      seen = true;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(FaultModel, PostsSampledInIndexOrder) {
+  FaultConfig cfg;
+  cfg.seed = 8;
+  cfg.post_destruction_hazard = 0.3;
+  FaultModel model(cfg, 20);
+  std::vector<Fault> out;
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    model.sample_round(r, out);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_LE(out[i - 1].post, out[i].post) << "round " << r;
+    }
+  }
+}
+
+TEST(RepairPolicy, NamesRoundTrip) {
+  for (RepairPolicy policy : {RepairPolicy::kNone, RepairPolicy::kImmediateReroute,
+                              RepairPolicy::kPeriodicMaintenance}) {
+    EXPECT_EQ(repair_policy_from_name(repair_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(repair_policy_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wrsn::sim

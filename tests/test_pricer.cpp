@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/baseline.hpp"
+#include "core/failures.hpp"
 #include "core/idb.hpp"
 #include "helpers.hpp"
 
@@ -301,6 +304,119 @@ TEST(Pricer, IdbFastPathMakesOptimalGreedySteps) {
       deployment = committed;
     }
   }
+}
+
+TEST(Pricer, DisablePostMatchesSubInstanceOracle) {
+  // Disabling posts one by one must keep every survivor's distance equal to
+  // a fresh shortest-path run on the induced sub-instance (original indices
+  // mapped through core::remove_posts).
+  util::Rng rng(1409);
+  for (unsigned trial = 0; trial < 3; ++trial) {
+    const Instance inst = test::random_instance(16, 48, 140.0, rng);
+    std::vector<int> deployment = balanced_deployment(16, 40);
+    DeploymentPricer pricer(inst, deployment);
+    std::vector<int> disabled;
+    util::Rng pick(1409 + trial);
+    for (int step = 0; step < 6; ++step) {
+      int victim = pick.uniform_int(0, 15);
+      while (pricer.is_disabled(victim)) victim = (victim + 1) % 16;
+      pricer.disable_post(victim);
+      disabled.push_back(victim);
+      if (!survives_failure(inst, disabled)) break;
+
+      int survivors_nodes = 0;
+      for (int p = 0; p < 16; ++p) {
+        if (!pricer.is_disabled(p)) survivors_nodes += deployment[static_cast<std::size_t>(p)];
+      }
+      const SubInstance sub = remove_posts(inst, disabled, survivors_nodes);
+      std::vector<int> sub_deployment(sub.to_original.size());
+      for (std::size_t si = 0; si < sub.to_original.size(); ++si) {
+        sub_deployment[si] = deployment[static_cast<std::size_t>(sub.to_original[si])];
+      }
+      const auto dag = graph::shortest_paths_to_base(
+          sub.instance.graph(), recharging_weight(sub.instance, sub_deployment));
+      for (int p = 0; p < 16; ++p) {
+        const int si = sub.from_original[static_cast<std::size_t>(p)];
+        if (si < 0) {
+          EXPECT_FALSE(std::isfinite(pricer.distance(p))) << "disabled post " << p;
+          EXPECT_EQ(pricer.parent(p), -1);
+          continue;
+        }
+        EXPECT_NEAR(pricer.distance(p), dag.dist[static_cast<std::size_t>(si)],
+                    dag.dist[static_cast<std::size_t>(si)] * 1e-9)
+            << "trial " << trial << " step " << step << " post " << p;
+      }
+      const double naive = optimal_cost_for_deployment(sub.instance, sub_deployment);
+      EXPECT_NEAR(pricer.base_cost(), naive, naive * 1e-9);
+    }
+  }
+}
+
+TEST(Pricer, DisableFallbackMatchesBoundedRepair) {
+  // Regression for the disabled-aware dense fallback: a pricer forced onto
+  // the fallback path (fraction 0) must agree per vertex with one that
+  // always runs the bounded repair (fraction > 1), across a disable
+  // sequence that cuts off part of the network.
+  util::Rng rng(1423);
+  const Instance inst = test::random_instance(14, 40, 130.0, rng);
+  const std::vector<int> deployment = balanced_deployment(14, 35);
+  DeploymentPricer::Options always_fallback;
+  always_fallback.full_recompute_fraction = 0.0;
+  DeploymentPricer::Options never_fallback;
+  never_fallback.full_recompute_fraction = 2.0;
+  DeploymentPricer a(inst, deployment, always_fallback);
+  DeploymentPricer b(inst, deployment, never_fallback);
+  util::Rng pick(1427);
+  for (int step = 0; step < 8; ++step) {
+    int victim = pick.uniform_int(0, 13);
+    while (a.is_disabled(victim)) victim = (victim + 1) % 14;
+    a.disable_post(victim);
+    b.disable_post(victim);
+    for (int v = 0; v < 14; ++v) {
+      if (!std::isfinite(b.distance(v))) {
+        EXPECT_FALSE(std::isfinite(a.distance(v))) << "step " << step << " vertex " << v;
+        continue;
+      }
+      EXPECT_NEAR(a.distance(v), b.distance(v), b.distance(v) * 1e-9)
+          << "step " << step << " vertex " << v;
+    }
+  }
+  EXPECT_EQ(a.num_disabled(), 8);
+}
+
+TEST(Pricer, DisabledSurvivorsCutOffKeepInfiniteDistance) {
+  // A 50 m-spaced chain (radio max range 75 m) has no alternative paths:
+  // disabling post 0 cuts off everyone behind it, which must read as
+  // infinite distance, parent -1, and an infinite base cost -- not an
+  // exception.
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.width = 300.0;
+  field.height = 1.0;
+  for (int i = 1; i <= 5; ++i) field.posts.push_back({50.0 * i, 0.0});
+  const Instance inst = Instance::geometric(field, test::paper_radio(),
+                                            test::paper_charging(), 10);
+  DeploymentPricer pricer(inst, balanced_deployment(5, 10));
+  pricer.disable_post(0);
+  EXPECT_TRUE(pricer.is_disabled(0));
+  for (int p = 1; p < 5; ++p) {
+    EXPECT_FALSE(std::isfinite(pricer.distance(p))) << "post " << p;
+    EXPECT_EQ(pricer.parent(p), -1) << "post " << p;
+  }
+  EXPECT_FALSE(std::isfinite(pricer.base_cost()));
+}
+
+TEST(Pricer, DisableRejectsBadUse) {
+  util::Rng rng(1429);
+  const Instance inst = test::random_instance(6, 12, 100.0, rng);
+  DeploymentPricer pricer(inst, balanced_deployment(6, 12));
+  EXPECT_THROW(pricer.disable_post(-1), std::out_of_range);
+  EXPECT_THROW(pricer.disable_post(6), std::out_of_range);
+  pricer.disable_post(2);
+  EXPECT_THROW(pricer.disable_post(2), std::invalid_argument);
+  EXPECT_THROW(pricer.add_node(2), std::invalid_argument);
+  EXPECT_THROW(pricer.cost_with_extra_node(2), std::invalid_argument);
+  EXPECT_EQ(pricer.num_disabled(), 1);
 }
 
 }  // namespace
