@@ -26,6 +26,7 @@
 #include "core/pricer.hpp"
 #include "core/rfh.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -386,12 +387,11 @@ int main(int argc, char** argv) {
   // The JSON context's "library_build_type" reports how the *benchmark
   // library* was compiled (distro packages often ship it as debug), not this
   // binary.  Publish our own compile mode so scripts/perf_baseline.sh can
-  // refuse to record a baseline from an unoptimized build.
-#if defined(NDEBUG) && (defined(__OPTIMIZE__) || defined(_MSC_VER))
-  benchmark::AddCustomContext("wrsn_build_type", "release");
-#else
-  benchmark::AddCustomContext("wrsn_build_type", "debug");
-#endif
+  // refuse to record a baseline from an unoptimized build, plus the git SHA
+  // so BENCH_hotpaths.json says which revision it measured
+  // (scripts/bench_check.py surfaces both when flagging a regression).
+  benchmark::AddCustomContext("wrsn_build_type", wrsn::obs::build_info().build_type);
+  benchmark::AddCustomContext("wrsn_git_sha", wrsn::obs::build_info().git_sha);
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,10 @@
 // nondeterministic seconds column only appears with --timings.  Killing a
 // checkpointed run and re-running the same command resumes: finished
 // trials are restored from the checkpoint, not re-priced.
+//
+// Observability: the same --trace/--metrics/--report/--metrics-series/
+// --progress[=interval]/--perf surface as plan_tool (io/obs_cli.hpp);
+// heartbeats and artifact notes go to stderr, keeping stdout deterministic.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +23,8 @@
 #include "core/solver.hpp"
 #include "exp/runner.hpp"
 #include "exp/spec.hpp"
+#include "io/obs_cli.hpp"
+#include "obs/report.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -33,9 +39,9 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool timings = false;
   bool list_solvers = false;
-  bool progress = false;
 
   util::Flags flags;
+  io::ObsCli obs_cli;
   flags.add_string("spec", &spec_path, "wrsn-scenario v1 file to run");
   flags.add_string("init", &init_path, "write a template scenario to this path and exit");
   flags.add_string("checkpoint", &checkpoint_path,
@@ -45,7 +51,7 @@ int main(int argc, char** argv) {
   flags.add_int("threads", &threads, "worker threads (0 = all cores); results identical");
   flags.add_bool("timings", &timings, "include nondeterministic seconds in artifacts");
   flags.add_bool("list-solvers", &list_solvers, "print the solver registry and exit");
-  flags.add_bool("progress", &progress, "print per-trial progress to stderr");
+  obs_cli.register_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
   try {
@@ -72,16 +78,11 @@ int main(int argc, char** argv) {
     }
 
     const exp::SweepSpec spec = exp::SweepSpec::load(spec_path);
+    obs_cli.begin();
     exp::RunnerOptions options;
     options.threads = threads;
     options.checkpoint_path = checkpoint_path;
-    if (progress) {
-      options.on_trial = [&spec](const exp::TrialRow& row) {
-        std::fprintf(stderr, "[exp] trial %d/%d %s run %d%s\n", row.trial + 1,
-                     spec.num_trials(), row.config.label().c_str(), row.run,
-                     row.resumed ? " (resumed)" : "");
-      };
-    }
+    options.progress = obs_cli.progress();
     exp::ExperimentRunner runner(spec, options);
     const exp::SweepResult result = runner.run();
 
@@ -123,6 +124,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[exp] %d trials (%d resumed) in %.1f s on %d thread(s)\n",
                  spec.num_trials(), result.resumed_trials, result.wall_seconds, threads);
+
+    obs::RunReport run_report("wrsn experiment sweep");
+    run_report.begin_section("sweep")
+        .add("spec", spec.name)
+        .add("fingerprint", exp::SweepSpec::fingerprint_hex(spec.fingerprint()))
+        .add("trials", spec.num_trials())
+        .add("resumed_trials", result.resumed_trials)
+        .add("threads", threads);
+    for (const std::string& name : result.solver_names) run_report.add("solver", name);
+    if (!obs_cli.finish(&run_report)) return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "exp_tool: %s\n", error.what());
     return 1;

@@ -6,16 +6,18 @@
 //   ./plan_tool --posts 40 --nodes 160 --out plan            # random field
 //   ./plan_tool --field site.txt --nodes 90 --solver idb     # surveyed site
 //   ./plan_tool --trace=t.json --metrics=m.txt --report=r.txt
+//   ./plan_tool --solver exact --posts 9 --progress          # live heartbeats
 //
 // Outputs <out>.field.txt, <out>.solution.txt, <out>.svg, and -- when the
-// observability flags are set -- a Chrome trace, a wrsn-metrics dump, and a
-// wrsn-report summary (docs/observability.md).
+// observability flags are set -- a Chrome trace, a wrsn-metrics dump, a
+// wrsn-report summary, a wrsn-metrics-series time series, and live
+// wrsn-progress heartbeats on stderr (docs/observability.md).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "core/solver.hpp"
-#include "io/metrics_io.hpp"
+#include "io/obs_cli.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -49,11 +51,9 @@ int main(int argc, char** argv) {
   std::int64_t sim_fault_seed = 7;
   int threads = 1;
   std::string ls_strategy = "first";
-  std::string trace_path;
-  std::string metrics_path;
-  std::string report_path;
 
   util::Flags flags;
+  io::ObsCli obs_cli;
   flags.add_int("posts", &posts, "posts for a generated field");
   flags.add_int("nodes", &nodes, "sensor-node budget");
   flags.add_double("side", &side, "generated field side length [m]");
@@ -76,19 +76,14 @@ int main(int argc, char** argv) {
   flags.add_int64("sim-fault-seed", &sim_fault_seed, "fault model RNG seed");
   flags.add_int("threads", &threads, "local-search pricing threads (0 = all cores)");
   flags.add_string("ls-strategy", &ls_strategy, "local-search move rule: first | best");
-  flags.add_string("trace", &trace_path, "write a Chrome trace-event JSON here");
-  flags.add_string("metrics", &metrics_path, "write a wrsn-metrics v1 dump here");
-  flags.add_string("report", &report_path, "write a wrsn-report v1 summary here");
+  obs_cli.register_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
-  // Observability: one global registry + trace buffer for the whole run.
+  // Observability: one global registry + trace buffer for the whole run,
+  // armed per the shared --trace/--metrics/--report/--progress/--perf flags.
   obs::Registry& registry = obs::Registry::global();
   obs::MetricsSink metrics_sink(registry);
-  obs::TraceBuffer& trace_buffer = obs::TraceBuffer::global();
-  if (!trace_path.empty()) {
-    trace_buffer.clear();
-    trace_buffer.set_enabled(true);
-  }
+  obs_cli.begin();
 
   // Field: surveyed or generated.
   geom::Field field;
@@ -141,7 +136,7 @@ int main(int argc, char** argv) {
       if (!has_option("ls-strategy")) spec.options.emplace_back("ls-strategy", ls_strategy);
     }
     const std::unique_ptr<core::Solver> engine = core::SolverRegistry::global().create(spec);
-    const core::SolverRun run = engine->solve(instance, &metrics_sink);
+    const core::SolverRun run = engine->solve(instance, &metrics_sink, obs_cli.progress());
     solution = run.solution;
     cost = run.cost;
     for (const auto& [key, value] : run.diagnostics.items) {
@@ -195,6 +190,7 @@ int main(int argc, char** argv) {
     sim::NetworkConfig sim_config;
     sim_config.bits_per_report = bits;
     sim_config.sink = &metrics_sink;
+    sim_config.progress = obs_cli.progress();
     sim_config.faults.seed = static_cast<std::uint64_t>(sim_fault_seed);
     sim_config.faults.post_destruction_hazard = sim_faults;
     sim_config.faults.node_death_hazard = sim_node_faults;
@@ -255,24 +251,6 @@ int main(int argc, char** argv) {
   viz::save_svg(out + ".svg", instance, &solution);
   std::printf("wrote %s.field.txt, %s.solution.txt, %s.svg\n", out.c_str(), out.c_str(),
               out.c_str());
-  try {
-    if (!trace_path.empty()) {
-      trace_buffer.set_enabled(false);
-      obs::save_chrome_trace(trace_path, trace_buffer.events());
-      std::printf("wrote trace %s (%zu spans)\n", trace_path.c_str(), trace_buffer.size());
-    }
-    if (!metrics_path.empty()) {
-      io::save_metrics(metrics_path, registry.snapshot());
-      std::printf("wrote metrics %s\n", metrics_path.c_str());
-    }
-    if (!report_path.empty()) {
-      run_report.attach_metrics(registry.snapshot());
-      run_report.save(report_path);
-      std::printf("wrote report %s\n", report_path.c_str());
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error writing observability artifacts: %s\n", e.what());
-    return 1;
-  }
+  if (!obs_cli.finish(&run_report)) return 1;
   return 0;
 }

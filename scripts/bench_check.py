@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over Google Benchmark JSON output.
+
+Compares a fresh micro_hotpaths run against the committed baseline and fails
+when any benchmark slowed down by more than the threshold:
+
+    scripts/bench_check.py --baseline BENCH_hotpaths.json --current fresh.json
+    scripts/bench_check.py ... --threshold 0.25      # default: 25% slower
+    scripts/bench_check.py ... --warn-only           # report, exit 0 (noisy CI)
+    scripts/bench_check.py ... --inject-slowdown 10  # pretend current is 10x
+                                                     # slower (gate self-test)
+    scripts/bench_check.py --self-test               # in-process unit test
+
+Matching is by benchmark name; aggregate rows (mean/median/stddev/cv from
+--benchmark_repetitions) are reduced to the median per name, plain repetition
+rows to their median.  Benchmarks present on only one side are reported but
+never fail the gate (renames must not brick CI).  Speedups are listed too --
+a big one usually means the baseline is stale and worth refreshing via
+scripts/perf_baseline.sh.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path):
+    """name -> representative cpu_time in ns, plus the context block."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return reduce_times(doc), doc.get("context", {})
+
+
+def reduce_times(doc):
+    samples = {}
+    for row in doc.get("benchmarks", []):
+        run_type = row.get("run_type", "iteration")
+        name = row.get("run_name") or row.get("name")
+        if name is None or "cpu_time" not in row:
+            continue
+        if run_type == "aggregate":
+            # Prefer the median aggregate; ignore stddev/cv pseudo-times.
+            if row.get("aggregate_name") == "median":
+                samples[name] = [to_ns(row)]
+            continue
+        samples.setdefault(name, []).append(to_ns(row))
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def to_ns(row):
+    unit = row.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        raise ValueError(f"unknown time_unit {unit!r} in row {row.get('name')!r}")
+    return float(row["cpu_time"]) * scale
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def compare(baseline, current, threshold):
+    """Returns (regressions, speedups, only_baseline, only_current).
+
+    A regression is (name, base_ns, cur_ns, ratio) with ratio > 1 + threshold;
+    a speedup is the same tuple with ratio < 1 / (1 + threshold).
+    """
+    regressions = []
+    speedups = []
+    for name in sorted(set(baseline) & set(current)):
+        base = baseline[name]
+        cur = current[name]
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            regressions.append((name, base, cur, ratio))
+        elif ratio < 1.0 / (1.0 + threshold):
+            speedups.append((name, base, cur, ratio))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    return regressions, speedups, only_baseline, only_current
+
+
+def run_check(args):
+    baseline, base_ctx = load_times(args.baseline)
+    current, cur_ctx = load_times(args.current)
+    if not baseline:
+        print(f"bench_check: no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"bench_check: no benchmarks in current {args.current}", file=sys.stderr)
+        return 2
+    if args.inject_slowdown != 1.0:
+        current = {name: ns * args.inject_slowdown for name, ns in current.items()}
+        print(f"bench_check: synthetic {args.inject_slowdown:g}x slowdown injected "
+              "(gate self-test)")
+
+    # Old baselines predate the wrsn_git_sha context; tolerate its absence.
+    base_sha = base_ctx.get("wrsn_git_sha", "unknown")
+    cur_sha = cur_ctx.get("wrsn_git_sha", "unknown")
+    print(f"bench_check: baseline git {base_sha}, current git {cur_sha}, "
+          f"threshold {args.threshold:.0%}, {len(set(baseline) & set(current))} "
+          "benchmarks compared")
+
+    regressions, speedups, only_base, only_cur = compare(baseline, current, args.threshold)
+    for name, base, cur, ratio in regressions:
+        print(f"  REGRESSION {name}: {fmt_ns(base)} -> {fmt_ns(cur)}  ({ratio:.2f}x)")
+    for name, base, cur, ratio in speedups:
+        print(f"  speedup    {name}: {fmt_ns(base)} -> {fmt_ns(cur)}  ({ratio:.2f}x)")
+    if only_base:
+        print(f"  only in baseline (ignored): {', '.join(only_base)}")
+    if only_cur:
+        print(f"  only in current (ignored): {', '.join(only_cur)}")
+
+    if regressions:
+        verdict = f"{len(regressions)} benchmark(s) regressed beyond {args.threshold:.0%}"
+        if args.warn_only:
+            print(f"bench_check: WARNING: {verdict} (warn-only mode, not failing)")
+            return 0
+        print(f"bench_check: FAIL: {verdict}", file=sys.stderr)
+        return 1
+    print("bench_check: OK, no regressions")
+    return 0
+
+
+def self_test():
+    """In-process check that the gate actually fires; no files needed."""
+    failures = []
+
+    def check(label, condition):
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    base = {"BM_a": 100.0, "BM_b": 200.0, "BM_gone": 50.0}
+    cur_ok = {"BM_a": 110.0, "BM_b": 190.0, "BM_new": 10.0}
+    reg, spd, ob, oc = compare(base, cur_ok, 0.25)
+    check("within-threshold drift passes", not reg and not spd)
+    check("unmatched names ignored", ob == ["BM_gone"] and oc == ["BM_new"])
+
+    cur_bad = {"BM_a": 130.0, "BM_b": 190.0}
+    reg, _, _, _ = compare(base, cur_bad, 0.25)
+    check("30% slowdown flagged at 25% threshold", [r[0] for r in reg] == ["BM_a"])
+
+    reg, _, _, _ = compare(base, {"BM_a": 124.9, "BM_b": 190.0}, 0.25)
+    check("24.9% slowdown tolerated", not reg)
+
+    _, spd, _, _ = compare(base, {"BM_a": 50.0, "BM_b": 190.0}, 0.25)
+    check("2x speedup reported, not failed", [s[0] for s in spd] == ["BM_a"])
+
+    doc = {"benchmarks": [
+        {"name": "BM_x", "run_name": "BM_x", "run_type": "iteration",
+         "cpu_time": 1.5, "time_unit": "us"},
+        {"name": "BM_x", "run_name": "BM_x", "run_type": "iteration",
+         "cpu_time": 2.5, "time_unit": "us"},
+        {"name": "BM_x", "run_name": "BM_x", "run_type": "iteration",
+         "cpu_time": 100.0, "time_unit": "us"},  # outlier the median shrugs off
+        {"name": "BM_y/50_median", "run_name": "BM_y/50", "run_type": "aggregate",
+         "aggregate_name": "median", "cpu_time": 3.0, "time_unit": "ms"},
+        {"name": "BM_y/50_stddev", "run_name": "BM_y/50", "run_type": "aggregate",
+         "aggregate_name": "stddev", "cpu_time": 900.0, "time_unit": "ms"},
+    ]}
+    times = reduce_times(doc)
+    check("repetitions reduce to median", times.get("BM_x") == 2.5e3)
+    check("aggregate rows use median, ignore stddev", times.get("BM_y/50") == 3.0e6)
+
+    reg, _, _, _ = compare(times, {n: t * 10.0 for n, t in times.items()}, 0.25)
+    check("injected 10x slowdown fails the gate", len(reg) == 2)
+
+    if failures:
+        print(f"bench_check self-test: {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("bench_check self-test: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="committed Google Benchmark JSON")
+    parser.add_argument("--current", help="freshly measured Google Benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated slowdown fraction (default 0.25)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (for noisy runners)")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0, metavar="F",
+                        help="multiply current times by F before comparing "
+                             "(verifies the gate fires; CI asserts nonzero exit)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run in-process unit checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or use --self-test)")
+    if args.threshold <= 0.0:
+        parser.error("--threshold must be positive")
+    return run_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,18 @@ if ! grep -q '"wrsn_build_type": "release"' "${staging}"; then
   exit 1
 fi
 
+# Provenance: the binary stamps the revision it was configured against into
+# the context ("wrsn_git_sha"); warn when the recorded baseline would claim a
+# revision other than the current checkout (stale build tree or dirty HEAD).
+baseline_sha="$(sed -n 's/.*"wrsn_git_sha": "\([^"]*\)".*/\1/p' "${staging}" | head -n1)"
+head_sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [[ -z "${baseline_sha}" ]]; then
+  echo "warning: micro_hotpaths emitted no wrsn_git_sha context" >&2
+elif [[ "${baseline_sha}" != "${head_sha}" ]]; then
+  echo "warning: baseline records git SHA ${baseline_sha} but HEAD is ${head_sha}" \
+       "(stale build tree? configure again to restamp)" >&2
+fi
+
 mv "${staging}" "${repo_root}/BENCH_hotpaths.json"
 trap - EXIT
-echo "Wrote ${repo_root}/BENCH_hotpaths.json"
+echo "Wrote ${repo_root}/BENCH_hotpaths.json (git ${baseline_sha:-unknown})"

@@ -7,6 +7,8 @@
 
 #include "core/idb.hpp"
 #include "core/pricer.hpp"
+#include "obs/progress.hpp"
+#include "util/timer.hpp"
 
 namespace wrsn::core {
 
@@ -48,9 +50,34 @@ struct SearchState {
   std::vector<int> best;
   std::vector<std::pair<int, int>> additions;  // reused bound buffer
   double best_cost = graph::kInfinity;
+  double lower_bound = 0.0;
   std::uint64_t evaluations = 0;
   std::uint64_t pruned = 0;
   bool aborted = false;
+  obs::ProgressSink* progress = nullptr;
+  util::Timer timer;  // heartbeat rate only; the search never reads it
+
+  /// Offers a heartbeat to the sink.  Anytime telemetry for ROADMAP item 3:
+  /// incumbent / lower-bound gap over time.  Purely observational -- no
+  /// branching decision depends on the sink or the clock.
+  void emit_progress(bool final_event) {
+    if (progress == nullptr) return;
+    if (!final_event && !progress->wants("exact")) return;
+    obs::ProgressEvent event("exact", final_event);
+    const bool have_incumbent = best_cost < graph::kInfinity;
+    event.add("incumbent", have_incumbent ? best_cost : 0.0);
+    event.add("lower_bound", lower_bound);
+    if (have_incumbent && best_cost > 0.0) {
+      event.add("gap", (best_cost - lower_bound) / best_cost);
+    }
+    event.add("nodes_explored", static_cast<double>(evaluations));
+    event.add("pruned", static_cast<double>(pruned));
+    const double elapsed_s = timer.elapsed_seconds();
+    if (elapsed_s > 0.0) {
+      event.add("explore_rate", static_cast<double>(evaluations) / elapsed_s);
+    }
+    progress->emit(event);
+  }
 
   int cap() const {
     return options->max_per_post > 0 ? options->max_per_post
@@ -87,6 +114,9 @@ struct SearchState {
       if (cost < best_cost) {
         best_cost = cost;
         best = current;
+        emit_progress(false);  // incumbent improved
+      } else if ((evaluations & 4095) == 0) {
+        emit_progress(false);  // periodic liveness while grinding
       }
       return;
     }
@@ -161,6 +191,8 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
   state.instance = &instance;
   state.options = &options;
   state.pricer = &pricer;
+  state.progress = options.progress;
+  state.lower_bound = deployment_relaxation_bound(instance);
   state.current.assign(static_cast<std::size_t>(n), 1);
 
   if (options.warm_start) {
@@ -172,9 +204,11 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
     }
     state.best = incumbent;
     state.best_cost = optimal_cost_for_deployment(instance, incumbent);
+    state.emit_progress(false);  // stream opens with the warm-start incumbent
   }
 
   state.dfs(0, m);
+  state.emit_progress(true);
 
   if (state.best.empty()) throw InfeasibleInstance("exact search found no feasible deployment");
 
@@ -184,7 +218,8 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
                      0.0,
                      state.evaluations,
                      state.pruned,
-                     !state.aborted};
+                     !state.aborted,
+                     state.lower_bound};
   result.cost = total_recharging_cost(instance, result.solution);
   return result;
 }

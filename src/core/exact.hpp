@@ -15,6 +15,10 @@
 #include "core/cost.hpp"
 #include "core/solution.hpp"
 
+namespace wrsn::obs {
+class ProgressSink;
+}
+
 namespace wrsn::core {
 
 struct ExactOptions {
@@ -27,6 +31,10 @@ struct ExactOptions {
   std::uint64_t max_evaluations = 0;
   /// Seed the incumbent with IDB(delta=1) so pruning bites immediately.
   bool warm_start = true;
+  /// Live `wrsn-progress v1` heartbeats under source "exact" (incumbent,
+  /// lower bound, gap, node counts); nullptr = silent.  Observational only:
+  /// the search never branches on the sink or the clock.
+  obs::ProgressSink* progress = nullptr;
 };
 
 struct ExactResult {
@@ -38,6 +46,9 @@ struct ExactResult {
   std::uint64_t pruned = 0;
   /// False when max_evaluations stopped the search early.
   bool complete = true;
+  /// deployment_relaxation_bound(instance): the optimality certificate the
+  /// progress stream's gap field is measured against.
+  double lower_bound = 0.0;
 };
 
 /// Finds the minimum total recharging cost over all deployments and

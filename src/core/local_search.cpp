@@ -2,6 +2,7 @@
 
 #include "core/pricer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -172,6 +173,22 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
   const bool best_mode = options.strategy == LocalSearchStrategy::kBestImprovement;
   std::vector<Candidate> batch;
 
+  // Heartbeats under source "ls": always from this (calling) thread, never
+  // a branching input, so results stay bit-identical with or without it.
+  const auto emit_progress = [&](bool final_event) {
+    if (options.progress == nullptr) return;
+    if (!final_event && !options.progress->wants("ls")) return;
+    obs::ProgressEvent event("ls", final_event);
+    event.add("best_cost", current);
+    event.add("moves_tried", static_cast<double>(result.evaluations));
+    event.add("moves_accepted", result.moves_applied);
+    event.add("passes", result.passes);
+    const auto priced = static_cast<double>(result.evaluations + result.wasted_evaluations);
+    event.add("incremental_evals", incremental ? priced : 0.0);
+    event.add("full_evals", incremental ? 0.0 : priced);
+    options.progress->emit(event);
+  };
+
   for (int pass = 0; pass < options.max_passes; ++pass) {
     WRSN_TRACE_SPAN("ls/pass");
     ++result.passes;
@@ -260,6 +277,7 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
           }
           advance(deployment, cursor, false);
         }
+        emit_progress(false);  // liveness inside a long pass
         if (accepted_any) {
           batch_target = base_target;
         } else {
@@ -275,6 +293,7 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
                                           result.evaluations - pass_start_evaluations,
                                           result.moves_applied - pass_start_moves, current});
     }
+    emit_progress(false);
     if (!improved) break;
   }
 
@@ -296,6 +315,8 @@ LocalSearchResult refine_solution(const Instance& instance, const Solution& star
                                        result.wasted_evaluations, result.passes,
                                        result.moves_applied});
   }
+  current = result.cost;
+  emit_progress(true);
   return result;
 }
 

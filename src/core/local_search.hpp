@@ -26,6 +26,7 @@
 
 namespace wrsn::obs {
 class Sink;
+class ProgressSink;
 }
 
 namespace wrsn::core {
@@ -68,6 +69,10 @@ struct LocalSearchOptions {
   /// and per run (obs/sink.hpp); nullptr = none.  Purely observational;
   /// callbacks always fire from the calling thread in serial scan order.
   obs::Sink* sink = nullptr;
+  /// Live `wrsn-progress v1` heartbeats under source "ls" (best cost, moves
+  /// tried/accepted, incremental-vs-full pricing counts); nullptr = silent.
+  /// Like `sink`, purely observational and fired from the calling thread.
+  obs::ProgressSink* progress = nullptr;
 };
 
 struct LocalSearchResult {

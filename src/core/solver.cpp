@@ -51,7 +51,8 @@ class RfhSolver final : public Solver {
   RfhSolver(std::string name, RfhOptions options, std::optional<LsConfig> ls)
       : Solver(std::move(name)), options_(options), ls_(ls) {}
 
-  SolverRun solve(const Instance& instance, obs::Sink* sink) const override {
+  SolverRun solve(const Instance& instance, obs::Sink* sink,
+                  obs::ProgressSink* progress) const override {
     RfhOptions options = options_;
     options.sink = sink;
     const RfhResult rfh = solve_rfh(instance, options);
@@ -75,6 +76,7 @@ class RfhSolver final : public Solver {
     if (ls_.has_value()) {
       LocalSearchOptions ls_options = ls_->options;
       ls_options.sink = sink;
+      ls_options.progress = progress;
       const LocalSearchResult refined = refine_solution(instance, run.solution, ls_options);
       run.solution = refined.solution;
       run.cost = refined.cost;
@@ -93,7 +95,8 @@ class IdbSolver final : public Solver {
   IdbSolver(std::string name, IdbOptions options, std::optional<LsConfig> ls)
       : Solver(std::move(name)), options_(options), ls_(ls) {}
 
-  SolverRun solve(const Instance& instance, obs::Sink* sink) const override {
+  SolverRun solve(const Instance& instance, obs::Sink* sink,
+                  obs::ProgressSink* progress) const override {
     IdbOptions options = options_;
     options.sink = sink;
     const IdbResult idb = solve_idb(instance, options);
@@ -103,6 +106,7 @@ class IdbSolver final : public Solver {
     if (ls_.has_value()) {
       LocalSearchOptions ls_options = ls_->options;
       ls_options.sink = sink;
+      ls_options.progress = progress;
       const LocalSearchResult refined = refine_solution(instance, run.solution, ls_options);
       run.solution = refined.solution;
       run.cost = refined.cost;
@@ -121,12 +125,16 @@ class ExactSolver final : public Solver {
   ExactSolver(std::string name, ExactOptions options)
       : Solver(std::move(name)), options_(options) {}
 
-  SolverRun solve(const Instance& instance, obs::Sink*) const override {
-    const ExactResult exact = solve_exact(instance, options_);
+  SolverRun solve(const Instance& instance, obs::Sink*,
+                  obs::ProgressSink* progress) const override {
+    ExactOptions options = options_;
+    options.progress = progress;
+    const ExactResult exact = solve_exact(instance, options);
     SolverRun run{exact.solution, exact.cost, {}};
     run.diagnostics.add("exact/evaluations", static_cast<double>(exact.evaluations));
     run.diagnostics.add("exact/pruned", static_cast<double>(exact.pruned));
     run.diagnostics.add("exact/complete", exact.complete ? 1.0 : 0.0);
+    run.diagnostics.add("exact/lower_bound", exact.lower_bound);
     return run;
   }
 
@@ -141,7 +149,7 @@ class BaselineSolver final : public Solver {
   BaselineSolver(std::string name, Kind kind, bool rx_in_weight)
       : Solver(std::move(name)), kind_(kind), rx_in_weight_(rx_in_weight) {}
 
-  SolverRun solve(const Instance& instance, obs::Sink*) const override {
+  SolverRun solve(const Instance& instance, obs::Sink*, obs::ProgressSink*) const override {
     const BaselineResult baseline = kind_ == Kind::kBalanced
                                         ? solve_balanced_baseline(instance, rx_in_weight_)
                                         : solve_min_hop_baseline(instance);

@@ -30,6 +30,7 @@
 
 namespace wrsn::obs {
 class Sink;
+class ProgressSink;
 }
 
 namespace wrsn::core {
@@ -61,10 +62,13 @@ class Solver {
   /// Canonical spec this solver was created from (e.g. "idb:delta=2").
   const std::string& name() const noexcept { return name_; }
 
-  /// Solves `instance`; `sink` (may be nullptr) observes solver events.
+  /// Solves `instance`; `sink` (may be nullptr) observes solver events and
+  /// `progress` (may be nullptr) receives live `wrsn-progress v1`
+  /// heartbeats from solvers that stream (exact, the +ls variants).
   /// Must be const and re-entrant: the experiment runner calls one solver
   /// object from several threads concurrently.
-  virtual SolverRun solve(const Instance& instance, obs::Sink* sink = nullptr) const = 0;
+  virtual SolverRun solve(const Instance& instance, obs::Sink* sink = nullptr,
+                          obs::ProgressSink* progress = nullptr) const = 0;
 
  protected:
   explicit Solver(std::string name) : name_(std::move(name)) {}

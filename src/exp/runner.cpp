@@ -13,6 +13,7 @@
 #include "core/solution.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "sim/network_sim.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -317,15 +318,42 @@ SweepResult ExperimentRunner::run() {
   trials_resumed.increment(static_cast<std::uint64_t>(result.resumed_trials));
 
   std::mutex commit_mutex;
+  // Heartbeat state, guarded by commit_mutex along with the checkpoint.
+  int trials_done = 0;
+  util::RunningStats ok_costs;
+  const auto emit_progress = [&](bool final_event) {
+    // Caller holds commit_mutex (or the pool has been joined).
+    if (options_.progress == nullptr) return;
+    if (!final_event && !options_.progress->wants("exp")) return;
+    obs::ProgressEvent event("exp", final_event);
+    event.add("trials_done", trials_done);
+    event.add("trials_total", num_trials);
+    const double elapsed_s = timer.elapsed_seconds();
+    if (trials_done > 0 && trials_done < num_trials) {
+      event.add("eta_s", elapsed_s / trials_done * (num_trials - trials_done));
+    }
+    if (ok_costs.count() > 0) {
+      event.add("cost_mean", ok_costs.mean());
+      event.add("cost_min", ok_costs.min());
+      event.add("cost_max", ok_costs.max());
+    }
+    options_.progress->emit(event);
+  };
+  const auto note_trial_done = [&](const TrialRow& row) {
+    ++trials_done;
+    for (const SolverOutcome& outcome : row.outcomes) {
+      if (outcome.ok) ok_costs.add(outcome.cost);
+    }
+    emit_progress(false);
+  };
   util::ThreadPool pool(options_.threads);
   pool.parallel_for(num_trials, [&](std::int64_t begin, std::int64_t end, int) {
     for (std::int64_t t = begin; t < end; ++t) {
       TrialRow& row = result.trials[static_cast<std::size_t>(t)];
       if (done[static_cast<std::size_t>(t)]) {
-        if (options_.on_trial) {
-          std::lock_guard<std::mutex> lock(commit_mutex);
-          options_.on_trial(row);
-        }
+        std::lock_guard<std::mutex> lock(commit_mutex);
+        if (options_.on_trial) options_.on_trial(row);
+        note_trial_done(row);
         continue;
       }
       std::optional<core::Instance> instance;
@@ -369,9 +397,11 @@ SweepResult ExperimentRunner::run() {
         std::lock_guard<std::mutex> lock(commit_mutex);
         if (checkpoint.is_open()) append_trial(checkpoint, row);
         if (options_.on_trial) options_.on_trial(row);
+        note_trial_done(row);
       }
     }
   });
+  emit_progress(true);  // pool joined: closing totals, no lock needed
 
   result.wall_seconds = timer.elapsed_seconds();
   return result;

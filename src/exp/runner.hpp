@@ -87,6 +87,11 @@ struct RunnerOptions {
   /// Observer forwarded to every solve call.  Must be thread-safe when
   /// threads != 1 (obs::MetricsSink over the global registry is).
   obs::Sink* sink = nullptr;
+  /// Live `wrsn-progress v1` heartbeats under source "exp" (trials
+  /// done/total, ETA, running cost summary), emitted under the runner's
+  /// lock as trials finish; nullptr = silent.  Not forwarded into solver
+  /// calls: concurrent trials would interleave one stream incoherently.
+  obs::ProgressSink* progress = nullptr;
   /// Called under the runner's lock as each trial finishes (progress
   /// reporting).  Completion order is nondeterministic across threads.
   std::function<void(const TrialRow&)> on_trial;

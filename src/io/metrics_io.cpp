@@ -1,5 +1,6 @@
 #include "io/metrics_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -28,7 +29,18 @@ std::ifstream open_in(const std::string& path) {
 void write_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "wrsn-metrics v1\n";
-  for (const obs::MetricSnapshot& entry : snapshot.entries) {
+  // Registry::snapshot() is already name-sorted, but hand-built snapshots
+  // (merges, filters) may not be; sort defensively so a dump of a given
+  // state is always byte-identical and diffable.
+  std::vector<const obs::MetricSnapshot*> order;
+  order.reserve(snapshot.entries.size());
+  for (const obs::MetricSnapshot& entry : snapshot.entries) order.push_back(&entry);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const obs::MetricSnapshot* a, const obs::MetricSnapshot* b) {
+                     return a->name < b->name;
+                   });
+  for (const obs::MetricSnapshot* entry_ptr : order) {
+    const obs::MetricSnapshot& entry = *entry_ptr;
     switch (entry.kind) {
       case obs::MetricSnapshot::Kind::Counter:
         os << "counter " << entry.name << ' ' << entry.counter << '\n';
@@ -129,6 +141,107 @@ void save_metrics(const std::string& path, const obs::MetricsSnapshot& snapshot)
 obs::MetricsSnapshot load_metrics(const std::string& path) {
   auto is = open_in(path);
   return read_metrics(is);
+}
+
+void write_metrics_series(std::ostream& os, const obs::MetricsSeriesData& series) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "wrsn-metrics-series v1\n";
+  for (const obs::SeriesSample& sample : series.samples) {
+    os << "sample " << sample.seq << ' ' << sample.t_s << ' ' << sample.entries.size()
+       << '\n';
+    for (const obs::SeriesEntry& entry : sample.entries) {
+      switch (entry.kind) {
+        case obs::MetricSnapshot::Kind::Counter:
+          os << "counter " << entry.name << ' ' << entry.counter_delta << '\n';
+          break;
+        case obs::MetricSnapshot::Kind::Gauge:
+          os << "gauge " << entry.name << ' ' << entry.gauge_value << '\n';
+          break;
+        case obs::MetricSnapshot::Kind::Histogram:
+          os << "histogram " << entry.name << ' ' << entry.histogram_count << ' '
+             << entry.histogram_sum << '\n';
+          break;
+      }
+    }
+  }
+}
+
+obs::MetricsSeriesData read_metrics_series(std::istream& is) {
+  std::string line;
+  bool have_header = false;
+  obs::MetricsSeriesData series;
+  std::size_t pending_entries = 0;
+
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line.substr(first));
+    std::string tag;
+    ss >> tag;
+
+    if (!have_header) {
+      std::string version;
+      ss >> version;
+      if (tag != "wrsn-metrics-series" || version != "v1") {
+        throw ParseError("expected header 'wrsn-metrics-series v1', got '" + line + "'");
+      }
+      have_header = true;
+      continue;
+    }
+
+    if (tag == "sample") {
+      if (pending_entries != 0) {
+        throw ParseError("previous sample is missing entry lines: " + line);
+      }
+      obs::SeriesSample sample;
+      if (!(ss >> sample.seq >> sample.t_s >> pending_entries)) {
+        throw ParseError("bad sample line: " + line);
+      }
+      series.samples.push_back(std::move(sample));
+      continue;
+    }
+
+    if (series.samples.empty() || pending_entries == 0) {
+      throw ParseError("entry line outside a sample: " + line);
+    }
+    obs::SeriesEntry entry;
+    if (tag == "counter") {
+      entry.kind = obs::MetricSnapshot::Kind::Counter;
+      if (!(ss >> entry.name >> entry.counter_delta)) {
+        throw ParseError("bad counter line: " + line);
+      }
+    } else if (tag == "gauge") {
+      entry.kind = obs::MetricSnapshot::Kind::Gauge;
+      if (!(ss >> entry.name >> entry.gauge_value)) {
+        throw ParseError("bad gauge line: " + line);
+      }
+    } else if (tag == "histogram") {
+      entry.kind = obs::MetricSnapshot::Kind::Histogram;
+      if (!(ss >> entry.name >> entry.histogram_count >> entry.histogram_sum)) {
+        throw ParseError("bad histogram line: " + line);
+      }
+    } else {
+      throw ParseError("unknown metrics-series line: " + line);
+    }
+    series.samples.back().entries.push_back(std::move(entry));
+    --pending_entries;
+  }
+
+  if (!have_header) throw ParseError("empty metrics-series stream (missing header)");
+  if (pending_entries != 0) {
+    throw ParseError("last sample is missing entry lines");
+  }
+  return series;
+}
+
+void save_metrics_series(const std::string& path, const obs::MetricsSeriesData& series) {
+  auto os = open_out(path);
+  write_metrics_series(os, series);
+}
+
+obs::MetricsSeriesData load_metrics_series(const std::string& path) {
+  auto is = open_in(path);
+  return read_metrics_series(is);
 }
 
 }  // namespace wrsn::io

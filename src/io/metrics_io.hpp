@@ -12,7 +12,23 @@
 //   bucket sim/round_energy_j 6.103515625e-05 0.0001220703125 60
 //
 // histogram lines carry: count, sum, min, max, number-of-bucket-lines;
-// doubles print at max_digits10 so round-trips are bit-exact.
+// doubles print at max_digits10 so round-trips are bit-exact.  Metric lines
+// are emitted in sorted name order regardless of the snapshot's order, so
+// two dumps of the same state are byte-identical and diffable.
+//
+// The time-series variant `wrsn-metrics-series v1` (obs/series.hpp,
+// docs/formats.md) serializes interval deltas instead of totals:
+//
+//   wrsn-metrics-series v1
+//   sample 0 0.51 2
+//   counter ls/evaluations 4096
+//   gauge ls/best_cost 8.2e-06
+//   sample 1 1.02 1
+//   histogram sim/round_energy_j 50 0.003
+//
+// `sample <seq> <t_s> <n>` is followed by exactly n entry lines; histogram
+// entries carry the interval's count and sum delta (buckets are not
+// tracked per interval).
 #pragma once
 
 #include <iosfwd>
@@ -20,6 +36,7 @@
 
 #include "io/serialize.hpp"  // ParseError
 #include "obs/metrics.hpp"
+#include "obs/series.hpp"
 
 namespace wrsn::io {
 
@@ -31,5 +48,13 @@ obs::MetricsSnapshot read_metrics(std::istream& is);
 // File-path convenience wrappers.
 void save_metrics(const std::string& path, const obs::MetricsSnapshot& snapshot);
 obs::MetricsSnapshot load_metrics(const std::string& path);
+
+void write_metrics_series(std::ostream& os, const obs::MetricsSeriesData& series);
+/// Parses what `write_metrics_series` wrote; throws ParseError on
+/// malformed input.
+obs::MetricsSeriesData read_metrics_series(std::istream& is);
+
+void save_metrics_series(const std::string& path, const obs::MetricsSeriesData& series);
+obs::MetricsSeriesData load_metrics_series(const std::string& path);
 
 }  // namespace wrsn::io

@@ -1,0 +1,92 @@
+#include "io/obs_cli.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "io/metrics_io.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_probe.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/flags.hpp"
+
+namespace wrsn::io {
+
+ObsCli::ObsCli() = default;
+ObsCli::~ObsCli() = default;
+
+void ObsCli::register_flags(util::Flags& flags) {
+  flags.add_string("trace", &trace_path_, "write a Chrome trace-event JSON here");
+  flags.add_string("metrics", &metrics_path_, "write a wrsn-metrics v1 dump here");
+  flags.add_string("report", &report_path_, "write a wrsn-report v1 summary here");
+  flags.add_string("metrics-series", &series_path_,
+                   "write a wrsn-metrics-series v1 time series here");
+  flags.add_opt_double("progress", &progress_interval_s_, 0.5,
+                       "stream wrsn-progress v1 heartbeats to stderr, at most one "
+                       "per source per this many seconds (bare flag: 0.5)");
+  flags.add_bool("perf", &perf_,
+                 "attach perf counters + allocation counts to trace spans");
+}
+
+void ObsCli::begin() {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::global();
+  if (!trace_path_.empty()) {
+    buffer.clear();
+    buffer.set_enabled(true);
+  }
+  if (perf_) {
+    buffer.set_perf_enabled(true);
+    std::fprintf(stderr, "[obs] perf counters: %s\n", obs::perf::status().c_str());
+  }
+  if (progress_interval_s_ >= 0.0 || !series_path_.empty()) {
+    // --metrics-series without --progress still needs the sink: it is what
+    // drives sampling.  A null stream writes no heartbeat lines.
+    std::ostream* os = progress_interval_s_ >= 0.0 ? &std::cerr : nullptr;
+    const double interval_s = progress_interval_s_ >= 0.0 ? progress_interval_s_ : 0.5;
+    progress_sink_ = std::make_unique<obs::StreamProgressSink>(os, interval_s);
+    if (!series_path_.empty()) {
+      series_ = std::make_unique<obs::MetricsSeries>(obs::Registry::global(), interval_s);
+      progress_sink_->attach_series(series_.get());
+    }
+  }
+}
+
+bool ObsCli::finish(obs::RunReport* report) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::TraceBuffer& buffer = obs::TraceBuffer::global();
+  try {
+    if (!trace_path_.empty()) {
+      buffer.set_enabled(false);
+      buffer.set_perf_enabled(false);
+      obs::save_chrome_trace(trace_path_, buffer.events());
+      std::fprintf(stderr, "[obs] wrote trace %s (%zu spans)\n", trace_path_.c_str(),
+                   buffer.size());
+    }
+    if (!metrics_path_.empty()) {
+      io::save_metrics(metrics_path_, registry.snapshot());
+      std::fprintf(stderr, "[obs] wrote metrics %s\n", metrics_path_.c_str());
+    }
+    if (!series_path_.empty() && series_ != nullptr) {
+      // Closing sample so the series always covers the full run, even when
+      // the last heartbeat fell inside the rate-limit window.
+      series_->sample_now(timer_.elapsed_seconds());
+      io::save_metrics_series(series_path_, series_->data());
+      std::fprintf(stderr, "[obs] wrote metrics series %s (%zu samples)\n",
+                   series_path_.c_str(), series_->size());
+    }
+    if (!report_path_.empty() && report != nullptr) {
+      obs::add_provenance(*report);
+      if (perf_) report->add("perf_counters", obs::perf::status());
+      report->attach_metrics(registry.snapshot());
+      report->save(report_path_);
+      std::fprintf(stderr, "[obs] wrote report %s\n", report_path_.c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error writing observability artifacts: %s\n", error.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wrsn::io

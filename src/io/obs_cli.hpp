@@ -1,0 +1,78 @@
+// Shared observability CLI plumbing for the example tools.
+//
+// plan_tool and exp_tool expose the same artifact surface -- --trace,
+// --metrics, --report, --metrics-series, --progress[=interval], --perf --
+// and this helper is the single implementation behind it: one object that
+// registers the flags, arms the global obs machinery after parsing, hands
+// out the progress sink for solver/sim/runner calls, and writes every
+// requested artifact at the end:
+//
+//   io::ObsCli obs_cli;
+//   obs_cli.register_flags(flags);
+//   if (!flags.parse(argc, argv)) return 0;
+//   obs_cli.begin();
+//   ... run, passing obs_cli.progress() where supported ...
+//   obs::RunReport report("my run");
+//   if (!obs_cli.finish(&report)) return 1;
+//
+// Progress heartbeats stream to stderr so a tool's stdout (summary tables,
+// --csv=- rows) keeps its bit-identical-across-threads contract.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/progress.hpp"
+#include "obs/series.hpp"
+#include "util/timer.hpp"
+
+namespace wrsn::util {
+class Flags;
+}
+namespace wrsn::obs {
+class RunReport;
+}
+
+namespace wrsn::io {
+
+class ObsCli {
+ public:
+  ObsCli();
+  ~ObsCli();
+  ObsCli(const ObsCli&) = delete;
+  ObsCli& operator=(const ObsCli&) = delete;
+
+  /// Registers --trace/--metrics/--report/--metrics-series/--progress/--perf.
+  void register_flags(util::Flags& flags);
+
+  /// Arms whatever the parsed flags asked for: clears + enables the global
+  /// trace buffer (--trace), turns on per-span perf probing (--perf), and
+  /// opens the heartbeat stream (--progress / --metrics-series).  Call once
+  /// after Flags::parse succeeded.
+  void begin();
+
+  /// Sink for components that stream heartbeats; nullptr when neither
+  /// --progress nor --metrics-series was given.
+  obs::ProgressSink* progress() noexcept { return progress_sink_.get(); }
+
+  /// Writes every requested artifact (trace, metrics dump, metrics series,
+  /// report).  `report` may be nullptr when the tool has no report to
+  /// offer; with --report set it gains provenance (git SHA, build type,
+  /// schema versions, perf-counter status) and the final metrics snapshot
+  /// before saving.  Returns false (with the error on stderr) when any
+  /// artifact could not be written.
+  bool finish(obs::RunReport* report);
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::string report_path_;
+  std::string series_path_;
+  double progress_interval_s_ = -1.0;  ///< < 0 = --progress absent
+  bool perf_ = false;
+  std::unique_ptr<obs::StreamProgressSink> progress_sink_;
+  std::unique_ptr<obs::MetricsSeries> series_;
+  util::Timer timer_;
+};
+
+}  // namespace wrsn::io

@@ -1,0 +1,46 @@
+#include "obs/build_info.hpp"
+
+#include "obs/report.hpp"
+
+namespace wrsn::obs {
+
+namespace {
+
+const char* detect_build_type() {
+  // Matches the bench harness's release test: NDEBUG plus an optimizer
+  // marker, so RelWithDebInfo counts as release and plain Debug does not.
+#if defined(NDEBUG) && (defined(__OPTIMIZE__) || defined(_MSC_VER))
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+#if defined(WRSN_GIT_SHA)
+      WRSN_GIT_SHA,
+#else
+      "unknown",
+#endif
+      detect_build_type(),
+  };
+  return info;
+}
+
+void add_provenance(RunReport& report) {
+  const BuildInfo& info = build_info();
+  report.begin_section("provenance")
+      .add("git_sha", info.git_sha)
+      .add("build_type", info.build_type)
+      .add("schema_report", "wrsn-report v1")
+      .add("schema_metrics", "wrsn-metrics v1")
+      .add("schema_metrics_series", "wrsn-metrics-series v1")
+      .add("schema_progress", "wrsn-progress v1")
+      .add("schema_scenario", "wrsn-scenario v1")
+      .add("schema_exp_rows", "wrsn-exp-rows v1");
+}
+
+}  // namespace wrsn::obs

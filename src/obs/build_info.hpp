@@ -1,0 +1,32 @@
+// Build provenance: the facts that tie an artifact back to the exact code
+// that produced it.
+//
+// Reports, benchmark baselines, and traces outlive the working tree they
+// came from; without the git SHA and build type stamped inside them, a
+// "regression" in CI can be a debug-vs-release comparison and nobody can
+// tell.  CMake injects WRSN_GIT_SHA (configure-time `git rev-parse`,
+// "unknown" outside a checkout) into build_info.cpp only, so touching the
+// SHA never rebuilds the world.
+#pragma once
+
+#include <string>
+
+namespace wrsn::obs {
+
+class RunReport;
+
+struct BuildInfo {
+  std::string git_sha;     ///< short commit hash, or "unknown"
+  std::string build_type;  ///< "release" or "debug" (NDEBUG + optimizer test)
+};
+
+/// The compiled-in provenance of this binary.
+const BuildInfo& build_info();
+
+/// Appends a "provenance" section to `report`: git SHA, build type, and the
+/// schema versions of every artifact format this binary writes.  Explicitly
+/// opt-in (tools call it; RunReport itself does not) so tests pinning exact
+/// report bytes stay stable.
+void add_provenance(RunReport& report);
+
+}  // namespace wrsn::obs

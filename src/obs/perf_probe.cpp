@@ -1,0 +1,232 @@
+#include "obs/perf_probe.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace wrsn::obs {
+
+// ---------------------------------------------------------------------------
+// Allocation counting: global operator new/delete replacements.  These are
+// process-wide (the one-definition rule allows exactly one replacement, and
+// linking libwrsn provides it), forward to malloc/free so sanitizer
+// interceptors still see every allocation, and bump thread-local counters
+// with plain (non-atomic) increments -- each thread only ever touches its
+// own counters.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_allocated_bytes = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++t_allocations;
+  t_allocated_bytes += size;
+  // Zero-size new must return a unique non-null pointer; malloc(0) may
+  // return null on some platforms, so round up.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+}  // namespace wrsn::obs
+
+void* operator new(std::size_t size) { return wrsn::obs::counted_alloc(size); }
+void* operator new[](std::size_t size) { return wrsn::obs::counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++wrsn::obs::t_allocations;
+  wrsn::obs::t_allocated_bytes += size;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++wrsn::obs::t_allocations;
+  wrsn::obs::t_allocated_bytes += size;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace wrsn::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hardware counters.
+// ---------------------------------------------------------------------------
+
+#if defined(__linux__)
+
+// The four events a probe tracks, in PerfCounters field order.
+constexpr std::uint32_t kEventConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+constexpr int kNumEvents = 4;
+
+int open_event(std::uint32_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space only; avoids needing CAP_PERFMON
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU.  Individual fds (not a group) so
+  // a machine missing e.g. the cache-miss event still yields the others.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL));
+}
+
+// Per-thread lazily-opened counter fds.  The holder closes them at thread
+// exit.  `probed` distinguishes "not tried yet" from "tried and failed".
+struct ThreadCounters {
+  bool probed = false;
+  bool available = false;
+  int fds[kNumEvents] = {-1, -1, -1, -1};
+
+  ~ThreadCounters() {
+    for (int& fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+  }
+};
+
+thread_local ThreadCounters t_counters;
+
+// First failure reason, process-wide; "available" when the first probe
+// succeeded.  Later threads may differ in principle, but the status string
+// is diagnostic, not per-thread truth -- available() is.
+std::mutex g_status_mutex;
+std::string g_status;  // empty until the first probe completes
+
+void note_status(bool ok, int err) {
+  std::lock_guard<std::mutex> lock(g_status_mutex);
+  if (!g_status.empty()) return;
+  if (ok) {
+    g_status = "available";
+    return;
+  }
+  const char* why = "unknown error";
+  switch (err) {
+    case EACCES:
+    case EPERM: why = "permission denied (perf_event_paranoid or seccomp)"; break;
+    case ENOENT: why = "hardware events not supported"; break;
+    case ENOSYS: why = "perf_event_open not implemented"; break;
+    case ENODEV: why = "no hardware PMU"; break;
+    default: why = std::strerror(err); break;
+  }
+  g_status = std::string("unavailable: ") + why;
+}
+
+bool ensure_open() {
+  ThreadCounters& tc = t_counters;
+  if (tc.probed) return tc.available;
+  tc.probed = true;
+  // The cycle counter decides availability; the other three are optional
+  // extras (some PMUs lack cache/branch events).
+  tc.fds[0] = open_event(kEventConfigs[0]);
+  if (tc.fds[0] < 0) {
+    note_status(false, errno);
+    return false;
+  }
+  for (int i = 1; i < kNumEvents; ++i) tc.fds[i] = open_event(kEventConfigs[i]);
+  tc.available = true;
+  note_status(true, 0);
+  return true;
+}
+
+void read_hardware(PerfCounters& out) {
+  if (!ensure_open()) return;
+  std::uint64_t values[kNumEvents] = {0, 0, 0, 0};
+  for (int i = 0; i < kNumEvents; ++i) {
+    const int fd = t_counters.fds[i];
+    if (fd < 0) continue;
+    std::uint64_t v = 0;
+    if (::read(fd, &v, sizeof(v)) == static_cast<ssize_t>(sizeof(v))) values[i] = v;
+  }
+  out.counters_available = true;
+  out.cycles = values[0];
+  out.instructions = values[1];
+  out.cache_misses = values[2];
+  out.branch_misses = values[3];
+}
+
+#else  // !__linux__
+
+void read_hardware(PerfCounters&) {}
+
+bool ensure_open() {
+  return false;
+}
+
+std::mutex g_status_mutex;
+std::string g_status;
+
+void note_nonlinux_status() {
+  std::lock_guard<std::mutex> lock(g_status_mutex);
+  if (g_status.empty()) g_status = "unavailable: perf_event_open requires Linux";
+}
+
+#endif
+
+}  // namespace
+
+PerfCounters PerfCounters::delta(const PerfCounters& earlier) const noexcept {
+  PerfCounters d;
+  d.counters_available = counters_available && earlier.counters_available;
+  if (d.counters_available) {
+    d.cycles = cycles - earlier.cycles;
+    d.instructions = instructions - earlier.instructions;
+    d.cache_misses = cache_misses - earlier.cache_misses;
+    d.branch_misses = branch_misses - earlier.branch_misses;
+  }
+  d.allocations = allocations - earlier.allocations;
+  d.allocated_bytes = allocated_bytes - earlier.allocated_bytes;
+  return d;
+}
+
+namespace perf {
+
+bool available() {
+#if defined(__linux__)
+  return ensure_open();
+#else
+  note_nonlinux_status();
+  return false;
+#endif
+}
+
+const std::string& status() {
+  available();  // make sure at least one probe ran
+  std::lock_guard<std::mutex> lock(g_status_mutex);
+  return g_status;
+}
+
+PerfCounters read() {
+  PerfCounters out;
+  read_hardware(out);
+  out.allocations = t_allocations;
+  out.allocated_bytes = t_allocated_bytes;
+  return out;
+}
+
+}  // namespace perf
+}  // namespace wrsn::obs

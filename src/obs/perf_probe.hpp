@@ -1,0 +1,59 @@
+// Hardware perf-counter probes for trace spans.
+//
+// On Linux, `perf_event_open(2)` exposes per-thread hardware counters
+// (cycles, instructions, cache misses, branch misses) without elevated
+// privileges in most configurations.  PerfProbe opens one fd per counter
+// per thread, lazily, the first time that thread reads; a span then costs
+// four read(2) calls at entry and exit.  Containers and CI runners often
+// deny the syscall (seccomp, perf_event_paranoid >= 3, or a kernel built
+// without perf) -- that is *expected*, not an error: the probe degrades to
+// counters_available == false and reports why through status(), and the
+// artifacts record "unavailable" so a trace from a locked-down box is
+// still valid, just thinner.
+//
+// Allocation counting needs no kernel help: perf_probe.cpp replaces the
+// global operator new/delete to bump thread-local counters (forwarding to
+// std::malloc/std::free, which keeps ASan/TSan interception intact).
+// Allocation counts are therefore always available, even where the
+// hardware counters are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wrsn::obs {
+
+/// A point-in-time counter reading, or the difference of two readings
+/// (PerfCounters::delta).  Hardware fields are meaningful only when
+/// counters_available; allocation fields always are.
+struct PerfCounters {
+  bool counters_available = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t allocated_bytes = 0;
+
+  /// this - earlier, fieldwise; counters_available only when both sides had
+  /// live hardware counters.
+  PerfCounters delta(const PerfCounters& earlier) const noexcept;
+};
+
+namespace perf {
+
+/// True when this thread's hardware counters opened successfully (opens
+/// them on first call).  Cheap after the first call.
+bool available();
+
+/// "available", or "unavailable: <reason>" naming the errno/cause of the
+/// failed perf_event_open (stable for the process lifetime once probed).
+const std::string& status();
+
+/// Reads this thread's counters now.  Always fills the allocation fields;
+/// hardware fields are zero with counters_available=false when unavailable.
+PerfCounters read();
+
+}  // namespace perf
+
+}  // namespace wrsn::obs

@@ -1,0 +1,96 @@
+#include "obs/progress.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/series.hpp"
+#include "util/timer.hpp"
+
+namespace wrsn::obs {
+namespace {
+
+// obs sits below io, so the NDJSON line is formatted by hand.  %.17g is
+// round-trip exact for doubles and never produces locale-dependent output
+// (snprintf with the "C" numeric conventions for %g).
+void append_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_progress_line(const ProgressEvent& event, std::uint64_t seq, double t_s) {
+  std::string line;
+  line.reserve(96 + event.fields.size() * 32);
+  line += "{\"stream\":\"wrsn-progress\",\"v\":1,\"source\":\"";
+  line += event.source;
+  line += "\",\"seq\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, seq);
+  line += buf;
+  line += ",\"t_s\":";
+  append_number(line, t_s);
+  line += ",\"final\":";
+  line += event.final_event ? "true" : "false";
+  for (const auto& [key, value] : event.fields) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    append_number(line, value);
+  }
+  line += '}';
+  return line;
+}
+
+StreamProgressSink::StreamProgressSink(std::ostream* os, double min_interval_s)
+    : os_(os),
+      min_interval_s_(min_interval_s < 0.0 ? 0.0 : min_interval_s),
+      start_ns_(util::Timer::now_ns()) {}
+
+bool StreamProgressSink::due(const SourceState& state, std::int64_t now_ns) const noexcept {
+  if (!state.started) return true;
+  const double elapsed_s = static_cast<double>(now_ns - state.last_ns) * 1e-9;
+  return elapsed_s >= min_interval_s_;
+}
+
+bool StreamProgressSink::wants(const std::string& source) {
+  const std::int64_t now_ns = util::Timer::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sources_.find(source);
+  if (it == sources_.end()) return true;
+  return due(it->second, now_ns);
+}
+
+void StreamProgressSink::emit(const ProgressEvent& event) {
+  const std::int64_t now_ns = util::Timer::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SourceState& state = sources_[event.source];
+  if (!event.final_event && !due(state, now_ns)) {
+    ++dropped_;
+    return;
+  }
+  state.started = true;
+  state.last_ns = now_ns;
+  const std::uint64_t seq = state.seq++;
+  ++emitted_;
+  const double t_s = static_cast<double>(now_ns - start_ns_) * 1e-9;
+  if (os_ != nullptr) {
+    *os_ << format_progress_line(event, seq, t_s) << '\n';
+    os_->flush();  // heartbeats must be visible live, not at buffer flush
+  }
+  if (series_ != nullptr) series_->sample(t_s);
+}
+
+std::uint64_t StreamProgressSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t StreamProgressSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace wrsn::obs

@@ -1,0 +1,140 @@
+// Streaming progress heartbeats: the `wrsn-progress v1` NDJSON stream long-
+// running components (exact B&B, local search, the experiment runner, the
+// network simulator) emit through while they work, so a run is observable
+// *live* instead of only post-mortem through metrics/report dumps.
+//
+// The split of responsibilities keeps wall-clock out of algorithm logic:
+// components decide *what* a heartbeat says and offer one whenever they pass
+// a natural emission point (a new incumbent, a finished pass, a completed
+// trial, a simulated round); the sink decides *whether* it is due, by wall
+// clock.  Hot loops pre-check `wants(source)` so a throttled heartbeat costs
+// one mutex-free-ish query instead of building the event:
+//
+//   if (progress != nullptr && progress->wants("exact")) {
+//     ProgressEvent event("exact");
+//     event.add("incumbent", best_cost);
+//     progress->emit(event);
+//   }
+//
+// Events flagged `final` bypass throttling, so every stream ends with the
+// component's closing totals.  The byte-level grammar is specified in
+// docs/formats.md (one JSON object per line; field order = add() order).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wrsn::obs {
+
+/// One heartbeat: a source tag plus ordered numeric facts.  Sources are
+/// short whitespace-free tokens ("exact", "ls", "exp", "sim"); keys follow
+/// metric-name rules (docs/observability.md).
+struct ProgressEvent {
+  explicit ProgressEvent(std::string source_tag, bool is_final = false)
+      : source(std::move(source_tag)), final_event(is_final) {}
+
+  ProgressEvent& add(std::string key, double value) {
+    fields.emplace_back(std::move(key), value);
+    return *this;
+  }
+
+  std::string source;
+  bool final_event = false;  ///< closing event; sinks must not throttle it
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Observer interface components hold a non-owning pointer to (nullptr =
+/// no progress reporting, the default everywhere).  Implementations must be
+/// thread-safe: the experiment runner and parallel local search emit from
+/// pool workers.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+
+  /// Cheap pre-check: false when a non-final heartbeat from `source` would
+  /// be dropped right now, so emitters can skip building the event.  Purely
+  /// advisory -- emit() re-checks.
+  virtual bool wants(const std::string& source) = 0;
+
+  virtual void emit(const ProgressEvent& event) = 0;
+};
+
+/// Appends every event verbatim (no throttling); the test workhorse.
+class RecordingProgressSink : public ProgressSink {
+ public:
+  bool wants(const std::string&) override { return true; }
+  void emit(const ProgressEvent& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events.push_back(event);
+  }
+
+  /// Events from one source, in emission order.
+  std::vector<ProgressEvent> from(const std::string& source) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ProgressEvent> out;
+    for (const ProgressEvent& event : events) {
+      if (event.source == source) out.push_back(event);
+    }
+    return out;
+  }
+
+  std::vector<ProgressEvent> events;
+
+ private:
+  mutable std::mutex mutex_;
+};
+
+class MetricsSeries;
+
+/// Writes `wrsn-progress v1` NDJSON lines to a stream, throttled per source
+/// by wall-clock interval: the first heartbeat of a source, anything after
+/// `min_interval_s` of silence, and every final event get through; the rest
+/// are counted and dropped.  Thread-safe; one line is written atomically
+/// under the sink's lock.  A nullptr stream keeps all the bookkeeping (seq
+/// numbers, attached series sampling) but writes nothing -- the
+/// --metrics-series-without---progress configuration.
+class StreamProgressSink : public ProgressSink {
+ public:
+  explicit StreamProgressSink(std::ostream* os, double min_interval_s = 0.5);
+
+  bool wants(const std::string& source) override;
+  void emit(const ProgressEvent& event) override;
+
+  /// Also take one MetricsSeries sample per accepted heartbeat (non-owned;
+  /// the series applies its own min-interval on top).  Gives CLIs a
+  /// time-series substrate at the same cadence as the progress stream.
+  void attach_series(MetricsSeries* series) { series_ = series; }
+
+  std::uint64_t emitted() const;
+  std::uint64_t dropped() const;
+
+ private:
+  struct SourceState {
+    std::int64_t last_ns = 0;
+    std::uint64_t seq = 0;
+    bool started = false;
+  };
+
+  bool due(const SourceState& state, std::int64_t now_ns) const noexcept;
+
+  std::ostream* os_;
+  MetricsSeries* series_ = nullptr;
+  double min_interval_s_;
+  std::int64_t start_ns_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SourceState> sources_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Formats one event as its NDJSON line (no trailing newline); exposed so
+/// tests can pin the grammar without a sink.  `seq` and `t_s` become the
+/// "seq" / "t_s" fields.
+std::string format_progress_line(const ProgressEvent& event, std::uint64_t seq, double t_s);
+
+}  // namespace wrsn::obs

@@ -1,0 +1,101 @@
+#include "obs/series.hpp"
+
+#include "util/timer.hpp"
+
+namespace wrsn::obs {
+namespace {
+
+// Movement of `cur` relative to `prev` (nullptr = metric born this
+// interval, diffed against zero).  Returns false when nothing moved.
+bool diff_entry(const MetricSnapshot& cur, const MetricSnapshot* prev, SeriesEntry& out) {
+  out.kind = cur.kind;
+  out.name = cur.name;
+  switch (cur.kind) {
+    case MetricSnapshot::Kind::Counter: {
+      const std::uint64_t before = prev != nullptr ? prev->counter : 0;
+      if (cur.counter == before) return false;
+      // reset() between samples makes the counter appear to go backwards;
+      // report the new absolute value as the interval's delta.
+      out.counter_delta = cur.counter >= before ? cur.counter - before : cur.counter;
+      return true;
+    }
+    case MetricSnapshot::Kind::Gauge: {
+      if (prev != nullptr && prev->gauge == cur.gauge) return false;
+      out.gauge_value = cur.gauge;
+      return true;
+    }
+    case MetricSnapshot::Kind::Histogram: {
+      const std::uint64_t before_count = prev != nullptr ? prev->histogram.count : 0;
+      const double before_sum = prev != nullptr ? prev->histogram.sum : 0.0;
+      if (cur.histogram.count == before_count) return false;
+      if (cur.histogram.count >= before_count) {
+        out.histogram_count = cur.histogram.count - before_count;
+        out.histogram_sum = cur.histogram.sum - before_sum;
+      } else {  // reset between samples
+        out.histogram_count = cur.histogram.count;
+        out.histogram_sum = cur.histogram.sum;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+MetricsSeries::MetricsSeries(Registry& registry, double min_interval_s)
+    : registry_(registry),
+      min_interval_s_(min_interval_s < 0.0 ? 0.0 : min_interval_s),
+      start_ns_(util::Timer::now_ns()),
+      prev_(registry.snapshot()) {}
+
+bool MetricsSeries::sample(double t_s) {
+  const std::int64_t now_ns = util::Timer::now_ns();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_ && static_cast<double>(now_ns - last_ns_) * 1e-9 < min_interval_s_) {
+      return false;
+    }
+  }
+  sample_now(t_s);
+  return true;
+}
+
+void MetricsSeries::sample_now(double t_s) {
+  // Snapshot outside the series lock: Registry::snapshot takes its own
+  // mutex, and holding both invites ordering trouble with other callers.
+  MetricsSnapshot cur = registry_.snapshot();
+  const std::int64_t now_ns = util::Timer::now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = true;
+  last_ns_ = now_ns;
+  SeriesSample sample;
+  sample.seq = next_seq_++;
+  sample.t_s = t_s;
+  // Both snapshots are name-sorted; march them in lockstep.  Metrics only
+  // ever get added to a registry, so cur is a superset of prev_.
+  std::size_t pi = 0;
+  for (const MetricSnapshot& entry : cur.entries) {
+    const MetricSnapshot* prev = nullptr;
+    while (pi < prev_.entries.size() && prev_.entries[pi].name < entry.name) ++pi;
+    if (pi < prev_.entries.size() && prev_.entries[pi].name == entry.name) {
+      prev = &prev_.entries[pi];
+    }
+    SeriesEntry delta;
+    if (diff_entry(entry, prev, delta)) sample.entries.push_back(std::move(delta));
+  }
+  data_.samples.push_back(std::move(sample));
+  prev_ = std::move(cur);
+}
+
+MetricsSeriesData MetricsSeries::data() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+std::size_t MetricsSeries::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.samples.size();
+}
+
+}  // namespace wrsn::obs

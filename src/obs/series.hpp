@@ -1,0 +1,82 @@
+// Periodic metrics snapshotting: the time-series substrate behind
+// `wrsn-metrics-series v1` (docs/formats.md).
+//
+// A final `wrsn-metrics v1` dump answers "how much, in total"; the future
+// planning service (ROADMAP item 1) needs "how much, *per interval*" --
+// rates, stalls, phase changes.  MetricsSeries wraps a Registry and, each
+// time `sample()` is called, diffs the current snapshot against the
+// previous one: counters and histogram count/sum become deltas over the
+// interval, gauges stay absolute levels (a gauge *is* a level; deltas of
+// levels are noise).  Metrics that did not move in an interval are omitted
+// from that sample, so long quiet stretches cost almost nothing.
+//
+// Sampling is typically driven by StreamProgressSink::attach_series, which
+// samples at the progress heartbeat cadence; `min_interval_s` rate-limits
+// on top so a chatty progress stream cannot bloat the series.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wrsn::obs {
+
+/// One metric's movement over a sample interval.
+struct SeriesEntry {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::Counter;
+  std::string name;
+  std::uint64_t counter_delta = 0;    ///< Counter: increments this interval
+  double gauge_value = 0.0;           ///< Gauge: absolute level at sample time
+  std::uint64_t histogram_count = 0;  ///< Histogram: records this interval
+  double histogram_sum = 0.0;         ///< Histogram: sum of those records
+};
+
+/// One timestamped sample: every metric that moved since the previous one.
+struct SeriesSample {
+  std::uint64_t seq = 0;
+  double t_s = 0.0;  ///< seconds since the series was constructed/reset
+  std::vector<SeriesEntry> entries;  ///< name-sorted (snapshot order)
+};
+
+/// Accumulated series; what io::write_metrics_series serializes.
+struct MetricsSeriesData {
+  std::vector<SeriesSample> samples;
+};
+
+class MetricsSeries {
+ public:
+  /// Snapshots `registry` at construction as the delta baseline, so the
+  /// first sample reports movement since the series began, not since the
+  /// process began.
+  explicit MetricsSeries(Registry& registry, double min_interval_s = 0.0);
+
+  /// Takes a sample if at least `min_interval_s` passed since the last one
+  /// (the first call always samples).  `t_s` is the caller's timestamp,
+  /// recorded verbatim; rate limiting uses the sink's own monotonic clock.
+  /// Returns true when a sample was actually taken.  Thread-safe.
+  bool sample(double t_s);
+
+  /// Unconditional sample ignoring the rate limit (run-end flush).
+  void sample_now(double t_s);
+
+  MetricsSeriesData data() const;
+  std::size_t size() const;
+
+ private:
+  void take_sample(double t_s);
+
+  Registry& registry_;
+  double min_interval_s_;
+  mutable std::mutex mutex_;
+  std::int64_t start_ns_;
+  std::int64_t last_ns_ = 0;
+  bool started_ = false;
+  std::uint64_t next_seq_ = 0;
+  MetricsSnapshot prev_;
+  MetricsSeriesData data_;
+};
+
+}  // namespace wrsn::obs

@@ -59,6 +59,23 @@ void TraceBuffer::record(std::string name, std::int64_t start_ns, std::int64_t d
   events_.push_back({std::move(name), start_ns, dur_ns, tid, depth});
 }
 
+void TraceBuffer::record_perf(std::string name, std::int64_t start_ns, std::int64_t dur_ns,
+                              int depth, const PerfCounters& perf) {
+  if (!enabled()) return;
+  const std::size_t thread_hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(thread_hashes_.begin(), thread_hashes_.end(), thread_hash);
+  if (it == thread_hashes_.end()) {
+    thread_hashes_.push_back(thread_hash);
+    it = std::prev(thread_hashes_.end());
+  }
+  const int tid = static_cast<int>(it - thread_hashes_.begin());
+  TraceEvent event{std::move(name), start_ns, dur_ns, tid, depth};
+  event.has_perf = true;
+  event.perf = perf;
+  events_.push_back(std::move(event));
+}
+
 std::vector<TraceEvent> TraceBuffer::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_;
@@ -84,6 +101,8 @@ TraceSpan::TraceSpan(const char* name, TraceBuffer& buffer) noexcept
     : name_(name), buffer_(buffer.enabled() ? &buffer : nullptr) {
   if (buffer_ == nullptr) return;  // disabled: skip the clock reads entirely
   depth_ = t_span_depth++;
+  perf_ = buffer.perf_enabled();
+  if (perf_) perf_start_ = perf::read();
   start_ns_ = util::Timer::now_ns();
   timer_.reset();
 }
@@ -92,7 +111,12 @@ TraceSpan::~TraceSpan() {
   if (buffer_ == nullptr) return;
   --t_span_depth;
   // An enabled->disabled flip mid-span drops the event inside record().
-  buffer_->record(name_, start_ns_, timer_.elapsed_ns(), depth_);
+  if (perf_) {
+    buffer_->record_perf(name_, start_ns_, timer_.elapsed_ns(), depth_,
+                         perf::read().delta(perf_start_));
+  } else {
+    buffer_->record(name_, start_ns_, timer_.elapsed_ns(), depth_);
+  }
 }
 
 void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
@@ -109,7 +133,19 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events)
     os << "\n  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"wrsn\",\"ph\":\"X\""
        << ",\"ts\":" << static_cast<double>(e.start_ns - origin) / 1e3
        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3 << ",\"pid\":0,\"tid\":" << e.tid
-       << ",\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.has_perf) {
+      // Numeric-only values: the round-trip scanner below parses args
+      // values as numbers.  perf_available doubles as the has-hardware flag
+      // so a degraded (allocation-only) span stays distinguishable.
+      os << ",\"perf_available\":" << (e.perf.counters_available ? 1 : 0)
+         << ",\"cycles\":" << e.perf.cycles << ",\"instructions\":" << e.perf.instructions
+         << ",\"cache_misses\":" << e.perf.cache_misses
+         << ",\"branch_misses\":" << e.perf.branch_misses
+         << ",\"allocations\":" << e.perf.allocations
+         << ",\"allocated_bytes\":" << e.perf.allocated_bytes;
+    }
+    os << "}}";
   }
   os << "\n]\n";
 }
@@ -238,7 +274,24 @@ class TraceJsonScanner {
             expect(':');
             skip_ws();
             const double value = parse_number();
-            if (arg == "depth") event.depth = static_cast<int>(value);
+            if (arg == "depth") {
+              event.depth = static_cast<int>(value);
+            } else if (arg == "perf_available") {
+              event.has_perf = true;
+              event.perf.counters_available = value != 0.0;
+            } else if (arg == "cycles") {
+              event.perf.cycles = static_cast<std::uint64_t>(value);
+            } else if (arg == "instructions") {
+              event.perf.instructions = static_cast<std::uint64_t>(value);
+            } else if (arg == "cache_misses") {
+              event.perf.cache_misses = static_cast<std::uint64_t>(value);
+            } else if (arg == "branch_misses") {
+              event.perf.branch_misses = static_cast<std::uint64_t>(value);
+            } else if (arg == "allocations") {
+              event.perf.allocations = static_cast<std::uint64_t>(value);
+            } else if (arg == "allocated_bytes") {
+              event.perf.allocated_bytes = static_cast<std::uint64_t>(value);
+            }
             skip_ws();
             if (peek() != ',') break;
             ++pos_;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_probe.hpp"
 #include "util/timer.hpp"
 
 namespace wrsn::obs {
@@ -32,6 +33,11 @@ struct TraceEvent {
   std::int64_t dur_ns = 0;
   int tid = 0;    ///< small dense thread index (0 = first recording thread)
   int depth = 0;  ///< span nesting depth within its thread at record time
+  /// Counter deltas over the span when the buffer had perf probing enabled
+  /// (obs/perf_probe.hpp); `perf.counters_available` distinguishes real
+  /// hardware readings from the allocation-only degraded mode.
+  bool has_perf = false;
+  PerfCounters perf;
 };
 
 /// Thread-safe append-only collection of completed spans.
@@ -47,7 +53,20 @@ class TraceBuffer {
   }
   bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
 
+  /// When enabled, spans read perf counters (obs/perf_probe.hpp) at entry
+  /// and exit and attach the deltas.  Independent of set_enabled; has no
+  /// effect while the buffer itself is disabled.
+  void set_perf_enabled(bool enabled) noexcept {
+    perf_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool perf_enabled() const noexcept {
+    return perf_enabled_.load(std::memory_order_relaxed);
+  }
+
   void record(std::string name, std::int64_t start_ns, std::int64_t dur_ns, int depth);
+  /// record() plus per-span counter deltas.
+  void record_perf(std::string name, std::int64_t start_ns, std::int64_t dur_ns, int depth,
+                   const PerfCounters& perf);
   std::vector<TraceEvent> events() const;
   std::size_t size() const;
   void clear();
@@ -57,6 +76,7 @@ class TraceBuffer {
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> perf_enabled_{false};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::vector<std::size_t> thread_hashes_;  // dense tid assignment, FIFO
@@ -77,6 +97,8 @@ class TraceSpan {
   std::int64_t start_ns_ = 0;
   util::Timer timer_;
   int depth_ = 0;
+  bool perf_ = false;  ///< perf probing was on at entry
+  PerfCounters perf_start_;
 };
 
 /// Writes `events` as a Chrome trace-event JSON array of complete events

@@ -2,6 +2,7 @@
 
 #include "core/failures.hpp"
 #include "core/pricer.hpp"
+#include "obs/progress.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
@@ -75,8 +76,23 @@ NetworkSim::NetworkSim(NetworkSim&&) noexcept = default;
 NetworkSim& NetworkSim::operator=(NetworkSim&&) noexcept = default;
 
 bool NetworkSim::run_round() {
-  if (resilient_) return run_round_resilient();
-  return run_round_legacy();
+  const bool all_alive = resilient_ ? run_round_resilient() : run_round_legacy();
+  emit_progress(false);
+  return all_alive;
+}
+
+void NetworkSim::emit_progress(bool final_event) {
+  if (config_.progress == nullptr) return;
+  if (!final_event && !config_.progress->wants("sim")) return;
+  obs::ProgressEvent event("sim", final_event);
+  event.add("round", static_cast<double>(rounds_));
+  event.add("delivery_ratio", delivery_ratio());
+  event.add("faults", static_cast<double>(faults_injected_));
+  event.add("repairs", static_cast<double>(repair_events_));
+  event.add("reroutes", static_cast<double>(reroutes_));
+  event.add("dead_nodes", dead_node_count());
+  event.add("consumed_j", total_consumed());
+  config_.progress->emit(event);
 }
 
 bool NetworkSim::run_round_legacy() {
@@ -493,6 +509,7 @@ std::uint64_t NetworkSim::run_rounds(std::uint64_t count, bool stop_on_death) {
     ++completed;
     if (stop_on_death && !alive) break;
   }
+  emit_progress(true);
   return completed;
 }
 

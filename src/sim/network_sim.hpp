@@ -31,6 +31,7 @@
 
 namespace wrsn::obs {
 class Sink;
+class ProgressSink;
 }
 
 namespace wrsn::core {
@@ -66,6 +67,10 @@ struct NetworkConfig {
   /// count, battery min/mean, and the resilience counters; fault and repair
   /// events arrive through on_sim_fault/on_sim_repair (obs/sink.hpp).
   obs::Sink* sink = nullptr;
+  /// Live `wrsn-progress v1` heartbeats under source "sim" (round, delivery
+  /// ratio, faults/repairs so far); throttled by the sink, with a final
+  /// event from run_rounds.  nullptr = silent; purely observational.
+  obs::ProgressSink* progress = nullptr;
 };
 
 /// Per-node battery state.
@@ -157,6 +162,7 @@ class NetworkSim {
  private:
   bool run_round_legacy();
   bool run_round_resilient();
+  void emit_progress(bool final_event);
   void apply_fault(const Fault& fault, std::uint64_t round, double& round_dropped,
                    int& applied, bool& deployment_changed);
   void destroy_post(int p, double& round_dropped);

@@ -28,6 +28,12 @@ Flags& Flags::add_string(const std::string& name, std::string* target, const std
 Flags& Flags::add_bool(const std::string& name, bool* target, const std::string& help) {
   return add(name, Kind::Bool, target, help, *target ? "true" : "false");
 }
+Flags& Flags::add_opt_double(const std::string& name, double* target, double bare_value,
+                             const std::string& help) {
+  add(name, Kind::OptDouble, target, help, std::to_string(*target));
+  entries_[name].bare_value = bare_value;
+  return *this;
+}
 
 bool Flags::assign(Entry& entry, const std::string& value, const std::string& name) {
   try {
@@ -39,6 +45,7 @@ bool Flags::assign(Entry& entry, const std::string& value, const std::string& na
         *static_cast<std::int64_t*>(entry.target) = std::stoll(value);
         return true;
       case Kind::Double:
+      case Kind::OptDouble:
         *static_cast<double*>(entry.target) = std::stod(value);
         return true;
       case Kind::String:
@@ -101,6 +108,11 @@ bool Flags::parse(int argc, char** argv, bool allow_unknown) {
     if (!has_value) {
       if (it->second.kind == Kind::Bool) {
         value = "true";
+      } else if (it->second.kind == Kind::OptDouble) {
+        // Bare optional-value flag: use its built-in value; never consume
+        // the next token (`--progress --metrics m.txt` must keep working).
+        *static_cast<double*>(it->second.target) = it->second.bare_value;
+        continue;
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {

@@ -20,6 +20,12 @@ class Flags {
   Flags& add_double(const std::string& name, double* target, const std::string& help);
   Flags& add_string(const std::string& name, std::string* target, const std::string& help);
   Flags& add_bool(const std::string& name, bool* target, const std::string& help);
+  /// Double flag with an optional value: `--name=2.5` assigns 2.5, bare
+  /// `--name` assigns `bare_value` (and, unlike other non-bool flags, does
+  /// NOT consume the next argv token).  For `--progress[=interval]`-style
+  /// switches where presence alone is meaningful.
+  Flags& add_opt_double(const std::string& name, double* target, double bare_value,
+                        const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) on `--help` or error.
   /// When `allow_unknown` is true, unrecognized flags are left untouched and
@@ -30,12 +36,13 @@ class Flags {
   void print_usage(const std::string& program) const;
 
  private:
-  enum class Kind { Int, Int64, Double, String, Bool };
+  enum class Kind { Int, Int64, Double, String, Bool, OptDouble };
   struct Entry {
     Kind kind;
     void* target;
     std::string help;
     std::string default_repr;
+    double bare_value = 0.0;  ///< OptDouble only: value assigned by a bare flag
   };
 
   Flags& add(const std::string& name, Kind kind, void* target, const std::string& help,

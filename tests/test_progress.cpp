@@ -1,0 +1,286 @@
+// wrsn-progress v1: line grammar, sink throttling semantics, and the live
+// heartbeat contract of the exact solver and local search (docs/formats.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/exact.hpp"
+#include "core/local_search.hpp"
+#include "core/rfh.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "helpers.hpp"
+#include "io/json.hpp"
+#include "obs/progress.hpp"
+#include "sim/network_sim.hpp"
+
+namespace wrsn {
+namespace {
+
+double field_value(const obs::ProgressEvent& event, const std::string& key) {
+  for (const auto& [name, value] : event.fields) {
+    if (name == key) return value;
+  }
+  ADD_FAILURE() << "event from '" << event.source << "' has no field '" << key << "'";
+  return std::nan("");
+}
+
+TEST(ProgressFormat, LineGrammarIsPinned) {
+  obs::ProgressEvent event("exact");
+  event.add("incumbent", 0.5).add("nodes", 3.0);
+  EXPECT_EQ(obs::format_progress_line(event, 7, 1.25),
+            "{\"stream\":\"wrsn-progress\",\"v\":1,\"source\":\"exact\",\"seq\":7,"
+            "\"t_s\":1.25,\"final\":false,\"incumbent\":0.5,\"nodes\":3}");
+
+  obs::ProgressEvent closing("ls", /*is_final=*/true);
+  const std::string line = obs::format_progress_line(closing, 0, 0.0);
+  EXPECT_NE(line.find("\"final\":true"), std::string::npos);
+}
+
+TEST(ProgressFormat, LinesAreValidJsonWithEnvelopeFields) {
+  obs::ProgressEvent event("sim");
+  event.add("delivery_ratio", 0.875).add("round", 42.0);
+  const io::Json parsed = io::Json::parse(obs::format_progress_line(event, 11, 3.5));
+  EXPECT_EQ(parsed.at("stream").as_string(), "wrsn-progress");
+  EXPECT_EQ(parsed.at("v").as_int(), 1);
+  EXPECT_EQ(parsed.at("source").as_string(), "sim");
+  EXPECT_EQ(parsed.at("seq").as_int64(), 11);
+  EXPECT_DOUBLE_EQ(parsed.at("t_s").as_double(), 3.5);
+  EXPECT_FALSE(parsed.at("final").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("delivery_ratio").as_double(), 0.875);
+  EXPECT_DOUBLE_EQ(parsed.at("round").as_double(), 42.0);
+}
+
+TEST(StreamProgressSink, ThrottlesPerSourceAndFinalBypasses) {
+  std::ostringstream os;
+  // An hour-long interval: only each source's first heartbeat is due.
+  obs::StreamProgressSink sink(&os, 3600.0);
+  for (int i = 0; i < 10; ++i) {
+    obs::ProgressEvent event("exact");
+    event.add("i", static_cast<double>(i));
+    sink.emit(event);
+    obs::ProgressEvent other("ls");
+    other.add("i", static_cast<double>(i));
+    sink.emit(other);
+  }
+  obs::ProgressEvent closing("exact", /*is_final=*/true);
+  closing.add("i", 99.0);
+  sink.emit(closing);
+
+  EXPECT_EQ(sink.emitted(), 3u);  // first "exact", first "ls", final "exact"
+  EXPECT_EQ(sink.dropped(), 18u);
+  EXPECT_FALSE(sink.wants("exact"));
+
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const io::Json parsed = io::Json::parse(line);
+    EXPECT_EQ(parsed.at("stream").as_string(), "wrsn-progress");
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(StreamProgressSink, UnthrottledSequencesAreStrictlyIncreasingPerSource) {
+  std::ostringstream os;
+  obs::StreamProgressSink sink(&os, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    obs::ProgressEvent a("a");
+    a.add("i", static_cast<double>(i));
+    sink.emit(a);
+    obs::ProgressEvent b("b");
+    b.add("i", static_cast<double>(i));
+    sink.emit(b);
+  }
+  EXPECT_EQ(sink.emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::int64_t next_a = 0;
+  std::int64_t next_b = 0;
+  double last_t = 0.0;
+  while (std::getline(lines, line)) {
+    const io::Json parsed = io::Json::parse(line);
+    std::int64_t& next = parsed.at("source").as_string() == "a" ? next_a : next_b;
+    EXPECT_EQ(parsed.at("seq").as_int64(), next);
+    ++next;
+    EXPECT_GE(parsed.at("t_s").as_double(), last_t);
+    last_t = parsed.at("t_s").as_double();
+  }
+  EXPECT_EQ(next_a, 5);
+  EXPECT_EQ(next_b, 5);
+}
+
+TEST(StreamProgressSink, NullStreamKeepsBookkeepingWritesNothing) {
+  obs::StreamProgressSink sink(nullptr, 0.0);
+  obs::ProgressEvent event("exp");
+  event.add("x", 1.0);
+  sink.emit(event);
+  EXPECT_EQ(sink.emitted(), 1u);
+}
+
+TEST(ExactProgress, IncumbentAndGapAreMonotoneNonIncreasing) {
+  const auto instance = test::chain_instance(6, 18);
+  obs::RecordingProgressSink recorder;
+  core::ExactOptions options;
+  options.progress = &recorder;
+  const auto result = core::solve_exact(instance, options);
+
+  const auto events = recorder.from("exact");
+  ASSERT_GE(events.size(), 2u);  // at least the warm start + the final event
+  double prev_incumbent = std::numeric_limits<double>::infinity();
+  double prev_gap = std::numeric_limits<double>::infinity();
+  double prev_nodes = -1.0;
+  for (const auto& event : events) {
+    const double incumbent = field_value(event, "incumbent");
+    const double gap = field_value(event, "gap");
+    const double nodes = field_value(event, "nodes_explored");
+    EXPECT_LE(incumbent, prev_incumbent) << "incumbent went back up";
+    EXPECT_LE(gap, prev_gap + 1e-15) << "gap went back up";
+    EXPECT_GE(nodes, prev_nodes) << "nodes_explored went backwards";
+    EXPECT_GE(field_value(event, "lower_bound"), 0.0);
+    prev_incumbent = incumbent;
+    prev_gap = gap;
+    prev_nodes = nodes;
+  }
+  EXPECT_TRUE(events.back().final_event);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "incumbent"), result.cost);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "lower_bound"), result.lower_bound);
+}
+
+TEST(ExactProgress, StreamedNdjsonParsesAndStaysMonotone) {
+  const auto instance = test::chain_instance(6, 18);
+  std::ostringstream os;
+  obs::StreamProgressSink sink(&os, 0.0);  // unthrottled: every heartbeat lands
+  core::ExactOptions options;
+  options.progress = &sink;
+  const auto result = core::solve_exact(instance, options);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::int64_t next_seq = 0;
+  double prev_incumbent = std::numeric_limits<double>::infinity();
+  bool saw_final = false;
+  while (std::getline(lines, line)) {
+    const io::Json parsed = io::Json::parse(line);
+    ASSERT_EQ(parsed.at("source").as_string(), "exact");
+    EXPECT_EQ(parsed.at("seq").as_int64(), next_seq);
+    ++next_seq;
+    const double incumbent = parsed.at("incumbent").as_double();
+    EXPECT_LE(incumbent, prev_incumbent);
+    prev_incumbent = incumbent;
+    saw_final = parsed.at("final").as_bool();
+  }
+  EXPECT_TRUE(saw_final) << "stream must end with the final event";
+  EXPECT_DOUBLE_EQ(prev_incumbent, result.cost);
+}
+
+TEST(LocalSearchProgress, BestCostDescendsToResultCost) {
+  util::Rng rng(11);
+  const auto instance = test::random_instance(12, 48, 150.0, rng);
+  const auto start = core::solve_rfh(instance).solution;
+
+  obs::RecordingProgressSink recorder;
+  core::LocalSearchOptions options;
+  options.progress = &recorder;
+  const auto result = core::refine_solution(instance, start, options);
+
+  const auto events = recorder.from("ls");
+  ASSERT_FALSE(events.empty());
+  double prev_best = std::numeric_limits<double>::infinity();
+  double prev_tried = -1.0;
+  for (const auto& event : events) {
+    const double best = field_value(event, "best_cost");
+    const double tried = field_value(event, "moves_tried");
+    EXPECT_LE(best, prev_best) << "best_cost went back up";
+    EXPECT_GE(tried, prev_tried);
+    prev_best = best;
+    prev_tried = tried;
+  }
+  EXPECT_TRUE(events.back().final_event);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "best_cost"), result.cost);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "moves_accepted"),
+                   static_cast<double>(result.moves_applied));
+}
+
+TEST(SimProgress, OneHeartbeatPerRoundPlusFinal) {
+  const auto instance = test::chain_instance(5, 15);
+  const auto plan = core::solve_rfh(instance);
+
+  obs::RecordingProgressSink recorder;
+  sim::NetworkConfig config;
+  config.progress = &recorder;
+  sim::NetworkSim simulation(instance, plan.solution, config);
+  const std::uint64_t completed = simulation.run_rounds(8);
+  ASSERT_EQ(completed, 8u);
+
+  const auto events = recorder.from("sim");
+  ASSERT_EQ(events.size(), 9u);  // one per round, plus the closing totals
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(field_value(events[i], "round"), static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(field_value(events[i], "delivery_ratio"), 1.0);
+    EXPECT_FALSE(events[i].final_event);
+  }
+  EXPECT_TRUE(events.back().final_event);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "round"), 8.0);
+  EXPECT_DOUBLE_EQ(field_value(events.back(), "consumed_j"),
+                   simulation.total_consumed());
+}
+
+TEST(RunnerProgress, TrialsDoneReachesTotalAcrossThreadCounts) {
+  exp::SweepSpec spec;
+  spec.name = "progress-unit";
+  spec.side = 250.0;
+  spec.posts_axis = {25};
+  spec.nodes_axis = {80};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = 3;
+  spec.base_seed = 9001;
+  spec.solvers = {"rfh"};
+
+  for (const int threads : {1, 4}) {
+    obs::RecordingProgressSink recorder;
+    exp::RunnerOptions options;
+    options.threads = threads;
+    options.progress = &recorder;
+    exp::ExperimentRunner runner(spec, options);
+    runner.run();
+
+    const auto events = recorder.from("exp");
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(spec.num_trials()) + 1)
+        << "threads=" << threads;
+    double prev_done = 0.0;
+    for (const auto& event : events) {
+      const double done = field_value(event, "trials_done");
+      EXPECT_GE(done, prev_done) << "trials_done went backwards";
+      EXPECT_DOUBLE_EQ(field_value(event, "trials_total"),
+                       static_cast<double>(spec.num_trials()));
+      prev_done = done;
+    }
+    EXPECT_TRUE(events.back().final_event);
+    EXPECT_DOUBLE_EQ(prev_done, static_cast<double>(spec.num_trials()));
+  }
+}
+
+TEST(LocalSearchProgress, SinkDoesNotChangeTheSolution) {
+  util::Rng rng(12);
+  const auto instance = test::random_instance(10, 40, 140.0, rng);
+  const auto start = core::solve_rfh(instance).solution;
+
+  const auto silent = core::refine_solution(instance, start);
+  obs::RecordingProgressSink recorder;
+  core::LocalSearchOptions options;
+  options.progress = &recorder;
+  const auto observed = core::refine_solution(instance, start, options);
+
+  EXPECT_EQ(observed.cost, silent.cost);  // bit-identical: observation only
+  EXPECT_EQ(observed.evaluations, silent.evaluations);
+  EXPECT_EQ(observed.solution.deployment, silent.solution.deployment);
+}
+
+}  // namespace
+}  // namespace wrsn

@@ -1,0 +1,147 @@
+// obs::MetricsSeries delta semantics and the `wrsn-metrics-series v1` /
+// sorted `wrsn-metrics v1` serialization contracts (docs/formats.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/metrics_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/series.hpp"
+
+namespace wrsn {
+namespace {
+
+TEST(MetricsSeries, CountersDeltaGaugesLevelQuietMetricsOmitted) {
+  obs::Registry registry;
+  auto& counter = registry.counter("s/count");
+  auto& gauge = registry.gauge("s/level");
+  auto& quiet = registry.counter("s/quiet");
+  (void)quiet;
+
+  obs::MetricsSeries series(registry);
+  counter.increment(5);
+  gauge.set(2.5);
+  ASSERT_TRUE(series.sample(1.0));
+
+  counter.increment(3);
+  ASSERT_TRUE(series.sample(2.0));
+
+  const auto data = series.data();
+  ASSERT_EQ(data.samples.size(), 2u);
+  EXPECT_EQ(data.samples[0].seq, 0u);
+  EXPECT_DOUBLE_EQ(data.samples[0].t_s, 1.0);
+  ASSERT_EQ(data.samples[0].entries.size(), 2u);  // quiet counter omitted
+  EXPECT_EQ(data.samples[0].entries[0].name, "s/count");
+  EXPECT_EQ(data.samples[0].entries[0].counter_delta, 5u);
+  EXPECT_EQ(data.samples[0].entries[1].name, "s/level");
+  EXPECT_DOUBLE_EQ(data.samples[0].entries[1].gauge_value, 2.5);
+
+  // Second interval: only the counter moved, and by its delta, not total.
+  ASSERT_EQ(data.samples[1].entries.size(), 1u);
+  EXPECT_EQ(data.samples[1].entries[0].counter_delta, 3u);
+}
+
+TEST(MetricsSeries, HistogramEntriesCarryIntervalDeltas) {
+  obs::Registry registry;
+  auto& histogram = registry.histogram("s/hist");
+  obs::MetricsSeries series(registry);
+
+  histogram.record(1.0);
+  histogram.record(3.0);
+  series.sample(1.0);
+  histogram.record(10.0);
+  series.sample(2.0);
+
+  const auto data = series.data();
+  ASSERT_EQ(data.samples.size(), 2u);
+  EXPECT_EQ(data.samples[0].entries[0].histogram_count, 2u);
+  EXPECT_DOUBLE_EQ(data.samples[0].entries[0].histogram_sum, 4.0);
+  EXPECT_EQ(data.samples[1].entries[0].histogram_count, 1u);
+  EXPECT_DOUBLE_EQ(data.samples[1].entries[0].histogram_sum, 10.0);
+}
+
+TEST(MetricsSeries, RateLimitDropsEarlySamplesButSampleNowForces) {
+  obs::Registry registry;
+  auto& counter = registry.counter("s/count");
+  obs::MetricsSeries series(registry, 3600.0);
+
+  counter.increment();
+  EXPECT_TRUE(series.sample(0.1));   // first sample always lands
+  counter.increment();
+  EXPECT_FALSE(series.sample(0.2));  // inside the interval: dropped
+  counter.increment();
+  series.sample_now(0.3);            // run-end flush ignores the limit
+
+  const auto data = series.data();
+  ASSERT_EQ(data.samples.size(), 2u);
+  // The flush picks up everything the dropped sample would have reported.
+  EXPECT_EQ(data.samples[1].entries[0].counter_delta, 2u);
+}
+
+TEST(MetricsSeriesIo, RoundTripsThroughText) {
+  obs::Registry registry;
+  auto& counter = registry.counter("s/count");
+  auto& gauge = registry.gauge("s/level");
+  auto& histogram = registry.histogram("s/hist");
+  obs::MetricsSeries series(registry);
+
+  counter.increment(7);
+  gauge.set(0.1234567890123456789);
+  histogram.record(2.5);
+  series.sample(0.5);
+  counter.increment(1);
+  gauge.set(-4.0);
+  series.sample(1.5);
+
+  std::stringstream stream;
+  io::write_metrics_series(stream, series.data());
+  const auto parsed = io::read_metrics_series(stream);
+
+  const auto original = series.data();
+  ASSERT_EQ(parsed.samples.size(), original.samples.size());
+  for (std::size_t s = 0; s < parsed.samples.size(); ++s) {
+    EXPECT_EQ(parsed.samples[s].seq, original.samples[s].seq);
+    EXPECT_EQ(parsed.samples[s].t_s, original.samples[s].t_s);  // bit-exact
+    ASSERT_EQ(parsed.samples[s].entries.size(), original.samples[s].entries.size());
+    for (std::size_t e = 0; e < parsed.samples[s].entries.size(); ++e) {
+      const auto& got = parsed.samples[s].entries[e];
+      const auto& want = original.samples[s].entries[e];
+      EXPECT_EQ(got.kind, want.kind);
+      EXPECT_EQ(got.name, want.name);
+      EXPECT_EQ(got.counter_delta, want.counter_delta);
+      EXPECT_EQ(got.gauge_value, want.gauge_value);
+      EXPECT_EQ(got.histogram_count, want.histogram_count);
+      EXPECT_EQ(got.histogram_sum, want.histogram_sum);
+    }
+  }
+}
+
+TEST(MetricsSeriesIo, RejectsTruncatedInput) {
+  std::istringstream truncated("wrsn-metrics-series v1\nsample 0 0.5 2\ncounter a/b 1\n");
+  EXPECT_THROW(io::read_metrics_series(truncated), io::ParseError);
+  std::istringstream bad_header("wrsn-metrics v1\n");
+  EXPECT_THROW(io::read_metrics_series(bad_header), io::ParseError);
+}
+
+TEST(MetricsIo, DumpIsSortedEvenFromUnsortedSnapshots) {
+  // Hand-build a deliberately unsorted snapshot; write_metrics must emit
+  // name-sorted lines so equal states produce byte-identical dumps.
+  obs::MetricsSnapshot snapshot;
+  obs::MetricSnapshot zebra;
+  zebra.name = "zebra/last";
+  zebra.kind = obs::MetricSnapshot::Kind::Counter;
+  zebra.counter = 2;
+  obs::MetricSnapshot alpha;
+  alpha.name = "alpha/first";
+  alpha.kind = obs::MetricSnapshot::Kind::Gauge;
+  alpha.gauge = 1.5;
+  snapshot.entries.push_back(zebra);
+  snapshot.entries.push_back(alpha);
+
+  std::ostringstream os;
+  io::write_metrics(os, snapshot);
+  EXPECT_EQ(os.str(), "wrsn-metrics v1\ngauge alpha/first 1.5\ncounter zebra/last 2\n");
+}
+
+}  // namespace
+}  // namespace wrsn
