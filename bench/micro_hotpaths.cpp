@@ -14,6 +14,8 @@
 // --benchmark_repetitions.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <map>
 #include <queue>
@@ -28,6 +30,7 @@
 #include "graph/dijkstra.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -197,6 +200,42 @@ const core::Solution& ls_start() {
   return start;
 }
 
+// --- Sparse-scale fixtures -------------------------------------------------
+
+// Process-wide resident-set high-water mark.  Monotonic across the whole
+// run, so only the largest benchmark's row is a tight bound; smaller rows
+// report "peak so far".  Linux reports ru_maxrss in kilobytes.
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// Deterministic square grid, 40 m spacing, three 25 m power levels: every
+// post reaches its <= 75 m neighbors (degree ~8 in the interior).  Columns
+// are chosen so the post count lands at ~N (cols^2 minus the post that
+// coincides with the base-station corner).  Storage is pinned to sparse so
+// the N=1000 row measures the same CSR builder as the larger ones (1023
+// posts would otherwise sit just under kAutoSparseThreshold and take the
+// dense path).
+core::Instance make_sparse_instance(int posts) {
+  const int cols = static_cast<int>(std::lround(std::sqrt(static_cast<double>(posts) + 1.0)));
+  const double side = 40.0 * (cols - 1);
+  const geom::Field field = geom::grid_field(side, side, cols, cols);
+  const auto radio = energy::RadioModel::uniform_levels(3, 25.0);
+  auto graph = graph::ReachGraph::from_field(field, radio, graph::ReachGraph::Storage::kSparse);
+  const int n = graph.num_posts();
+  return core::Instance::abstract(std::move(graph), radio, energy::ChargingModel::linear(0.01),
+                                  2 * n);
+}
+
+const core::Instance& sparse_instance(int posts) {
+  static std::map<int, core::Instance> cache;
+  auto it = cache.find(posts);
+  if (it == cache.end()) it = cache.emplace(posts, make_sparse_instance(posts)).first;
+  return it->second;
+}
+
 // --- Benchmarks ------------------------------------------------------------
 
 void BM_edge_cost_uncached(benchmark::State& state) {
@@ -324,6 +363,52 @@ void BM_move_price_incremental(benchmark::State& state) {
       repairs > 0 ? (regions.sum() - sum0) / static_cast<double>(repairs) : 0.0;
 }
 BENCHMARK(BM_move_price_incremental)->Arg(50)->Arg(100)->Arg(300);
+
+// Sparse-core scaling rows, N in {1e3, 1e4, 1e5} posts.  These are
+// *trajectory* rows: scripts/bench_check.py --track '^BM_sparse_' reports
+// their drift without gating on it (absolute times at 1e5 are machine- and
+// cache-bound), while the dense rows above stay the hard regression gate.
+// A dense (N+1)^2 matrix at 1e5 posts would be ~80 GB, so these rows only
+// exist at all because of the CSR adjacency + grid-indexed builder.
+void BM_sparse_instance_build(benchmark::State& state) {
+  const int posts = static_cast<int>(state.range(0));
+  double adj_bytes = 0.0;
+  double built_posts = 0.0;
+  for (auto _ : state) {
+    const core::Instance inst = make_sparse_instance(posts);
+    adj_bytes = static_cast<double>(inst.adjacency().bytes());
+    built_posts = static_cast<double>(inst.num_posts());
+    benchmark::DoNotOptimize(&inst);
+  }
+  state.counters["posts"] = built_posts;
+  state.counters["adj_mb"] = adj_bytes / (1024.0 * 1024.0);
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_sparse_instance_build)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Whole-deployment pricing (one charging-aware Dijkstra + cost fold) on the
+// sparse path; kAuto resolves to the bucket queue here because the packed
+// adjacency carries weight bounds and the degree is far below dense's
+// break-even.
+void BM_sparse_price_deployment(benchmark::State& state) {
+  const auto& inst = sparse_instance(static_cast<int>(state.range(0)));
+  const std::vector<int> deployment(static_cast<std::size_t>(inst.num_posts()), 2);
+  util::BumpArena arena;
+  core::CostEvalScratch scratch(arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_cost_for_deployment(inst, deployment, scratch));
+  }
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_sparse_price_deployment)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 void run_local_search(benchmark::State& state, int threads, core::LocalSearchStrategy strategy,
                       core::MovePricing pricing = core::MovePricing::kIncremental) {

@@ -7,9 +7,17 @@ when any benchmark slowed down by more than the threshold:
     scripts/bench_check.py --baseline BENCH_hotpaths.json --current fresh.json
     scripts/bench_check.py ... --threshold 0.25      # default: 25% slower
     scripts/bench_check.py ... --warn-only           # report, exit 0 (noisy CI)
+    scripts/bench_check.py ... --track '^BM_sparse_' # trajectory rows: print
+                                                     # drift, never gate on it
     scripts/bench_check.py ... --inject-slowdown 10  # pretend current is 10x
                                                      # slower (gate self-test)
     scripts/bench_check.py --self-test               # in-process unit test
+
+Tracked rows (--track) exist for benchmarks whose absolute times are
+machine-bound -- the sparse-core scaling rows at N = 1e5 posts, say -- where
+the interesting signal is the trajectory across baselines, not a pass/fail
+at one threshold.  They are always printed with their ratio but can neither
+fail the gate nor be counted as speedups.
 
 Matching is by benchmark name; aggregate rows (mean/median/stddev/cv from
 --benchmark_repetitions) are reduced to the median per name, plain repetition
@@ -22,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import statistics
 import sys
 
@@ -64,27 +73,33 @@ def fmt_ns(ns):
     return f"{ns:.3g} ns"
 
 
-def compare(baseline, current, threshold):
-    """Returns (regressions, speedups, only_baseline, only_current).
+def compare(baseline, current, threshold, track_re=None):
+    """Returns (regressions, speedups, tracked, only_baseline, only_current).
 
     A regression is (name, base_ns, cur_ns, ratio) with ratio > 1 + threshold;
-    a speedup is the same tuple with ratio < 1 / (1 + threshold).
+    a speedup is the same tuple with ratio < 1 / (1 + threshold).  Names
+    matching `track_re` (re.search) are diverted to `tracked` instead: every
+    matching common name appears there with its ratio, regardless of drift,
+    and none of them can regress or speed up the gate.
     """
     regressions = []
     speedups = []
+    tracked = []
     for name in sorted(set(baseline) & set(current)):
         base = baseline[name]
         cur = current[name]
         if base <= 0.0:
             continue
         ratio = cur / base
-        if ratio > 1.0 + threshold:
+        if track_re is not None and track_re.search(name):
+            tracked.append((name, base, cur, ratio))
+        elif ratio > 1.0 + threshold:
             regressions.append((name, base, cur, ratio))
         elif ratio < 1.0 / (1.0 + threshold):
             speedups.append((name, base, cur, ratio))
     only_baseline = sorted(set(baseline) - set(current))
     only_current = sorted(set(current) - set(baseline))
-    return regressions, speedups, only_baseline, only_current
+    return regressions, speedups, tracked, only_baseline, only_current
 
 
 def run_check(args):
@@ -108,11 +123,15 @@ def run_check(args):
           f"threshold {args.threshold:.0%}, {len(set(baseline) & set(current))} "
           "benchmarks compared")
 
-    regressions, speedups, only_base, only_cur = compare(baseline, current, args.threshold)
+    track_re = re.compile(args.track) if args.track else None
+    regressions, speedups, tracked, only_base, only_cur = compare(
+        baseline, current, args.threshold, track_re)
     for name, base, cur, ratio in regressions:
         print(f"  REGRESSION {name}: {fmt_ns(base)} -> {fmt_ns(cur)}  ({ratio:.2f}x)")
     for name, base, cur, ratio in speedups:
         print(f"  speedup    {name}: {fmt_ns(base)} -> {fmt_ns(cur)}  ({ratio:.2f}x)")
+    for name, base, cur, ratio in tracked:
+        print(f"  tracked    {name}: {fmt_ns(base)} -> {fmt_ns(cur)}  ({ratio:.2f}x)")
     if only_base:
         print(f"  only in baseline (ignored): {', '.join(only_base)}")
     if only_cur:
@@ -140,19 +159,34 @@ def self_test():
 
     base = {"BM_a": 100.0, "BM_b": 200.0, "BM_gone": 50.0}
     cur_ok = {"BM_a": 110.0, "BM_b": 190.0, "BM_new": 10.0}
-    reg, spd, ob, oc = compare(base, cur_ok, 0.25)
-    check("within-threshold drift passes", not reg and not spd)
+    reg, spd, trk, ob, oc = compare(base, cur_ok, 0.25)
+    check("within-threshold drift passes", not reg and not spd and not trk)
     check("unmatched names ignored", ob == ["BM_gone"] and oc == ["BM_new"])
 
     cur_bad = {"BM_a": 130.0, "BM_b": 190.0}
-    reg, _, _, _ = compare(base, cur_bad, 0.25)
+    reg, _, _, _, _ = compare(base, cur_bad, 0.25)
     check("30% slowdown flagged at 25% threshold", [r[0] for r in reg] == ["BM_a"])
 
-    reg, _, _, _ = compare(base, {"BM_a": 124.9, "BM_b": 190.0}, 0.25)
+    reg, _, _, _, _ = compare(base, {"BM_a": 124.9, "BM_b": 190.0}, 0.25)
     check("24.9% slowdown tolerated", not reg)
 
-    _, spd, _, _ = compare(base, {"BM_a": 50.0, "BM_b": 190.0}, 0.25)
+    _, spd, _, _, _ = compare(base, {"BM_a": 50.0, "BM_b": 190.0}, 0.25)
     check("2x speedup reported, not failed", [s[0] for s in spd] == ["BM_a"])
+
+    # --track trajectory rows: matched names are reported but never gated.
+    sparse_base = {"BM_sparse_price/100000": 1000.0, "BM_a": 100.0}
+    sparse_bad = {"BM_sparse_price/100000": 10000.0, "BM_a": 130.0}
+    reg, spd, trk, _, _ = compare(sparse_base, sparse_bad, 0.25,
+                                  re.compile(r"^BM_sparse_"))
+    check("tracked 10x drift is not a regression",
+          [r[0] for r in reg] == ["BM_a"])
+    check("tracked row reported with its ratio",
+          [(t[0], t[3]) for t in trk] == [("BM_sparse_price/100000", 10.0)])
+    _, spd, trk, _, _ = compare(sparse_base, {"BM_sparse_price/100000": 100.0,
+                                              "BM_a": 100.0}, 0.25,
+                                re.compile(r"^BM_sparse_"))
+    check("tracked 10x improvement is not a speedup",
+          not spd and [t[0] for t in trk] == ["BM_sparse_price/100000"])
 
     doc = {"benchmarks": [
         {"name": "BM_x", "run_name": "BM_x", "run_type": "iteration",
@@ -170,7 +204,7 @@ def self_test():
     check("repetitions reduce to median", times.get("BM_x") == 2.5e3)
     check("aggregate rows use median, ignore stddev", times.get("BM_y/50") == 3.0e6)
 
-    reg, _, _, _ = compare(times, {n: t * 10.0 for n, t in times.items()}, 0.25)
+    reg, _, _, _, _ = compare(times, {n: t * 10.0 for n, t in times.items()}, 0.25)
     check("injected 10x slowdown fails the gate", len(reg) == 2)
 
     if failures:
@@ -188,6 +222,10 @@ def main(argv=None):
                         help="max tolerated slowdown fraction (default 0.25)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (for noisy runners)")
+    parser.add_argument("--track", metavar="REGEX", default=None,
+                        help="benchmark names matching REGEX are trajectory "
+                             "rows: their drift is printed but never fails "
+                             "the gate (e.g. '^BM_sparse_')")
     parser.add_argument("--inject-slowdown", type=float, default=1.0, metavar="F",
                         help="multiply current times by F before comparing "
                              "(verifies the gate fires; CI asserts nonzero exit)")

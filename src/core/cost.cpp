@@ -1,5 +1,6 @@
 #include "core/cost.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -78,18 +79,16 @@ graph::WeightFn recharging_weight(const Instance& instance, const std::vector<in
   };
 }
 
-DenseRechargingWeight::DenseRechargingWeight(const Instance& instance,
-                                             const std::vector<int>& deployment)
+RechargingWeight::RechargingWeight(const Instance& instance,
+                                   const std::vector<int>& deployment)
     : instance_(&instance),
-      tx_(instance.tx_cost_matrix().data()),
-      stride_(static_cast<std::size_t>(instance.tx_stride())),
       rx_(instance.rx_energy()),
       bs_(instance.graph().base_station()),
       inv_eff_(static_cast<std::size_t>(instance.num_posts())) {
   assign(deployment);
 }
 
-void DenseRechargingWeight::assign(const std::vector<int>& deployment) {
+void RechargingWeight::assign(const std::vector<int>& deployment) {
   if (deployment.size() != inv_eff_.size()) {
     throw std::invalid_argument("deployment size does not match the instance");
   }
@@ -98,16 +97,29 @@ void DenseRechargingWeight::assign(const std::vector<int>& deployment) {
   }
 }
 
-void DenseRechargingWeight::set_node_count(int post, int m) {
+void RechargingWeight::set_node_count(int post, int m) {
   inv_eff_.at(static_cast<std::size_t>(post)) = 1.0 / instance_->charging().efficiency(m);
 }
 
-DenseEnergyWeight::DenseEnergyWeight(const Instance& instance, bool include_rx)
-    : tx_(instance.tx_cost_matrix().data()),
-      stride_(static_cast<std::size_t>(instance.tx_stride())),
+graph::WeightBounds RechargingWeight::bounds() const {
+  const auto [min_it, max_it] = std::minmax_element(inv_eff_.begin(), inv_eff_.end());
+  const auto& adj = instance_->adjacency();
+  // Every weight is tx*inv_from (+ rx*inv_to off-base), so the extremes of
+  // the packed tx range times the extremes of the efficiency table bound it.
+  return graph::WeightBounds{adj.min_tx() * *min_it,
+                             adj.max_tx() * *max_it + rx_ * *max_it};
+}
+
+EnergyWeight::EnergyWeight(const Instance& instance, bool include_rx)
+    : instance_(&instance),
       rx_(instance.rx_energy()),
       bs_(instance.graph().base_station()),
       include_rx_(include_rx) {}
+
+graph::WeightBounds EnergyWeight::bounds() const {
+  const auto& adj = instance_->adjacency();
+  return graph::WeightBounds{adj.min_tx(), adj.max_tx() + (include_rx_ ? rx_ : 0.0)};
+}
 
 double optimal_cost_for_deployment(const Instance& instance, const std::vector<int>& deployment) {
   CostEvalScratch scratch;

@@ -43,14 +43,19 @@ graph::WeightFn energy_weight(const Instance& instance, bool include_rx = false)
 /// deployment and *prices* it.
 graph::WeightFn recharging_weight(const Instance& instance, const std::vector<int>& deployment);
 
-/// Concrete-type counterpart of `recharging_weight` over the instance's
-/// dense tx-cost cache: same values, but a flat-array read the templated
-/// Dijkstra inlines instead of a std::function dispatch per relaxation.
+/// Concrete-type counterpart of `recharging_weight` for the templated
+/// Dijkstra.  The hot form is the 3-argument packed-tx call: the relaxation
+/// loops stream each edge's tx energy from the ReachAdjacency arrays, so
+/// evaluating a weight is one multiply with no (N+1)^2 matrix behind it --
+/// which is what lets sparse-path solves skip the dense tx cache entirely.
+/// The 2-argument form stays for cold random-access call sites (RFH sibling
+/// merging, ad-hoc lambdas) and looks the edge up through the instance.
 /// Rebindable with zero allocation -- a single-node move a -> b updates
-/// exactly the two touched efficiencies via `set_node_count`.
-class DenseRechargingWeight {
+/// exactly the two touched efficiencies via `set_node_count` -- and exposes
+/// `bounds()` so `DijkstraVariant::kAuto` can pick the bucket queue.
+class RechargingWeight {
  public:
-  DenseRechargingWeight(const Instance& instance, const std::vector<int>& deployment);
+  RechargingWeight(const Instance& instance, const std::vector<int>& deployment);
 
   /// Rebinds every post's efficiency to `deployment` (no allocation).
   void assign(const std::vector<int>& deployment);
@@ -58,20 +63,28 @@ class DenseRechargingWeight {
   void set_node_count(int post, int m);
   const Instance& instance() const noexcept { return *instance_; }
 
-  double operator()(int from, int to) const noexcept {
-    // `from` is always a post here: the reversed-edge Dijkstra never relaxes
-    // an edge out of the base station (it settles first), and the tight-edge
-    // scan only prices post -> * edges -- same contract as recharging_weight.
-    double w = tx_[static_cast<std::size_t>(from) * stride_ + static_cast<std::size_t>(to)] *
-               inv_eff_[static_cast<std::size_t>(from)];
+  /// Packed-tx hot path: `tx` is the per-edge transmit energy streamed from
+  /// the adjacency arrays.  `from` is always a post here: the reversed-edge
+  /// Dijkstra never relaxes an edge out of the base station (it settles
+  /// first), and the tight-edge scan only prices post -> * edges -- same
+  /// contract as recharging_weight.
+  double operator()(int from, int to, double tx) const noexcept {
+    double w = tx * inv_eff_[static_cast<std::size_t>(from)];
     if (to != bs_) w += rx_ * inv_eff_[static_cast<std::size_t>(to)];
     return w;
   }
 
+  /// Cold random-access form; throws when the pair is unreachable.
+  double operator()(int from, int to) const {
+    return (*this)(from, to, instance_->tx_energy(from, to));
+  }
+
+  /// Conservative weight bounds for the current efficiency table -- the
+  /// bucket Dijkstra sizes its queue from these.  O(num_posts).
+  graph::WeightBounds bounds() const;
+
  private:
   const Instance* instance_;
-  const double* tx_;
-  std::size_t stride_;
   double rx_;
   int bs_;
   std::vector<double> inv_eff_;  // 1/(k(m) eta), indexed by post
@@ -79,32 +92,47 @@ class DenseRechargingWeight {
 
 /// Concrete-type counterpart of `energy_weight` (same values) for the
 /// templated Dijkstra: w = tx energy, plus e_r when `include_rx` and the
-/// receiver is not the base station.
-class DenseEnergyWeight {
+/// receiver is not the base station.  Same packed-tx/random-access split as
+/// RechargingWeight.
+class EnergyWeight {
  public:
-  DenseEnergyWeight(const Instance& instance, bool include_rx);
+  EnergyWeight(const Instance& instance, bool include_rx);
 
-  double operator()(int from, int to) const noexcept {
-    double w = tx_[static_cast<std::size_t>(from) * stride_ + static_cast<std::size_t>(to)];
+  double operator()(int /*from*/, int to, double tx) const noexcept {
+    double w = tx;
     if (include_rx_ && to != bs_) w += rx_;
     return w;
   }
 
+  double operator()(int from, int to) const {
+    return (*this)(from, to, instance_->tx_energy(from, to));
+  }
+
+  graph::WeightBounds bounds() const;
+
  private:
-  const double* tx_;
-  std::size_t stride_;
+  const Instance* instance_;
   double rx_;
   int bs_;
   bool include_rx_;
 };
 
+/// Historical names, kept so out-of-tree call sites and docs migrate at
+/// their own pace ("dense" no longer describes the storage behind them).
+using DenseRechargingWeight = RechargingWeight;
+using DenseEnergyWeight = EnergyWeight;
+
 /// Reusable deployment-pricing state: one Dijkstra run's buffers plus the
-/// rebindable dense weight.  Lets callers price thousands of deployments
-/// with zero steady-state allocation; use one per thread in parallel loops
-/// (the buffers are not synchronized).
+/// rebindable weight.  Lets callers price thousands of deployments with
+/// zero steady-state allocation; use one per thread in parallel loops (the
+/// buffers are not synchronized).  Construct with a BumpArena to keep the
+/// vertex-sized buffers in per-solve arena memory.
 struct CostEvalScratch {
+  CostEvalScratch() = default;
+  explicit CostEvalScratch(util::BumpArena& arena) : dijkstra(arena) {}
+
   graph::DijkstraScratch dijkstra;
-  std::optional<DenseRechargingWeight> weight;  // bound lazily per instance
+  std::optional<RechargingWeight> weight;  // bound lazily per instance
 };
 
 /// Total recharging cost of the *optimal* routing for a fixed deployment:

@@ -8,6 +8,7 @@
 #include "core/idb.hpp"
 #include "core/pricer.hpp"
 #include "obs/progress.hpp"
+#include "util/arena.hpp"
 #include "util/timer.hpp"
 
 namespace wrsn::core {
@@ -185,7 +186,12 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
   // One full Dijkstra at the all-ones root; every branch decision after this
   // is an incremental repair.  (Construction throws InfeasibleInstance when a
   // post cannot reach the base -- previously surfaced at the first leaf.)
-  DeploymentPricer pricer(instance, std::vector<int>(static_cast<std::size_t>(n), 1));
+  // The pricer's repair buffers live in a search-scoped arena.
+  util::BumpArena arena;
+  DeploymentPricer::Options pricer_options;
+  pricer_options.arena = &arena;
+  DeploymentPricer pricer(instance, std::vector<int>(static_cast<std::size_t>(n), 1),
+                          pricer_options);
 
   SearchState state;
   state.instance = &instance;

@@ -3,6 +3,7 @@
 #include "core/pricer.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 
 #include <stdexcept>
 
@@ -52,10 +53,17 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
 
   int remaining = instance.spare_nodes();
 
+  // Solve-scoped arena: the pricer's repair buffers and the multiset
+  // sweep's Dijkstra scratch all bump-allocate here and are released in one
+  // free when the solve returns (util/arena.hpp).
+  util::BumpArena arena;
+
   if (options.delta == 1) {
     // Fast path: price each one-node addition incrementally instead of
     // re-running Dijkstra per candidate (see core/pricer.hpp).
-    DeploymentPricer pricer(instance, deployment);
+    DeploymentPricer::Options pricer_options;
+    pricer_options.arena = &arena;
+    DeploymentPricer pricer(instance, deployment, pricer_options);
     while (remaining > 0) {
       int best_post = -1;
       double best_cost = graph::kInfinity;
@@ -83,7 +91,7 @@ IdbResult solve_idb(const Instance& instance, const IdbOptions& options) {
   // One scratch + one tentative buffer for the whole delta > 1 sweep: the
   // multiset loop prices thousands of candidates and must not allocate or
   // rebuild weight tables per candidate.
-  CostEvalScratch scratch;
+  CostEvalScratch scratch(arena);
   std::vector<int> tentative;
   while (remaining > 0) {
     const int batch = std::min(options.delta, remaining);

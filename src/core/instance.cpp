@@ -1,6 +1,23 @@
 #include "core/instance.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
 namespace wrsn::core {
+
+namespace {
+
+// Peak-tracking gauges: instance construction can happen on several threads
+// (parallel experiment trials), so keep the read-modify-write tolerant --
+// losing a race between two near-equal peaks is acceptable for a telemetry
+// high-water mark.
+void note_peak(const char* name, double bytes) {
+  obs::Gauge& gauge = obs::Registry::global().gauge(name);
+  if (bytes > gauge.value()) gauge.set(bytes);
+}
+
+}  // namespace
 
 Instance::Instance(std::optional<geom::Field> field, graph::ReachGraph graph,
                    energy::RadioModel radio, energy::ChargingModel charging, int num_nodes,
@@ -35,20 +52,30 @@ Instance::Instance(std::optional<geom::Field> field, graph::ReachGraph graph,
     if (s != 0.0) uniform_workload_ = false;
   }
 
-  // Dense edge-cost cache + adjacency: paid once here, read by every
-  // Dijkstra relaxation afterwards.
-  const int nv = graph_.num_vertices();
-  tx_cost_.assign(static_cast<std::size_t>(nv) * static_cast<std::size_t>(nv),
+  // CSR adjacency with packed per-edge tx energies: paid once here, streamed
+  // by every Dijkstra relaxation afterwards.  The dense (N+1)^2 tx matrix is
+  // *not* built here -- only on first dense-path use (tx_cost_matrix()).
+  tx_cache_ = std::make_shared<TxCache>();
+  adjacency_ = graph::ReachAdjacency(graph_, radio_);
+  note_peak("instance/adjacency_bytes", static_cast<double>(adjacency_.bytes()));
+}
+
+const std::vector<double>& Instance::tx_cost_matrix() const {
+  std::call_once(tx_cache_->once, [this] {
+    const int nv = graph_.num_vertices();
+    auto& matrix = tx_cache_->matrix;
+    matrix.assign(static_cast<std::size_t>(nv) * static_cast<std::size_t>(nv),
                   std::numeric_limits<double>::infinity());
-  for (int from = 0; from < nv; ++from) {
-    for (int to = 0; to < nv; ++to) {
-      const int level = graph_.min_level(from, to);
-      if (level == graph::ReachGraph::kUnreachable) continue;
-      tx_cost_[static_cast<std::size_t>(from) * static_cast<std::size_t>(nv) +
+    for (int from = 0; from < nv; ++from) {
+      graph_.for_each_out_edge(from, [&](int to, int level) {
+        matrix[static_cast<std::size_t>(from) * static_cast<std::size_t>(nv) +
                static_cast<std::size_t>(to)] = radio_.tx_energy(level);
+      });
     }
-  }
-  adjacency_ = graph::ReachAdjacency(graph_);
+    note_peak("instance/tx_matrix_bytes",
+              static_cast<double>(matrix.size() * sizeof(double)));
+  });
+  return tx_cache_->matrix;
 }
 
 Instance Instance::geometric(geom::Field field, energy::RadioModel radio,
@@ -69,12 +96,14 @@ double Instance::tx_energy(int from, int to) const {
   if (from < 0 || from >= nv || to < 0 || to >= nv) {
     throw std::out_of_range("ReachGraph vertex out of range");
   }
-  const double e = tx_cost_[static_cast<std::size_t>(from) * static_cast<std::size_t>(nv) +
-                            static_cast<std::size_t>(to)];
-  if (!(e < std::numeric_limits<double>::infinity())) {
+  // Level lookup + per-level energy instead of a matrix read: same doubles
+  // (the matrix entries are radio_.tx_energy(level) themselves), but this
+  // path never triggers the lazy n^2 build.
+  const int level = graph_.min_level(from, to);
+  if (level == graph::ReachGraph::kUnreachable) {
     throw std::invalid_argument("tx_energy: target unreachable");
   }
-  return e;
+  return radio_.tx_energy(level);
 }
 
 }  // namespace wrsn::core

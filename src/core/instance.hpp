@@ -8,6 +8,8 @@
 #pragma once
 
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -64,19 +66,23 @@ class Instance {
 
   /// Dense per-bit tx-energy cache, row-major over all (from, to) vertex
   /// pairs with stride `tx_stride()`; unreachable pairs hold +infinity.
-  /// Built once at construction so the Dijkstra inner loops read one flat
-  /// array instead of paying a min_level lookup + level-energy call per
-  /// edge relaxation (docs/performance.md).
-  const std::vector<double>& tx_cost_matrix() const noexcept { return tx_cost_; }
+  /// Built lazily (thread-safe) on first call: the solver hot paths now
+  /// stream per-edge tx energies from the packed `adjacency()` arrays, so a
+  /// sparse-path solve at large N never pays this n^2 allocation.  The
+  /// `instance/tx_matrix_bytes` gauge records the peak bytes actually built
+  /// (docs/performance.md).
+  const std::vector<double>& tx_cost_matrix() const;
   /// Row stride of `tx_cost_matrix()` (== graph().num_vertices()).
   int tx_stride() const noexcept { return graph_.num_vertices(); }
   /// Pointer to `from`'s row of the cache: row[to] = tx energy or +infinity.
+  /// Triggers the lazy build like `tx_cost_matrix()`.
   const double* tx_cost_row(int from) const {
-    return tx_cost_.data() +
+    return tx_cost_matrix().data() +
            static_cast<std::size_t>(from) * static_cast<std::size_t>(tx_stride());
   }
-  /// Reachable-neighbor adjacency lists, built once at construction and
-  /// shared by every Dijkstra run over this instance.
+  /// Reachable-neighbor CSR adjacency with packed per-edge tx energies,
+  /// built once at construction and shared by every Dijkstra run over this
+  /// instance.
   const graph::ReachAdjacency& adjacency() const noexcept { return adjacency_; }
 
   /// Post p's relative report rate (1.0 in the paper's uniform setting).
@@ -92,6 +98,14 @@ class Instance {
   Instance(std::optional<geom::Field> field, graph::ReachGraph graph, energy::RadioModel radio,
            energy::ChargingModel charging, int num_nodes, Workload workload);
 
+  // Lazily built dense tx matrix.  Heap-held so Instance stays movable
+  // (std::once_flag is not); copies share the cache, which is safe because
+  // the matrix is immutable once built.
+  struct TxCache {
+    std::once_flag once;
+    std::vector<double> matrix;  // (N+1)^2 row-major, +inf when absent
+  };
+
   std::optional<geom::Field> field_;
   graph::ReachGraph graph_;
   energy::RadioModel radio_;
@@ -101,7 +115,7 @@ class Instance {
   std::vector<double> static_energy_;
   bool uniform_workload_ = true;
   double total_report_rate_ = 0.0;
-  std::vector<double> tx_cost_;        // (N+1)^2 row-major, +inf when absent
+  std::shared_ptr<TxCache> tx_cache_;
   graph::ReachAdjacency adjacency_;
 };
 

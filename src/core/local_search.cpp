@@ -5,6 +5,7 @@
 #include "obs/progress.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
@@ -67,9 +68,12 @@ struct Candidate {
 
 // One per worker: pricing buffers plus a private deployment copy (kFull) or
 // a private dynamic pricer (kIncremental), so the parallel batch touches no
-// shared mutable state.
+// shared mutable state.  Each worker owns a bump arena feeding its scratch
+// and pricer buffers; `contexts` is sized once and never reallocated, so the
+// arena's address stays stable for the allocators that point at it.
 struct EvalContext {
-  CostEvalScratch scratch;
+  util::BumpArena arena;
+  CostEvalScratch scratch{arena};
   std::vector<int> deployment;
   std::optional<DeploymentPricer> pricer;
   /// Committed moves already replayed into `pricer`.
@@ -103,7 +107,9 @@ void price_chunk_incremental(const Instance& instance, const std::vector<int>& s
   static obs::Counter& incremental_evals =
       obs::Registry::global().counter("ls/incremental_evals");
   if (!ctx.pricer.has_value()) {
-    ctx.pricer.emplace(instance, start);
+    DeploymentPricer::Options pricer_options;
+    pricer_options.arena = &ctx.arena;
+    ctx.pricer.emplace(instance, start, pricer_options);
     ctx.synced = 0;
   }
   while (ctx.synced < committed.size()) {

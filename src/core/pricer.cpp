@@ -24,17 +24,26 @@ void note_full_fallback() noexcept {
 
 // Concrete weight functor over a pricer-owned efficiency table, for the
 // templated full-recompute Dijkstra (same arithmetic as
-// DeploymentPricer::weight_with and core::DenseRechargingWeight).
+// DeploymentPricer::weight_with and core::RechargingWeight).  Packed-tx
+// form only: the templated loops always stream the per-edge tx energy, so
+// no dense matrix sits behind this.
 struct TableWeight {
   const Instance* instance;
   const std::vector<double>* inv;
   int bs;
   double rx;
 
-  double operator()(int from, int to) const noexcept {
-    double w = instance->tx_cost_row(from)[to] * (*inv)[static_cast<std::size_t>(from)];
+  double operator()(int from, int to, double tx) const noexcept {
+    double w = tx * (*inv)[static_cast<std::size_t>(from)];
     if (to != bs) w += rx * (*inv)[static_cast<std::size_t>(to)];
     return w;
+  }
+
+  graph::WeightBounds bounds() const {
+    const auto [min_it, max_it] = std::minmax_element(inv->begin(), inv->end());
+    const auto& adj = instance->adjacency();
+    return graph::WeightBounds{adj.min_tx() * *min_it,
+                               adj.max_tx() * *max_it + rx * *max_it};
   }
 };
 
@@ -49,7 +58,16 @@ DeploymentPricer::DeploymentPricer(const Instance& instance, std::vector<int> de
       options_(options),
       bs_(instance.graph().base_station()),
       rx_(instance.rx_energy()),
-      deployment_(std::move(deployment)) {
+      deployment_(std::move(deployment)),
+      child_offset_(util::ArenaAllocator<int>(options.arena)),
+      child_list_(util::ArenaAllocator<int>(options.arena)),
+      sources_(util::ArenaAllocator<int>(options.arena)),
+      region_(util::ArenaAllocator<int>(options.arena)),
+      in_region_(util::ArenaAllocator<char>(options.arena)),
+      heap_(util::ArenaAllocator<std::pair<double, int>>(options.arena)),
+      settled_(util::ArenaAllocator<char>(options.arena)),
+      full_scratch_(options.arena != nullptr ? graph::DijkstraScratch(*options.arena)
+                                             : graph::DijkstraScratch()) {
   const int n = instance.num_posts();
   if (static_cast<int>(deployment_.size()) != n) {
     throw std::invalid_argument("deployment size does not match the instance");
@@ -117,9 +135,12 @@ void DeploymentPricer::full_recompute(const std::vector<double>& inv,
       }
       if (u < 0) break;  // everything reachable is settled
       settled_[static_cast<std::size_t>(u)] = 1;
-      for (int v : adj.in(u)) {
+      const auto in = adj.in(u);
+      const double* in_tx = adj.in_tx(u);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const int v = in[i];
         if (v == bs_ || settled_[static_cast<std::size_t>(v)]) continue;
-        const double cand = weight_with(inv, v, u) + du;
+        const double cand = weight_with(inv, v, u, in_tx[i]) + du;
         if (cand < dist[static_cast<std::size_t>(v)]) dist[static_cast<std::size_t>(v)] = cand;
       }
     }
@@ -129,10 +150,13 @@ void DeploymentPricer::full_recompute(const std::vector<double>& inv,
       if (!std::isfinite(dist[static_cast<std::size_t>(p)])) continue;
       int best = -1;
       double best_cost = graph::kInfinity;
-      for (int u : adj.out(p)) {
+      const auto out = adj.out(p);
+      const double* out_tx = adj.out_tx(p);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const int u = out[i];
         const double du = dist[static_cast<std::size_t>(u)];
         if (!std::isfinite(du)) continue;
-        const double cand = weight_with(inv, p, u) + du;
+        const double cand = weight_with(inv, p, u, out_tx[i]) + du;
         if (cand < best_cost) {
           best_cost = cand;
           best = u;
@@ -149,7 +173,7 @@ void DeploymentPricer::full_recompute(const std::vector<double>& inv,
   if (!reachable) {
     throw InfeasibleInstance("some post cannot reach the base station");
   }
-  dist = full_scratch_.dist;
+  dist.assign(full_scratch_.dist.begin(), full_scratch_.dist.end());
   if (parents == nullptr) return;
   // Rebuild one strict-argmin tight parent per post.  The argmin (not a
   // tolerance-tight first match) keeps decremental repair regions honest:
@@ -161,10 +185,13 @@ void DeploymentPricer::full_recompute(const std::vector<double>& inv,
   for (int p = 0; p < n; ++p) {
     int best = -1;
     double best_cost = graph::kInfinity;
-    for (int u : adj.out(p)) {
+    const auto out = adj.out(p);
+    const double* out_tx = adj.out_tx(p);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const int u = out[i];
       const double du = dist[static_cast<std::size_t>(u)];
       if (!std::isfinite(du)) continue;
-      const double cand = weight_with(inv, p, u) + du;
+      const double cand = weight_with(inv, p, u, out_tx[i]) + du;
       if (cand < best_cost) {
         best_cost = cand;
         best = u;
@@ -175,7 +202,7 @@ void DeploymentPricer::full_recompute(const std::vector<double>& inv,
   }
 }
 
-void DeploymentPricer::improve_relax(const std::vector<int>& sources,
+void DeploymentPricer::improve_relax(const util::ArenaVector<int>& sources,
                                      const std::vector<double>& inv,
                                      std::vector<double>& dist,
                                      std::vector<int>* parents) const {
@@ -192,10 +219,13 @@ void DeploymentPricer::improve_relax(const std::vector<int>& sources,
     {
       double best = dist[static_cast<std::size_t>(j)];
       int best_parent = -1;
-      for (int u : adj.out(j)) {
+      const auto out = adj.out(j);
+      const double* out_tx = adj.out_tx(j);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const int u = out[i];
         const double du = dist[static_cast<std::size_t>(u)];
         if (!std::isfinite(du)) continue;
-        const double cand = weight_with(inv, j, u) + du;
+        const double cand = weight_with(inv, j, u, out_tx[i]) + du;
         if (cand < best) {
           best = cand;
           best_parent = u;
@@ -209,9 +239,12 @@ void DeploymentPricer::improve_relax(const std::vector<int>& sources,
     }
     // Seed 2: hops into j got cheaper (receive term), even if dist(j) is
     // unchanged.
-    for (int v : adj.in(j)) {
+    const auto in = adj.in(j);
+    const double* in_tx = adj.in_tx(j);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const int v = in[i];
       if (v == bs_) continue;
-      const double cand = weight_with(inv, v, j) + dist[static_cast<std::size_t>(j)];
+      const double cand = weight_with(inv, v, j, in_tx[i]) + dist[static_cast<std::size_t>(j)];
       if (cand < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = cand;
         if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = j;
@@ -226,9 +259,12 @@ void DeploymentPricer::improve_relax(const std::vector<int>& sources,
     const auto [d, u] = heap_.back();
     heap_.pop_back();
     if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
-    for (int v : adj.in(u)) {
+    const auto in = adj.in(u);
+    const double* in_tx = adj.in_tx(u);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const int v = in[i];
       if (v == bs_) continue;
-      const double cand = weight_with(inv, v, u) + dist[static_cast<std::size_t>(u)];
+      const double cand = weight_with(inv, v, u, in_tx[i]) + dist[static_cast<std::size_t>(u)];
       if (cand < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = cand;
         if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = u;
@@ -307,11 +343,14 @@ void DeploymentPricer::repair_increase(int a, const std::vector<double>& inv,
   for (int v : region_) {
     double best = graph::kInfinity;
     int best_parent = -1;
-    for (int u : adj.out(v)) {
+    const auto out = adj.out(v);
+    const double* out_tx = adj.out_tx(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const int u = out[i];
       if (in_region_[static_cast<std::size_t>(u)]) continue;
       const double du = dist[static_cast<std::size_t>(u)];
       if (!std::isfinite(du)) continue;
-      const double cand = weight_with(inv, v, u) + du;
+      const double cand = weight_with(inv, v, u, out_tx[i]) + du;
       if (cand < best) {
         best = cand;
         best_parent = u;
@@ -331,9 +370,12 @@ void DeploymentPricer::repair_increase(int a, const std::vector<double>& inv,
     const auto [d, u] = heap_.back();
     heap_.pop_back();
     if (d > dist[static_cast<std::size_t>(u)] * (1.0 + 1e-15)) continue;  // stale
-    for (int v : adj.in(u)) {
+    const auto in = adj.in(u);
+    const double* in_tx = adj.in_tx(u);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const int v = in[i];
       if (v == bs_ || !in_region_[static_cast<std::size_t>(v)]) continue;
-      const double cand = weight_with(inv, v, u) + dist[static_cast<std::size_t>(u)];
+      const double cand = weight_with(inv, v, u, in_tx[i]) + dist[static_cast<std::size_t>(u)];
       if (cand < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = cand;
         if (parents != nullptr) (*parents)[static_cast<std::size_t>(v)] = u;

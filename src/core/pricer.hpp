@@ -57,6 +57,10 @@ class DeploymentPricer {
     double full_recompute_fraction = 0.5;
     /// Inner-loop variant for full recomputes (construction and fallback).
     graph::DijkstraVariant variant = graph::DijkstraVariant::kAuto;
+    /// When set, the pricer's reusable repair/evaluation buffers live in
+    /// this arena (one arena per worker, same lifetime discipline as the
+    /// pricer itself; see util/arena.hpp).
+    util::BumpArena* arena = nullptr;
   };
 
   /// `deployment` must have one entry >= 1 per post. Runs one full Dijkstra.
@@ -110,8 +114,11 @@ class DeploymentPricer {
  private:
   // Edge weight under the efficiency table `inv`: the charging-aware
   // w(u,v) = e_tx(u,v)/(k(m_u) eta) + [v != base] e_r/(k(m_v) eta).
-  double weight_with(const std::vector<double>& inv, int u, int v) const {
-    double w = instance_->tx_cost_row(u)[v] * inv[static_cast<std::size_t>(u)];
+  // `tx` is the per-edge transmit energy streamed from the packed
+  // ReachAdjacency arrays -- every caller sits inside an adjacency loop, so
+  // the dense tx matrix is never touched (the sparse-path contract).
+  double weight_with(const std::vector<double>& inv, int u, int v, double tx) const {
+    double w = tx * inv[static_cast<std::size_t>(u)];
     if (v != bs_) w += rx_ * inv[static_cast<std::size_t>(v)];
     return w;
   }
@@ -119,7 +126,7 @@ class DeploymentPricer {
   /// Improve-only relaxation seeded at `sources` (posts whose efficiency
   /// just improved): restores the fixpoint after weight decreases.  Updates
   /// `parents` when non-null.
-  void improve_relax(const std::vector<int>& sources, const std::vector<double>& inv,
+  void improve_relax(const util::ArenaVector<int>& sources, const std::vector<double>& inv,
                      std::vector<double>& dist, std::vector<int>* parents) const;
   /// Decremental repair after a weight increase at post `a`: invalidates
   /// a's parent-tree subtree, re-seeds it, and reruns a bounded Dijkstra
@@ -155,19 +162,20 @@ class DeploymentPricer {
 
   // Children lists of the committed parent tree (CSR layout), rebuilt
   // lazily: candidate evaluations between two commits share one build.
-  mutable std::vector<int> child_offset_;
-  mutable std::vector<int> child_list_;
+  // Arena-backed (Options::arena) together with the repair buffers below.
+  mutable util::ArenaVector<int> child_offset_;
+  mutable util::ArenaVector<int> child_list_;
   mutable bool children_stale_ = true;
 
   // Reusable buffers for candidate evaluation and repair.  They make the
   // const pricing methods non-reentrant: one pricer per thread.
   mutable std::vector<double> scratch_dist_;
   mutable std::vector<double> scratch_inv_;
-  mutable std::vector<int> sources_;
-  mutable std::vector<int> region_;
-  mutable std::vector<char> in_region_;
-  mutable std::vector<std::pair<double, int>> heap_;
-  mutable std::vector<char> settled_;  // for the disabled-aware dense Dijkstra
+  mutable util::ArenaVector<int> sources_;
+  mutable util::ArenaVector<int> region_;
+  mutable util::ArenaVector<char> in_region_;
+  mutable util::ArenaVector<std::pair<double, int>> heap_;
+  mutable util::ArenaVector<char> settled_;  // for the disabled-aware dense Dijkstra
   mutable graph::DijkstraScratch full_scratch_;
 };
 

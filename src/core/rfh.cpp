@@ -25,7 +25,7 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
   bool stale = false;
   static obs::Counter& rebuilds = obs::Registry::global().counter("rfh/closure_rebuilds");
   const auto refresh = [&] {
-    reach = graph::compute_dag_reach(dag);
+    graph::compute_dag_reach(dag, reach);  // in place: reuses the bitsets
     stale = false;
     rebuilds.increment();
   };
@@ -68,9 +68,10 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
     // {p} union descendants(p): reports from p's subtree must pass through p.
     const graph::Bitset& desc_p = reach.descendants[static_cast<std::size_t>(p)];
     bool any_deleted = false;
-    for (int d = 0; d < n_posts; ++d) {
-      if (!desc_p.test(static_cast<std::size_t>(d))) continue;
-      auto& parents = dag.parents[static_cast<std::size_t>(d)];
+    // Descendant sets are usually far smaller than n, so walk their set
+    // bits instead of probing every post.
+    desc_p.for_each_set_bit([&](std::size_t d) {
+      auto& parents = dag.parents[d];
       const auto keep = [&](int q) {
         return q == p || (q != bs && desc_p.test(static_cast<std::size_t>(q)));
       };
@@ -82,7 +83,7 @@ graph::RoutingTree trim_fat_tree(graph::ShortestPathDag& dag) {
       if (parents.empty()) {
         throw std::logic_error("Phase II disconnected a post (bug in trimming)");
       }
-    }
+    });
     // Deletions shrink upstream workloads (the paper's "positions in the
     // queue may have to be changed"); later selections refresh on demand.
     if (any_deleted) stale = true;
@@ -190,9 +191,10 @@ RfhResult solve_rfh(const Instance& instance, const RfhOptions& options) {
   for (int iter = 0; iter < options.iterations; ++iter) {
     WRSN_TRACE_SPAN("rfh/iteration");
     // Phase I weights: plain per-bit energy on the first pass, true
-    // recharging cost (charging-aware) once a deployment exists.  Both read
-    // the instance's dense tx-cost cache; the recharging weight is rebound
-    // in place instead of rebuilt per iteration.
+    // recharging cost (charging-aware) once a deployment exists.  Both
+    // stream per-edge tx energies from the CSR adjacency (no dense matrix);
+    // the recharging weight is rebound in place instead of rebuilt per
+    // iteration.
     const bool charging_aware = !deployment.empty();
     if (charging_aware) {
       if (recharging.has_value()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "geom/grid_index.hpp"
+
 namespace wrsn::geom {
 
 Point base_station_position(const FieldConfig& config) noexcept {
@@ -116,26 +118,26 @@ Field line_field(double length, int num_posts, double offset_y) {
 bool is_connected(const Field& field, double max_range) {
   const std::size_t n = field.posts.size();
   // Vertex n is the base station; BFS over the <= max_range adjacency.
+  // A uniform grid over all n+1 positions turns each neighbor scan from
+  // O(n) into O(local density), so the whole BFS is O(n * deg) -- the same
+  // spatial index ReachGraph's sparse builder uses.
+  std::vector<Point> positions = field.posts;
+  positions.push_back(field.base_station);
+  const GridIndex grid(positions, max_range > 0.0 ? max_range : 1.0);
   std::vector<char> seen(n + 1, 0);
   std::queue<std::size_t> frontier;
   frontier.push(n);
   seen[n] = 1;
-  const double range_sq = max_range * max_range;
-  auto position = [&](std::size_t v) {
-    return v == n ? field.base_station : field.posts[v];
-  };
   std::size_t reached = 0;
   while (!frontier.empty()) {
     const std::size_t u = frontier.front();
     frontier.pop();
     ++reached;
-    for (std::size_t v = 0; v <= n; ++v) {
-      if (seen[v]) continue;
-      if (distance_squared(position(u), position(v)) <= range_sq) {
-        seen[v] = 1;
-        frontier.push(v);
-      }
-    }
+    grid.for_each_in_radius(positions[u], max_range, [&](int v, double /*d2*/) {
+      if (seen[static_cast<std::size_t>(v)]) return;
+      seen[static_cast<std::size_t>(v)] = 1;
+      frontier.push(static_cast<std::size_t>(v));
+    });
   }
   return reached == n + 1;
 }

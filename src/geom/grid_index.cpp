@@ -1,0 +1,69 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wrsn::geom {
+
+GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("GridIndex: cell_size must be positive");
+  }
+  if (points_.empty()) {
+    cell_offset_.assign(2, 0);
+    return;
+  }
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  double max_x = points_[0].x;
+  double max_y = points_[0].y;
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  cols_ = std::max(1, static_cast<int>(std::floor((max_x - min_x_) / cell_size_)) + 1);
+  rows_ = std::max(1, static_cast<int>(std::floor((max_y - min_y_) / cell_size_)) + 1);
+
+  const std::size_t num_cells = static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  // Counting sort of point ids by cell keeps ascending order within a cell.
+  std::vector<int> counts(num_cells + 1, 0);
+  std::vector<int> cell_of(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const int cx = clamp_col(cell_col(points_[i].x));
+    const int cy = clamp_row(cell_row(points_[i].y));
+    const int cell = cy * cols_ + cx;
+    cell_of[i] = cell;
+    ++counts[static_cast<std::size_t>(cell) + 1];
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  cell_offset_ = counts;
+  point_ids_.resize(points_.size());
+  std::vector<int> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    point_ids_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cell_of[i])]++)] =
+        static_cast<int>(i);
+  }
+}
+
+void GridIndex::collect_in_radius(Point center, double radius, int exclude_index,
+                                  std::vector<int>& out) const {
+  out.clear();
+  for_each_in_radius(center, radius, [&](int id, double) {
+    if (id != exclude_index) out.push_back(id);
+  });
+  std::sort(out.begin(), out.end());
+}
+
+int GridIndex::cell_col(double x) const noexcept {
+  return static_cast<int>(std::floor((x - min_x_) / cell_size_));
+}
+
+int GridIndex::cell_row(double y) const noexcept {
+  return static_cast<int>(std::floor((y - min_y_) / cell_size_));
+}
+
+}  // namespace wrsn::geom

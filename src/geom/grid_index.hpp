@@ -1,0 +1,90 @@
+// Uniform-grid spatial index over field points.
+//
+// The paper's reachability structure is local: an edge (u, v) exists only
+// when dist(u, v) <= d_max (the radio's largest level range), so candidate
+// neighbors of a point all live within a d_max-radius disc.  Hashing points
+// into square cells of side >= d_max turns the O(n^2) all-pairs scan of
+// `ReachGraph::from_field` / `geom::is_connected` into an O(n * deg) sweep:
+// a radius query inspects only the 3x3 block of cells around the query
+// point.  Cells are stored CSR-style (offsets + one flat id array), so the
+// index costs O(n) memory, builds in O(n), and queries allocate nothing.
+//
+// Determinism: `point_ids` within a cell keep ascending insertion order, and
+// `for_each_in_radius` walks cells row-major -- callers that need a globally
+// ascending candidate order (ReachGraph construction does, for bit-identical
+// adjacency lists) sort the handful of survivors per query.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace wrsn::geom {
+
+/// Immutable uniform grid over a fixed point set.  The points are referenced
+/// by index; the caller keeps the coordinate array alive (one copy is kept
+/// internally to make queries self-contained and cache-friendly).
+class GridIndex {
+ public:
+  /// Indexes `points` with square cells of side `cell_size` (> 0).  Use the
+  /// query radius (d_max) as the cell size so every radius query touches at
+  /// most a 3x3 cell block.
+  GridIndex(const std::vector<Point>& points, double cell_size);
+
+  int num_points() const noexcept { return static_cast<int>(points_.size()); }
+  double cell_size() const noexcept { return cell_size_; }
+  int columns() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+
+  /// Invokes `fn(index, distance_squared)` for every indexed point within
+  /// `radius` of `center` (inclusive), in cell-major / insertion order.
+  /// The center itself is reported too when it is an indexed point --
+  /// callers filter self-matches by index.
+  template <class Fn>
+  void for_each_in_radius(Point center, double radius, Fn&& fn) const {
+    if (points_.empty() || radius < 0.0) return;
+    const double r2 = radius * radius;
+    const int cx_lo = clamp_col(cell_col(center.x - radius));
+    const int cx_hi = clamp_col(cell_col(center.x + radius));
+    const int cy_lo = clamp_row(cell_row(center.y - radius));
+    const int cy_hi = clamp_row(cell_row(center.y + radius));
+    for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+        const std::size_t cell = static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+                                 static_cast<std::size_t>(cx);
+        const int begin = cell_offset_[cell];
+        const int end = cell_offset_[cell + 1];
+        for (int i = begin; i < end; ++i) {
+          const int id = point_ids_[static_cast<std::size_t>(i)];
+          const double d2 = distance_squared(points_[static_cast<std::size_t>(id)], center);
+          if (d2 <= r2) fn(id, d2);
+        }
+      }
+    }
+  }
+
+  /// Appends every index within `radius` of `center` (excluding
+  /// `exclude_index`, pass -1 to keep all) to `out`, then sorts ascending.
+  /// Convenience wrapper for callers that need deterministic ascending
+  /// candidate lists; `out` is cleared first.
+  void collect_in_radius(Point center, double radius, int exclude_index,
+                         std::vector<int>& out) const;
+
+ private:
+  int cell_col(double x) const noexcept;
+  int cell_row(double y) const noexcept;
+  int clamp_col(int c) const noexcept { return c < 0 ? 0 : (c >= cols_ ? cols_ - 1 : c); }
+  int clamp_row(int r) const noexcept { return r < 0 ? 0 : (r >= rows_ ? rows_ - 1 : r); }
+
+  std::vector<Point> points_;
+  std::vector<int> cell_offset_;  // cols*rows + 1 entries, CSR over point_ids_
+  std::vector<int> point_ids_;    // ascending within each cell
+  double cell_size_ = 1.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int cols_ = 1;
+  int rows_ = 1;
+};
+
+}  // namespace wrsn::geom

@@ -8,15 +8,22 @@
 //
 // Two ways to supply edge weights:
 //   * the templated overloads take any callable by concrete type, so the
-//     compiler inlines the weight into the relaxation loop (the solver hot
-//     paths pass core::DenseRechargingWeight, a flat-array read);
+//     compiler inlines the weight into the relaxation loop.  A 3-argument
+//     callable `w(from, to, tx)` receives the per-edge transmit energy
+//     packed inside the ReachAdjacency, streamed in lockstep with the
+//     neighbor ids (the solver hot paths pass core::RechargingWeight this
+//     way -- no (N+1)^2 matrix behind it); a plain 2-argument callable
+//     still works and looks the edge up itself.
 //   * the `WeightFn` (std::function) overload is kept as a thin adapter for
 //     cold call sites and ad-hoc lambdas.
 // The templated overloads also take a prebuilt `ReachAdjacency` so repeated
-// runs over one graph skip the O(N^2) reachability probing, and offer a
-// dense O(N^2) no-heap variant that wins on the high-degree graphs the
-// paper's geometric fields produce (see docs/performance.md for the
-// crossover).  All variants produce bit-identical results.
+// runs over one graph skip the O(N^2) reachability probing, and offer three
+// inner loops: a binary heap, a dense O(N^2) no-heap settle scan, and a
+// bucket-queue (Dial) variant that exploits the narrow edge-weight range the
+// paper's small discrete level set produces.  `DijkstraVariant::kAuto` picks
+// dense on high-degree graphs, buckets when the weight advertises usable
+// `bounds()`, and the heap otherwise (docs/performance.md has the
+// crossovers).  All variants produce bit-identical results.
 #pragma once
 
 #include <algorithm>
@@ -24,11 +31,13 @@
 #include <functional>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "graph/bitset.hpp"
 #include "graph/reach_graph.hpp"
+#include "util/arena.hpp"
 
 namespace wrsn::graph {
 
@@ -37,6 +46,20 @@ namespace wrsn::graph {
 using WeightFn = std::function<double(int from, int to)>;
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Global bounds on the edge weights a weight callable can produce for the
+/// *current* weight state.  Weight classes expose these via a `bounds()`
+/// member; the bucket Dijkstra sizes its queue from them.  Bounds must be
+/// conservative: every weight returned during the run must lie inside
+/// [min_weight, max_weight].
+struct WeightBounds {
+  double min_weight = 0.0;
+  double max_weight = kInfinity;
+  bool usable() const noexcept {
+    return min_weight > 0.0 && std::isfinite(min_weight) && std::isfinite(max_weight) &&
+           max_weight >= min_weight;
+  }
+};
 
 /// The shortest-path DAG toward the base station ("fat tree").
 struct ShortestPathDag {
@@ -54,18 +77,32 @@ struct ShortestPathDag {
 
 /// Which inner loop a Dijkstra run uses.
 enum class DijkstraVariant {
-  kAuto,   ///< dense when the graph is dense enough (detail::prefer_dense)
-  kHeap,   ///< binary heap, O(E log V) -- wins on sparse graphs
-  kDense,  ///< no-heap linear-scan settle, O(V^2 + E) -- wins on dense ones
+  kAuto,    ///< dense when the graph is dense enough, else bucket when the
+            ///< weight advertises usable bounds(), else heap
+  kHeap,    ///< binary heap, O(E log V) -- the sparse-graph generalist
+  kDense,   ///< no-heap linear-scan settle, O(V^2 + E) -- wins on dense ones
+  kBucket,  ///< Dial bucket queue, O(E + buckets) -- wins on sparse graphs
+            ///< with a narrow weight range; falls back to the heap when the
+            ///< weight has no usable bounds()
 };
 
 /// Reusable buffers for repeated Dijkstra runs over one graph; at steady
 /// state a run performs zero allocations.  One per thread in parallel
-/// callers (buffers are not synchronized).
+/// callers (buffers are not synchronized).  Construct with a BumpArena to
+/// keep the vertex-sized arrays in per-solve arena memory.
 struct DijkstraScratch {
-  std::vector<double> dist;
-  std::vector<char> settled;
-  std::vector<std::pair<double, int>> heap;  // heap-variant storage
+  DijkstraScratch() = default;
+  explicit DijkstraScratch(util::BumpArena& arena)
+      : dist(util::ArenaAllocator<double>(arena)),
+        settled(util::ArenaAllocator<char>(arena)),
+        heap(util::ArenaAllocator<std::pair<double, int>>(arena)) {}
+
+  util::ArenaVector<double> dist;
+  util::ArenaVector<char> settled;
+  util::ArenaVector<std::pair<double, int>> heap;  // heap-variant storage
+  // Bucket-variant storage (kept on the global heap: the outer vector is
+  // resized rarely and the inner ones retain capacity across runs).
+  std::vector<std::vector<std::pair<double, int>>> buckets;
 };
 
 namespace detail {
@@ -77,9 +114,12 @@ inline bool prefer_dense(double avg_degree, int num_vertices) noexcept {
   return avg_degree * 8.0 >= static_cast<double>(num_vertices);
 }
 
-/// Bumps the obs counters dijkstra/{dense,heap}_runs (defined in the .cpp
-/// so this header stays free of obs includes).
-void note_run(bool dense) noexcept;
+/// Which inner loop actually ran, for the obs counters.
+enum class ResolvedVariant { kDense, kHeap, kBucket };
+
+/// Bumps the obs counters dijkstra/{dense,heap,dial}_runs (defined in the
+/// .cpp so this header stays free of obs includes).
+void note_run(ResolvedVariant v) noexcept;
 
 inline void check_weight(double w) {
   if (!(w > 0.0) || !std::isfinite(w)) {
@@ -91,6 +131,67 @@ inline bool tight_edge(double dist_v, double dist_u, double weight, double rel_e
   const double via = dist_u + weight;
   const double scale = std::max({std::fabs(dist_v), std::fabs(via), 1e-300});
   return std::fabs(dist_v - via) <= rel_eps * scale;
+}
+
+/// Detects the packed-tx weight form `w(from, to, tx)`.
+template <class WeightT>
+constexpr bool takes_packed_tx_v =
+    std::is_invocable_r_v<double, const WeightT&, int, int, double>;
+
+/// Evaluates the weight of edge from -> to; `tx` points at the packed
+/// per-edge tx array (index i), or nullptr when the adjacency packed none.
+template <class WeightT>
+inline double eval_weight(const WeightT& weight, int from, int to, const double* tx,
+                          std::size_t i) {
+  if constexpr (takes_packed_tx_v<WeightT>) {
+    return weight(from, to, tx[i]);
+  } else {
+    (void)tx;
+    (void)i;
+    return weight(from, to);
+  }
+}
+
+template <class WeightT>
+concept HasWeightBounds = requires(const WeightT& w) {
+  { w.bounds() } -> std::convertible_to<WeightBounds>;
+};
+
+template <class WeightT>
+inline WeightBounds weight_bounds(const WeightT& weight) {
+  if constexpr (HasWeightBounds<WeightT>) {
+    return weight.bounds();
+  } else {
+    return WeightBounds{};  // unusable -> bucket selection declines
+  }
+}
+
+/// Hard cap on the bucket count: graphs whose weight range is wider fall
+/// back to the heap rather than allocating an unbounded queue.
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+
+/// Bucket width is *half* the minimum edge weight: a relaxation then jumps
+/// >= 2 buckets in exact arithmetic, so even worst-case floating-point
+/// rounding of the bucket index (<= 1 off) can never land a new candidate
+/// in the bucket currently being drained -- which is what makes settling a
+/// bucket in arbitrary order exact, hence bit-identical to the heap.
+inline std::size_t bucket_count(const WeightBounds& b) noexcept {
+  if (!b.usable()) return 0;
+  const double ratio = 2.0 * b.max_weight / b.min_weight;
+  if (!(ratio < static_cast<double>(kMaxBuckets - 3))) return 0;
+  return static_cast<std::size_t>(ratio) + 3;
+}
+
+/// Throws when a packed-tx weight is paired with an adjacency that packed
+/// no tx energies (the arrays the weight form relies on do not exist).
+template <class WeightT>
+inline void require_tx(const ReachAdjacency& adj) {
+  if constexpr (takes_packed_tx_v<WeightT>) {
+    if (!adj.has_tx()) {
+      throw std::invalid_argument(
+          "packed-tx weight requires a ReachAdjacency built with a radio");
+    }
+  }
 }
 
 }  // namespace detail
@@ -106,18 +207,28 @@ bool shortest_distances_to_base(const ReachGraph& graph, const ReachAdjacency& a
                                 DijkstraVariant variant = DijkstraVariant::kAuto) {
   const int n = graph.num_vertices();
   const int bs = graph.base_station();
+  detail::require_tx<WeightT>(adj);
   auto& dist = scratch.dist;
   auto& settled = scratch.settled;
   dist.assign(static_cast<std::size_t>(n), kInfinity);
   settled.assign(static_cast<std::size_t>(n), 0);
   dist[static_cast<std::size_t>(bs)] = 0.0;
 
-  const bool dense = variant == DijkstraVariant::kDense ||
-                     (variant == DijkstraVariant::kAuto &&
-                      detail::prefer_dense(adj.avg_degree(), n));
-  detail::note_run(dense);
+  using detail::ResolvedVariant;
+  ResolvedVariant resolved = ResolvedVariant::kHeap;
+  WeightBounds wb;
+  std::size_t num_buckets = 0;
+  if (variant == DijkstraVariant::kDense ||
+      (variant == DijkstraVariant::kAuto && detail::prefer_dense(adj.avg_degree(), n))) {
+    resolved = ResolvedVariant::kDense;
+  } else if (variant == DijkstraVariant::kBucket || variant == DijkstraVariant::kAuto) {
+    wb = detail::weight_bounds(weight);
+    num_buckets = detail::bucket_count(wb);
+    resolved = num_buckets > 0 ? ResolvedVariant::kBucket : ResolvedVariant::kHeap;
+  }
+  detail::note_run(resolved);
 
-  if (dense) {
+  if (resolved == ResolvedVariant::kDense) {
     for (int round = 0; round < n; ++round) {
       int u = -1;
       double best = kInfinity;
@@ -130,15 +241,61 @@ bool shortest_distances_to_base(const ReachGraph& graph, const ReachAdjacency& a
       if (u < 0) break;  // the rest is unreachable
       settled[static_cast<std::size_t>(u)] = 1;
       const double d = dist[static_cast<std::size_t>(u)];
-      for (int v : adj.in(u)) {
+      const auto in = adj.in(u);
+      const double* tx = adj.in_tx(u);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const int v = in[i];
         if (settled[static_cast<std::size_t>(v)]) continue;
-        const double w = weight(v, u);
+        const double w = detail::eval_weight(weight, v, u, tx, i);
         detail::check_weight(w);
         const double candidate = d + w;
         if (candidate < dist[static_cast<std::size_t>(v)]) {
           dist[static_cast<std::size_t>(v)] = candidate;
         }
       }
+    }
+  } else if (resolved == ResolvedVariant::kBucket) {
+    // Dial's algorithm over real weights: tentative distances of pending
+    // vertices span at most max_weight, so a circular array of
+    // ceil(max/width) + slack buckets indexed by floor(d / width) (mod size)
+    // is a faithful monotone priority queue.  Stale entries are skipped by
+    // the exact d != dist[v] test, same as the heap's lazy deletions.
+    auto& buckets = scratch.buckets;
+    if (buckets.size() < num_buckets) buckets.resize(num_buckets);
+    for (auto& b : buckets) b.clear();
+    const double inv_width = 2.0 / wb.min_weight;  // 1 / (min_weight / 2)
+    std::size_t cur = 0;  // global bucket counter, monotone
+    std::size_t pending = 1;
+    buckets[0].emplace_back(0.0, bs);
+    while (pending > 0) {
+      std::size_t skip = 0;
+      while (buckets[(cur + skip) % num_buckets].empty()) ++skip;
+      cur += skip;
+      auto& bucket = buckets[cur % num_buckets];
+      while (!bucket.empty()) {
+        const auto [d, u] = bucket.back();
+        bucket.pop_back();
+        --pending;
+        if (settled[static_cast<std::size_t>(u)]) continue;
+        if (d != dist[static_cast<std::size_t>(u)]) continue;  // stale
+        settled[static_cast<std::size_t>(u)] = 1;
+        const auto in = adj.in(u);
+        const double* tx = adj.in_tx(u);
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          const int v = in[i];
+          if (settled[static_cast<std::size_t>(v)]) continue;
+          const double w = detail::eval_weight(weight, v, u, tx, i);
+          detail::check_weight(w);
+          const double candidate = d + w;
+          if (candidate < dist[static_cast<std::size_t>(v)]) {
+            dist[static_cast<std::size_t>(v)] = candidate;
+            buckets[static_cast<std::size_t>(candidate * inv_width) % num_buckets]
+                .emplace_back(candidate, v);
+            ++pending;
+          }
+        }
+      }
+      ++cur;
     }
   } else {
     auto& heap = scratch.heap;
@@ -150,9 +307,12 @@ bool shortest_distances_to_base(const ReachGraph& graph, const ReachAdjacency& a
       heap.pop_back();
       if (settled[static_cast<std::size_t>(u)]) continue;
       settled[static_cast<std::size_t>(u)] = 1;
-      for (int v : adj.in(u)) {
+      const auto in = adj.in(u);
+      const double* tx = adj.in_tx(u);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const int v = in[i];
         if (settled[static_cast<std::size_t>(v)]) continue;
-        const double w = weight(v, u);
+        const double w = detail::eval_weight(weight, v, u, tx, i);
         detail::check_weight(w);
         const double candidate = d + w;
         if (candidate < dist[static_cast<std::size_t>(v)]) {
@@ -185,7 +345,7 @@ ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const ReachAdjac
   dag.base_station = bs;
   dag.all_posts_reachable =
       shortest_distances_to_base(graph, adj, weight, scratch, variant);
-  dag.dist = std::move(scratch.dist);
+  dag.dist.assign(scratch.dist.begin(), scratch.dist.end());
   dag.parents.assign(static_cast<std::size_t>(n), {});
 
   // Tight-predecessor extraction: v keeps every next hop on some shortest
@@ -194,9 +354,12 @@ ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const ReachAdjac
   for (int v = 0; v < n; ++v) {
     if (v == bs) continue;
     if (!std::isfinite(dag.dist[static_cast<std::size_t>(v)])) continue;
-    for (int u : adj.out(v)) {
+    const auto out = adj.out(v);
+    const double* tx = adj.out_tx(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const int u = out[i];
       if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
-      const double w = weight(v, u);
+      const double w = detail::eval_weight(weight, v, u, tx, i);
       if (detail::tight_edge(dag.dist[static_cast<std::size_t>(v)],
                              dag.dist[static_cast<std::size_t>(u)], w, rel_tie_eps)) {
         dag.parents[static_cast<std::size_t>(v)].push_back(u);
@@ -207,9 +370,11 @@ ShortestPathDag shortest_paths_to_base(const ReachGraph& graph, const ReachAdjac
       // split a tie; fall back to the strict argmin so the DAG stays usable.
       int best = -1;
       double best_cost = kInfinity;
-      for (int u : adj.out(v)) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const int u = out[i];
         if (!std::isfinite(dag.dist[static_cast<std::size_t>(u)])) continue;
-        const double cost = dag.dist[static_cast<std::size_t>(u)] + weight(v, u);
+        const double cost =
+            dag.dist[static_cast<std::size_t>(u)] + detail::eval_weight(weight, v, u, tx, i);
         if (cost < best_cost) {
           best_cost = cost;
           best = u;
@@ -240,5 +405,11 @@ struct DagReach {
 /// must point from larger to strictly smaller `dist` (guaranteed for DAGs
 /// produced by shortest_paths_to_base, preserved by edge deletion).
 DagReach compute_dag_reach(const ShortestPathDag& dag);
+
+/// In-place variant: recomputes the closure into `reach`, reusing its
+/// bitset storage when the shape matches.  RFH Phase II refreshes the
+/// closure once per trimming step in the worst case; reallocating ~2n
+/// n-bit sets per refresh dominated whole solves at 1e4 posts.
+void compute_dag_reach(const ShortestPathDag& dag, DagReach& reach);
 
 }  // namespace wrsn::graph

@@ -1,0 +1,57 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace wrsn::util {
+
+BumpArena::BumpArena(std::size_t initial_chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(initial_chunk_bytes, 256)) {}
+
+BumpArena::~BumpArena() {
+  for (Chunk& chunk : chunks_) ::operator delete(chunk.data);
+}
+
+BumpArena::Chunk& BumpArena::grow(std::size_t min_bytes) {
+  // Later chunks may already be large enough (after a reset the front-to-back
+  // walk revisits them); otherwise carve a fresh one.
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    chunks_[active_].used = 0;
+    if (chunks_[active_].capacity >= min_bytes) return chunks_[active_];
+  }
+  const std::size_t capacity = std::max(min_bytes, next_chunk_bytes_);
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  Chunk chunk;
+  chunk.data = static_cast<char*>(::operator new(capacity));
+  chunk.capacity = capacity;
+  chunks_.push_back(chunk);
+  bytes_reserved_ += capacity;
+  active_ = chunks_.size() - 1;
+  return chunks_[active_];
+}
+
+void* BumpArena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  if (chunks_.empty()) grow(bytes + alignment);
+  Chunk* chunk = &chunks_[active_];
+  std::uintptr_t base = reinterpret_cast<std::uintptr_t>(chunk->data) + chunk->used;
+  std::size_t padding = (alignment - (base & (alignment - 1))) & (alignment - 1);
+  if (chunk->used + padding + bytes > chunk->capacity) {
+    chunk = &grow(bytes + alignment);
+    base = reinterpret_cast<std::uintptr_t>(chunk->data) + chunk->used;
+    padding = (alignment - (base & (alignment - 1))) & (alignment - 1);
+  }
+  void* result = chunk->data + chunk->used + padding;
+  chunk->used += padding + bytes;
+  bytes_allocated_ += bytes;
+  return result;
+}
+
+void BumpArena::reset() noexcept {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace wrsn::util

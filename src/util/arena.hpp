@@ -1,0 +1,126 @@
+// Monotonic bump allocation for per-solve scratch state.
+//
+// Solver entry points (local search workers, IDB, the exact search, repeated
+// pricing loops) build a family of scratch buffers whose lifetimes all end
+// together when the solve returns.  Allocating each of them through the
+// global heap churns the allocator at large N -- every worker touches dozens
+// of vectors whose peak sizes are only discovered mid-solve.  A BumpArena
+// turns that into pointer arithmetic: allocation bumps a cursor inside a
+// chunk, deallocation is a no-op, and the whole solve's memory is released
+// (or recycled via `reset()`) in one step when the arena dies.
+//
+// `ArenaAllocator<T>` adapts the arena to the standard allocator interface
+// so the existing scratch structs keep their `std::vector` ergonomics:
+// `util::ArenaVector<double> dist{arena}` grows inside the arena, while a
+// default-constructed allocator (no arena) falls back to the global heap --
+// one vector type serves both the arena-backed hot paths and the plain
+// call sites.  Vector regrowth abandons the old block inside the arena
+// (bounded by the usual geometric-growth constant), which is the deal an
+// arena makes: no per-block frees, no fragmentation bookkeeping.
+//
+// Thread safety: none.  One arena per worker, same as the scratch structs
+// it feeds (see core::CostEvalScratch, graph::DijkstraScratch).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace wrsn::util {
+
+/// Chunked monotonic allocator.  Chunks double geometrically from
+/// `initial_chunk_bytes` up to `kMaxChunkBytes`; oversized requests get a
+/// dedicated chunk.
+class BumpArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 8 * 1024 * 1024;
+
+  explicit BumpArena(std::size_t initial_chunk_bytes = kDefaultChunkBytes);
+  ~BumpArena();
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `alignment` (a power of two).
+  /// Never returns nullptr; throws std::bad_alloc on exhaustion.
+  void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t));
+
+  /// Recycles every chunk: subsequent allocations reuse the existing
+  /// memory front to back.  Invalidates everything previously allocated --
+  /// callers must not reset while arena-backed containers are still alive.
+  void reset() noexcept;
+
+  /// Total bytes handed out since construction/reset (excludes padding).
+  std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  /// Total bytes of chunk capacity currently owned.
+  std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+
+ private:
+  struct Chunk {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk& grow(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunks_[active_] is the bump target
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// Standard-allocator adapter over a BumpArena.  A default-constructed
+/// allocator (null arena) uses the global heap, so one container type works
+/// with and without an arena behind it.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(BumpArena& arena) noexcept : arena_(&arena) {}
+  explicit ArenaAllocator(BumpArena* arena) noexcept : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by reset()/destruction.
+  }
+
+  ArenaAllocator select_on_container_copy_construction() const noexcept { return *this; }
+
+  BumpArena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  BumpArena* arena_ = nullptr;
+};
+
+/// std::vector whose storage may live in a BumpArena (or the heap when the
+/// allocator is default-constructed).
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace wrsn::util

@@ -1,0 +1,124 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace wrsn::util {
+namespace {
+
+TEST(BumpArena, AllocationsAreAlignedAndDisjoint) {
+  BumpArena arena;
+  std::vector<std::pair<char*, std::size_t>> blocks;
+  for (std::size_t bytes : {1u, 3u, 8u, 64u, 1000u}) {
+    auto* p = static_cast<char*>(arena.allocate(bytes, 8));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    std::memset(p, 0xAB, bytes);  // must be writable without clobbering others
+    blocks.emplace_back(p, bytes);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const bool disjoint = blocks[i].first + blocks[i].second <= blocks[j].first ||
+                            blocks[j].first + blocks[j].second <= blocks[i].first;
+      EXPECT_TRUE(disjoint) << "blocks " << i << " and " << j << " overlap";
+    }
+  }
+  EXPECT_GE(arena.bytes_allocated(), std::size_t{1 + 3 + 8 + 64 + 1000});
+}
+
+TEST(BumpArena, HonorsWideAlignments) {
+  BumpArena arena(128);
+  arena.allocate(1, 1);  // misalign the cursor
+  for (std::size_t alignment : {2u, 16u, 64u, 256u}) {
+    auto* p = arena.allocate(alignment, alignment);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignment, 0u);
+  }
+}
+
+TEST(BumpArena, GrowsBeyondInitialChunk) {
+  BumpArena arena(64);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ptrs.push_back(static_cast<char*>(arena.allocate(48, 8)));
+  }
+  // All 100 blocks stay valid simultaneously.
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    std::memset(ptrs[i], static_cast<int>(i & 0xFF), 48);
+  }
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(ptrs[i][0]), i & 0xFF);
+    EXPECT_EQ(static_cast<unsigned char>(ptrs[i][47]), i & 0xFF);
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(BumpArena, OversizedRequestGetsServed) {
+  BumpArena arena(64);
+  const std::size_t big = 3 * BumpArena::kMaxChunkBytes;
+  auto* p = static_cast<char*>(arena.allocate(big, 64));
+  ASSERT_NE(p, nullptr);
+  p[0] = 1;
+  p[big - 1] = 2;
+  EXPECT_GE(arena.bytes_reserved(), big);
+}
+
+TEST(BumpArena, ResetRecyclesWithoutNewReservation) {
+  BumpArena arena(1024);
+  for (int i = 0; i < 50; ++i) arena.allocate(512, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  // The same workload after reset reuses the chunks already owned.
+  for (int i = 0; i < 50; ++i) arena.allocate(512, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaAllocator, VectorGrowsInsideArena) {
+  BumpArena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0LL), 10000LL * 9999 / 2);
+  EXPECT_GE(arena.bytes_allocated(), v.capacity() * sizeof(int));
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  ArenaVector<double> v;  // default allocator: no arena behind it
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 999.0);
+}
+
+TEST(ArenaAllocator, EqualityIsArenaIdentity) {
+  BumpArena a;
+  BumpArena b;
+  EXPECT_EQ(ArenaAllocator<int>(a), ArenaAllocator<int>(a));
+  EXPECT_NE(ArenaAllocator<int>(a), ArenaAllocator<int>(b));
+  EXPECT_NE(ArenaAllocator<int>(a), ArenaAllocator<int>());
+  EXPECT_EQ(ArenaAllocator<int>(), ArenaAllocator<int>());
+  // Rebinding conversion preserves the arena.
+  const ArenaAllocator<int> ints(a);
+  const ArenaAllocator<char> chars(ints);
+  EXPECT_EQ(chars.arena(), &a);
+}
+
+TEST(ArenaAllocator, AssignBetweenArenaAndHeapVectorsWorks) {
+  // propagate_on_* are all false: assignment copies elements, each side
+  // keeps its own allocator -- the pattern the pricer relies on when
+  // copying Dijkstra scratch distances into caller-owned vectors.
+  BumpArena arena;
+  ArenaVector<double> in_arena{ArenaAllocator<double>(arena)};
+  in_arena.assign({1.0, 2.0, 3.0});
+  std::vector<double> on_heap(in_arena.begin(), in_arena.end());
+  EXPECT_EQ(on_heap, (std::vector<double>{1.0, 2.0, 3.0}));
+  in_arena.assign(on_heap.begin(), on_heap.end());
+  EXPECT_EQ(in_arena.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wrsn::util

@@ -1,0 +1,119 @@
+#include "geom/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "util/rng.hpp"
+
+namespace wrsn::geom {
+namespace {
+
+/// Brute-force oracle: every index within `radius` of `center`, ascending.
+std::vector<int> brute_force_in_radius(const std::vector<Point>& points, Point center,
+                                       double radius, int exclude) {
+  std::vector<int> out;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    if (distance_squared(points[i], center) <= r2) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(GridIndex, MatchesBruteForceOnRandomFields) {
+  util::Rng rng(20260809);
+  std::vector<int> got;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.uniform_int(1, 200);
+    const double extent = rng.uniform(10.0, 400.0);
+    std::vector<Point> points;
+    points.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+    }
+    const double radius = rng.uniform(1.0, extent * 0.6);
+    const GridIndex grid(points, radius);
+
+    // Query from every indexed point (the from_field pattern) and from a few
+    // arbitrary centers, including ones outside the bounding box.
+    for (int q = 0; q < n; ++q) {
+      grid.collect_in_radius(points[static_cast<std::size_t>(q)], radius, q, got);
+      EXPECT_EQ(got, brute_force_in_radius(points, points[static_cast<std::size_t>(q)], radius, q))
+          << "trial " << trial << " query " << q;
+    }
+    for (int q = 0; q < 5; ++q) {
+      const Point center{rng.uniform(-extent, 2.0 * extent), rng.uniform(-extent, 2.0 * extent)};
+      grid.collect_in_radius(center, radius, -1, got);
+      EXPECT_EQ(got, brute_force_in_radius(points, center, radius, -1));
+    }
+  }
+}
+
+TEST(GridIndex, RadiusBoundaryIsInclusive) {
+  // Post pairs at exactly the query radius must be reported: the reach
+  // condition is dist <= d_max, and dropping boundary pairs would silently
+  // delete edges the dense oracle keeps.
+  const std::vector<Point> points{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0001, 0.0}};
+  const GridIndex grid(points, 10.0);
+  std::vector<int> got;
+  grid.collect_in_radius(points[0], 10.0, 0, got);
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(GridIndex, ForEachReportsSquaredDistances) {
+  const std::vector<Point> points{{0.0, 0.0}, {3.0, 4.0}};
+  const GridIndex grid(points, 5.0);
+  int calls = 0;
+  grid.for_each_in_radius(points[0], 5.0, [&](int id, double d2) {
+    ++calls;
+    if (id == 0) {
+      EXPECT_DOUBLE_EQ(d2, 0.0);
+    }
+    if (id == 1) {
+      EXPECT_DOUBLE_EQ(d2, 25.0);
+    }
+  });
+  EXPECT_EQ(calls, 2);  // the center itself is reported too
+}
+
+TEST(GridIndex, SinglePointAndTinyRadius) {
+  const std::vector<Point> points{{5.0, 5.0}};
+  const GridIndex grid(points, 0.5);
+  std::vector<int> got;
+  grid.collect_in_radius({5.0, 5.0}, 0.0, -1, got);
+  EXPECT_EQ(got, (std::vector<int>{0}));
+  grid.collect_in_radius({7.0, 5.0}, 0.5, -1, got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(GridIndex, EmptyPointSetQueriesReturnNothing) {
+  const GridIndex grid(std::vector<Point>{}, 1.0);
+  EXPECT_EQ(grid.num_points(), 0);
+  std::vector<int> got{1, 2, 3};
+  grid.collect_in_radius({0.0, 0.0}, 100.0, -1, got);
+  EXPECT_TRUE(got.empty());  // cleared, nothing appended
+}
+
+TEST(GridIndex, RejectsNonPositiveCellSize) {
+  const std::vector<Point> points{{0.0, 0.0}};
+  EXPECT_THROW(GridIndex(points, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex(points, -1.0), std::invalid_argument);
+}
+
+TEST(GridIndex, CollinearAndCoincidentPoints) {
+  // Degenerate bounding boxes (zero height; duplicate coordinates) must not
+  // lose points to cell-index edge cases.
+  std::vector<Point> points;
+  for (int i = 0; i < 50; ++i) points.push_back({static_cast<double>(i % 10), 0.0});
+  const GridIndex grid(points, 2.5);
+  std::vector<int> got;
+  grid.collect_in_radius({4.0, 0.0}, 2.5, -1, got);
+  EXPECT_EQ(got, brute_force_in_radius(points, {4.0, 0.0}, 2.5, -1));
+}
+
+}  // namespace
+}  // namespace wrsn::geom
