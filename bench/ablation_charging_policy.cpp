@@ -1,0 +1,148 @@
+// Ablation A6: charging-policy comparison (Google Benchmark).
+//
+// Co-simulates one planned network under every registered charging policy
+// at two post-destruction hazard levels and reports, per policy, the
+// wall-clock cost of the co-simulation plus the outcomes that matter
+// (delivery ratio, dead nodes, RF energy per round, travel energy) as
+// benchmark counters.  The BM_policy_* rows are trajectory rows in CI
+// (scripts/bench_check.py --track '^BM_policy_'): their drift is printed,
+// never gated, because the interesting signal is the counters, not the
+// nanoseconds.
+//
+// Arg(0) = fault-free, Arg(10) = 1% per-round post-destruction hazard.
+//
+// Flags (before the --benchmark_* ones): --seed, --scale=default|paper
+// (paper doubles the field), --runs=<n> as --benchmark_repetitions.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/charger_placement.hpp"
+#include "core/rfh.hpp"
+#include "obs/build_info.hpp"
+#include "sim/charger_sim.hpp"
+#include "sim/charging_policy.hpp"
+#include "sim/network_sim.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+std::int64_t g_seed = 42;
+int g_posts = 12;
+int g_nodes = 40;
+std::uint64_t g_rounds = 400;
+
+struct Plan {
+  core::Instance instance;
+  core::Solution solution;
+};
+
+const Plan& plan() {
+  static const Plan fixture = [] {
+    util::Rng rng(static_cast<std::uint64_t>(g_seed));
+    core::Instance inst =
+        bench::make_paper_instance(g_posts, g_nodes, 200.0, 3, rng);
+    core::Solution solution = core::solve_rfh(inst).solution;
+    return Plan{std::move(inst), std::move(solution)};
+  }();
+  return fixture;
+}
+
+sim::NetworkConfig network_config(double hazard) {
+  sim::NetworkConfig config;
+  config.bits_per_report = 4096;
+  config.battery_capacity_j = 0.02;
+  config.faults.seed = 77;
+  config.faults.post_destruction_hazard = hazard;
+  return config;
+}
+
+sim::ChargerConfig charger_config() {
+  sim::ChargerConfig config;
+  config.speed_mps = 10.0;
+  config.radiated_power_w = 50.0;
+  return config;
+}
+
+/// One policy co-simulation; `state.range(0)` is the hazard in per-mille.
+void run_policy(benchmark::State& state, const std::string& spec) {
+  const double hazard = static_cast<double>(state.range(0)) / 1000.0;
+  double delivery = 0.0;
+  double dead = 0.0;
+  double rf_per_round = 0.0;
+  double travel = 0.0;
+  for (auto _ : state) {
+    sim::NetworkSim network(plan().instance, plan().solution, network_config(hazard));
+    std::vector<sim::FixedCharger> fixed;
+    int fleet = 1;
+    if (spec == "fixed") {
+      core::PlacementConfig placement_cfg;
+      placement_cfg.coverage_radius_m = 50.0;
+      placement_cfg.radiated_power_w = 5.0;
+      placement_cfg.bits_per_round = 4096;
+      const core::PlacementResult placement =
+          core::place_chargers(plan().instance, plan().solution, placement_cfg);
+      fixed = sim::fixed_chargers_from(placement, placement_cfg.radiated_power_w,
+                                      placement_cfg.coverage_radius_m);
+      fleet = 0;
+    }
+    sim::ChargerSim charger(network, charger_config(), fleet,
+                            sim::make_charging_policy(spec), std::move(fixed));
+    charger.run(g_rounds);
+    delivery = network.delivery_ratio();
+    dead = network.dead_node_count();
+    rf_per_round =
+        (charger.stats().radiated_j + charger.stats().fixed_radiated_j) /
+        static_cast<double>(charger.stats().rounds);
+    travel = charger.stats().travel_j;
+    benchmark::DoNotOptimize(charger.stats().radiated_j);
+  }
+  state.counters["delivery"] = delivery;
+  state.counters["dead_nodes"] = dead;
+  state.counters["rf_per_round_mj"] = rf_per_round * 1e3;
+  state.counters["travel_j"] = travel;
+}
+
+void BM_policy_nearest_deficit(benchmark::State& state) {
+  run_policy(state, "nearest-deficit");
+}
+void BM_policy_threshold(benchmark::State& state) { run_policy(state, "threshold"); }
+void BM_policy_periodic(benchmark::State& state) {
+  run_policy(state, "periodic:every=15");
+}
+void BM_policy_lookahead(benchmark::State& state) { run_policy(state, "lookahead"); }
+void BM_policy_adaptive(benchmark::State& state) { run_policy(state, "adaptive"); }
+void BM_policy_fixed(benchmark::State& state) { run_policy(state, "fixed"); }
+
+BENCHMARK(BM_policy_nearest_deficit)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_policy_threshold)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_policy_periodic)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_policy_lookahead)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_policy_adaptive)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_policy_fixed)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  g_seed = args.seed;
+  g_posts = args.paper_scale() ? 24 : 12;
+  g_nodes = args.paper_scale() ? 80 : 40;
+  g_rounds = args.paper_scale() ? 1000 : 400;
+  std::vector<char*> bench_argv(argv, argv + argc);
+  std::string repetitions;
+  if (args.runs > 0) {
+    repetitions = "--benchmark_repetitions=" + std::to_string(args.runs);
+    bench_argv.push_back(repetitions.data());
+  }
+  benchmark::AddCustomContext("wrsn_build_type", wrsn::obs::build_info().build_type);
+  benchmark::AddCustomContext("wrsn_git_sha", wrsn::obs::build_info().git_sha);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

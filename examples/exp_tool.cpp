@@ -25,6 +25,7 @@
 #include "exp/spec.hpp"
 #include "io/obs_cli.hpp"
 #include "obs/report.hpp"
+#include "sim/charging_policy.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool timings = false;
   bool list_solvers = false;
+  bool list_policies = false;
+  std::vector<std::string> charging_policies;
 
   util::Flags flags;
   io::ObsCli obs_cli;
@@ -51,6 +54,11 @@ int main(int argc, char** argv) {
   flags.add_int("threads", &threads, "worker threads (0 = all cores); results identical");
   flags.add_bool("timings", &timings, "include nondeterministic seconds in artifacts");
   flags.add_bool("list-solvers", &list_solvers, "print the solver registry and exit");
+  flags.add_bool("list-policies", &list_policies,
+                 "print the charging-policy registry and exit");
+  flags.add_string_list("charging-policy", &charging_policies,
+                        "override the spec's policies_to_evaluate (repeatable; "
+                        "changes the fingerprint, so use a fresh checkpoint)");
   obs_cli.register_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
@@ -58,6 +66,15 @@ int main(int argc, char** argv) {
     if (list_solvers) {
       const auto& registry = core::SolverRegistry::global();
       util::Table table({"solver", "description"});
+      for (const std::string& name : registry.names()) {
+        table.begin_row().add(name).add(registry.help(name));
+      }
+      table.print_ascii(std::cout);
+      return 0;
+    }
+    if (list_policies) {
+      const auto& registry = sim::ChargingPolicyRegistry::global();
+      util::Table table({"policy", "description"});
       for (const std::string& name : registry.names()) {
         table.begin_row().add(name).add(registry.help(name));
       }
@@ -77,7 +94,11 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const exp::SweepSpec spec = exp::SweepSpec::load(spec_path);
+    exp::SweepSpec spec = exp::SweepSpec::load(spec_path);
+    if (!charging_policies.empty()) {
+      spec.policies_to_evaluate = charging_policies;
+      spec.validate();
+    }
     obs_cli.begin();
     exp::RunnerOptions options;
     options.threads = threads;
@@ -105,6 +126,35 @@ int main(int argc, char** argv) {
     std::cout << "== " << spec.name << ": "
               << exp::SweepSpec::fingerprint_hex(spec.fingerprint()) << " ==\n";
     summary.print_ascii(std::cout);
+
+    // Charging-policy comparison: one row per (config, solver, policy) cell,
+    // built from the pol<i>/* diagnostics the runner folded into each trial.
+    if (!spec.policies_to_evaluate.empty()) {
+      util::Table policy_table({"config", "solver", "policy", "mean delivery",
+                                "dead nodes", "visits", "RF/round [mJ]", "travel [J]"});
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (std::size_t s = 0; s < result.solver_names.size(); ++s) {
+          for (std::size_t i = 0; i < spec.policies_to_evaluate.size(); ++i) {
+            const std::string prefix = "pol" + std::to_string(i);
+            const auto stat = [&](const char* key) {
+              return result.diag_stats(static_cast<int>(c), static_cast<int>(s),
+                                       prefix + "/" + key);
+            };
+            policy_table.begin_row()
+                .add(configs[c].label())
+                .add(result.solver_names[s])
+                .add(spec.policies_to_evaluate[i])
+                .add(stat("delivery").mean(), 4)
+                .add(stat("dead_nodes").mean(), 2)
+                .add(stat("visits").mean(), 1)
+                .add(stat("radiated_per_round").mean() * 1e3, 4)
+                .add(stat("travel_j").mean(), 1);
+          }
+        }
+      }
+      std::cout << "\n== charging policies ==\n";
+      policy_table.print_ascii(std::cout);
+    }
 
     if (!csv_path.empty()) {
       if (csv_path == "-") {

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/charger_placement.hpp"
 #include "core/solver.hpp"
 #include "io/obs_cli.hpp"
 #include "io/serialize.hpp"
@@ -23,6 +24,8 @@
 #include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "sim/charger_sim.hpp"
+#include "sim/charging_policy.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/tour.hpp"
 #include "util/flags.hpp"
@@ -51,6 +54,10 @@ int main(int argc, char** argv) {
   std::int64_t sim_fault_seed = 7;
   int threads = 1;
   std::string ls_strategy = "first";
+  std::vector<std::string> charging_policies;
+  int policy_rounds = 2000;
+  double placement_radius = 50.0;
+  double placement_power = 5.0;
 
   util::Flags flags;
   io::ObsCli obs_cli;
@@ -76,6 +83,14 @@ int main(int argc, char** argv) {
   flags.add_int64("sim-fault-seed", &sim_fault_seed, "fault model RNG seed");
   flags.add_int("threads", &threads, "local-search pricing threads (0 = all cores)");
   flags.add_string("ls-strategy", &ls_strategy, "local-search move rule: first | best");
+  flags.add_string_list("charging-policy", &charging_policies,
+                        "charging-policy spec to co-simulate on the plan (repeatable; "
+                        "'fixed' uses the greedy charger placement)");
+  flags.add_int("policy-rounds", &policy_rounds, "reporting rounds per policy run");
+  flags.add_double("placement-radius", &placement_radius,
+                   "fixed-charger coverage radius [m] for the 'fixed' policy");
+  flags.add_double("placement-power", &placement_power,
+                   "fixed-charger RF power [W] for the 'fixed' policy");
   obs_cli.register_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
@@ -243,6 +258,68 @@ int main(int argc, char** argv) {
           .add("reroutes", static_cast<std::int64_t>(simulation.reroutes()))
           .add("repair_latency_mean_rounds", simulation.repair_latency_mean());
     }
+  }
+
+  // Charging-policy stage: co-simulate the plan under every requested policy
+  // (sim::ChargingPolicyRegistry specs) so the scheduling choice is priced
+  // next to the deployment itself.  The spec "fixed" runs zero mobile
+  // chargers over the greedy core::place_chargers placement.
+  if (!charging_policies.empty()) {
+    WRSN_TRACE_SPAN("plan/policies");
+    sim::ChargerConfig policy_charger;
+    policy_charger.radiated_power_w = charger_power;
+    policy_charger.speed_mps = charger_speed;
+    util::Table policy_table(
+        {"policy", "chargers", "alive", "deaths", "visits", "RF [J]", "travel [J]"});
+    run_report.begin_section("charging_policies").add("rounds", policy_rounds);
+    for (const std::string& policy_spec : charging_policies) {
+      try {
+        sim::NetworkConfig policy_net;
+        policy_net.bits_per_report = bits;
+        sim::NetworkSim policy_network(instance, solution, policy_net);
+        std::vector<sim::FixedCharger> fixed;
+        int mobile = 1;
+        std::string charger_count = "1 mobile";
+        if (policy_spec == "fixed" || policy_spec.rfind("fixed:", 0) == 0) {
+          core::PlacementConfig placement_cfg;
+          placement_cfg.coverage_radius_m = placement_radius;
+          placement_cfg.radiated_power_w = placement_power;
+          placement_cfg.round_period_s = policy_charger.round_period_s;
+          placement_cfg.bits_per_round = bits;
+          const core::PlacementResult placement =
+              core::place_chargers(instance, solution, placement_cfg);
+          fixed = sim::fixed_chargers_from(placement, placement_power, placement_radius);
+          mobile = 0;
+          charger_count = std::to_string(placement.chargers.size()) + " fixed";
+          run_report.add("placement_chargers",
+                         static_cast<std::int64_t>(placement.chargers.size()))
+              .add("placement_feasible", placement.feasible)
+              .add("placement_power_w", placement.total_power_w);
+        }
+        sim::ChargerSim policy_sim(policy_network, policy_charger, mobile,
+                                   sim::make_charging_policy(policy_spec),
+                                   std::move(fixed), &metrics_sink);
+        policy_sim.run(static_cast<std::uint64_t>(policy_rounds));
+        const sim::ChargerSimStats& stats = policy_sim.stats();
+        policy_table.begin_row()
+            .add(policy_spec)
+            .add(charger_count)
+            .add(stats.any_death ? "NO" : "yes")
+            .add(policy_network.dead_node_count())
+            .add(static_cast<long long>(stats.visits))
+            .add(stats.radiated_j + stats.fixed_radiated_j, 3)
+            .add(stats.travel_j, 1);
+        run_report.add(policy_spec + "/alive", !stats.any_death)
+            .add(policy_spec + "/visits", static_cast<std::int64_t>(stats.visits))
+            .add(policy_spec + "/radiated_j", stats.radiated_j + stats.fixed_radiated_j)
+            .add(policy_spec + "/travel_j", stats.travel_j);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "--charging-policy '%s': %s\n", policy_spec.c_str(),
+                     error.what());
+        return 1;
+      }
+    }
+    policy_table.print_ascii(std::cout);
   }
 
   // Artifacts.

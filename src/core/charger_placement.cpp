@@ -1,0 +1,123 @@
+#include "core/charger_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost.hpp"
+#include "geom/grid_index.hpp"
+
+namespace wrsn::core {
+
+PlacementResult place_chargers(const Instance& instance, const Solution& solution,
+                               const PlacementConfig& config) {
+  if (!instance.field()) {
+    throw std::invalid_argument("charger placement needs a geometric instance");
+  }
+  if (config.coverage_radius_m <= 0.0 || config.radiated_power_w <= 0.0 ||
+      config.round_period_s <= 0.0 || config.bits_per_round < 1 || config.max_duty <= 0.0) {
+    throw std::invalid_argument(
+        "placement radius, power, period, bits and max duty must be positive");
+  }
+  if (config.max_chargers < 0) {
+    throw std::invalid_argument("placement charger budget must be >= 0 (0 = unlimited)");
+  }
+
+  const int posts = instance.num_posts();
+  const std::vector<geom::Point>& positions = instance.field()->posts;
+  const std::vector<double> energy = per_post_energy(instance, solution.tree);
+
+  PlacementResult result;
+  result.covered_by.assign(static_cast<std::size_t>(posts), -1);
+  result.post_duty.resize(static_cast<std::size_t>(posts));
+
+  // Per-post demand and duty-cycle feasibility.
+  std::vector<char> feasible_post(static_cast<std::size_t>(posts), 0);
+  for (int p = 0; p < posts; ++p) {
+    const double demand_w = static_cast<double>(config.bits_per_round) *
+                            energy[static_cast<std::size_t>(p)] / config.round_period_s;
+    const int m = solution.deployment[static_cast<std::size_t>(p)];
+    const double absorbed_w =
+        instance.charging().efficiency(std::max(m, 1)) * config.radiated_power_w;
+    const double duty = demand_w / absorbed_w;
+    result.post_duty[static_cast<std::size_t>(p)] = duty;
+    feasible_post[static_cast<std::size_t>(p)] = duty <= config.max_duty;
+  }
+
+  // Candidate sites: occupied grid-cell centers (cell size = radius, so the
+  // center of a post's own cell is within cell*sqrt(2)/2 <= radius of it)
+  // followed by the post positions themselves.  First-seen order over
+  // ascending post index keeps the candidate list deterministic.
+  const geom::GridIndex grid(positions, config.coverage_radius_m);
+  double min_x = positions.empty() ? 0.0 : positions.front().x;
+  double min_y = positions.empty() ? 0.0 : positions.front().y;
+  for (const geom::Point& pt : positions) {
+    min_x = std::min(min_x, pt.x);
+    min_y = std::min(min_y, pt.y);
+  }
+  std::vector<geom::Point> candidates;
+  std::vector<std::pair<int, int>> seen_cells;
+  for (const geom::Point& pt : positions) {
+    const int col = static_cast<int>(std::floor((pt.x - min_x) / config.coverage_radius_m));
+    const int row = static_cast<int>(std::floor((pt.y - min_y) / config.coverage_radius_m));
+    if (std::find(seen_cells.begin(), seen_cells.end(), std::make_pair(col, row)) !=
+        seen_cells.end()) {
+      continue;
+    }
+    seen_cells.emplace_back(col, row);
+    candidates.push_back(geom::Point{min_x + (col + 0.5) * config.coverage_radius_m,
+                                     min_y + (row + 0.5) * config.coverage_radius_m});
+  }
+  for (const geom::Point& pt : positions) candidates.push_back(pt);
+
+  // Coverage lists per candidate, ascending post order (collect_in_radius).
+  std::vector<std::vector<int>> covers(candidates.size());
+  std::vector<int> scratch;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    grid.collect_in_radius(candidates[i], config.coverage_radius_m, -1, scratch);
+    for (int p : scratch) {
+      if (feasible_post[static_cast<std::size_t>(p)]) covers[i].push_back(p);
+    }
+  }
+
+  // Greedy set cover: the candidate covering the most uncovered feasible
+  // posts wins each step; lowest candidate index breaks ties.
+  std::vector<char> covered(static_cast<std::size_t>(posts), 0);
+  int remaining = 0;
+  for (int p = 0; p < posts; ++p) remaining += feasible_post[static_cast<std::size_t>(p)];
+  while (remaining > 0) {
+    if (config.max_chargers > 0 &&
+        static_cast<int>(result.chargers.size()) >= config.max_chargers) {
+      break;
+    }
+    std::size_t best = 0;
+    int best_gain = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      int gain = 0;
+      for (int p : covers[i]) gain += !covered[static_cast<std::size_t>(p)];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best_gain == 0) break;
+    const int charger_index = static_cast<int>(result.chargers.size());
+    result.chargers.push_back(candidates[best]);
+    for (int p : covers[best]) {
+      if (covered[static_cast<std::size_t>(p)]) continue;
+      covered[static_cast<std::size_t>(p)] = 1;
+      result.covered_by[static_cast<std::size_t>(p)] = charger_index;
+      --remaining;
+    }
+  }
+
+  for (int p = 0; p < posts; ++p) {
+    if (!covered[static_cast<std::size_t>(p)]) result.uncovered.push_back(p);
+  }
+  result.feasible = result.uncovered.empty();
+  result.total_power_w = static_cast<double>(result.chargers.size()) * config.radiated_power_w;
+  return result;
+}
+
+}  // namespace wrsn::core

@@ -1,0 +1,60 @@
+// Static RF charger placement (the deployment-time counterpart of the
+// mobile-charger policies in sim/charging_policy.hpp).
+//
+// Where should k fixed RF chargers stand so every post's recharge demand is
+// met within a duty-cycle bound?  A charger radiates P watts inside a
+// coverage disc; a post of m nodes absorbs with efficiency k(m) * eta
+// (energy::ChargingModel), so covering post p costs the charger a duty
+// fraction  duty(p) = demand_w(p) / (efficiency(m_p) * P)  of its output,
+// where demand_w(p) = bits_per_round * E(p) / round_period is the post's
+// average draw (core::per_post_energy).  RF charging is broadcast: every
+// covered post absorbs simultaneously, so feasibility is per post, not
+// additive per charger.
+//
+// The optimizer is a greedy set cover over candidate sites derived from a
+// geom::GridIndex with cell size = coverage radius: occupied cell centers
+// (any post is at most cell*sqrt(2)/2 <= radius from its own cell's center,
+// so every post is coverable) plus the post positions themselves.  Greedy
+// repeatedly picks the candidate covering the most still-uncovered
+// duty-feasible posts (lowest candidate index breaks ties -- deterministic)
+// until everything coverable is covered, the charger budget is exhausted,
+// or no candidate helps.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.hpp"
+#include "geom/point.hpp"
+
+namespace wrsn::core {
+
+struct PlacementConfig {
+  double coverage_radius_m = 50.0;  ///< charging disc radius per fixed charger
+  double radiated_power_w = 5.0;    ///< RF output per fixed charger
+  int max_chargers = 0;             ///< budget; 0 = as many as needed
+  double round_period_s = 60.0;     ///< reporting period (demand averaging)
+  int bits_per_round = 1024;        ///< traffic scale (the sim's bits_per_report)
+  double max_duty = 1.0;            ///< per-post duty-cycle feasibility bound
+};
+
+struct PlacementResult {
+  std::vector<geom::Point> chargers;  ///< selected sites, in selection order
+  /// Post -> index into `chargers` of the charger that covers it, or -1.
+  std::vector<int> covered_by;
+  /// duty(p) = demand_w(p) / (efficiency(m_p) * P); feasible iff <= max_duty.
+  std::vector<double> post_duty;
+  /// Posts left uncovered: duty-infeasible ones plus budget casualties.
+  std::vector<int> uncovered;
+  /// True when every post is covered by a duty-feasible charger.
+  bool feasible = false;
+  /// chargers.size() * radiated_power_w: the infrastructure's RF draw.
+  double total_power_w = 0.0;
+};
+
+/// Sites fixed chargers for `solution` on a geometric `instance`.  Throws
+/// std::invalid_argument for abstract instances (no geometry to place on)
+/// or non-positive config parameters.
+PlacementResult place_chargers(const Instance& instance, const Solution& solution,
+                               const PlacementConfig& config);
+
+}  // namespace wrsn::core

@@ -10,10 +10,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/charger_placement.hpp"
 #include "core/solution.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "sim/charger_sim.hpp"
+#include "sim/charging_policy.hpp"
 #include "sim/network_sim.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -85,6 +88,71 @@ void add_simulation_facts(const SweepSpec& spec, const TrialRow& row,
   diagnostics.add("sim/repair_latency_mean", sim.repair_latency_mean());
   diagnostics.add("sim/destroyed_posts", sim.destroyed_post_count());
   diagnostics.add("sim/dead_nodes", sim.dead_node_count());
+}
+
+/// Charging-policy evaluation stage: co-simulates the solution once per
+/// policy spec under the SAME fault seed and charger parameters, so the
+/// per-policy outcomes compare paired across policies, solvers and trials.
+/// The spec "fixed" runs zero mobile chargers over the greedy
+/// core::place_chargers result instead of a mobile fleet.
+void add_policy_facts(const SweepSpec& spec, const TrialRow& row,
+                      const core::Instance& instance, const core::Solution& solution,
+                      core::SolverDiagnostics& diagnostics) {
+  for (std::size_t i = 0; i < spec.policies_to_evaluate.size(); ++i) {
+    const std::string& policy_spec = spec.policies_to_evaluate[i];
+    const std::string prefix = "pol" + std::to_string(i);
+
+    sim::NetworkConfig net_config;
+    net_config.bits_per_report = spec.policy_bits_per_report;
+    net_config.battery_capacity_j = spec.policy_battery_j;
+    net_config.faults.seed = spec.sim_seed(row.config_index, row.run);
+    net_config.faults.post_destruction_hazard = row.config.hazard;
+    sim::NetworkSim network(instance, solution, net_config);
+
+    sim::ChargerConfig charger_config;
+    charger_config.speed_mps = spec.policy_speed_mps;
+    charger_config.radiated_power_w = spec.policy_power_w;
+    charger_config.travel_power_w = spec.policy_travel_power_w;
+    charger_config.low_watermark = spec.policy_low_watermark;
+    charger_config.high_watermark = spec.policy_high_watermark;
+    charger_config.round_period_s = spec.policy_round_period_s;
+
+    std::vector<sim::FixedCharger> fixed;
+    int fleet = spec.policy_fleet;
+    if (policy_spec == "fixed" || policy_spec.rfind("fixed:", 0) == 0) {
+      core::PlacementConfig placement_config;
+      placement_config.coverage_radius_m = spec.placement_radius_m;
+      placement_config.radiated_power_w = spec.placement_power_w;
+      placement_config.max_chargers = spec.placement_max_chargers;
+      placement_config.round_period_s = spec.policy_round_period_s;
+      placement_config.bits_per_round = spec.policy_bits_per_report;
+      placement_config.max_duty = spec.placement_max_duty;
+      const core::PlacementResult placement =
+          core::place_chargers(instance, solution, placement_config);
+      fixed = sim::fixed_chargers_from(placement, spec.placement_power_w,
+                                       spec.placement_radius_m);
+      fleet = 0;
+      diagnostics.add(prefix + "/chargers",
+                      static_cast<double>(placement.chargers.size()));
+      diagnostics.add(prefix + "/uncovered",
+                      static_cast<double>(placement.uncovered.size()));
+    }
+
+    sim::ChargerSim charger(network, charger_config, fleet,
+                            sim::make_charging_policy(policy_spec), std::move(fixed));
+    charger.run(static_cast<std::uint64_t>(spec.policy_rounds));
+    const sim::ChargerSimStats& stats = charger.stats();
+
+    diagnostics.add(prefix + "/delivery", network.delivery_ratio());
+    diagnostics.add(prefix + "/dead_nodes", network.dead_node_count());
+    diagnostics.add(prefix + "/any_death", stats.any_death ? 1.0 : 0.0);
+    diagnostics.add(prefix + "/visits", static_cast<double>(stats.visits));
+    diagnostics.add(prefix + "/radiated_per_round", stats.radiated_per_round());
+    diagnostics.add(prefix + "/travel_j", stats.travel_j);
+    if (stats.fixed_radiated_j > 0.0) {
+      diagnostics.add(prefix + "/fixed_j", stats.fixed_radiated_j);
+    }
+  }
 }
 
 struct LoadedCheckpoint {
@@ -383,6 +451,10 @@ SweepResult ExperimentRunner::run() {
           if (spec_.sim_rounds > 0) {
             add_simulation_facts(spec_, row, *instance, solved.solution,
                                  outcome.diagnostics);
+          }
+          if (!spec_.policies_to_evaluate.empty()) {
+            add_policy_facts(spec_, row, *instance, solved.solution,
+                             outcome.diagnostics);
           }
           if (options_.keep_solutions) outcome.solution = std::move(solved.solution);
         } catch (const std::exception& error) {

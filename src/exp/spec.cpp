@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "geom/field.hpp"
+#include "sim/charging_policy.hpp"
 #include "sim/fault_model.hpp"
 #include "util/rng.hpp"
 
@@ -114,10 +115,38 @@ void SweepSpec::validate() const {
     } catch (const std::invalid_argument& error) {
       bad_spec(error.what());
     }
-  } else {
+  } else if (policies_to_evaluate.empty()) {
     for (double hazard : hazard_axis) {
-      if (hazard != 0.0) bad_spec("a non-zero hazard axis requires sim_rounds > 0");
+      if (hazard != 0.0) {
+        bad_spec("a non-zero hazard axis requires sim_rounds > 0 or a policy stage");
+      }
     }
+  }
+  if (!policies_to_evaluate.empty()) {
+    for (const std::string& policy : policies_to_evaluate) {
+      try {
+        sim::ChargingPolicyRegistry::global().create(policy);
+      } catch (const std::invalid_argument& error) {
+        bad_spec(error.what());
+      }
+    }
+    if (policy_rounds < 1) bad_spec("policy rounds must be >= 1");
+    if (policy_fleet < 1) bad_spec("policy fleet size must be >= 1");
+    if (policy_bits_per_report < 1) bad_spec("policy bits per report must be >= 1");
+    if (policy_battery_j <= 0.0) bad_spec("policy battery capacity must be positive");
+    if (policy_speed_mps <= 0.0 || policy_power_w <= 0.0 || policy_travel_power_w < 0.0 ||
+        policy_round_period_s <= 0.0) {
+      bad_spec("policy charger speed, power and round period must be positive");
+    }
+    if (!(policy_low_watermark < policy_high_watermark) || policy_high_watermark > 1.0 ||
+        policy_low_watermark < 0.0) {
+      bad_spec("policy watermarks must satisfy 0 <= low < high <= 1");
+    }
+    if (placement_radius_m <= 0.0 || placement_power_w <= 0.0 ||
+        placement_max_duty <= 0.0) {
+      bad_spec("placement radius, power and max duty must be positive");
+    }
+    if (placement_max_chargers < 0) bad_spec("placement charger budget must be >= 0");
   }
 }
 
@@ -231,6 +260,33 @@ io::Json SweepSpec::to_json() const {
     sim.set("maintenance_period", io::Json(sim_maintenance_period));
     out.set("sim", std::move(sim));
   }
+  // Same rule for the charging-policy stage: no policies, no block, so
+  // legacy scenarios (and their fingerprints) stay byte-identical.
+  if (!policies_to_evaluate.empty()) {
+    io::Json evaluate = io::Json::array();
+    for (const std::string& policy : policies_to_evaluate) {
+      evaluate.push_back(io::Json(policy));
+    }
+    io::Json placement = io::Json::object();
+    placement.set("radius_m", io::Json(placement_radius_m));
+    placement.set("power_w", io::Json(placement_power_w));
+    placement.set("max_chargers", io::Json(placement_max_chargers));
+    placement.set("max_duty", io::Json(placement_max_duty));
+    io::Json policies = io::Json::object();
+    policies.set("evaluate", std::move(evaluate));
+    policies.set("rounds", io::Json(policy_rounds));
+    policies.set("fleet", io::Json(policy_fleet));
+    policies.set("bits_per_report", io::Json(policy_bits_per_report));
+    policies.set("battery_j", io::Json(policy_battery_j));
+    policies.set("speed_mps", io::Json(policy_speed_mps));
+    policies.set("power_w", io::Json(policy_power_w));
+    policies.set("travel_power_w", io::Json(policy_travel_power_w));
+    policies.set("low_watermark", io::Json(policy_low_watermark));
+    policies.set("high_watermark", io::Json(policy_high_watermark));
+    policies.set("round_period_s", io::Json(policy_round_period_s));
+    policies.set("placement", std::move(placement));
+    out.set("policies", std::move(policies));
+  }
   return out;
 }
 
@@ -274,6 +330,27 @@ SweepSpec SweepSpec::from_json(const io::Json& json) {
     spec.sim_link_outage_hazard = sim->at("link_outage_hazard").as_double();
     spec.sim_repair = sim->at("repair").as_string();
     spec.sim_maintenance_period = sim->at("maintenance_period").as_int();
+  }
+  if (const io::Json* policies = json.find("policies")) {
+    spec.policies_to_evaluate.clear();
+    for (const io::Json& policy : policies->at("evaluate").as_array()) {
+      spec.policies_to_evaluate.push_back(policy.as_string());
+    }
+    spec.policy_rounds = policies->at("rounds").as_int();
+    spec.policy_fleet = policies->at("fleet").as_int();
+    spec.policy_bits_per_report = policies->at("bits_per_report").as_int();
+    spec.policy_battery_j = policies->at("battery_j").as_double();
+    spec.policy_speed_mps = policies->at("speed_mps").as_double();
+    spec.policy_power_w = policies->at("power_w").as_double();
+    spec.policy_travel_power_w = policies->at("travel_power_w").as_double();
+    spec.policy_low_watermark = policies->at("low_watermark").as_double();
+    spec.policy_high_watermark = policies->at("high_watermark").as_double();
+    spec.policy_round_period_s = policies->at("round_period_s").as_double();
+    const io::Json& placement = policies->at("placement");
+    spec.placement_radius_m = placement.at("radius_m").as_double();
+    spec.placement_power_w = placement.at("power_w").as_double();
+    spec.placement_max_chargers = placement.at("max_chargers").as_int();
+    spec.placement_max_duty = placement.at("max_duty").as_double();
   }
   spec.validate();
   return spec;

@@ -96,6 +96,32 @@ struct SweepSpec {
   std::string sim_repair = "none";         ///< none | reroute | maintain
   int sim_maintenance_period = 50;         ///< rounds between maintenance visits
 
+  // Charging-policy evaluation stage (sim::ChargerSim).  An empty list (the
+  // default) disables the stage and keeps legacy scenario JSON -- and its
+  // checkpoint fingerprint -- byte-identical.  When active, every solver's
+  // solution on a trial is co-simulated once per policy spec
+  // (sim::ChargingPolicyRegistry strings) under the SAME fault sequence
+  // (seeded from sim_seed) and charger parameters, so the per-policy
+  // delivery/energy outcomes compare paired.  The spec "fixed" is special:
+  // it runs zero mobile chargers on top of the core::place_chargers
+  // placement result (the placement_* knobs below).
+  std::vector<std::string> policies_to_evaluate;
+  int policy_rounds = 2000;                ///< co-simulated reporting rounds
+  int policy_fleet = 1;                    ///< mobile chargers (ignored by "fixed")
+  int policy_bits_per_report = 4096;
+  double policy_battery_j = 0.02;
+  double policy_speed_mps = 5.0;           ///< charger travel speed
+  double policy_power_w = 10.0;            ///< mobile charger RF power
+  double policy_travel_power_w = 20.0;
+  double policy_low_watermark = 0.5;
+  double policy_high_watermark = 0.95;
+  double policy_round_period_s = 60.0;
+  // Fixed-charger placement (used by the "fixed" policy entry).
+  double placement_radius_m = 50.0;        ///< coverage disc per fixed charger
+  double placement_power_w = 5.0;          ///< RF output per fixed charger
+  int placement_max_chargers = 0;          ///< budget; 0 = as many as needed
+  double placement_max_duty = 1.0;         ///< per-post duty feasibility bound
+
   /// Throws std::invalid_argument on an ill-formed spec (empty axis,
   /// runs < 1, no solvers, unknown charging kind, non-positive geometry).
   void validate() const;

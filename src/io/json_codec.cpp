@@ -169,4 +169,45 @@ core::Solution solution_from_json(const Json& json) {
   return solution;
 }
 
+Json placement_to_json(const core::PlacementResult& placement) {
+  Json covered_by = Json::array();
+  for (const int c : placement.covered_by) covered_by.push_back(Json(c));
+  Json post_duty = Json::array();
+  for (const double d : placement.post_duty) post_duty.push_back(Json(d));
+  Json uncovered = Json::array();
+  for (const int p : placement.uncovered) uncovered.push_back(Json(p));
+  Json json = Json::object();
+  json.set("format", Json("wrsn-placement v1"));
+  json.set("chargers", points_to_json(placement.chargers));
+  json.set("covered_by", std::move(covered_by));
+  json.set("post_duty", std::move(post_duty));
+  json.set("uncovered", std::move(uncovered));
+  json.set("feasible", Json(placement.feasible));
+  json.set("total_power_w", Json(placement.total_power_w));
+  return json;
+}
+
+core::PlacementResult placement_from_json(const Json& json) {
+  if (const Json* format = json.find("format");
+      format != nullptr && format->as_string() != "wrsn-placement v1") {
+    throw JsonError("expected format 'wrsn-placement v1', got '" + format->as_string() + "'");
+  }
+  core::PlacementResult placement;
+  for (const Json& c : json.at("chargers").as_array()) {
+    placement.chargers.push_back(point_from_json(c));
+  }
+  for (const Json& c : json.at("covered_by").as_array()) {
+    placement.covered_by.push_back(c.as_int());
+  }
+  for (const Json& d : json.at("post_duty").as_array()) {
+    placement.post_duty.push_back(d.as_double());
+  }
+  for (const Json& p : json.at("uncovered").as_array()) {
+    placement.uncovered.push_back(p.as_int());
+  }
+  placement.feasible = json.at("feasible").as_bool();
+  placement.total_power_w = json.at("total_power_w").as_double();
+  return placement;
+}
+
 }  // namespace wrsn::io

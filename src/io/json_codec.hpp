@@ -7,6 +7,7 @@
 // builds its `wrsn-scenario v1` files on the same primitives.
 #pragma once
 
+#include "core/charger_placement.hpp"
 #include "core/solution.hpp"
 #include "geom/field.hpp"
 #include "io/json.hpp"
@@ -29,5 +30,11 @@ core::Instance instance_from_json(const Json& json);
 
 Json solution_to_json(const core::Solution& solution);
 core::Solution solution_from_json(const Json& json);
+
+/// `wrsn-placement v1`: fixed-charger placement results (core::place_chargers
+/// output) round-trip bit-exactly -- positions, per-post assignment and duty,
+/// feasibility verdict and aggregate power.
+Json placement_to_json(const core::PlacementResult& placement);
+core::PlacementResult placement_from_json(const Json& json);
 
 }  // namespace wrsn::io

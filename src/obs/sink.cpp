@@ -30,7 +30,10 @@ MetricsSink::MetricsSink(Registry& registry)
       sim_delivered_bits_(&registry.gauge("sim/delivered_bits")),
       sim_dropped_bits_(&registry.gauge("sim/dropped_bits")),
       sim_backlog_bits_(&registry.gauge("sim/backlog_bits")),
-      sim_repair_latency_(&registry.histogram("sim/repair_latency_rounds")) {}
+      sim_repair_latency_(&registry.histogram("sim/repair_latency_rounds")),
+      policy_dispatches_(&registry.counter("policy/dispatches")),
+      policy_dispatch_distance_(&registry.histogram("policy/dispatch_distance_m")),
+      policy_dispatch_deficit_(&registry.histogram("policy/dispatch_deficit")) {}
 
 void MetricsSink::on_rfh_iteration(const RfhIterationEvent& event) {
   rfh_iterations_->increment();
@@ -83,6 +86,12 @@ void MetricsSink::on_sim_fault(const SimFaultEvent&) { sim_faults_injected_->inc
 
 void MetricsSink::on_sim_repair(const SimRepairEvent& event) {
   sim_repair_latency_->record(static_cast<double>(event.latency_rounds));
+}
+
+void MetricsSink::on_charger_dispatch(const ChargerDispatchEvent& event) {
+  policy_dispatches_->increment();
+  policy_dispatch_distance_->record(event.distance_m);
+  policy_dispatch_deficit_->record(event.deficit_fraction);
 }
 
 }  // namespace wrsn::obs

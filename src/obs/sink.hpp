@@ -91,6 +91,16 @@ struct SimRepairEvent {
   std::uint64_t latency_rounds = 0;    ///< rounds the post spent disconnected
 };
 
+/// A charging policy dispatched a mobile charger (sim/charger_sim.hpp).
+struct ChargerDispatchEvent {
+  std::uint64_t round = 0;         ///< rounds completed when the order was issued
+  double time_s = 0.0;             ///< simulation time of the dispatch
+  int charger = 0;
+  int post = 0;
+  double deficit_fraction = 0.0;   ///< post's min battery fraction at dispatch
+  double distance_m = 0.0;         ///< travel distance of this dispatch
+};
+
 /// Observer interface; every handler defaults to a no-op so sinks override
 /// only what they care about.
 class Sink {
@@ -104,6 +114,7 @@ class Sink {
   virtual void on_sim_round(const SimRoundEvent&) {}
   virtual void on_sim_fault(const SimFaultEvent&) {}
   virtual void on_sim_repair(const SimRepairEvent&) {}
+  virtual void on_charger_dispatch(const ChargerDispatchEvent&) {}
 };
 
 /// Appends every event to public vectors; the test/bench workhorse
@@ -127,6 +138,9 @@ class RecordingSink : public Sink {
   void on_sim_round(const SimRoundEvent& event) override { sim_rounds.push_back(event); }
   void on_sim_fault(const SimFaultEvent& event) override { sim_faults.push_back(event); }
   void on_sim_repair(const SimRepairEvent& event) override { sim_repairs.push_back(event); }
+  void on_charger_dispatch(const ChargerDispatchEvent& event) override {
+    charger_dispatches.push_back(event);
+  }
 
   void clear() {
     rfh_iterations.clear();
@@ -137,6 +151,7 @@ class RecordingSink : public Sink {
     sim_rounds.clear();
     sim_faults.clear();
     sim_repairs.clear();
+    charger_dispatches.clear();
   }
 
   std::vector<RfhIterationEvent> rfh_iterations;
@@ -147,6 +162,7 @@ class RecordingSink : public Sink {
   std::vector<SimRoundEvent> sim_rounds;
   std::vector<SimFaultEvent> sim_faults;
   std::vector<SimRepairEvent> sim_repairs;
+  std::vector<ChargerDispatchEvent> charger_dispatches;
 };
 
 /// Folds events into a `Registry` under the canonical metric names
@@ -159,7 +175,8 @@ class RecordingSink : public Sink {
 ///   sim/rounds, sim/dead_nodes, sim/consumed_j, sim/round_energy_j,
 ///   sim/battery_min_j, sim/battery_mean_j,
 ///   sim/faults_injected, sim/reroutes, sim/delivered_bits, sim/dropped_bits,
-///   sim/backlog_bits, sim/repair_latency_rounds
+///   sim/backlog_bits, sim/repair_latency_rounds,
+///   policy/dispatches, policy/dispatch_distance_m, policy/dispatch_deficit
 class MetricsSink : public Sink {
  public:
   explicit MetricsSink(Registry& registry = Registry::global());
@@ -172,6 +189,7 @@ class MetricsSink : public Sink {
   void on_sim_round(const SimRoundEvent& event) override;
   void on_sim_fault(const SimFaultEvent& event) override;
   void on_sim_repair(const SimRepairEvent& event) override;
+  void on_charger_dispatch(const ChargerDispatchEvent& event) override;
 
  private:
   // Cached on construction so event handlers never touch the registry lock.
@@ -203,6 +221,9 @@ class MetricsSink : public Sink {
   Gauge* sim_dropped_bits_;
   Gauge* sim_backlog_bits_;
   Histogram* sim_repair_latency_;
+  Counter* policy_dispatches_;
+  Histogram* policy_dispatch_distance_;
+  Histogram* policy_dispatch_deficit_;
 };
 
 /// Fans every event out to a list of non-owned sinks.
@@ -237,6 +258,9 @@ class MultiSink : public Sink {
   }
   void on_sim_repair(const SimRepairEvent& event) override {
     for (Sink* s : sinks_) s->on_sim_repair(event);
+  }
+  void on_charger_dispatch(const ChargerDispatchEvent& event) override {
+    for (Sink* s : sinks_) s->on_charger_dispatch(event);
   }
 
  private:

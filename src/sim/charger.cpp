@@ -1,126 +1,32 @@
 #include "sim/charger.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <stdexcept>
+#include "sim/charger_sim.hpp"
+#include "sim/charging_policy.hpp"
 
 namespace wrsn::sim {
 
 PatrolSim::PatrolSim(NetworkSim& network, const ChargerConfig& config)
-    : network_(&network), config_(config) {
-  if (config.speed_mps <= 0.0 || config.radiated_power_w <= 0.0 ||
-      config.round_period_s <= 0.0) {
-    throw std::invalid_argument("charger speed, power and round period must be positive");
-  }
-  if (!(config.low_watermark < config.high_watermark) || config.high_watermark > 1.0 ||
-      config.low_watermark < 0.0) {
-    throw std::invalid_argument("watermarks must satisfy 0 <= low < high <= 1");
-  }
-  position_ = depot_position();
+    : sim_(std::make_unique<ChargerSim>(
+          network, config, 1,
+          make_charging_policy("nearest-deficit:tiebreak=distance"))) {}
+
+PatrolSim::~PatrolSim() = default;
+PatrolSim::PatrolSim(PatrolSim&&) noexcept = default;
+PatrolSim& PatrolSim::operator=(PatrolSim&&) noexcept = default;
+
+void PatrolSim::run(std::uint64_t rounds) { sim_->run(rounds); }
+
+const ChargerStats& PatrolSim::stats() const noexcept {
+  const ChargerSimStats& inner = sim_->stats();
+  stats_.radiated_j = inner.radiated_j;
+  stats_.travel_j = inner.travel_j;
+  stats_.distance_m = inner.distance_m;
+  stats_.visits = inner.visits;
+  stats_.rounds = inner.rounds;
+  stats_.any_death = inner.any_death;
+  return stats_;
 }
 
-geom::Point PatrolSim::post_position(int p) const {
-  const auto& field = network_->instance().field();
-  // Abstract instances carry no geometry: model an instantly-reachable
-  // charger (travel distance 0).
-  if (!field) return {0.0, 0.0};
-  return field->posts[static_cast<std::size_t>(p)];
-}
-
-geom::Point PatrolSim::depot_position() const {
-  const auto& field = network_->instance().field();
-  if (!field) return {0.0, 0.0};
-  return field->base_station;
-}
-
-double PatrolSim::min_fraction(int p) const {
-  const auto& nodes = network_->posts()[static_cast<std::size_t>(p)].nodes;
-  const double capacity = network_->config().battery_capacity_j;
-  double lowest = std::numeric_limits<double>::infinity();
-  for (const auto& node : nodes) lowest = std::min(lowest, node.battery_j / capacity);
-  return lowest;
-}
-
-int PatrolSim::pick_target() const {
-  // Most-urgent-first: the low post whose emptiest node has the smallest
-  // remaining fraction; distance breaks ties (nearer wins).
-  int best = -1;
-  double best_fraction = config_.low_watermark;
-  double best_distance = std::numeric_limits<double>::infinity();
-  for (int p = 0; p < network_->instance().num_posts(); ++p) {
-    const double fraction = min_fraction(p);
-    if (fraction >= config_.low_watermark) continue;
-    const double dist = geom::distance(position_, post_position(p));
-    if (fraction < best_fraction - 1e-12 ||
-        (fraction < best_fraction + 1e-12 && dist < best_distance)) {
-      best = p;
-      best_fraction = fraction;
-      best_distance = dist;
-    }
-  }
-  return best;
-}
-
-void PatrolSim::dispatch_if_needed() {
-  if (state_ != State::Idle) return;
-  const int target = pick_target();
-  if (target < 0) return;
-  target_post_ = target;
-  state_ = State::Traveling;
-  const double dist = geom::distance(position_, post_position(target));
-  const double travel_time = dist / config_.speed_mps;
-  stats_.distance_m += dist;
-  stats_.travel_j += travel_time * config_.travel_power_w;
-  queue_.schedule_in(travel_time, [this] { arrive(); });
-}
-
-void PatrolSim::arrive() {
-  position_ = post_position(target_post_);
-  state_ = State::Charging;
-  charge_started_ = queue_.now();
-  // Charging duration: bring every node at the post up to the high
-  // watermark. Each node receives eta * P watts while the charger radiates
-  // P watts, so the slowest (emptiest) node dictates the session length.
-  const auto& post = network_->posts()[static_cast<std::size_t>(target_post_)];
-  const double capacity = network_->config().battery_capacity_j;
-  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
-  double max_deficit = 0.0;
-  for (const auto& node : post.nodes) {
-    max_deficit = std::max(max_deficit, config_.high_watermark * capacity - node.battery_j);
-  }
-  const double duration = std::max(max_deficit, 0.0) / node_power;
-  queue_.schedule_in(duration, [this] { finish_charging(); });
-}
-
-void PatrolSim::finish_charging() {
-  const double duration = queue_.now() - charge_started_;
-  const double capacity = network_->config().battery_capacity_j;
-  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
-  auto& post = network_->mutable_post(target_post_);
-  for (auto& node : post.nodes) {
-    node.battery_j = std::min(capacity, node.battery_j + node_power * duration);
-  }
-  stats_.radiated_j += duration * config_.radiated_power_w;
-  ++stats_.visits;
-  state_ = State::Idle;
-  target_post_ = -1;
-  dispatch_if_needed();
-}
-
-void PatrolSim::run(std::uint64_t rounds) {
-  for (std::uint64_t r = 0; r < rounds; ++r) {
-    queue_.schedule(static_cast<double>(r + 1) * config_.round_period_s, [this] {
-      if (!network_->run_round()) stats_.any_death = true;
-      ++stats_.rounds;
-      dispatch_if_needed();
-    });
-  }
-  queue_.run_until(static_cast<double>(rounds + 1) * config_.round_period_s +
-                   1e9 /* drain any in-flight charging session */);
-  // Drain leftover charger events (e.g. a session ending after the last
-  // round) so stats are complete.
-  while (queue_.run_next()) {
-  }
-}
+double PatrolSim::now() const noexcept { return sim_->now(); }
 
 }  // namespace wrsn::sim

@@ -9,15 +9,22 @@
 // power with efficiency k(m)*eta -- each node receives eta * P watts -- so
 // the long-run radiated-energy-per-round converges to the analytic total
 // recharging cost, which the integration tests verify.
+//
+// PatrolSim is nowadays a thin facade over the unified ChargerSim engine
+// (sim/charger_sim.hpp) running one charger under the legacy
+// `nearest-deficit:tiebreak=distance` policy -- bit-identical to the
+// original hand-coded dispatch, pinned by tests/test_charging_policy.cpp.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "geom/point.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/network_sim.hpp"
 
 namespace wrsn::sim {
+
+class ChargerSim;
 
 struct ChargerConfig {
   double speed_mps = 5.0;          ///< travel speed (vehicle/robot)
@@ -47,35 +54,19 @@ struct ChargerStats {
 class PatrolSim {
  public:
   PatrolSim(NetworkSim& network, const ChargerConfig& config = {});
+  ~PatrolSim();
+  PatrolSim(PatrolSim&&) noexcept;
+  PatrolSim& operator=(PatrolSim&&) noexcept;
 
   /// Runs `rounds` reporting rounds of co-simulation.
   void run(std::uint64_t rounds);
 
-  const ChargerStats& stats() const noexcept { return stats_; }
-  double now() const noexcept { return queue_.now(); }
+  const ChargerStats& stats() const noexcept;
+  double now() const noexcept;
 
  private:
-  enum class State { Idle, Traveling, Charging };
-
-  geom::Point post_position(int p) const;
-  geom::Point depot_position() const;
-  /// Fraction of capacity held by the emptiest node at post p.
-  double min_fraction(int p) const;
-  /// Picks the neediest dispatch target, or -1 when none is low.
-  int pick_target() const;
-  void dispatch_if_needed();
-  void arrive();
-  void finish_charging();
-
-  NetworkSim* network_;
-  ChargerConfig config_;
-  EventQueue queue_;
-  ChargerStats stats_;
-
-  State state_ = State::Idle;
-  geom::Point position_{};
-  int target_post_ = -1;
-  double charge_started_ = 0.0;
+  std::unique_ptr<ChargerSim> sim_;
+  mutable ChargerStats stats_;
 };
 
 }  // namespace wrsn::sim

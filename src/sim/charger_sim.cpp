@@ -1,0 +1,206 @@
+#include "sim/charger_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/charger_placement.hpp"
+#include "obs/sink.hpp"
+
+namespace wrsn::sim {
+
+ChargerSim::ChargerSim(NetworkSim& network, const ChargerConfig& config, int num_chargers,
+                       std::unique_ptr<ChargingPolicy> policy,
+                       std::vector<FixedCharger> fixed, obs::Sink* sink)
+    : network_(&network),
+      config_(config),
+      policy_(std::move(policy)),
+      fixed_(std::move(fixed)),
+      sink_(sink) {
+  if (policy_ == nullptr) throw std::invalid_argument("charging policy must not be null");
+  if (num_chargers < 1 && fixed_.empty()) {
+    throw std::invalid_argument("fleet needs at least one charger");
+  }
+  if (num_chargers < 0) throw std::invalid_argument("fleet size must be >= 0");
+  if (config.speed_mps <= 0.0 || config.radiated_power_w <= 0.0 ||
+      config.round_period_s <= 0.0) {
+    throw std::invalid_argument("charger speed, power and round period must be positive");
+  }
+  if (!(config.low_watermark < config.high_watermark) || config.high_watermark > 1.0 ||
+      config.low_watermark < 0.0) {
+    throw std::invalid_argument("watermarks must satisfy 0 <= low < high <= 1");
+  }
+  for (const FixedCharger& fc : fixed_) {
+    if (fc.radiated_power_w <= 0.0 || fc.coverage_radius_m <= 0.0) {
+      throw std::invalid_argument("fixed charger power and coverage radius must be positive");
+    }
+  }
+  const auto& field = network.instance().field();
+  const geom::Point depot = field ? field->base_station : geom::Point{0.0, 0.0};
+  chargers_.assign(static_cast<std::size_t>(num_chargers), Charger{});
+  for (auto& charger : chargers_) charger.position = depot;
+  stats_.radiated_per_charger.assign(static_cast<std::size_t>(num_chargers), 0.0);
+  stats_.visits_per_charger.assign(static_cast<std::size_t>(num_chargers), 0);
+
+  // Coverage lists are static: posts do not move.  Abstract instances carry
+  // no geometry, so a fixed charger there covers every post (distance 0).
+  fixed_covers_.resize(fixed_.size());
+  for (std::size_t f = 0; f < fixed_.size(); ++f) {
+    for (int p = 0; p < network.instance().num_posts(); ++p) {
+      const double d = field ? geom::distance(fixed_[f].position, post_position(p)) : 0.0;
+      if (d <= fixed_[f].coverage_radius_m) fixed_covers_[f].push_back(p);
+    }
+  }
+}
+
+geom::Point ChargerSim::post_position(int p) const {
+  const auto& field = network_->instance().field();
+  // Abstract instances carry no geometry: model an instantly-reachable
+  // charger (travel distance 0).
+  if (!field) return {0.0, 0.0};
+  return field->posts[static_cast<std::size_t>(p)];
+}
+
+double ChargerSim::min_fraction(int p) const {
+  const auto& nodes = network_->posts()[static_cast<std::size_t>(p)].nodes;
+  const double capacity = network_->config().battery_capacity_j;
+  double lowest = std::numeric_limits<double>::infinity();
+  for (const auto& node : nodes) lowest = std::min(lowest, node.battery_j / capacity);
+  return lowest;
+}
+
+bool ChargerSim::post_claimed(int p) const {
+  return std::any_of(chargers_.begin(), chargers_.end(),
+                     [&](const Charger& c) { return c.target_post == p; });
+}
+
+void ChargerSim::apply_fixed_charging() {
+  const double capacity = network_->config().battery_capacity_j;
+  const double eta = network_->instance().charging().eta();
+  for (std::size_t f = 0; f < fixed_.size(); ++f) {
+    const FixedCharger& fc = fixed_[f];
+    stats_.fixed_radiated_j += fc.radiated_power_w * config_.round_period_s;
+    const double node_energy = eta * fc.radiated_power_w * config_.round_period_s;
+    for (int p : fixed_covers_[f]) {
+      if (!network_->post_alive(p)) continue;
+      auto& post = network_->mutable_post(p);
+      for (auto& node : post.nodes) {
+        node.battery_j = std::min(capacity, node.battery_j + node_energy);
+      }
+    }
+  }
+}
+
+void ChargerSim::on_round() {
+  // The trickle lands before the round's draw: it models charging that
+  // happened continuously over the elapsed period.
+  apply_fixed_charging();
+  if (!network_->run_round()) stats_.any_death = true;
+  ++stats_.rounds;
+  const PolicyContext context(*this);
+  policy_->round_observed(context);
+  request_dispatch();
+}
+
+void ChargerSim::request_dispatch() {
+  decisions_.clear();
+  const PolicyContext context(*this);
+  policy_->observe(context, decisions_);
+  for (const DispatchDecision& decision : decisions_) execute(decision);
+}
+
+void ChargerSim::execute(const DispatchDecision& decision) {
+  if (decision.charger < 0 || decision.charger >= num_chargers() || decision.post < 0 ||
+      decision.post >= network_->instance().num_posts()) {
+    throw std::logic_error("charging policy '" + policy_->name() +
+                           "' issued an out-of-range dispatch decision");
+  }
+  Charger& charger = chargers_[static_cast<std::size_t>(decision.charger)];
+  // A policy may race itself (e.g. re-targeting a post another decision in
+  // the same batch already claimed); drop such decisions rather than tear
+  // the state machine.
+  if (charger.state != State::Idle) return;
+  if (post_claimed(decision.post) || !network_->post_alive(decision.post)) return;
+
+  charger.state = State::Traveling;
+  charger.target_post = decision.post;
+  const double dist = geom::distance(charger.position, post_position(decision.post));
+  const double travel_time = dist / config_.speed_mps;
+  stats_.distance_m += dist;
+  stats_.travel_j += travel_time * config_.travel_power_w;
+  if (sink_ != nullptr) {
+    obs::ChargerDispatchEvent event;
+    event.round = stats_.rounds;
+    event.time_s = queue_.now();
+    event.charger = decision.charger;
+    event.post = decision.post;
+    event.deficit_fraction = min_fraction(decision.post);
+    event.distance_m = dist;
+    sink_->on_charger_dispatch(event);
+  }
+  const int idx = decision.charger;
+  queue_.schedule_in(travel_time, [this, idx] { arrive(idx); });
+}
+
+void ChargerSim::arrive(int charger_idx) {
+  Charger& charger = chargers_[static_cast<std::size_t>(charger_idx)];
+  charger.position = post_position(charger.target_post);
+  charger.state = State::Charging;
+  charger.charge_started = queue_.now();
+
+  // Charging duration: bring every node at the post up to the high
+  // watermark.  Each node receives eta * P watts while the charger radiates
+  // P watts, so the slowest (emptiest) node dictates the session length.
+  const auto& post = network_->posts()[static_cast<std::size_t>(charger.target_post)];
+  const double capacity = network_->config().battery_capacity_j;
+  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
+  double max_deficit = 0.0;
+  for (const auto& node : post.nodes) {
+    max_deficit = std::max(max_deficit, config_.high_watermark * capacity - node.battery_j);
+  }
+  const double duration = std::max(max_deficit, 0.0) / node_power;
+  queue_.schedule_in(duration, [this, charger_idx] { finish_charging(charger_idx); });
+}
+
+void ChargerSim::finish_charging(int charger_idx) {
+  Charger& charger = chargers_[static_cast<std::size_t>(charger_idx)];
+  const double duration = queue_.now() - charger.charge_started;
+  const double capacity = network_->config().battery_capacity_j;
+  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
+  auto& post = network_->mutable_post(charger.target_post);
+  for (auto& node : post.nodes) {
+    node.battery_j = std::min(capacity, node.battery_j + node_power * duration);
+  }
+  const double radiated = duration * config_.radiated_power_w;
+  stats_.radiated_j += radiated;
+  stats_.radiated_per_charger[static_cast<std::size_t>(charger_idx)] += radiated;
+  ++stats_.visits;
+  ++stats_.visits_per_charger[static_cast<std::size_t>(charger_idx)];
+  charger.state = State::Idle;
+  charger.target_post = -1;
+  request_dispatch();
+}
+
+void ChargerSim::run(std::uint64_t rounds) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    queue_.schedule(static_cast<double>(r + 1) * config_.round_period_s,
+                    [this] { on_round(); });
+  }
+  // Drain everything, including charging sessions ending after the last
+  // round, so stats are complete.
+  while (queue_.run_next()) {
+  }
+}
+
+std::vector<FixedCharger> fixed_chargers_from(const core::PlacementResult& placement,
+                                              double radiated_power_w,
+                                              double coverage_radius_m) {
+  std::vector<FixedCharger> out;
+  out.reserve(placement.chargers.size());
+  for (const geom::Point& position : placement.chargers) {
+    out.push_back(FixedCharger{position, radiated_power_w, coverage_radius_m});
+  }
+  return out;
+}
+
+}  // namespace wrsn::sim

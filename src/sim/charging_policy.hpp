@@ -1,0 +1,149 @@
+// Pluggable mobile-charger dispatch policies.
+//
+// The paper fixes the charging *assumption* (nodes are always recharged in
+// time); the follow-on literature makes the charging *decision* the object
+// of study.  This module generalizes the PR-5 RepairPolicy pattern to the
+// charger layer: a `ChargingPolicy` observes the round state of a running
+// `ChargerSim` (sim/charger_sim.hpp) through a read-only `PolicyContext`
+// and answers with dispatch decisions (send charger c to post p).  Policies
+// are addressed by spec string, exactly like core::SolverRegistry specs:
+//
+//   nearest-deficit                      legacy fleet dispatch (the default)
+//   nearest-deficit:tiebreak=distance    legacy single-charger patrol rule
+//   threshold:low=0.4                    naive index-order scan
+//   periodic:every=50                    tour-order visits every N rounds
+//   lookahead:horizon=5                  projected-deficit urgency
+//   adaptive:target=0.35,gain=0.1        online threshold tuning
+//   fixed                                never dispatches (placement-backed
+//                                        static chargers do the work)
+//
+// Policies must be deterministic: decisions may depend only on the context
+// (and the policy's own state evolved from past contexts), so ChargerSim
+// runs stay bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "geom/point.hpp"
+
+namespace wrsn::sim {
+
+class ChargerSim;
+struct ChargerConfig;
+
+/// One dispatch order: send mobile charger `charger` to post `post`.  The
+/// engine executes decisions in the order the policy appended them (travel
+/// energy and event scheduling follow that order deterministically).
+struct DispatchDecision {
+  int charger = 0;
+  int post = 0;
+};
+
+/// Read-only window onto a running ChargerSim.  All accessors are cheap;
+/// min_fraction/distance recompute from live state so a policy always sees
+/// the current batteries and charger positions.
+class PolicyContext {
+ public:
+  explicit PolicyContext(const ChargerSim& sim) : sim_(&sim) {}
+
+  int num_posts() const;
+  int num_chargers() const;
+  /// Reporting rounds completed so far.
+  std::uint64_t round() const;
+  /// Current simulation time in seconds.
+  double now() const;
+  const ChargerConfig& config() const;
+  double low_watermark() const;
+  double high_watermark() const;
+
+  /// Fraction of capacity held by the emptiest node at post p (+infinity
+  /// for a post with no nodes).
+  double min_fraction(int p) const;
+  /// False once the fault model destroyed the site.
+  bool post_alive(int p) const;
+  /// True while some charger is traveling to or charging at post p.
+  bool claimed(int p) const;
+  bool idle(int c) const;
+  geom::Point post_position(int p) const;
+  geom::Point charger_position(int c) const;
+  /// Euclidean distance from charger c's current position to post p (0 for
+  /// abstract instances, which carry no geometry).
+  double distance(int c, int p) const;
+  /// Analytic per-round energy draw at post p, joules (nominal rates).
+  double expected_round_energy(int p) const;
+  int nodes_at(int p) const;
+  double battery_capacity_j() const;
+  const core::Instance& instance() const;
+
+ private:
+  const ChargerSim* sim_;
+};
+
+/// Polymorphic dispatch policy.  Stateful (unlike core::Solver): one policy
+/// instance drives exactly one ChargerSim run.
+class ChargingPolicy {
+ public:
+  virtual ~ChargingPolicy() = default;
+
+  /// Canonical spec this policy was created from (e.g. "threshold:low=0.4").
+  const std::string& name() const noexcept { return name_; }
+
+  /// Appends dispatch decisions for the current state.  Called after every
+  /// completed reporting round and whenever a charging session finishes.
+  /// Decisions must target idle chargers and pairwise-distinct posts.
+  virtual void observe(const PolicyContext& context,
+                       std::vector<DispatchDecision>& out) = 0;
+
+  /// Called once per completed reporting round, before observe().  Adaptive
+  /// policies fold the observed deficit stream into their state here.
+  virtual void round_observed(const PolicyContext& /*context*/) {}
+
+ protected:
+  explicit ChargingPolicy(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Name -> factory registry, mirroring core::SolverRegistry (and reusing its
+/// spec grammar and option reader).  `global()` arrives pre-populated with
+/// every built-in policy.
+class ChargingPolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ChargingPolicy>(const core::SolverSpec&)>;
+
+  static ChargingPolicyRegistry& global();
+
+  /// Registers a factory; throws std::invalid_argument on a duplicate name.
+  void add(std::string name, std::string help, Factory factory);
+  bool contains(std::string_view name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// One-line description of `name` (empty when unknown).
+  std::string help(std::string_view name) const;
+
+  /// Parses `spec_text` and builds the policy.  Throws std::invalid_argument
+  /// on an unknown name (the message lists the registered names) or an
+  /// unknown/ill-typed option.
+  std::unique_ptr<ChargingPolicy> create(std::string_view spec_text) const;
+  std::unique_ptr<ChargingPolicy> create(const core::SolverSpec& spec) const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+
+  std::vector<std::pair<std::string, Entry>> entries_;  // insertion order
+};
+
+/// Convenience: `ChargingPolicyRegistry::global().create(spec)`.
+std::unique_ptr<ChargingPolicy> make_charging_policy(std::string_view spec);
+
+}  // namespace wrsn::sim

@@ -2,136 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
-#include "core/cost.hpp"
+#include "sim/charging_policy.hpp"
 
 namespace wrsn::sim {
 
-FleetSim::FleetSim(NetworkSim& network, const ChargerConfig& config, int num_chargers)
-    : network_(&network), config_(config) {
+FleetSim::FleetSim(NetworkSim& network, const ChargerConfig& config, int num_chargers) {
   if (num_chargers < 1) throw std::invalid_argument("fleet needs at least one charger");
-  if (config.speed_mps <= 0.0 || config.radiated_power_w <= 0.0 ||
-      config.round_period_s <= 0.0) {
-    throw std::invalid_argument("charger speed, power and round period must be positive");
-  }
-  if (!(config.low_watermark < config.high_watermark) || config.high_watermark > 1.0 ||
-      config.low_watermark < 0.0) {
-    throw std::invalid_argument("watermarks must satisfy 0 <= low < high <= 1");
-  }
-  const auto& field = network.instance().field();
-  const geom::Point depot = field ? field->base_station : geom::Point{0.0, 0.0};
-  chargers_.assign(static_cast<std::size_t>(num_chargers), Charger{});
-  for (auto& charger : chargers_) charger.position = depot;
-  stats_.radiated_per_charger.assign(static_cast<std::size_t>(num_chargers), 0.0);
-  stats_.visits_per_charger.assign(static_cast<std::size_t>(num_chargers), 0);
+  sim_ = std::make_unique<ChargerSim>(network, config, num_chargers,
+                                      make_charging_policy("nearest-deficit"));
 }
 
-geom::Point FleetSim::post_position(int p) const {
-  const auto& field = network_->instance().field();
-  if (!field) return {0.0, 0.0};
-  return field->posts[static_cast<std::size_t>(p)];
-}
+void FleetSim::run(std::uint64_t rounds) { sim_->run(rounds); }
 
-double FleetSim::min_fraction(int p) const {
-  const auto& nodes = network_->posts()[static_cast<std::size_t>(p)].nodes;
-  const double capacity = network_->config().battery_capacity_j;
-  double lowest = std::numeric_limits<double>::infinity();
-  for (const auto& node : nodes) lowest = std::min(lowest, node.battery_j / capacity);
-  return lowest;
-}
+const FleetStats& FleetSim::stats() const noexcept { return sim_->stats(); }
 
-bool FleetSim::post_claimed(int p) const {
-  return std::any_of(chargers_.begin(), chargers_.end(),
-                     [&](const Charger& c) { return c.target_post == p; });
-}
-
-void FleetSim::dispatch_all() {
-  // Repeatedly pair the most-urgent unclaimed post with the nearest idle
-  // charger until either runs out.
-  while (true) {
-    int urgent = -1;
-    double urgent_fraction = config_.low_watermark;
-    for (int p = 0; p < network_->instance().num_posts(); ++p) {
-      if (post_claimed(p)) continue;
-      const double fraction = min_fraction(p);
-      if (fraction < urgent_fraction) {
-        urgent = p;
-        urgent_fraction = fraction;
-      }
-    }
-    if (urgent < 0) return;
-
-    int best_charger = -1;
-    double best_distance = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < chargers_.size(); ++c) {
-      if (chargers_[c].state != State::Idle) continue;
-      const double d = geom::distance(chargers_[c].position, post_position(urgent));
-      if (d < best_distance) {
-        best_distance = d;
-        best_charger = static_cast<int>(c);
-      }
-    }
-    if (best_charger < 0) return;  // every charger busy
-
-    Charger& charger = chargers_[static_cast<std::size_t>(best_charger)];
-    charger.state = State::Traveling;
-    charger.target_post = urgent;
-    const double travel_time = best_distance / config_.speed_mps;
-    stats_.distance_m += best_distance;
-    stats_.travel_j += travel_time * config_.travel_power_w;
-    queue_.schedule_in(travel_time, [this, best_charger] { arrive(best_charger); });
-  }
-}
-
-void FleetSim::arrive(int charger_idx) {
-  Charger& charger = chargers_[static_cast<std::size_t>(charger_idx)];
-  charger.position = post_position(charger.target_post);
-  charger.state = State::Charging;
-  charger.charge_started = queue_.now();
-
-  const auto& post = network_->posts()[static_cast<std::size_t>(charger.target_post)];
-  const double capacity = network_->config().battery_capacity_j;
-  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
-  double max_deficit = 0.0;
-  for (const auto& node : post.nodes) {
-    max_deficit = std::max(max_deficit, config_.high_watermark * capacity - node.battery_j);
-  }
-  const double duration = std::max(max_deficit, 0.0) / node_power;
-  queue_.schedule_in(duration, [this, charger_idx] { finish_charging(charger_idx); });
-}
-
-void FleetSim::finish_charging(int charger_idx) {
-  Charger& charger = chargers_[static_cast<std::size_t>(charger_idx)];
-  const double duration = queue_.now() - charger.charge_started;
-  const double capacity = network_->config().battery_capacity_j;
-  const double node_power = network_->instance().charging().eta() * config_.radiated_power_w;
-  auto& post = network_->mutable_post(charger.target_post);
-  for (auto& node : post.nodes) {
-    node.battery_j = std::min(capacity, node.battery_j + node_power * duration);
-  }
-  const double radiated = duration * config_.radiated_power_w;
-  stats_.radiated_j += radiated;
-  stats_.radiated_per_charger[static_cast<std::size_t>(charger_idx)] += radiated;
-  ++stats_.visits;
-  ++stats_.visits_per_charger[static_cast<std::size_t>(charger_idx)];
-  charger.state = State::Idle;
-  charger.target_post = -1;
-  dispatch_all();
-}
-
-void FleetSim::run(std::uint64_t rounds) {
-  for (std::uint64_t r = 0; r < rounds; ++r) {
-    queue_.schedule(static_cast<double>(r + 1) * config_.round_period_s, [this] {
-      if (!network_->run_round()) stats_.any_death = true;
-      ++stats_.rounds;
-      dispatch_all();
-    });
-  }
-  while (queue_.run_next()) {
-  }
-}
+int FleetSim::num_chargers() const noexcept { return sim_->num_chargers(); }
 
 int fleet_size_lower_bound(const core::Instance& instance, const core::Solution& solution,
                            const ChargerConfig& charger, int bits_per_round) {

@@ -2,37 +2,29 @@
 //
 // One charger suffices only while its duty cycle rho = B*C/(tau*P) stays
 // below 1 and travel leaves enough slack (sim/tour.hpp).  Larger or busier
-// networks need a fleet.  This module co-simulates K chargers sharing a
-// dispatch queue (most-urgent post first, nearest idle charger wins) and
-// offers both an analytic lower bound and a simulation-based search for the
-// minimum fleet that keeps every node alive.
+// networks need a fleet.  FleetSim is nowadays a thin facade over the
+// unified ChargerSim engine (sim/charger_sim.hpp) running K chargers under
+// the default `nearest-deficit` policy (most-urgent post first, nearest
+// idle charger wins) -- bit-identical to the original hand-coded dispatch,
+// pinned by tests/test_charging_policy.cpp.  This module also offers both
+// an analytic lower bound and a simulation-based search for the minimum
+// fleet that keeps every node alive.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/charger.hpp"
+#include "sim/charger_sim.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/tour.hpp"
 
 namespace wrsn::sim {
 
-/// Aggregate + per-charger statistics of a fleet run.
-struct FleetStats {
-  double radiated_j = 0.0;
-  double travel_j = 0.0;
-  double distance_m = 0.0;
-  std::uint64_t visits = 0;
-  std::uint64_t rounds = 0;
-  bool any_death = false;
-  /// Per-charger share of the work (radiated joules), for balance checks.
-  std::vector<double> radiated_per_charger;
-  std::vector<std::uint64_t> visits_per_charger;
-
-  double radiated_per_round() const {
-    return rounds ? radiated_j / static_cast<double>(rounds) : 0.0;
-  }
-};
+/// Aggregate + per-charger statistics of a fleet run (the engine's stats
+/// struct under its historical name; field names are unchanged).
+using FleetStats = ChargerSimStats;
 
 /// K chargers patrolling one network. Dispatch policy: whenever a post's
 /// emptiest node falls below the low watermark and no charger is already
@@ -42,30 +34,11 @@ class FleetSim {
   FleetSim(NetworkSim& network, const ChargerConfig& config, int num_chargers);
 
   void run(std::uint64_t rounds);
-  const FleetStats& stats() const noexcept { return stats_; }
-  int num_chargers() const noexcept { return static_cast<int>(chargers_.size()); }
+  const FleetStats& stats() const noexcept;
+  int num_chargers() const noexcept;
 
  private:
-  enum class State { Idle, Traveling, Charging };
-  struct Charger {
-    State state = State::Idle;
-    geom::Point position{};
-    int target_post = -1;
-    double charge_started = 0.0;
-  };
-
-  geom::Point post_position(int p) const;
-  double min_fraction(int p) const;
-  bool post_claimed(int p) const;
-  void dispatch_all();
-  void arrive(int charger);
-  void finish_charging(int charger);
-
-  NetworkSim* network_;
-  ChargerConfig config_;
-  EventQueue queue_;
-  FleetStats stats_;
-  std::vector<Charger> chargers_;
+  std::unique_ptr<ChargerSim> sim_;
 };
 
 /// Analytic lower bound on the fleet size: the RF power the network demands

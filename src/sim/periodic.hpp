@@ -9,6 +9,7 @@
 #pragma once
 
 #include "sim/charger.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/tour.hpp"
 
 namespace wrsn::sim {

@@ -34,6 +34,16 @@ Flags& Flags::add_opt_double(const std::string& name, double* target, double bar
   entries_[name].bare_value = bare_value;
   return *this;
 }
+Flags& Flags::add_string_list(const std::string& name, std::vector<std::string>* target,
+                              const std::string& help) {
+  std::string default_repr;
+  for (const std::string& item : *target) {
+    if (!default_repr.empty()) default_repr += ",";
+    default_repr += item;
+  }
+  if (default_repr.empty()) default_repr = "(none)";
+  return add(name, Kind::StringList, target, help, std::move(default_repr));
+}
 
 bool Flags::assign(Entry& entry, const std::string& value, const std::string& name) {
   try {
@@ -51,6 +61,15 @@ bool Flags::assign(Entry& entry, const std::string& value, const std::string& na
       case Kind::String:
         *static_cast<std::string*>(entry.target) = value;
         return true;
+      case Kind::StringList: {
+        auto* list = static_cast<std::vector<std::string>*>(entry.target);
+        if (!entry.list_touched) {
+          list->clear();  // drop the built-in default on the first occurrence
+          entry.list_touched = true;
+        }
+        list->push_back(value);
+        return true;
+      }
       case Kind::Bool:
         if (value == "true" || value == "1" || value == "yes") {
           *static_cast<bool*>(entry.target) = true;

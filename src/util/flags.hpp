@@ -26,6 +26,11 @@ class Flags {
   /// switches where presence alone is meaningful.
   Flags& add_opt_double(const std::string& name, double* target, double bare_value,
                         const std::string& help);
+  /// Repeatable string flag: every occurrence appends to `target` (the
+  /// pre-existing contents act as the default and are cleared by the first
+  /// occurrence).  For `--charging-policy=<spec>`-style accumulating flags.
+  Flags& add_string_list(const std::string& name, std::vector<std::string>* target,
+                         const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) on `--help` or error.
   /// When `allow_unknown` is true, unrecognized flags are left untouched and
@@ -36,13 +41,14 @@ class Flags {
   void print_usage(const std::string& program) const;
 
  private:
-  enum class Kind { Int, Int64, Double, String, Bool, OptDouble };
+  enum class Kind { Int, Int64, Double, String, Bool, OptDouble, StringList };
   struct Entry {
     Kind kind;
     void* target;
     std::string help;
     std::string default_repr;
     double bare_value = 0.0;  ///< OptDouble only: value assigned by a bare flag
+    bool list_touched = false;  ///< StringList only: first occurrence clears the default
   };
 
   Flags& add(const std::string& name, Kind kind, void* target, const std::string& help,

@@ -1,0 +1,175 @@
+// core::place_chargers tests: geometric validity of the greedy set cover,
+// duty-cycle feasibility gating, budget handling, determinism, and a
+// randomized comparison against a brute-force minimum-cover oracle at small n.
+#include "core/charger_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rfh.hpp"
+#include "geom/point.hpp"
+#include "helpers.hpp"
+
+namespace wrsn::core {
+namespace {
+
+struct PlanFixture {
+  Instance instance;
+  Solution solution;
+};
+
+PlanFixture make_plan(int posts, int nodes, double side, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance inst = test::random_instance(posts, nodes, side, rng);
+  Solution solution = solve_rfh(inst).solution;
+  return PlanFixture{std::move(inst), std::move(solution)};
+}
+
+/// Brute-force minimum cover using the post positions themselves as the
+/// candidate set (a subset of the implementation's candidates, so its
+/// optimum upper-bounds the implementation's optimum).
+int brute_force_min_cover(const std::vector<geom::Point>& posts,
+                          const std::vector<char>& feasible, double radius) {
+  const int n = static_cast<int>(posts.size());
+  int need = 0;
+  for (const char f : feasible) need += f;
+  if (need == 0) return 0;
+  int best = n + 1;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size >= best) continue;
+    bool all_covered = true;
+    for (int p = 0; p < n && all_covered; ++p) {
+      if (!feasible[static_cast<std::size_t>(p)]) continue;
+      bool covered = false;
+      for (int c = 0; c < n && !covered; ++c) {
+        if (!(mask & (1u << c))) continue;
+        covered = geom::distance(posts[static_cast<std::size_t>(p)],
+                                 posts[static_cast<std::size_t>(c)]) <= radius;
+      }
+      all_covered = covered;
+    }
+    if (all_covered) best = size;
+  }
+  return best;
+}
+
+TEST(ChargerPlacement, RejectsAbstractInstancesAndBadConfigs) {
+  const PlanFixture plan = make_plan(5, 10, 100.0, 1);
+  PlacementConfig bad;
+  bad.coverage_radius_m = 0.0;
+  EXPECT_THROW(place_chargers(plan.instance, plan.solution, bad), std::invalid_argument);
+  bad = PlacementConfig{};
+  bad.max_duty = 0.0;
+  EXPECT_THROW(place_chargers(plan.instance, plan.solution, bad), std::invalid_argument);
+  bad = PlacementConfig{};
+  bad.max_chargers = -1;
+  EXPECT_THROW(place_chargers(plan.instance, plan.solution, bad), std::invalid_argument);
+}
+
+TEST(ChargerPlacement, CoversEveryFeasiblePostWithinRadius) {
+  for (const std::uint64_t seed : {1ULL, 4ULL, 9ULL, 16ULL, 25ULL}) {
+    const PlanFixture plan = make_plan(12, 36, 200.0, seed);
+    PlacementConfig config;
+    config.coverage_radius_m = 60.0;
+    config.radiated_power_w = 5.0;
+    const PlacementResult result = place_chargers(plan.instance, plan.solution, config);
+
+    const auto& posts = plan.instance.field()->posts;
+    ASSERT_EQ(result.covered_by.size(), posts.size());
+    ASSERT_EQ(result.post_duty.size(), posts.size());
+    for (std::size_t p = 0; p < posts.size(); ++p) {
+      const int charger = result.covered_by[p];
+      const bool feasible = result.post_duty[p] <= config.max_duty;
+      if (charger >= 0) {
+        ASSERT_LT(charger, static_cast<int>(result.chargers.size()));
+        // A covered post lies within the coverage disc of its charger.
+        EXPECT_LE(geom::distance(posts[p], result.chargers[static_cast<std::size_t>(charger)]),
+                  config.coverage_radius_m + 1e-9);
+        EXPECT_TRUE(feasible);
+      } else {
+        // Unlimited budget: only duty-infeasible posts may stay uncovered.
+        EXPECT_FALSE(feasible);
+        EXPECT_NE(std::find(result.uncovered.begin(), result.uncovered.end(),
+                            static_cast<int>(p)),
+                  result.uncovered.end());
+      }
+    }
+    EXPECT_EQ(result.feasible, result.uncovered.empty());
+    EXPECT_EQ(result.total_power_w,
+              static_cast<double>(result.chargers.size()) * config.radiated_power_w);
+  }
+}
+
+TEST(ChargerPlacement, GreedyStaysNearBruteForceOptimumAtSmallN) {
+  for (const std::uint64_t seed : {2ULL, 6ULL, 10ULL, 14ULL, 18ULL, 22ULL}) {
+    const PlanFixture plan = make_plan(6, 12, 150.0, seed);
+    PlacementConfig config;
+    config.coverage_radius_m = 55.0;
+    config.radiated_power_w = 5.0;
+    const PlacementResult result = place_chargers(plan.instance, plan.solution, config);
+
+    const auto& posts = plan.instance.field()->posts;
+    std::vector<char> feasible(posts.size());
+    for (std::size_t p = 0; p < posts.size(); ++p) {
+      feasible[p] = result.post_duty[p] <= config.max_duty;
+    }
+    const int oracle = brute_force_min_cover(posts, feasible, config.coverage_radius_m);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // The oracle restricted to post sites is achievable by the greedy's
+    // richer candidate set, so greedy can never need more than the set-cover
+    // approximation bound allows -- and at n = 6 that is a factor H(6) < 2.5.
+    EXPECT_GE(static_cast<int>(result.chargers.size()), result.feasible ? 1 : 0);
+    EXPECT_LE(static_cast<double>(result.chargers.size()), 2.5 * oracle + 1e-9);
+  }
+}
+
+TEST(ChargerPlacement, HonorsChargerBudget) {
+  const PlanFixture plan = make_plan(12, 36, 250.0, 3);
+  PlacementConfig config;
+  config.coverage_radius_m = 40.0;
+  config.max_chargers = 1;
+  const PlacementResult result = place_chargers(plan.instance, plan.solution, config);
+  EXPECT_LE(result.chargers.size(), 1u);
+  // A 250 m field rarely fits one 40 m disc; either way the accounting must
+  // agree with the verdict.
+  EXPECT_EQ(result.feasible, result.uncovered.empty());
+}
+
+TEST(ChargerPlacement, DutyGateMarksOverloadedPostsInfeasible) {
+  const PlanFixture plan = make_plan(8, 24, 150.0, 7);
+  PlacementConfig config;
+  config.coverage_radius_m = 60.0;
+  config.radiated_power_w = 5.0;
+  // An absurd report size pushes every post's duty cycle above any bound.
+  config.bits_per_round = 1 << 30;
+  config.max_duty = 1e-6;
+  const PlacementResult result = place_chargers(plan.instance, plan.solution, config);
+  EXPECT_TRUE(result.chargers.empty());
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.uncovered.size(),
+            static_cast<std::size_t>(plan.instance.num_posts()));
+}
+
+TEST(ChargerPlacement, IsDeterministic) {
+  const PlanFixture plan = make_plan(10, 30, 180.0, 12);
+  PlacementConfig config;
+  config.coverage_radius_m = 50.0;
+  const PlacementResult a = place_chargers(plan.instance, plan.solution, config);
+  const PlacementResult b = place_chargers(plan.instance, plan.solution, config);
+  ASSERT_EQ(a.chargers.size(), b.chargers.size());
+  for (std::size_t i = 0; i < a.chargers.size(); ++i) {
+    EXPECT_EQ(a.chargers[i].x, b.chargers[i].x);
+    EXPECT_EQ(a.chargers[i].y, b.chargers[i].y);
+  }
+  EXPECT_EQ(a.covered_by, b.covered_by);
+  EXPECT_EQ(a.post_duty, b.post_duty);
+  EXPECT_EQ(a.uncovered, b.uncovered);
+}
+
+}  // namespace
+}  // namespace wrsn::core

@@ -357,5 +357,107 @@ TEST(ExperimentRunner, RepairPolicyChangesSimOutcomeNotSolve) {
   EXPECT_GT(b.diag_stats(0, 0, "sim/reroutes").mean(), 0.0);
 }
 
+TEST(SweepSpec, PoliciesBlockRoundTripsAndLegacyDumpIsUnchanged) {
+  // Without a policy stage the JSON dump must not mention policies at all --
+  // existing scenario files and checkpoint fingerprints predate the stage
+  // and must stay valid.
+  const exp::SweepSpec plain = small_spec();
+  EXPECT_EQ(plain.to_json().dump().find("policies"), std::string::npos);
+
+  exp::SweepSpec policy_spec = small_spec();
+  policy_spec.policies_to_evaluate = {"nearest-deficit", "threshold:low=0.4",
+                                      "lookahead:horizon=3", "fixed"};
+  policy_spec.policy_rounds = 250;
+  policy_spec.policy_fleet = 2;
+  policy_spec.policy_bits_per_report = 2048;
+  policy_spec.policy_battery_j = 0.03;
+  policy_spec.policy_speed_mps = 8.0;
+  policy_spec.policy_power_w = 40.0;
+  policy_spec.policy_travel_power_w = 15.0;
+  policy_spec.policy_low_watermark = 0.4;
+  policy_spec.policy_high_watermark = 0.9;
+  policy_spec.policy_round_period_s = 30.0;
+  policy_spec.placement_radius_m = 45.0;
+  policy_spec.placement_power_w = 6.0;
+  policy_spec.placement_max_chargers = 7;
+  policy_spec.placement_max_duty = 0.8;
+  const exp::SweepSpec back = exp::SweepSpec::from_json(policy_spec.to_json());
+  EXPECT_EQ(back.policies_to_evaluate, policy_spec.policies_to_evaluate);
+  EXPECT_EQ(back.policy_rounds, 250);
+  EXPECT_EQ(back.policy_fleet, 2);
+  EXPECT_EQ(back.policy_bits_per_report, 2048);
+  EXPECT_EQ(back.policy_battery_j, 0.03);
+  EXPECT_EQ(back.policy_speed_mps, 8.0);
+  EXPECT_EQ(back.policy_power_w, 40.0);
+  EXPECT_EQ(back.policy_travel_power_w, 15.0);
+  EXPECT_EQ(back.policy_low_watermark, 0.4);
+  EXPECT_EQ(back.policy_high_watermark, 0.9);
+  EXPECT_EQ(back.policy_round_period_s, 30.0);
+  EXPECT_EQ(back.placement_radius_m, 45.0);
+  EXPECT_EQ(back.placement_power_w, 6.0);
+  EXPECT_EQ(back.placement_max_chargers, 7);
+  EXPECT_EQ(back.placement_max_duty, 0.8);
+  EXPECT_EQ(back.fingerprint(), policy_spec.fingerprint());
+  EXPECT_NE(policy_spec.fingerprint(), plain.fingerprint());
+}
+
+TEST(SweepSpec, ValidateRejectsBadPolicyStages) {
+  exp::SweepSpec spec = small_spec();
+  spec.policies_to_evaluate = {"no-such-policy"};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.policies_to_evaluate = {"threshold:low=2"};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.policies_to_evaluate = {"threshold"};
+  spec.policy_rounds = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.policy_rounds = 100;
+  spec.policy_low_watermark = 0.95;
+  spec.policy_high_watermark = 0.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.policy_low_watermark = 0.5;
+  spec.policy_high_watermark = 0.95;
+  spec.placement_radius_m = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.placement_radius_m = 50.0;
+  spec.validate();  // restored spec is fine
+  // A non-zero hazard axis is allowed when only the policy stage is active.
+  spec.hazard_axis = {0.01};
+  spec.validate();
+  spec.policies_to_evaluate.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, PolicyStageIsThreadIdentical) {
+  // Policy diagnostics must be bit-identical for any thread count, like the
+  // rest of the row -- the policy stage derives everything from (spec,
+  // config index, run), never from execution order.
+  exp::SweepSpec spec = small_spec();
+  spec.posts_axis = {12};
+  spec.nodes_axis = {40};
+  spec.side = 200.0;
+  spec.solvers = {"rfh"};
+  spec.policies_to_evaluate = {"nearest-deficit", "threshold", "fixed"};
+  spec.policy_rounds = 120;
+  spec.policy_speed_mps = 10.0;
+  spec.policy_power_w = 50.0;
+  exp::RunnerOptions serial;
+  serial.threads = 1;
+  exp::RunnerOptions parallel;
+  parallel.threads = 4;
+  const exp::SweepResult one = exp::ExperimentRunner(spec, serial).run();
+  const exp::SweepResult four = exp::ExperimentRunner(spec, parallel).run();
+  EXPECT_EQ(result_signature(one), result_signature(four));
+  // Every policy attached its facts; the fixed entry also reports placement.
+  const std::string rows = result_signature(one);
+  EXPECT_NE(rows.find("pol0/delivery"), std::string::npos);
+  EXPECT_NE(rows.find("pol1/visits"), std::string::npos);
+  EXPECT_NE(rows.find("pol2/chargers"), std::string::npos);
+  EXPECT_NE(rows.find("pol2/fixed_j"), std::string::npos);
+  // Mobile policies visited posts; the fixed infrastructure never travels.
+  EXPECT_GT(one.diag_stats(0, 0, "pol0/visits").mean(), 0.0);
+  EXPECT_EQ(one.diag_stats(0, 0, "pol2/visits").mean(), 0.0);
+  EXPECT_GT(one.diag_stats(0, 0, "pol2/chargers").mean(), 0.0);
+}
+
 }  // namespace
 }  // namespace wrsn
