@@ -1,0 +1,150 @@
+// Exact-search frontier benchmark (Google Benchmark).
+//
+// Two families, each swept over worker counts {1, 2, 4, 8}:
+//
+//   BM_exact_nodes_per_sec/T  closed-run work-stealing B&B on a fixed
+//                             instance; the `nodes_per_sec` counter is the
+//                             leaf-evaluation throughput (evaluations are
+//                             schedule-dependent above one thread, so the
+//                             rate -- not a pinned node count -- is the
+//                             tracked quantity).
+//   BM_exact_frontier/T       anytime probes of growing N (M = 2N + 4)
+//                             under a per-solve wall-clock budget; the
+//                             `frontier_n` counter is the largest N whose
+//                             search *completed* inside the budget.  Extra
+//                             workers explore disjoint frontier subtrees
+//                             concurrently, improving the incumbent -- and
+//                             therefore pruning -- earlier, so the frontier
+//                             grows with T even before core counts do.
+//
+// scripts/perf_baseline.sh --bench exact refreshes BENCH_exact.json, and CI
+// tracks the `^BM_exact_` rows as a warn-only trajectory
+// (scripts/bench_check.py).  Flags (before the --benchmark_* ones): --seed,
+// --budget=<s> per-probe anytime budget (default 0.5), --frontier-max-n
+// (default 16), --runs=<n> as shorthand for --benchmark_repetitions.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/exact.hpp"
+#include "obs/build_info.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+std::int64_t g_seed = 42;
+double g_budget_s = 0.5;
+int g_frontier_min_n = 8;
+int g_frontier_max_n = 16;
+bool g_warm_start = false;
+
+/// Fixed-N instance for the throughput rows: small enough that a closed run
+/// finishes in milliseconds, large enough that the frontier decomposition
+/// is non-trivial at 8 workers.
+core::Instance rate_instance() {
+  util::Rng rng(static_cast<std::uint64_t>(g_seed));
+  return bench::make_paper_instance(10, 24, 130.0, 3, rng);
+}
+
+/// Frontier-probe instance family: one deterministic geometry per N, shared
+/// by every thread count so the probes compare like for like.
+core::Instance frontier_instance(int posts) {
+  util::Rng rng(static_cast<std::uint64_t>(g_seed) + static_cast<std::uint64_t>(posts));
+  const double side = 40.0 * std::sqrt(static_cast<double>(posts));
+  return bench::make_paper_instance(posts, 2 * posts + 4, side, 3, rng);
+}
+
+void BM_exact_nodes_per_sec(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const core::Instance instance = rate_instance();
+  std::uint64_t evaluations = 0;
+  std::uint64_t steals = 0;
+  double wall_s = 0.0;
+  double cost = 0.0;
+  for (auto _ : state) {
+    core::ExactOptions options;
+    options.threads = threads;
+    util::Timer timer;
+    const core::ExactResult result = core::solve_exact(instance, options);
+    wall_s += timer.elapsed_seconds();
+    evaluations += result.evaluations;
+    steals += result.steals;
+    cost = result.cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  // Wall-clock rate, not a benchmark kIsRate counter: the latter divides by
+  // the *calling thread's* CPU time, which undercounts the worker pool.
+  state.counters["nodes_per_sec"] =
+      wall_s > 0.0 ? static_cast<double>(evaluations) / wall_s : 0.0;
+  state.counters["steals"] = static_cast<double>(steals) / state.iterations();
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_exact_nodes_per_sec)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_exact_frontier(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  int frontier = 0;
+  std::uint64_t evaluations = 0;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    frontier = 0;
+    for (int posts = g_frontier_min_n; posts <= g_frontier_max_n; ++posts) {
+      const core::Instance instance = frontier_instance(posts);
+      core::ExactOptions options;
+      options.threads = threads;
+      options.time_budget_s = g_budget_s;
+      options.warm_start = g_warm_start;
+      util::Timer timer;
+      const core::ExactResult result = core::solve_exact(instance, options);
+      wall_s += timer.elapsed_seconds();
+      evaluations += result.evaluations;
+      if (!result.complete) break;
+      frontier = posts;
+    }
+  }
+  state.counters["frontier_n"] = frontier;
+  state.counters["budget_s"] = g_budget_s;
+  // Wall-clock rate over the solve time only (instance sampling excluded);
+  // see BM_exact_nodes_per_sec for why kIsRate is wrong here.
+  state.counters["nodes_per_sec"] =
+      wall_s > 0.0 ? static_cast<double>(evaluations) / wall_s : 0.0;
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_exact_frontier)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, [](util::Flags& flags) {
+    flags.add_double("budget", &g_budget_s,
+                     "anytime wall-clock budget per frontier probe [s]");
+    flags.add_int("frontier-min-n", &g_frontier_min_n,
+                  "smallest post count the frontier sweep will probe");
+    flags.add_int("frontier-max-n", &g_frontier_max_n,
+                  "largest post count the frontier sweep will probe");
+    flags.add_bool("warm-start", &g_warm_start,
+                   "seed frontier probes with the IDB incumbent (default off: the "
+                   "probes measure the search, not the heuristic seed)");
+  });
+  g_seed = args.seed;
+  if (args.paper_scale()) g_budget_s = 60.0;  // the paper-style 60 s frontier
+  std::vector<char*> bench_argv(argv, argv + argc);
+  std::string repetitions;
+  if (args.runs > 0) {
+    repetitions = "--benchmark_repetitions=" + std::to_string(args.runs);
+    bench_argv.push_back(repetitions.data());
+  }
+  benchmark::AddCustomContext("wrsn_build_type", wrsn::obs::build_info().build_type);
+  benchmark::AddCustomContext("wrsn_git_sha", wrsn::obs::build_info().git_sha);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/solver.hpp"
 #include "exp/runner.hpp"
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   bool list_solvers = false;
   bool list_policies = false;
   std::vector<std::string> charging_policies;
+  std::string exact_threads;
 
   util::Flags flags;
   io::ObsCli obs_cli;
@@ -59,6 +61,10 @@ int main(int argc, char** argv) {
   flags.add_string_list("charging-policy", &charging_policies,
                         "override the spec's policies_to_evaluate (repeatable; "
                         "changes the fingerprint, so use a fresh checkpoint)");
+  flags.add_string("exact-threads", &exact_threads,
+                   "override the spec's exact_threads axis, e.g. 1,2,4,8: fan every "
+                   "exact solver across these thread counts (changes the fingerprint, "
+                   "so use a fresh checkpoint)");
   obs_cli.register_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
@@ -97,6 +103,30 @@ int main(int argc, char** argv) {
     exp::SweepSpec spec = exp::SweepSpec::load(spec_path);
     if (!charging_policies.empty()) {
       spec.policies_to_evaluate = charging_policies;
+      spec.validate();
+    }
+    if (!exact_threads.empty()) {
+      spec.exact_threads_axis.clear();
+      std::size_t start = 0;
+      while (start <= exact_threads.size()) {
+        const std::size_t comma = exact_threads.find(',', start);
+        const std::string token = exact_threads.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        try {
+          std::size_t used = 0;
+          const int value = std::stoi(token, &used);
+          if (used != token.size()) throw std::invalid_argument(token);
+          spec.exact_threads_axis.push_back(value);
+        } catch (const std::exception&) {
+          std::fprintf(stderr,
+                       "exp_tool: --exact-threads expects a comma-separated integer "
+                       "list (got '%s')\n",
+                       token.c_str());
+          return 1;
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
       spec.validate();
     }
     obs_cli.begin();

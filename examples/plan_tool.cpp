@@ -54,6 +54,9 @@ int main(int argc, char** argv) {
   std::int64_t sim_fault_seed = 7;
   int threads = 1;
   std::string ls_strategy = "first";
+  int exact_threads = 1;
+  int exact_split_depth = 0;
+  double exact_budget = 0.0;
   std::vector<std::string> charging_policies;
   int policy_rounds = 2000;
   double placement_radius = 50.0;
@@ -83,6 +86,13 @@ int main(int argc, char** argv) {
   flags.add_int64("sim-fault-seed", &sim_fault_seed, "fault model RNG seed");
   flags.add_int("threads", &threads, "local-search pricing threads (0 = all cores)");
   flags.add_string("ls-strategy", &ls_strategy, "local-search move rule: first | best");
+  flags.add_int("exact-threads", &exact_threads,
+                "exact-solver search workers (0 = all cores); closed-run results are "
+                "bit-identical for every value");
+  flags.add_int("exact-split-depth", &exact_split_depth,
+                "exact-solver frontier split depth (0 = auto)");
+  flags.add_double("exact-budget", &exact_budget,
+                   "exact-solver anytime wall-clock budget [s]; 0 = closed run");
   flags.add_string_list("charging-policy", &charging_policies,
                         "charging-policy spec to co-simulate on the plan (repeatable; "
                         "'fixed' uses the greedy charger placement)");
@@ -141,14 +151,28 @@ int main(int argc, char** argv) {
   run_report.begin_section("solver").add("name", solver);
   try {
     core::SolverSpec spec = core::SolverSpec::parse(solver);
+    const auto has_option = [&spec](const std::string& key) {
+      return std::any_of(spec.options.begin(), spec.options.end(),
+                         [&key](const auto& kv) { return kv.first == key; });
+    };
     if (spec.name.ends_with("+ls")) {
-      const auto has_option = [&spec](const std::string& key) {
-        return std::any_of(spec.options.begin(), spec.options.end(),
-                           [&key](const auto& kv) { return kv.first == key; });
-      };
       if (!has_option("ls-threads")) spec.options.emplace_back("ls-threads",
                                                                std::to_string(threads));
       if (!has_option("ls-strategy")) spec.options.emplace_back("ls-strategy", ls_strategy);
+    }
+    // Same fold-in for the exact solver's parallel/anytime knobs.
+    if (spec.name == "exact") {
+      if (!has_option("threads")) {
+        spec.options.emplace_back("threads", std::to_string(exact_threads));
+      }
+      if (!has_option("split_depth")) {
+        spec.options.emplace_back("split_depth", std::to_string(exact_split_depth));
+      }
+      if (!has_option("budget") && exact_budget > 0.0) {
+        char budget_text[32];
+        std::snprintf(budget_text, sizeof(budget_text), "%g", exact_budget);
+        spec.options.emplace_back("budget", budget_text);
+      }
     }
     const std::unique_ptr<core::Solver> engine = core::SolverRegistry::global().create(spec);
     const core::SolverRun run = engine->solve(instance, &metrics_sink, obs_cli.progress());

@@ -1,14 +1,21 @@
 #include "core/exact.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "core/idb.hpp"
 #include "core/pricer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "util/arena.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace wrsn::core {
@@ -39,60 +46,260 @@ double deployment_relaxation_bound(const Instance& instance) {
 
 namespace {
 
-struct SearchState {
-  const Instance* instance;
-  const ExactOptions* options;
-  // `pricer` is kept in lockstep with `current` (every branch decision is a
-  // committed incremental add/remove), so leaf pricing is O(1) base_cost()
-  // and the optimistic lower bound is one multi-seeded relaxation instead of
-  // a fresh Dijkstra per node of the search tree.
-  DeploymentPricer* pricer;
-  std::vector<int> current;
-  std::vector<int> best;
-  std::vector<std::pair<int, int>> additions;  // reused bound buffer
-  double best_cost = graph::kInfinity;
-  double lower_bound = 0.0;
-  std::uint64_t evaluations = 0;
-  std::uint64_t pruned = 0;
-  bool aborted = false;
-  obs::ProgressSink* progress = nullptr;
-  util::Timer timer;  // heartbeat rate only; the search never reads it
+/// The library-wide FP-tolerance contract (docs/performance.md): pricer
+/// repairs match a fresh Dijkstra up to this relative summation-order error.
+constexpr double kRelTol = 1e-9;
 
-  /// Offers a heartbeat to the sink.  Anytime telemetry for ROADMAP item 3:
-  /// incumbent / lower-bound gap over time.  Purely observational -- no
-  /// branching decision depends on the sink or the clock.
-  void emit_progress(bool final_event) {
+int effective_cap(int max_per_post) {
+  return max_per_post > 0 ? max_per_post : std::numeric_limits<int>::max();
+}
+
+/// One subtree of the search: posts [0, prefix.size()) fixed, the rest open.
+struct FrontierTask {
+  std::vector<int> prefix;
+  int remaining = 0;   ///< node budget left for the open posts
+  double bound = 0.0;  ///< admissible subtree lower bound (generation-time)
+};
+
+/// Number of feasible frontier prefixes of length `depth`, saturating at
+/// `limit` (the auto split-depth search only needs "enough or not").
+std::uint64_t count_prefixes(int post, int remaining, int n, int cap, int depth,
+                             std::uint64_t limit) {
+  if (post == depth) return 1;
+  const int undecided_after = n - post - 1;
+  const int hi = std::min(cap, remaining - undecided_after);
+  if (hi < 1) return 0;
+  std::uint64_t total = 0;
+  for (int take = hi; take >= 1; --take) {
+    total += count_prefixes(post + 1, remaining - take, n, cap, depth, limit);
+    if (total >= limit) return total;
+  }
+  return total;
+}
+
+/// Frontier depth: as requested (clamped to [1, N-1]), or grown until the
+/// decomposition yields ~8 tasks per worker (capped so the task array stays
+/// small).  N == 1 degenerates to a single root task.
+int choose_split_depth(int n, int m, int cap, int workers, int requested) {
+  if (n <= 1) return 0;
+  if (requested > 0) return std::min(requested, n - 1);
+  const std::uint64_t target =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(workers) * 8, 4096);
+  int depth = 1;
+  while (depth < n - 1 && count_prefixes(0, m, n, cap, depth, target) < target) {
+    ++depth;
+  }
+  return depth;
+}
+
+/// Enumerates frontier prefixes in serial DFS order (descending take per
+/// level, the order the one-worker search visits them), pricing each
+/// complete prefix's admissible subtree bound incrementally: adjacent
+/// prefixes differ in a suffix, so each bound is a cheap pricer repair away
+/// from its predecessor, not a fresh Dijkstra.
+struct TaskGenerator {
+  const Instance& instance;
+  const ExactOptions& options;
+  DeploymentPricer& pricer;
+  int depth;
+  std::vector<int> current;
+  std::vector<std::pair<int, int>> additions;
+  std::vector<FrontierTask> tasks;
+
+  void set_count(int post, int target) {
+    int& count = current[static_cast<std::size_t>(post)];
+    while (count < target) {
+      pricer.add_node(post);
+      ++count;
+    }
+    while (count > target) {
+      pricer.remove_node(post);
+      --count;
+    }
+  }
+
+  void descend(int post, int remaining) {
+    const int n = instance.num_posts();
+    const int cap = effective_cap(options.max_per_post);
+    if (post == depth) {
+      FrontierTask task;
+      task.prefix.assign(current.begin(), current.begin() + depth);
+      task.remaining = remaining;
+      // Admissible bound for the whole subtree: grant every open post the
+      // most any single post could still take (cost strictly decreases in
+      // each m_i).  This is exactly the bound the in-task search would
+      // compute at its root, so anytime certificates and task-level prunes
+      // agree with the per-node ones.
+      const int undecided_after = n - depth - 1;
+      const int hi = std::min(cap, remaining - undecided_after);
+      additions.clear();
+      for (int i = depth; i < n; ++i) additions.emplace_back(i, hi - 1);
+      task.bound = pricer.cost_with_added_nodes(additions);
+      tasks.push_back(std::move(task));
+      return;
+    }
+    const int undecided_after = n - post - 1;
+    const int hi = std::min(cap, remaining - undecided_after);
+    if (hi < 1) return;  // infeasible branch (cap too tight)
+    for (int take = hi; take >= 1; --take) {
+      set_count(post, take);
+      descend(post + 1, remaining - take);
+    }
+    set_count(post, 1);
+  }
+};
+
+/// State shared by all search workers.  The incumbent is ordered by
+/// (canonical cost, lexicographic deployment): canonical means re-priced
+/// with a deployment-only fresh Dijkstra, so the comparison is independent
+/// of any worker's pricer repair history -- the key to schedule-independent
+/// results (docs/performance.md has the full argument).
+struct SharedSearch {
+  const Instance& instance;
+  const ExactOptions& options;
+  int n;
+  int cap;
+  int workers;
+  double root_lb = 0.0;
+  double deadline_s = 0.0;  ///< <= 0: closed run, the clock is never read
+  std::vector<FrontierTask> tasks;
+
+  // Work-stealing frontier: worker w owns the contiguous slice
+  // [slice_head[w], slice_tail[w]) of the task array; owners pop the front,
+  // thieves pop the back.  One coarse mutex guards every slice -- pops are
+  // per-subtree, far too rare to contend.
+  std::vector<int> slice_head;
+  std::vector<int> slice_tail;
+  std::mutex slice_mutex;
+  std::unique_ptr<std::atomic<char>[]> task_done;
+
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> shared_prunes{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> aborted{false};
+
+  std::mutex best_mutex;
+  std::vector<int> best;                    // guarded by best_mutex
+  double best_cost = graph::kInfinity;      // guarded by best_mutex
+  double published_lb = 0.0;                // guarded by best_mutex
+  double initial_best = graph::kInfinity;   // warm-start cost (read-only)
+  std::atomic<double> best_atomic{graph::kInfinity};  // prune-read mirror
+
+  util::Timer timer;
+
+  SharedSearch(const Instance& inst, const ExactOptions& opts, int num_workers)
+      : instance(inst),
+        options(opts),
+        n(inst.num_posts()),
+        cap(effective_cap(opts.max_per_post)),
+        workers(num_workers) {}
+
+  void init_slices() {
+    const std::int64_t count = static_cast<std::int64_t>(tasks.size());
+    slice_head.resize(static_cast<std::size_t>(workers));
+    slice_tail.resize(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      slice_head[static_cast<std::size_t>(w)] =
+          static_cast<int>(util::ThreadPool::chunk_begin(count, workers, w));
+      slice_tail[static_cast<std::size_t>(w)] =
+          static_cast<int>(util::ThreadPool::chunk_begin(count, workers, w + 1));
+    }
+    task_done = std::make_unique<std::atomic<char>[]>(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      task_done[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Next task for worker w: own slice front first, else steal the back of
+  /// the first non-empty victim slice (round-robin from w+1); -1 = drained.
+  int acquire(int w) {
+    std::lock_guard<std::mutex> lock(slice_mutex);
+    if (slice_head[static_cast<std::size_t>(w)] < slice_tail[static_cast<std::size_t>(w)]) {
+      return slice_head[static_cast<std::size_t>(w)]++;
+    }
+    for (int step = 1; step < workers; ++step) {
+      const int victim = (w + step) % workers;
+      if (slice_head[static_cast<std::size_t>(victim)] <
+          slice_tail[static_cast<std::size_t>(victim)]) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return --slice_tail[static_cast<std::size_t>(victim)];
+      }
+    }
+    return -1;
+  }
+
+  void mark_done(int task_index) {
+    task_done[static_cast<std::size_t>(task_index)].store(1, std::memory_order_relaxed);
+  }
+
+  /// Global optimality certificate right now: min over unfinished subtree
+  /// bounds, clamped by the incumbent (finished subtrees' leaves are all
+  /// accounted for in it).  Published monotonically under best_mutex so the
+  /// heartbeat stream's lower bound never regresses.
+  double current_lb_locked() {
+    double lb = graph::kInfinity;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (task_done[i].load(std::memory_order_relaxed) == 0) {
+        lb = std::min(lb, tasks[i].bound);
+      }
+    }
+    if (best_cost < graph::kInfinity) lb = std::min(lb, best_cost);
+    if (lb == graph::kInfinity) lb = root_lb;
+    lb = std::max(lb, root_lb);
+    published_lb = std::max(published_lb, lb);
+    return published_lb;
+  }
+
+  /// Offers a heartbeat (caller holds best_mutex).  Purely observational:
+  /// no branching decision depends on the sink.
+  void emit_progress_locked(bool final_event) {
+    obs::ProgressSink* progress = options.progress;
     if (progress == nullptr) return;
     if (!final_event && !progress->wants("exact")) return;
     obs::ProgressEvent event("exact", final_event);
     const bool have_incumbent = best_cost < graph::kInfinity;
     event.add("incumbent", have_incumbent ? best_cost : 0.0);
-    event.add("lower_bound", lower_bound);
+    const double lb = current_lb_locked();
+    event.add("lower_bound", lb);
     if (have_incumbent && best_cost > 0.0) {
-      event.add("gap", (best_cost - lower_bound) / best_cost);
+      event.add("gap", (best_cost - lb) / best_cost);
+      event.add("gap_ratio", lb > 0.0 ? std::max(1.0, best_cost / lb) : 1.0);
     }
-    event.add("nodes_explored", static_cast<double>(evaluations));
-    event.add("pruned", static_cast<double>(pruned));
+    const double evals = static_cast<double>(evaluations.load(std::memory_order_relaxed));
+    event.add("nodes_explored", evals);
+    event.add("pruned", static_cast<double>(pruned.load(std::memory_order_relaxed)));
+    event.add("subtrees", static_cast<double>(tasks.size()));
+    event.add("steals", static_cast<double>(steals.load(std::memory_order_relaxed)));
     const double elapsed_s = timer.elapsed_seconds();
-    if (elapsed_s > 0.0) {
-      event.add("explore_rate", static_cast<double>(evaluations) / elapsed_s);
-    }
+    if (elapsed_s > 0.0) event.add("explore_rate", evals / elapsed_s);
     progress->emit(event);
   }
+};
 
-  int cap() const {
-    return options->max_per_post > 0 ? options->max_per_post
-                                     : std::numeric_limits<int>::max();
+/// One worker's search: a private pricer replayed to each task's prefix
+/// (the committed-sequence replay parallel local search uses), then the
+/// serial DFS over the open posts, pruning against the shared incumbent.
+struct SearchWorker {
+  SharedSearch& shared;
+  util::BumpArena arena;
+  std::optional<DeploymentPricer> pricer;
+  std::vector<int> current;
+  std::vector<std::pair<int, int>> additions;
+  std::uint64_t local_evals = 0;
+  double self_best = graph::kInfinity;  ///< last canonical cost we published
+
+  explicit SearchWorker(SharedSearch& state)
+      : shared(state), current(static_cast<std::size_t>(state.n), 1) {}
+
+  void ensure_pricer() {
+    if (pricer.has_value()) return;
+    DeploymentPricer::Options pricer_options;
+    pricer_options.arena = &arena;
+    pricer.emplace(shared.instance, current, pricer_options);
   }
 
-  bool budget_exhausted() {
-    if (options->max_evaluations > 0 && evaluations >= options->max_evaluations) {
-      aborted = true;
-    }
-    return aborted;
-  }
-
-  // Walks post's count (and the pricer, in lockstep) to `target`.
   void set_count(int post, int target) {
     int& count = current[static_cast<std::size_t>(post)];
     while (count < target) {
@@ -105,28 +312,81 @@ struct SearchState {
     }
   }
 
+  /// Reads the clock only on anytime runs; sets the stop flag on expiry.
+  bool expired() {
+    if (shared.deadline_s > 0.0 &&
+        shared.timer.elapsed_seconds() >= shared.deadline_s) {
+      shared.aborted.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return shared.stop.load(std::memory_order_relaxed);
+  }
+
+  void leaf() {
+    const double cost = pricer->base_cost();
+    const std::uint64_t total =
+        shared.evaluations.fetch_add(1, std::memory_order_relaxed) + 1;
+    ++local_evals;
+    if (shared.options.max_evaluations > 0 && total >= shared.options.max_evaluations) {
+      shared.aborted.store(true, std::memory_order_relaxed);
+      shared.stop.store(true, std::memory_order_relaxed);
+    }
+    const double best_now = shared.best_atomic.load(std::memory_order_relaxed);
+    if (cost <= best_now * (1.0 + kRelTol)) {
+      // Candidate incumbent.  The pricer's cost is history-dependent in the
+      // last bits, so re-price canonically (deployment-only Dijkstra) and
+      // let (canonical cost, lexicographic deployment) pick the winner:
+      // both are pure functions of the deployment, so the final incumbent
+      // is the same for every schedule and thread count.
+      const double canonical = optimal_cost_for_deployment(shared.instance, current);
+      std::lock_guard<std::mutex> lock(shared.best_mutex);
+      if (canonical < shared.best_cost ||
+          (canonical == shared.best_cost &&
+           std::lexicographical_compare(current.begin(), current.end(),
+                                        shared.best.begin(), shared.best.end()))) {
+        shared.best_cost = canonical;
+        shared.best = current;
+        shared.best_atomic.store(canonical, std::memory_order_relaxed);
+        self_best = canonical;
+        shared.emit_progress_locked(false);  // incumbent improved
+      }
+    } else if ((local_evals & 4095) == 0) {
+      std::lock_guard<std::mutex> lock(shared.best_mutex);
+      shared.emit_progress_locked(false);  // periodic liveness while grinding
+    }
+    if ((local_evals & 127) == 0) (void)expired();
+  }
+
+  /// True when the subtree bound clears the shared incumbent by the FP
+  /// tolerance.  The margin keeps schedules interchangeable: a subtree one
+  /// schedule prunes must contain nothing any other schedule's weaker
+  /// incumbent would have turned into a better final answer.
+  bool prunable(double bound, double best_now) const {
+    return best_now < graph::kInfinity && bound >= best_now * (1.0 + kRelTol);
+  }
+
+  void count_prune(double best_now) {
+    shared.pruned.fetch_add(1, std::memory_order_relaxed);
+    if (best_now != self_best && best_now != shared.initial_best) {
+      shared.shared_prunes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   void dfs(int post, int remaining) {
-    if (budget_exhausted()) return;
-    const int n = instance->num_posts();
+    if (shared.stop.load(std::memory_order_relaxed)) return;
+    const int n = shared.n;
     if (post == n) {
       // remaining == 0 guaranteed by the per-level bounds below.
-      const double cost = pricer->base_cost();
-      ++evaluations;
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = current;
-        emit_progress(false);  // incumbent improved
-      } else if ((evaluations & 4095) == 0) {
-        emit_progress(false);  // periodic liveness while grinding
-      }
+      leaf();
       return;
     }
     const int undecided_after = n - post - 1;
-    const int hi = std::min(cap(), remaining - undecided_after);
+    const int hi = std::min(shared.cap, remaining - undecided_after);
     if (hi < 1) return;  // infeasible branch (cap too tight)
     if (undecided_after == 0) {
       // Last post must absorb the entire remaining budget.
-      if (remaining > cap()) return;
+      if (remaining > shared.cap) return;
       set_count(post, remaining);
       dfs(post + 1, 0);
       set_count(post, 1);
@@ -135,17 +395,21 @@ struct SearchState {
 
     // The bound tightens slowly between siblings; checking only every other
     // level keeps its (now cheap) cost amortized further.
-    if (options->branch_and_bound && best_cost < graph::kInfinity && post % 2 == 0) {
-      // Admissible bound: cost is strictly decreasing in each m_i, so give
-      // every undecided post (all sitting at 1) the maximum any single post
-      // could receive.
-      additions.clear();
-      for (int i = post; i < n; ++i) additions.emplace_back(i, hi - 1);
-      const double bound = pricer->cost_with_added_nodes(additions);
-      if (bound >= best_cost) {
-        ++pruned;
-        return;
+    if (shared.options.branch_and_bound && post % 2 == 0) {
+      const double best_now = shared.best_atomic.load(std::memory_order_relaxed);
+      if (best_now < graph::kInfinity) {
+        // Admissible bound: cost is strictly decreasing in each m_i, so give
+        // every undecided post (all sitting at 1) the maximum any single
+        // post could receive.
+        additions.clear();
+        for (int i = post; i < n; ++i) additions.emplace_back(i, hi - 1);
+        const double bound = pricer->cost_with_added_nodes(additions);
+        if (prunable(bound, best_now)) {
+          count_prune(best_now);
+          return;
+        }
       }
+      if (shared.deadline_s > 0.0) (void)expired();
     }
 
     // Descend large-first: concentrating nodes early tends to match the
@@ -153,9 +417,36 @@ struct SearchState {
     for (int take = hi; take >= 1; --take) {
       set_count(post, take);
       dfs(post + 1, remaining - take);
-      if (aborted) break;
+      if (shared.stop.load(std::memory_order_relaxed)) break;
     }
     set_count(post, 1);
+  }
+
+  void run(int w) {
+    while (!shared.stop.load(std::memory_order_relaxed)) {
+      const int index = shared.acquire(w);
+      if (index < 0) break;
+      const FrontierTask& task = shared.tasks[static_cast<std::size_t>(index)];
+      if (shared.options.branch_and_bound) {
+        const double best_now = shared.best_atomic.load(std::memory_order_relaxed);
+        if (prunable(task.bound, best_now)) {
+          count_prune(best_now);
+          shared.mark_done(index);
+          continue;
+        }
+      }
+      ensure_pricer();
+      const int depth = static_cast<int>(task.prefix.size());
+      for (int p = 0; p < depth; ++p) {
+        set_count(p, task.prefix[static_cast<std::size_t>(p)]);
+      }
+      for (int p = depth; p < shared.n; ++p) set_count(p, 1);
+      dfs(depth, task.remaining);
+      // An aborted task keeps its bound in the anytime certificate; only a
+      // fully explored subtree leaves it.
+      if (!shared.stop.load(std::memory_order_relaxed)) shared.mark_done(index);
+      if (shared.deadline_s > 0.0 && expired()) break;
+    }
   }
 };
 
@@ -183,23 +474,31 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
     throw InfeasibleInstance("max_per_post cap leaves no feasible deployment");
   }
 
-  // One full Dijkstra at the all-ones root; every branch decision after this
-  // is an incremental repair.  (Construction throws InfeasibleInstance when a
-  // post cannot reach the base -- previously surfaced at the first leaf.)
-  // The pricer's repair buffers live in a search-scoped arena.
-  util::BumpArena arena;
-  DeploymentPricer::Options pricer_options;
-  pricer_options.arena = &arena;
-  DeploymentPricer pricer(instance, std::vector<int>(static_cast<std::size_t>(n), 1),
-                          pricer_options);
+  const int workers = options.threads > 0 ? options.threads
+                                          : util::ThreadPool::hardware_threads();
 
-  SearchState state;
-  state.instance = &instance;
-  state.options = &options;
-  state.pricer = &pricer;
-  state.progress = options.progress;
-  state.lower_bound = deployment_relaxation_bound(instance);
-  state.current.assign(static_cast<std::size_t>(n), 1);
+  SharedSearch shared(instance, options, workers);
+  shared.deadline_s = options.time_budget_s;
+  shared.root_lb = deployment_relaxation_bound(instance);
+  shared.published_lb = shared.root_lb;
+
+  // One full Dijkstra at the all-ones root; frontier bounds and every
+  // in-search branch decision after this are incremental repairs.
+  // (Construction throws InfeasibleInstance when a post cannot reach the
+  // base -- previously surfaced at the first leaf.)
+  {
+    util::BumpArena generator_arena;
+    DeploymentPricer::Options pricer_options;
+    pricer_options.arena = &generator_arena;
+    DeploymentPricer generator_pricer(
+        instance, std::vector<int>(static_cast<std::size_t>(n), 1), pricer_options);
+    const int depth = choose_split_depth(n, m, shared.cap, workers, options.split_depth);
+    TaskGenerator generator{instance, options, generator_pricer, depth,
+                            std::vector<int>(static_cast<std::size_t>(n), 1)};
+    generator.descend(0, m);
+    shared.tasks = std::move(generator.tasks);
+  }
+  shared.init_slices();
 
   if (options.warm_start) {
     std::vector<int> incumbent;
@@ -208,24 +507,53 @@ ExactResult solve_exact(const Instance& instance, const ExactOptions& options) {
     } else {
       incumbent = solve_idb(instance, IdbOptions{1, false}).solution.deployment;
     }
-    state.best = incumbent;
-    state.best_cost = optimal_cost_for_deployment(instance, incumbent);
-    state.emit_progress(false);  // stream opens with the warm-start incumbent
+    shared.best_cost = optimal_cost_for_deployment(instance, incumbent);
+    shared.best = std::move(incumbent);
+    shared.best_atomic.store(shared.best_cost, std::memory_order_relaxed);
+    shared.initial_best = shared.best_cost;
+    std::lock_guard<std::mutex> lock(shared.best_mutex);
+    shared.emit_progress_locked(false);  // stream opens with the warm start
   }
 
-  state.dfs(0, m);
-  state.emit_progress(true);
+  {
+    util::ThreadPool pool(workers);
+    pool.parallel_for(workers, [&shared](std::int64_t begin, std::int64_t, int) {
+      SearchWorker worker(shared);
+      worker.run(static_cast<int>(begin));
+    });
+  }
 
-  if (state.best.empty()) throw InfeasibleInstance("exact search found no feasible deployment");
+  const bool aborted = shared.aborted.load(std::memory_order_relaxed);
+  double lower_bound = shared.root_lb;
+  {
+    std::lock_guard<std::mutex> lock(shared.best_mutex);
+    lower_bound = shared.current_lb_locked();
+    shared.emit_progress_locked(true);
+  }
+
+  if (shared.best.empty()) {
+    throw InfeasibleInstance("exact search found no feasible deployment");
+  }
+
+  static obs::Counter& steals_total = obs::Registry::global().counter("exact/steals");
+  static obs::Counter& shared_prunes_total =
+      obs::Registry::global().counter("exact/shared_prunes");
+  static obs::Counter& subtrees_total = obs::Registry::global().counter("exact/subtrees");
+  steals_total.increment(shared.steals.load(std::memory_order_relaxed));
+  shared_prunes_total.increment(shared.shared_prunes.load(std::memory_order_relaxed));
+  subtrees_total.increment(static_cast<std::uint64_t>(shared.tasks.size()));
 
   const auto dag = graph::shortest_paths_to_base(instance.graph(),
-                                                 recharging_weight(instance, state.best));
-  ExactResult result{Solution{spt_from_dag(dag), state.best},
+                                                 recharging_weight(instance, shared.best));
+  ExactResult result{Solution{spt_from_dag(dag), shared.best},
                      0.0,
-                     state.evaluations,
-                     state.pruned,
-                     !state.aborted,
-                     state.lower_bound};
+                     shared.evaluations.load(std::memory_order_relaxed),
+                     shared.pruned.load(std::memory_order_relaxed),
+                     !aborted,
+                     lower_bound,
+                     static_cast<std::uint64_t>(shared.tasks.size()),
+                     shared.steals.load(std::memory_order_relaxed),
+                     shared.shared_prunes.load(std::memory_order_relaxed)};
   result.cost = total_recharging_cost(instance, result.solution);
   return result;
 }

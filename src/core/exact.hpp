@@ -8,6 +8,19 @@
 // decreasing in every m_i, so pricing a partial assignment with every
 // undecided post optimistically given all remaining budget lower-bounds
 // every completion.
+//
+// The search is a work-stealing parallel branch-and-bound: the DFS is
+// decomposed into frontier subtree tasks at `split_depth`, each worker of a
+// util::ThreadPool replays its task prefix on a private DeploymentPricer
+// (the same committed-sequence replay parallel local search uses), and the
+// incumbent is shared through an atomic best-cost every worker reads for
+// pruning.  Candidate incumbents are re-priced canonically (a fresh
+// deployment-only Dijkstra) and ties broken lexicographically on the
+// deployment vector, so the reported solution is bit-identical for every
+// thread count and schedule on closed runs (docs/performance.md has the
+// determinism argument).  `time_budget_s` turns the solver into an anytime
+// search: on expiry it returns the incumbent plus a global lower bound (the
+// min over unfinished subtree bounds) with `complete == false`.
 #pragma once
 
 #include <cstdint>
@@ -31,24 +44,47 @@ struct ExactOptions {
   std::uint64_t max_evaluations = 0;
   /// Seed the incumbent with IDB(delta=1) so pruning bites immediately.
   bool warm_start = true;
+  /// Search workers (0 = all hardware threads).  Closed-run results are
+  /// bit-identical for every value; only wall clock and the steal/prune
+  /// counters depend on it.
+  int threads = 1;
+  /// Frontier depth of the subtree decomposition: posts [0, split_depth)
+  /// are enumerated up front into one task per prefix.  0 = auto (grow the
+  /// depth until there are ~8 tasks per worker).
+  int split_depth = 0;
+  /// Anytime wall-clock budget in seconds; 0 = closed run (the search never
+  /// reads the clock, keeping closed runs schedule-independent).  On expiry
+  /// the incumbent is returned with `complete == false` and `lower_bound`
+  /// set to the min over unfinished subtree bounds.
+  double time_budget_s = 0.0;
   /// Live `wrsn-progress v1` heartbeats under source "exact" (incumbent,
   /// lower bound, gap, node counts); nullptr = silent.  Observational only:
-  /// the search never branches on the sink or the clock.
+  /// closed runs never branch on the sink or the clock.
   obs::ProgressSink* progress = nullptr;
 };
 
 struct ExactResult {
   Solution solution;
   double cost = 0.0;
-  /// Leaf deployments priced (each = one Dijkstra).
+  /// Leaf deployments priced (each = one incremental repair).
   std::uint64_t evaluations = 0;
   /// Subtrees cut by the bound.
   std::uint64_t pruned = 0;
-  /// False when max_evaluations stopped the search early.
+  /// False when max_evaluations or time_budget_s stopped the search early.
   bool complete = true;
-  /// deployment_relaxation_bound(instance): the optimality certificate the
-  /// progress stream's gap field is measured against.
+  /// Final optimality certificate: the min over unfinished subtree bounds
+  /// (clamped by the incumbent), never below
+  /// deployment_relaxation_bound(instance).  On complete runs every subtree
+  /// is accounted for and this closes to `cost` (gap 1.0); on aborted runs
+  /// cost / lower_bound brackets how far the incumbent can be from optimal.
   double lower_bound = 0.0;
+  /// Frontier tasks the search was decomposed into (1 on trivial instances).
+  std::uint64_t subtrees = 0;
+  /// Tasks a worker took from another worker's slice of the frontier.
+  std::uint64_t steals = 0;
+  /// Bound prunes taken against an incumbent another worker discovered
+  /// (0 when threads == 1; schedule-dependent otherwise, like `steals`).
+  std::uint64_t shared_prunes = 0;
 };
 
 /// Finds the minimum total recharging cost over all deployments and

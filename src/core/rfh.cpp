@@ -122,6 +122,17 @@ void merge_siblings(const Instance& instance, const graph::WeightFn& weight,
   const std::vector<std::vector<int>> children = tree.children();
   std::vector<int> workload = tree.descendant_counts();
 
+  // On CSR-backed graphs the head scan walks the kid's neighbor list and
+  // filters by head membership instead of probing every head for
+  // reachability: O(deg(kid)) per kid instead of O(|heads|) random probes.
+  // `head_pos` records each head's insertion rank so the winner is the same
+  // lexicographic (cost, insertion-order) minimum the dense scan picks --
+  // identical weight() calls, so bit-identical trees (pinned by
+  // MergeSiblings.SparseMatchesDenseOracle).
+  const bool sparse = g.is_sparse();
+  std::vector<int> head_pos;
+  if (sparse) head_pos.assign(static_cast<std::size_t>(n), -1);
+
   // Examine every vertex that has at least two children, base station
   // included. Children are considered busiest-first so heads end up being
   // the posts that already carry the most workload.
@@ -135,22 +146,43 @@ void merge_siblings(const Instance& instance, const graph::WeightFn& weight,
 
     std::vector<int> heads;
     for (int kid : kids) {
-      // Cheapest head this kid can reach more cheaply than its parent.
+      // Cheapest head this kid can reach more cheaply than its parent;
+      // exact-cost ties keep the earliest-inserted head, matching the
+      // insertion-order scan below.
       int best_head = -1;
       double best_cost = weight(kid, parent_vertex);
-      for (int head : heads) {
-        if (!g.reachable(kid, head)) continue;
-        const double c = weight(kid, head);
-        if (c < best_cost) {
-          best_cost = c;
-          best_head = head;
+      if (sparse) {
+        int best_rank = n;
+        g.for_each_out_edge(kid, [&](int to, int /*level*/) {
+          if (to >= n) return;  // base station is never a head
+          const int rank = head_pos[static_cast<std::size_t>(to)];
+          if (rank < 0) return;
+          const double c = weight(kid, to);
+          if (c < best_cost || (best_head >= 0 && c == best_cost && rank < best_rank)) {
+            best_cost = c;
+            best_head = to;
+            best_rank = rank;
+          }
+        });
+      } else {
+        for (int head : heads) {
+          if (!g.reachable(kid, head)) continue;
+          const double c = weight(kid, head);
+          if (c < best_cost) {
+            best_cost = c;
+            best_head = head;
+          }
         }
       }
       if (best_head >= 0) {
         tree.set_parent(kid, best_head);
       } else {
+        if (sparse) head_pos[static_cast<std::size_t>(kid)] = static_cast<int>(heads.size());
         heads.push_back(kid);
       }
+    }
+    if (sparse) {
+      for (int head : heads) head_pos[static_cast<std::size_t>(head)] = -1;
     }
   }
   if (!tree.is_valid()) throw std::logic_error("Phase III produced an invalid tree");

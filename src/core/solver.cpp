@@ -135,6 +135,9 @@ class ExactSolver final : public Solver {
     run.diagnostics.add("exact/pruned", static_cast<double>(exact.pruned));
     run.diagnostics.add("exact/complete", exact.complete ? 1.0 : 0.0);
     run.diagnostics.add("exact/lower_bound", exact.lower_bound);
+    run.diagnostics.add("exact/subtrees", static_cast<double>(exact.subtrees));
+    run.diagnostics.add("exact/steals", static_cast<double>(exact.steals));
+    run.diagnostics.add("exact/shared_prunes", static_cast<double>(exact.shared_prunes));
     return run;
   }
 
@@ -224,16 +227,34 @@ void register_builtins(SolverRegistry& registry) {
                  return std::make_unique<IdbSolver>(spec.canonical(), options, ls);
                });
   registry.add("exact",
-               "Branch-and-bound exact solver (bnb, warm-start, max-per-post, max-evals); "
-               "exponential, N <= ~12",
+               "Work-stealing branch-and-bound exact solver (threads, split_depth, "
+               "budget [s, 0 = closed run], seed_incumbent, bnb, warm-start, "
+               "max-per-post, max-evals); exponential, N <= ~12 closed",
                [](const SolverSpec& spec) -> std::unique_ptr<Solver> {
                  SolverOptionReader reader(spec);
                  ExactOptions options;
                  options.branch_and_bound = reader.get_bool("bnb", options.branch_and_bound);
                  options.warm_start = reader.get_bool("warm-start", options.warm_start);
+                 // `seed_incumbent` is the documented alias for the warm
+                 // start; either key works, the alias wins when both appear.
+                 options.warm_start = reader.get_bool("seed_incumbent", options.warm_start);
                  options.max_per_post = reader.get_int("max-per-post", options.max_per_post);
                  options.max_evaluations = static_cast<std::uint64_t>(
                      reader.get_double("max-evals", 0.0));
+                 options.threads = reader.get_int("threads", options.threads);
+                 if (options.threads < 0) {
+                   bad_spec("exact option 'threads' must be >= 0 (0 = all cores), got " +
+                            std::to_string(options.threads));
+                 }
+                 options.split_depth = reader.get_int("split_depth", options.split_depth);
+                 if (options.split_depth < 0) {
+                   bad_spec("exact option 'split_depth' must be >= 0 (0 = auto), got " +
+                            std::to_string(options.split_depth));
+                 }
+                 options.time_budget_s = reader.get_double("budget", options.time_budget_s);
+                 if (options.time_budget_s < 0.0) {
+                   bad_spec("exact option 'budget' must be >= 0 seconds (0 = closed run)");
+                 }
                  reader.check_all_consumed();
                  return std::make_unique<ExactSolver>(spec.canonical(), options);
                });

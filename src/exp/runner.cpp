@@ -330,7 +330,9 @@ util::RunningStats SweepResult::diag_stats(int config_index, int solver_index,
 ExperimentRunner::ExperimentRunner(SweepSpec spec, RunnerOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
   spec_.validate();
-  for (const std::string& text : spec_.solvers) {
+  // expanded_solvers() fans `exact` specs across the exact_threads axis; an
+  // empty axis makes it exactly spec_.solvers.
+  for (const std::string& text : spec_.expanded_solvers()) {
     solvers_.push_back(core::SolverRegistry::global().create(text));
   }
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/solver.hpp"
 #include "geom/field.hpp"
 #include "sim/charging_policy.hpp"
 #include "sim/fault_model.hpp"
@@ -61,6 +62,23 @@ energy::ChargingModel make_charging(const SweepSpec& spec, double eta) {
            "' (expected linear|sublinear|saturating)");
 }
 
+// Parses `text` and reports whether it is an `exact` solver spec without an
+// explicit `threads=` option, i.e. a fan-out candidate for the
+// exact_threads axis.  Malformed specs are passed through untouched so the
+// solver registry reports the real syntax error.
+bool is_unpinned_exact_spec(const std::string& text) {
+  try {
+    const core::SolverSpec spec = core::SolverSpec::parse(text);
+    if (spec.name != "exact") return false;
+    for (const auto& [key, value] : spec.options) {
+      if (key == "threads") return false;
+    }
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 std::string ScenarioConfig::label() const {
@@ -84,6 +102,19 @@ void SweepSpec::validate() const {
   }
   if (runs < 1) bad_spec("runs must be >= 1");
   if (solvers.empty()) bad_spec("at least one solver spec is required");
+  if (!exact_threads_axis.empty()) {
+    for (int threads : exact_threads_axis) {
+      if (threads < 1) bad_spec("exact_threads axis values must be >= 1");
+    }
+    bool any_exact = false;
+    for (const std::string& solver : solvers) {
+      if (is_unpinned_exact_spec(solver)) any_exact = true;
+    }
+    if (!any_exact) {
+      bad_spec("an exact_threads axis requires an 'exact' solver spec without "
+               "an explicit threads= option");
+    }
+  }
   make_charging(*this, eta_axis.front());  // throws on an unknown kind
   for (int posts : posts_axis) {
     if (posts < 1) bad_spec("posts axis values must be >= 1");
@@ -167,6 +198,25 @@ std::vector<ScenarioConfig> SweepSpec::expand() const {
   return configs;
 }
 
+std::vector<std::string> SweepSpec::expanded_solvers() const {
+  if (exact_threads_axis.empty()) return solvers;
+  std::vector<std::string> out;
+  out.reserve(solvers.size() + exact_threads_axis.size());
+  for (const std::string& text : solvers) {
+    if (!is_unpinned_exact_spec(text)) {
+      out.push_back(text);
+      continue;
+    }
+    core::SolverSpec spec = core::SolverSpec::parse(text);
+    for (int threads : exact_threads_axis) {
+      core::SolverSpec fanned = spec;
+      fanned.options.emplace_back("threads", std::to_string(threads));
+      out.push_back(fanned.canonical());
+    }
+  }
+  return out;
+}
+
 int SweepSpec::num_configs() const noexcept {
   return static_cast<int>(posts_axis.size() * nodes_axis.size() * levels_axis.size() *
                           eta_axis.size() * hazard_axis.size());
@@ -226,6 +276,10 @@ io::Json SweepSpec::to_json() const {
   // dump -- and therefore their checkpoint fingerprint -- byte-identical.
   if (!(hazard_axis.size() == 1 && hazard_axis.front() == 0.0)) {
     axes.set("hazard", double_axis_to_json(hazard_axis));
+  }
+  // Same rule: the exact-thread fan-out only appears when in use.
+  if (!exact_threads_axis.empty()) {
+    axes.set("exact_threads", int_axis_to_json(exact_threads_axis));
   }
 
   io::Json seed = io::Json::object();
@@ -310,6 +364,9 @@ SweepSpec SweepSpec::from_json(const io::Json& json) {
   spec.eta_axis = double_axis_from_json(axes.at("eta"));
   if (const io::Json* hazard = axes.find("hazard")) {
     spec.hazard_axis = double_axis_from_json(*hazard);
+  }
+  if (const io::Json* exact_threads = axes.find("exact_threads")) {
+    spec.exact_threads_axis = int_axis_from_json(*exact_threads);
   }
   spec.runs = json.at("runs").as_int();
   const io::Json& seed = json.at("seed");

@@ -81,6 +81,15 @@ struct SweepSpec {
   /// the SAME instance (paired solver comparison, as the figure benches do).
   std::vector<std::string> solvers{"rfh"};
 
+  /// Exact-solver thread fan-out: when non-empty, every `exact` solver spec
+  /// that does not pin `threads=` itself is replicated once per axis value
+  /// with `threads=<T>` appended (see expanded_solvers()).  Closed-run exact
+  /// results are bit-identical across thread counts, so the axis measures
+  /// wall clock and steal/prune behaviour, not solution quality.  Default
+  /// empty = off, which keeps legacy scenario JSON -- and its checkpoint
+  /// fingerprint -- byte-identical.
+  std::vector<int> exact_threads_axis;
+
   // Post-solve simulation stage (sim::NetworkSim).  sim_rounds = 0 (the
   // default) disables the stage entirely, which also keeps legacy scenario
   // JSON -- and its checkpoint fingerprint -- byte-identical.  When active,
@@ -128,6 +137,11 @@ struct SweepSpec {
 
   /// The configuration grid in canonical order.
   std::vector<ScenarioConfig> expand() const;
+  /// The solver list the runner actually prices: `solvers` with every
+  /// `exact` spec lacking an explicit `threads=` option fanned out across
+  /// `exact_threads_axis` (in axis order, in place of the original entry).
+  /// With an empty axis this is exactly `solvers`.
+  std::vector<std::string> expanded_solvers() const;
   int num_configs() const noexcept;
   /// Total trials = num_configs() * runs; trial ids are config-major:
   /// trial = config_index * runs + run.

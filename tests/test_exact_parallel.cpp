@@ -1,0 +1,181 @@
+// Parallel work-stealing exact search (core/exact): closed-run bit-identity
+// across thread counts, storage layouts and charging models; deterministic
+// lexicographic tie-breaking on symmetric optima; and anytime-mode
+// invariants (monotone incumbent / lower bound, gap >= 1, budget respected).
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/reach_graph.hpp"
+#include "helpers.hpp"
+#include "obs/progress.hpp"
+#include "util/timer.hpp"
+
+namespace wrsn::core {
+namespace {
+
+std::vector<int> tree_parents(const graph::RoutingTree& tree) {
+  std::vector<int> parents;
+  for (int p = 0; p < tree.num_posts(); ++p) parents.push_back(tree.parent(p));
+  return parents;
+}
+
+/// Connected field sampled like tests/helpers.hpp random_instance, but
+/// returning the raw field so both storage layouts can share one geometry.
+geom::Field connected_field(int num_posts, double side, util::Rng& rng) {
+  geom::FieldConfig cfg;
+  cfg.width = side;
+  cfg.height = side;
+  cfg.num_posts = num_posts;
+  const auto radio = test::paper_radio();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    geom::Field field = geom::generate_field(cfg, rng);
+    if (geom::is_connected(field, radio.max_range())) return field;
+  }
+  throw std::runtime_error("could not generate a connected field");
+}
+
+TEST(ParallelExact, BitIdenticalAcrossThreadsStorageAndChargingModels) {
+  // The closed-run contract: the reported solution, cost, and certificate
+  // are a pure function of the instance -- never of the schedule.  Exercise
+  // it across charging shapes (different leaf cost surfaces) and both
+  // ReachGraph storage layouts (different Dijkstra inner loops).
+  util::Rng rng(101);
+  const auto radio = test::paper_radio();
+  const std::vector<energy::ChargingModel> models = {
+      energy::ChargingModel::linear(0.01),
+      energy::ChargingModel::sub_linear(0.01, 0.8),
+      energy::ChargingModel::saturating(0.01, 4.0),
+  };
+  for (const auto& model : models) {
+    const geom::Field field = connected_field(7, 150.0, rng);
+    for (const auto storage : {graph::ReachGraph::Storage::kDense,
+                               graph::ReachGraph::Storage::kSparse}) {
+      const Instance instance = Instance::abstract(
+          graph::ReachGraph::from_field(field, radio, storage), radio, model, 16);
+
+      ExactOptions serial;
+      serial.threads = 1;
+      const ExactResult reference = solve_exact(instance, serial);
+      ASSERT_TRUE(reference.complete);
+      EXPECT_EQ(reference.steals, 0u);
+      EXPECT_EQ(reference.shared_prunes, 0u) << "no other worker to share with";
+      EXPECT_GE(reference.subtrees, 1u);
+      // The certificate closes to the canonical incumbent cost; result.cost
+      // is the independent final recompute, so equality is up to ulps.
+      EXPECT_DOUBLE_EQ(reference.lower_bound, reference.cost)
+          << "a complete run closes its certificate";
+
+      for (int threads : {2, 4, 8}) {
+        ExactOptions parallel;
+        parallel.threads = threads;
+        const ExactResult result = solve_exact(instance, parallel);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.cost, reference.cost) << threads << " threads";
+        EXPECT_EQ(result.lower_bound, reference.lower_bound);
+        EXPECT_EQ(result.solution.deployment, reference.solution.deployment);
+        EXPECT_EQ(tree_parents(result.solution.tree),
+                  tree_parents(reference.solution.tree));
+      }
+
+      // An explicit (non-auto) frontier depth must not change the result.
+      ExactOptions deep;
+      deep.threads = 4;
+      deep.split_depth = 3;
+      const ExactResult result = solve_exact(instance, deep);
+      EXPECT_EQ(result.cost, reference.cost);
+      EXPECT_EQ(result.solution.deployment, reference.solution.deployment);
+    }
+  }
+}
+
+TEST(ParallelExact, SymmetricOptimaBreakTiesLexicographically) {
+  // Two posts at the same coordinates: deployments (2,1) and (1,2) price
+  // bitwise identically, so only the lexicographic tie-break decides.  Every
+  // thread count must report the lexicographically smaller deployment.
+  geom::Field field;
+  field.base_station = {0.0, 0.0};
+  field.posts = {{30.0, 0.0}, {30.0, 0.0}};
+  const Instance instance =
+      Instance::geometric(field, test::paper_radio(), test::paper_charging(), 3);
+  const std::vector<int> expected{1, 2};
+  for (int threads : {1, 2, 4, 8}) {
+    ExactOptions options;
+    options.threads = threads;
+    const ExactResult result = solve_exact(instance, options);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.solution.deployment, expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelExact, AnytimeBudgetStopsEarlyWithValidBracket) {
+  // Exhaustive enumeration of C(29,11) ~ 3.4e7 compositions cannot finish
+  // inside the budget, so the run must stop early and return a bracketing
+  // (incumbent, lower bound) pair plus monotone heartbeats.
+  util::Rng rng(202);
+  const Instance instance = test::random_instance(12, 30, 260.0, rng);
+  obs::RecordingProgressSink sink;
+  ExactOptions options;
+  options.branch_and_bound = false;  // no pruning: the tree stays huge
+  options.threads = 2;
+  options.time_budget_s = 0.05;
+  options.progress = &sink;
+  util::Timer timer;
+  const ExactResult result = solve_exact(instance, options);
+  const double elapsed_s = timer.elapsed_seconds();
+
+  EXPECT_FALSE(result.complete);
+  // Generous slack: the deadline is polled every few leaf evaluations, and
+  // CI machines stall; the point is "stopped in milliseconds, not minutes".
+  EXPECT_LT(elapsed_s, 10.0);
+  EXPECT_GT(result.lower_bound, 0.0);
+  EXPECT_GE(result.cost, result.lower_bound * (1.0 - 1e-9));
+  EXPECT_GE(result.lower_bound,
+            deployment_relaxation_bound(instance) * (1.0 - 1e-9));
+  ASSERT_EQ(result.solution.deployment.size(), 12u);
+
+  const auto events = sink.from("exact");
+  ASSERT_FALSE(events.empty());
+  const auto field_of = [](const obs::ProgressEvent& event, const char* key) {
+    for (const auto& [name, value] : event.fields) {
+      if (name == key) return value;
+    }
+    ADD_FAILURE() << "missing field " << key;
+    return 0.0;
+  };
+  double prev_incumbent = 0.0;
+  double prev_lb = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const double incumbent = field_of(events[i], "incumbent");
+    const double lb = field_of(events[i], "lower_bound");
+    if (i > 0) {
+      EXPECT_LE(incumbent, prev_incumbent) << "incumbent must not regress";
+      EXPECT_GE(lb, prev_lb) << "published lower bound must not loosen";
+    }
+    EXPECT_GE(field_of(events[i], "gap_ratio"), 1.0);
+    prev_incumbent = incumbent;
+    prev_lb = lb;
+  }
+  EXPECT_TRUE(events.back().final_event);
+  EXPECT_EQ(field_of(events.back(), "incumbent"), result.cost);
+  EXPECT_EQ(field_of(events.back(), "lower_bound"), result.lower_bound);
+}
+
+TEST(ParallelExact, AnytimeClosedRunStillCompletesUnderLargeBudget) {
+  // A budget the search beats easily behaves exactly like a closed run.
+  const Instance instance = test::chain_instance(5, 12);
+  ExactOptions closed;
+  closed.threads = 2;
+  const ExactResult reference = solve_exact(instance, closed);
+  ExactOptions budgeted = closed;
+  budgeted.time_budget_s = 3600.0;
+  const ExactResult result = solve_exact(instance, budgeted);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.cost, reference.cost);
+  EXPECT_EQ(result.solution.deployment, reference.solution.deployment);
+}
+
+}  // namespace
+}  // namespace wrsn::core

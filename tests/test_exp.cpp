@@ -267,6 +267,59 @@ TEST(SweepSpec, HazardAxisExpandsInnermostAndValidates) {
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
+TEST(SweepSpec, ExactThreadsAxisFansOutSolversAndRoundTrips) {
+  exp::SweepSpec spec = small_spec();
+  // No axis: the runner's solver list is exactly the spec's, and the legacy
+  // dump (and thus checkpoint fingerprint) never mentions the axis.
+  EXPECT_EQ(spec.expanded_solvers(), spec.solvers);
+  EXPECT_EQ(spec.to_json().dump().find("exact_threads"), std::string::npos);
+
+  spec.solvers = {"rfh", "exact", "exact:threads=4"};
+  spec.exact_threads_axis = {1, 2};
+  EXPECT_NO_THROW(spec.validate());
+  // Only the unpinned exact spec fans out, in place, in axis order.
+  EXPECT_EQ(spec.expanded_solvers(),
+            (std::vector<std::string>{"rfh", "exact:threads=1", "exact:threads=2",
+                                      "exact:threads=4"}));
+  const exp::SweepSpec back = exp::SweepSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.exact_threads_axis, spec.exact_threads_axis);
+  EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+
+  // Malformed axes: non-positive counts, or no exact solver to fan.
+  exp::SweepSpec bad = spec;
+  bad.exact_threads_axis = {0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = spec;
+  bad.solvers = {"rfh", "exact:threads=4"};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Runner, ExactThreadsAxisPricesIdenticallyPerThreadCount) {
+  // Closed-run exact is bit-identical across thread counts, so the fanned
+  // solver columns of one trial must agree exactly.
+  exp::SweepSpec spec;
+  spec.name = "exact-fan";
+  spec.side = 200.0;
+  spec.posts_axis = {5};
+  spec.nodes_axis = {12};
+  spec.levels_axis = {3};
+  spec.eta_axis = {0.01};
+  spec.runs = 1;
+  spec.base_seed = 77;
+  spec.solvers = {"exact"};
+  spec.exact_threads_axis = {1, 2};
+  exp::ExperimentRunner runner(spec, {});
+  const exp::SweepResult result = runner.run();
+  ASSERT_EQ(result.solver_names,
+            (std::vector<std::string>{"exact:threads=1", "exact:threads=2"}));
+  ASSERT_EQ(result.trials.size(), 1u);
+  const auto& outcomes = result.trials[0].outcomes;
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].ok);
+  ASSERT_TRUE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[0].cost, outcomes[1].cost);
+}
+
 TEST(SweepSpec, SimSeedIsPerTrialAndDecorrelatedFromFieldSeed) {
   exp::SweepSpec spec = small_spec();
   EXPECT_NE(spec.sim_seed(0, 0), spec.sim_seed(0, 1));

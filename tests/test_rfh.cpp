@@ -158,6 +158,48 @@ TEST(MergeSiblings, NeverCreatesCycles) {
   }
 }
 
+TEST(MergeSiblings, SparseMatchesDenseOracle) {
+  // The CSR neighbor-walk head scan must reproduce the dense probe scan
+  // bit-for-bit: same instance geometry under both storage layouts, same
+  // starting tree, identical parents after merging.
+  util::Rng rng(47);
+  const auto radio = test::paper_radio();
+  geom::FieldConfig cfg;
+  cfg.width = 220.0;
+  cfg.height = 220.0;
+  cfg.num_posts = 40;
+  int merged_trials = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    geom::Field field = geom::generate_field(cfg, rng);
+    while (!geom::is_connected(field, radio.max_range())) {
+      field = geom::generate_field(cfg, rng);
+    }
+    const Instance dense = Instance::abstract(
+        graph::ReachGraph::from_field(field, radio, graph::ReachGraph::Storage::kDense),
+        radio, test::paper_charging(), 80);
+    const Instance sparse = Instance::abstract(
+        graph::ReachGraph::from_field(field, radio, graph::ReachGraph::Storage::kSparse),
+        radio, test::paper_charging(), 80);
+    ASSERT_FALSE(dense.graph().is_sparse());
+    ASSERT_TRUE(sparse.graph().is_sparse());
+
+    auto dag = graph::shortest_paths_to_base(dense.graph(), energy_weight(dense, false));
+    const graph::RoutingTree start = spt_from_dag(dag);
+    graph::RoutingTree dense_tree = start;
+    graph::RoutingTree sparse_tree = start;
+    rfh_detail::merge_siblings(dense, energy_weight(dense, false), dense_tree);
+    rfh_detail::merge_siblings(sparse, energy_weight(sparse, false), sparse_tree);
+    bool any_merge = false;
+    for (int p = 0; p < dense.num_posts(); ++p) {
+      ASSERT_EQ(dense_tree.parent(p), sparse_tree.parent(p))
+          << "trial " << trial << " post " << p;
+      any_merge = any_merge || dense_tree.parent(p) != start.parent(p);
+    }
+    if (any_merge) ++merged_trials;
+  }
+  EXPECT_GT(merged_trials, 0) << "oracle never exercised the head scan";
+}
+
 // ---------------------------------------------------------------- Phase IV
 
 TEST(Phase4Weights, EnergyKindMatchesCostModel) {
