@@ -1,0 +1,198 @@
+// wrsn_serve throughput benchmark (Google Benchmark): the numbers behind
+// BENCH_service.json.  Each row boots a real in-process Server on a unix
+// socket and drives it with closed-loop client threads, so the measured
+// path is the full daemon stack -- framing, dispatch queue, session cache,
+// solver -- not a function call.
+//
+// Families, each swept over client counts {1, 4, 16}:
+//
+//   BM_svc_plan_warm/C       `plan` against one cached scenario: after the
+//                            first request every call is a session-cache
+//                            hit (parse + solve only, no field sampling or
+//                            instance build).
+//   BM_svc_plan_cold/C       `plan` with a fresh seed per request: every
+//                            call is a miss and pays the full build.  The
+//                            warm/cold rps gap is the cache's measured win.
+//   BM_svc_evaluate_warm/C   single-post-delta `evaluate` on a warm
+//                            session: the incremental-pricing fast path.
+//
+// Counters per row: `rps` (completed requests / wall s), `p50_ms` /
+// `p99_ms` (client-observed latency), `clients`.  scripts/perf_baseline.sh
+// --bench service refreshes BENCH_service.json and CI tracks `^BM_svc_`
+// rows warn-only (scripts/bench_check.py).  Flags (before --benchmark_*):
+// --seed, --posts, --nodes, --requests=<per client per iteration>.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/build_info.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+std::int64_t g_seed = 42;
+int g_posts = 10;
+int g_nodes = 24;
+int g_requests = 8;  // per client per iteration
+
+std::string bench_socket_path() {
+  return "/tmp/wrsn_svc_bench_" + std::to_string(::getpid()) + ".sock";
+}
+
+svc::ServerOptions bench_server_options() {
+  svc::ServerOptions options;
+  options.unix_path = bench_socket_path();
+  options.workers = 0;  // all cores: the bench measures the service, not a pin
+  options.cache_capacity = 64;
+  options.queue_capacity = 1024;
+  return options;
+}
+
+io::Json scenario_json(std::int64_t seed) {
+  io::Json scenario = io::Json::object();
+  scenario.set("posts", io::Json(g_posts));
+  scenario.set("nodes", io::Json(g_nodes));
+  scenario.set("side", io::Json(130.0));
+  scenario.set("seed", io::Json(seed));
+  return scenario;
+}
+
+io::Json plan_params(std::int64_t seed) {
+  io::Json params = io::Json::object();
+  params.set("scenario", scenario_json(seed));
+  params.set("solver", io::Json("rfh+ls"));
+  params.set("report", io::Json(false));
+  return params;
+}
+
+io::Json evaluate_params(std::int64_t seed, int bumped_post) {
+  io::Json params = io::Json::object();
+  params.set("scenario", scenario_json(seed));
+  io::Json deployment = io::Json::array();
+  const int spare = g_nodes - g_posts;
+  for (int p = 0; p < g_posts; ++p) {
+    int m = 1;
+    if (p == 0) m += spare - 1;
+    if (p == bumped_post) m += 1;
+    deployment.push_back(io::Json(m));
+  }
+  io::Json deployments = io::Json::array();
+  deployments.push_back(std::move(deployment));
+  params.set("deployments", std::move(deployments));
+  return params;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - static_cast<double>(lo));
+}
+
+void run_family(benchmark::State& state, const std::string& method,
+                const std::function<io::Json(int, int)>& make_params, bool prewarm) {
+  const int clients = static_cast<int>(state.range(0));
+  svc::Server server(bench_server_options());
+  server.start();
+  if (prewarm) {
+    svc::Client warmup = svc::Client::connect_unix(bench_socket_path());
+    warmup.call(method, make_params(0, 0));
+  }
+
+  std::vector<double> latencies;
+  std::uint64_t completed = 0;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_client(static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    util::Timer timer;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([c, &method, &make_params, &per_client] {
+        svc::Client client = svc::Client::connect_unix(bench_socket_path());
+        for (int i = 0; i < g_requests; ++i) {
+          util::Timer request_timer;
+          client.call(method, make_params(c, i));
+          per_client[static_cast<std::size_t>(c)].push_back(
+              request_timer.elapsed_seconds() * 1e3);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    wall_s += timer.elapsed_seconds();
+    for (const auto& list : per_client) {
+      completed += list.size();
+      latencies.insert(latencies.end(), list.begin(), list.end());
+    }
+  }
+  server.stop();
+
+  std::sort(latencies.begin(), latencies.end());
+  state.counters["rps"] = wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+  state.counters["p50_ms"] = percentile(latencies, 0.50);
+  state.counters["p99_ms"] = percentile(latencies, 0.99);
+  state.counters["clients"] = clients;
+}
+
+void BM_svc_plan_warm(benchmark::State& state) {
+  // One shared scenario: every request after the prewarm call is a hit.
+  run_family(state, "plan", [](int, int) { return plan_params(g_seed); },
+             /*prewarm=*/true);
+}
+BENCHMARK(BM_svc_plan_warm)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_svc_plan_cold(benchmark::State& state) {
+  // A fresh seed per request: every call misses and pays the full build.
+  static std::atomic<std::int64_t> next_seed{1};
+  run_family(state, "plan",
+             [](int, int) { return plan_params(10000 + next_seed.fetch_add(1)); },
+             /*prewarm=*/false);
+}
+BENCHMARK(BM_svc_plan_cold)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_svc_evaluate_warm(benchmark::State& state) {
+  // Single-post deltas against one cached scenario: the incremental path.
+  run_family(state, "evaluate",
+             [](int, int sequence) {
+               return evaluate_params(g_seed, 1 + sequence % (g_posts - 1));
+             },
+             /*prewarm=*/true);
+}
+BENCHMARK(BM_svc_evaluate_warm)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, [](util::Flags& flags) {
+    flags.add_int("posts", &g_posts, "scenario posts");
+    flags.add_int("nodes", &g_nodes, "scenario nodes");
+    flags.add_int("requests", &g_requests, "requests per client per iteration");
+  });
+  g_seed = args.seed;
+  std::vector<char*> bench_argv(argv, argv + argc);
+  std::string repetitions;
+  if (args.runs > 0) {
+    repetitions = "--benchmark_repetitions=" + std::to_string(args.runs);
+    bench_argv.push_back(repetitions.data());
+  }
+  benchmark::AddCustomContext("wrsn_build_type", wrsn::obs::build_info().build_type);
+  benchmark::AddCustomContext("wrsn_git_sha", wrsn::obs::build_info().git_sha);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

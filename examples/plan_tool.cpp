@@ -8,6 +8,11 @@
 //   ./plan_tool --trace=t.json --metrics=m.txt --report=r.txt
 //   ./plan_tool --solver exact --posts 9 --progress          # live heartbeats
 //
+// Planning itself (solver-spec fold-in, field sampling, feasibility, report
+// sections) lives in src/svc/planner.* and is shared with the wrsn_serve
+// daemon, so a `plan` RPC and this CLI produce byte-identical reports for
+// the same scenario (docs/service.md).
+//
 // Outputs <out>.field.txt, <out>.solution.txt, <out>.svg, and -- when the
 // observability flags are set -- a Chrome trace, a wrsn-metrics dump, a
 // wrsn-report summary, a wrsn-metrics-series time series, and live
@@ -28,6 +33,7 @@
 #include "sim/charging_policy.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/tour.hpp"
+#include "svc/planner.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "viz/svg.hpp"
@@ -110,78 +116,52 @@ int main(int argc, char** argv) {
   obs::MetricsSink metrics_sink(registry);
   obs_cli.begin();
 
+  // Scenario block shared with the service: the same fields a `plan` RPC
+  // carries, so the field sampled here matches the daemon's byte for byte.
+  svc::Scenario scenario;
+  scenario.posts = posts;
+  scenario.nodes = nodes;
+  scenario.side = side;
+  scenario.seed = seed;
+  scenario.eta = eta;
+
   // Field: surveyed or generated.
   geom::Field field;
-  const auto radio = energy::RadioModel::uniform_levels(3, 25.0);
+  const auto radio = energy::RadioModel::uniform_levels(scenario.levels, scenario.range_step);
   if (!field_path.empty()) {
     field = io::load_field(field_path);
     std::printf("loaded field '%s': %zu posts\n", field_path.c_str(), field.posts.size());
   } else {
-    util::Rng rng(static_cast<std::uint64_t>(seed));
-    geom::FieldConfig cfg;
-    cfg.width = side;
-    cfg.height = side;
-    cfg.num_posts = posts;
-    field = geom::generate_field(cfg, rng);
-    int attempts = 0;
-    while (!geom::is_connected(field, radio.max_range()) && ++attempts < 1000) {
-      field = geom::generate_field(cfg, rng);
+    try {
+      field = svc::sample_field(scenario);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "field generation: %s\n", error.what());
+      return 1;
     }
     std::printf("generated %dx%.0fm field with %d posts (seed %lld)\n", static_cast<int>(side),
                 side, posts, static_cast<long long>(seed));
   }
 
-  const auto instance = core::Instance::geometric(
-      field, radio, energy::ChargingModel::linear(eta), nodes);
+  const auto instance =
+      core::Instance::geometric(field, radio, svc::make_charging(scenario), nodes);
 
-  obs::RunReport run_report("wrsn deployment plan");
-  run_report.begin_section("instance")
-      .add("posts", instance.num_posts())
-      .add("nodes", instance.num_nodes())
-      .add("field", field_path.empty() ? "generated" : field_path)
-      .add("seed", static_cast<std::int64_t>(seed))
-      .add("eta", eta)
-      .add("bits_per_report", bits);
+  // Solve via the shared planner; --solver takes any registry spec, and the
+  // standalone --threads / --ls-strategy / --exact-* flags are folded into
+  // the spec unless it sets them explicitly (svc::resolve_solver_spec).
+  svc::PlanOptions plan_options;
+  plan_options.solver = solver;
+  plan_options.ls_threads = threads;
+  plan_options.ls_strategy = ls_strategy;
+  plan_options.exact_threads = exact_threads;
+  plan_options.exact_split_depth = exact_split_depth;
+  plan_options.exact_budget_s = exact_budget;
+  plan_options.charger_power_w = charger_power;
+  plan_options.charger_speed_mps = charger_speed;
+  plan_options.bits_per_report = bits;
 
-  // Solve via the unified solver registry; --solver takes any registry spec.
-  // The standalone --threads / --ls-strategy flags are folded into "+ls"
-  // specs unless the spec already sets them explicitly.
-  core::Solution solution{graph::RoutingTree(1, 1), {}};
-  double cost = 0.0;
-  run_report.begin_section("solver").add("name", solver);
+  svc::PlanOutcome outcome;
   try {
-    core::SolverSpec spec = core::SolverSpec::parse(solver);
-    const auto has_option = [&spec](const std::string& key) {
-      return std::any_of(spec.options.begin(), spec.options.end(),
-                         [&key](const auto& kv) { return kv.first == key; });
-    };
-    if (spec.name.ends_with("+ls")) {
-      if (!has_option("ls-threads")) spec.options.emplace_back("ls-threads",
-                                                               std::to_string(threads));
-      if (!has_option("ls-strategy")) spec.options.emplace_back("ls-strategy", ls_strategy);
-    }
-    // Same fold-in for the exact solver's parallel/anytime knobs.
-    if (spec.name == "exact") {
-      if (!has_option("threads")) {
-        spec.options.emplace_back("threads", std::to_string(exact_threads));
-      }
-      if (!has_option("split_depth")) {
-        spec.options.emplace_back("split_depth", std::to_string(exact_split_depth));
-      }
-      if (!has_option("budget") && exact_budget > 0.0) {
-        char budget_text[32];
-        std::snprintf(budget_text, sizeof(budget_text), "%g", exact_budget);
-        spec.options.emplace_back("budget", budget_text);
-      }
-    }
-    const std::unique_ptr<core::Solver> engine = core::SolverRegistry::global().create(spec);
-    const core::SolverRun run = engine->solve(instance, &metrics_sink, obs_cli.progress());
-    solution = run.solution;
-    cost = run.cost;
-    for (const auto& [key, value] : run.diagnostics.items) {
-      if (key.rfind("rfh/iter_cost_", 0) == 0) continue;  // keep the report compact
-      run_report.add(key, value);
-    }
+    outcome = svc::run_plan(instance, plan_options, &metrics_sink, obs_cli.progress());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "solver '%s': %s\n", solver.c_str(), error.what());
     std::fprintf(stderr, "registered solvers:\n");
@@ -191,18 +171,20 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
+  const core::Solution& solution = outcome.solution;
+  const double cost = outcome.cost_j_per_bit;
   std::printf("solver %s: total recharging cost %s per reported bit\n", solver.c_str(),
               util::format_energy(cost).c_str());
-  run_report.add("cost_j_per_bit", cost);
 
-  // Charger feasibility.
-  sim::ChargerConfig charger;
-  charger.radiated_power_w = charger_power;
-  charger.speed_mps = charger_speed;
-  const auto feasibility = sim::analyze_patrol(instance, solution, charger, bits);
-  const auto tour = sim::plan_tour(instance);
+  obs::RunReport run_report("wrsn deployment plan");
+  svc::add_plan_sections(run_report, instance, outcome,
+                         field_path.empty() ? "generated" : field_path,
+                         static_cast<std::int64_t>(seed), eta, bits, solver);
+
+  // Charger feasibility table (the sections above already carry the values).
+  const sim::PatrolFeasibility& feasibility = outcome.feasibility;
   util::Table report({"charger metric", "value"});
-  report.begin_row().add("patrol tour length [m]").add(tour.length_m, 1);
+  report.begin_row().add("patrol tour length [m]").add(outcome.tour.length_m, 1);
   report.begin_row().add("network RF demand [W]").add(feasibility.demand_w, 4);
   report.begin_row().add("charger duty cycle").add(feasibility.duty, 4);
   report.begin_row().add("feasible with one charger").add(feasibility.feasible ? "yes" : "NO");
@@ -212,15 +194,6 @@ int main(int argc, char** argv) {
         feasibility.min_battery_capacity_j, 4);
   }
   report.print_ascii(std::cout);
-  run_report.begin_section("charger")
-      .add("tour_length_m", tour.length_m)
-      .add("demand_w", feasibility.demand_w)
-      .add("duty_cycle", feasibility.duty)
-      .add("feasible", feasibility.feasible);
-  if (feasibility.feasible) {
-    run_report.add("cycle_time_s", feasibility.cycle_time_s)
-        .add("min_battery_j", feasibility.min_battery_capacity_j);
-  }
 
   // Dry-run the plan: rounds of reporting against finite batteries, metered
   // through the same sink so sim/* metrics land next to the solver's.

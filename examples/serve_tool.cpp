@@ -1,0 +1,87 @@
+// wrsn_serve: the planning daemon.  Binds the `wrsn-rpc v1` listeners
+// (unix socket and/or loopback TCP), prints one "ready" line so scripts can
+// wait on it, then serves until a client sends `shutdown` or the process
+// receives SIGINT/SIGTERM.  Protocol: docs/service.md.
+//
+//   build/examples/serve_tool --unix-socket=wrsn.sock
+//   build/examples/serve_tool --tcp-port=0 --workers=4 --cache-capacity=16
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "svc/server.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+wrsn::svc::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int tcp_port = -1;
+  int workers = 2;
+  int cache_capacity = 8;
+  int queue_capacity = 64;
+  double default_deadline_s = 300.0;
+
+  wrsn::util::Flags flags;
+  flags.add_string("unix-socket", &unix_path, "unix socket path to listen on (empty = none)")
+      .add_int("tcp-port", &tcp_port, "loopback TCP port (-1 = none, 0 = ephemeral)")
+      .add_int("workers", &workers, "request worker threads (<= 0 = hardware concurrency)")
+      .add_int("cache-capacity", &cache_capacity, "session cache capacity (scenarios kept warm)")
+      .add_int("queue-capacity", &queue_capacity, "dispatch queue bound before `overloaded`")
+      .add_double("default-deadline-s", &default_deadline_s,
+                  "deadline for requests that do not set deadline_s");
+  if (!flags.parse(argc, argv)) return 2;
+
+  if (unix_path.empty() && tcp_port < 0) {
+    std::fprintf(stderr, "serve_tool: need --unix-socket and/or --tcp-port\n");
+    return 2;
+  }
+  if (cache_capacity < 1 || queue_capacity < 1) {
+    std::fprintf(stderr, "serve_tool: --cache-capacity and --queue-capacity must be >= 1\n");
+    return 2;
+  }
+
+  wrsn::svc::ServerOptions options;
+  options.unix_path = unix_path;
+  options.tcp_port = tcp_port;
+  options.workers = workers;
+  options.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  options.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  options.default_deadline_s = default_deadline_s;
+
+  wrsn::svc::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_tool: %s\n", e.what());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // One machine-greppable readiness line; scripts poll for "ready".
+  if (!unix_path.empty()) {
+    std::printf("wrsn_serve ready unix=%s\n", unix_path.c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("wrsn_serve ready tcp=%d\n", server.tcp_port());
+  }
+  std::fflush(stdout);
+
+  server.wait();
+  g_server = nullptr;
+  std::printf("wrsn_serve stopped: served=%llu failed=%llu\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.requests_failed()));
+  return 0;
+}

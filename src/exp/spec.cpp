@@ -428,14 +428,17 @@ SweepSpec SweepSpec::load(const std::string& path) {
   return from_json(io::Json::parse(buffer.str()));
 }
 
-std::uint64_t SweepSpec::fingerprint() const {
-  const std::string canonical = to_json().dump();
+std::uint64_t fingerprint_text(std::string_view text) {
   std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis
-  for (unsigned char c : canonical) {
+  for (unsigned char c : text) {
     hash ^= c;
     hash *= 1099511628211ULL;
   }
   return hash;
+}
+
+std::uint64_t SweepSpec::fingerprint() const {
+  return fingerprint_text(to_json().dump());
 }
 
 std::string SweepSpec::fingerprint_hex(std::uint64_t fingerprint) {

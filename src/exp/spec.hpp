@@ -14,12 +14,20 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "io/json.hpp"
 
 namespace wrsn::exp {
+
+/// FNV-1a (64-bit) over arbitrary text.  The one fingerprint primitive the
+/// repo uses for "same bytes -> same work" keys: `SweepSpec::fingerprint()`
+/// hashes the canonical scenario dump with it for checkpoint compatibility,
+/// and the service layer (src/svc) hashes canonical scenario-parameter dumps
+/// with it to key its session cache (docs/service.md).
+std::uint64_t fingerprint_text(std::string_view text);
 
 /// One point of the sweep grid: a concrete instance configuration.
 struct ScenarioConfig {

@@ -333,6 +333,12 @@ const Json* Json::find(std::string_view key) const noexcept {
 
 Json& Json::set(std::string key, Json value) {
   if (kind_ != Kind::Object) fail("set() on a non-object");
+  for (Member& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
   object_.emplace_back(std::move(key), std::move(value));
   return *this;
 }

@@ -77,7 +77,9 @@ class Json {
   const Json* find(std::string_view key) const noexcept;
   bool contains(std::string_view key) const noexcept { return find(key) != nullptr; }
 
-  /// Object append (no de-duplication; scenario files never repeat keys).
+  /// Sets a member: replaces an existing key's value in place (keeping its
+  /// position), appends otherwise -- so built objects never repeat keys and
+  /// callers can override defaults (the svc request builders rely on this).
   Json& set(std::string key, Json value);
   /// Array append.
   Json& push_back(Json value);

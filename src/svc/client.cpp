@@ -1,0 +1,126 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wrsn::svc {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + path + ": " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  return Client(fd);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_all(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+io::Json Client::call(const std::string& method, io::Json params, double deadline_s,
+                      double progress_s, const std::function<void(const io::Json&)>& on_event) {
+  if (fd_ < 0) throw std::runtime_error("Client::call on a closed client");
+  const std::int64_t id = next_id_++;
+
+  io::Json request = io::Json::object();
+  request.set("rpc", io::Json(kRpcName));
+  request.set("v", io::Json(static_cast<std::int64_t>(kRpcVersion)));
+  request.set("id", io::Json(id));
+  request.set("method", io::Json(method));
+  if (deadline_s > 0.0) request.set("deadline_s", io::Json(deadline_s));
+  if (progress_s > 0.0) request.set("progress_s", io::Json(progress_s));
+  request.set("params", std::move(params));
+  send_all(encode_frame(request));
+
+  std::vector<char> buffer(64 * 1024);
+  for (;;) {
+    io::Json frame;
+    std::string error;
+    const FrameReader::Result result = reader_.next(&frame, &error);
+    if (result == FrameReader::Result::kError) {
+      throw std::runtime_error("wrsn-rpc stream broken: " + error);
+    }
+    if (result == FrameReader::Result::kFrame) {
+      if (is_event_frame(frame)) {
+        if (on_event) on_event(frame);
+        continue;
+      }
+      return frame;
+    }
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (n == 0) throw std::runtime_error("server closed the connection mid-call");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("recv failed: ") + std::strerror(errno));
+    }
+    reader_.feed(buffer.data(), static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace wrsn::svc

@@ -1,0 +1,58 @@
+// Blocking `wrsn-rpc v1` client: what loadgen_tool, the loopback tests, and
+// the service bench speak through.  One Client owns one connected stream
+// socket; call() writes a request frame and blocks until the matching
+// response arrives, invoking an optional callback for every event frame
+// (progress heartbeats) received in between.  Not thread-safe: one Client
+// per client thread, mirroring how a real consumer multiplexes by opening
+// connections, not by sharing one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "svc/frame.hpp"
+#include "svc/protocol.hpp"
+
+namespace wrsn::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a unix-socket path.  Throws std::runtime_error on failure.
+  static Client connect_unix(const std::string& path);
+  /// Connects to a loopback TCP port.  Throws std::runtime_error on failure.
+  static Client connect_tcp(int port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Sends `{method, params}` (plus deadline/progress knobs when > 0) and
+  /// blocks for the response frame.  Event frames received before it are
+  /// passed to `on_event` (may be nullptr).  Returns the full response
+  /// envelope -- `ok` true with `result`, or `ok` false with `error`; the
+  /// caller inspects which.  Throws std::runtime_error when the connection
+  /// breaks or the server answers with an unrecoverable framing error.
+  io::Json call(const std::string& method, io::Json params, double deadline_s = 0.0,
+                double progress_s = 0.0,
+                const std::function<void(const io::Json&)>& on_event = nullptr);
+
+  /// Requests issued so far (also the id generator).
+  std::int64_t calls() const noexcept { return next_id_ - 1; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  void send_all(const std::string& bytes);
+
+  int fd_ = -1;
+  std::int64_t next_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace wrsn::svc

@@ -1,0 +1,72 @@
+#include "svc/frame.hpp"
+
+#include <stdexcept>
+
+namespace wrsn::svc {
+
+std::string encode_frame(const io::Json& body) {
+  std::string payload = body.dump();
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::length_error("wrsn-rpc frame body exceeds kMaxFrameBytes (" +
+                            std::to_string(payload.size()) + " bytes)");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame += payload;
+  return frame;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  if (failed_) return;  // stream already dead; drop bytes
+  buffer_.append(data, size);
+  // Reclaim decoded prefix bytes once they dominate the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+FrameReader::Result FrameReader::next(io::Json* out, std::string* error) {
+  if (failed_) {
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  }
+  const auto fail = [&](std::string why) {
+    failed_ = true;
+    error_ = std::move(why);
+    if (error != nullptr) *error = error_;
+    return Result::kError;
+  };
+
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Result::kNeedMore;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  const std::uint32_t length = (static_cast<std::uint32_t>(p[0]) << 24) |
+                               (static_cast<std::uint32_t>(p[1]) << 16) |
+                               (static_cast<std::uint32_t>(p[2]) << 8) |
+                               static_cast<std::uint32_t>(p[3]);
+  if (length == 0) return fail("bad-frame: zero-length frame");
+  if (length > max_frame_bytes_) {
+    return fail("bad-frame: frame length " + std::to_string(length) + " exceeds limit " +
+                std::to_string(max_frame_bytes_));
+  }
+  if (available < 4u + length) return Result::kNeedMore;
+
+  const std::string_view payload(buffer_.data() + consumed_ + 4, length);
+  try {
+    io::Json parsed = io::Json::parse(payload);
+    if (out != nullptr) *out = std::move(parsed);
+  } catch (const io::JsonError& e) {
+    return fail(std::string("bad-frame: body is not valid JSON: ") + e.what());
+  }
+  consumed_ += 4u + length;
+  return Result::kFrame;
+}
+
+}  // namespace wrsn::svc

@@ -1,0 +1,69 @@
+// `wrsn-rpc v1` wire framing: 4-byte big-endian length prefix + one JSON
+// document (io::Json, compact dump) per frame.
+//
+// The service layer (docs/service.md) talks length-prefixed JSON over
+// stream sockets.  Framing is deliberately the dumbest thing that works --
+// no varints, no checksums, no compression -- because every payload is a
+// small JSON object and the failure modes that matter (truncated stream,
+// garbage bytes, hostile length) are all decidable from the prefix alone.
+// `FrameReader` is a pure incremental decoder: feed it whatever the socket
+// produced, pull complete frames out; it never blocks and never touches a
+// file descriptor, so the codec is testable without a socket in sight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace wrsn::svc {
+
+/// Hard cap on one frame's JSON body.  A length prefix above this is a
+/// protocol error (the peer is broken or hostile), not a large request:
+/// the reader reports it without ever allocating the claimed bytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024u * 1024u;
+
+/// Encodes one frame: 4-byte big-endian body length, then the compact
+/// (single-line) JSON dump.  Throws std::length_error when the dump would
+/// exceed kMaxFrameBytes.
+std::string encode_frame(const io::Json& body);
+
+/// Incremental frame decoder.  Typical loop:
+///
+///   reader.feed(buf, n);                       // bytes from recv()
+///   io::Json body; std::string error;
+///   while (reader.next(&body, &error) == FrameReader::Result::kFrame) ...
+///   if (error-state) close the connection;     // kError is sticky
+class FrameReader {
+ public:
+  enum class Result {
+    kFrame,     ///< one complete frame decoded into *out
+    kNeedMore,  ///< prefix or body still incomplete; feed more bytes
+    kError,     ///< unrecoverable stream error; *error says why
+  };
+
+  explicit FrameReader(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the stream.
+  void feed(const char* data, std::size_t size);
+
+  /// Tries to decode the next frame from the buffered bytes.  kError is
+  /// sticky: a stream that produced an oversized length, a zero length, or
+  /// an unparseable body has lost framing and must be torn down (there is
+  /// no way to resynchronize a length-prefixed stream).
+  Result next(io::Json* out, std::string* error);
+
+  /// Bytes buffered but not yet consumed (diagnostics/tests).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace wrsn::svc

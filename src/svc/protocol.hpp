@@ -1,0 +1,96 @@
+// `wrsn-rpc v1` message grammar: request/response/error/event envelopes and
+// the scenario-parameter block shared by every planning method.
+//
+// This header is the C++ twin of the normative spec in docs/service.md --
+// anything that changes here changes there first.  The envelope helpers are
+// pure Json-in/Json-out so the grammar is testable without a socket, and the
+// scenario block canonicalizes to a fixed key order so its FNV-1a
+// fingerprint (exp::fingerprint_text) is a stable session-cache key: two
+// requests describe the same instance iff their canonical dumps are
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace wrsn::svc {
+
+/// Protocol identity carried by every frame.
+inline constexpr const char* kRpcName = "wrsn-rpc";
+inline constexpr int kRpcVersion = 1;
+
+/// Error codes (docs/service.md "Errors").  Stable strings, not numbers:
+/// greppable in logs and self-describing on the wire.
+enum class ErrorCode {
+  kBadFrame,       ///< framing lost (length/JSON); connection is torn down
+  kBadRequest,     ///< envelope malformed (missing id/method, wrong rpc/v)
+  kUnknownMethod,  ///< method not in the method table
+  kBadParams,      ///< params failed validation for this method
+  kSolverReject,   ///< solver spec rejected by core::SolverRegistry
+  kTimeout,        ///< deadline_s exceeded (queue wait or completed too late)
+  kOverloaded,     ///< dispatch queue full; retry later
+  kShuttingDown,   ///< server is stopping; no new work accepted
+  kInternal,       ///< unexpected exception while serving the request
+};
+
+/// Wire form of an error code ("bad-frame", "timeout", ...).
+const char* error_code_name(ErrorCode code);
+
+/// One parsed request envelope.
+struct Request {
+  std::int64_t id = 0;        ///< client-chosen correlation id, echoed back
+  std::string method;         ///< plan | evaluate | simulate | place | ping | shutdown
+  double deadline_s = 0.0;    ///< 0 = server default
+  double progress_s = 0.0;    ///< >0 = stream progress event frames at this interval
+  io::Json params;            ///< method-specific block (object; may be absent)
+};
+
+/// Validates a decoded frame as a `wrsn-rpc v1` request.  Returns false and
+/// fills *error when the envelope is malformed (wrong rpc/v, missing or
+/// non-integer id, missing method, non-object params).
+bool parse_request(const io::Json& frame, Request* out, std::string* error);
+
+/// Success envelope: {"rpc","v","id","ok":true,"result":...}.
+io::Json make_response(std::int64_t id, io::Json result);
+/// Error envelope: {"rpc","v","id","ok":false,"error":{"code","message"}}.
+io::Json make_error(std::int64_t id, ErrorCode code, const std::string& message);
+/// Event frame (same stream, not a reply): {"rpc","v","id","event",<data>}.
+/// Used for `wrsn-progress v1` heartbeats relayed as {"event":"progress"}.
+io::Json make_event(std::int64_t id, const std::string& event, io::Json data);
+
+/// Classifies a decoded frame on the client side.
+bool is_event_frame(const io::Json& frame);
+
+/// The scenario-parameter block: everything needed to rebuild the instance
+/// plan_tool would build for the same flags (geometric field rejection-
+/// sampled until connected, uniform-level radio, charging model, budget).
+/// Defaults mirror plan_tool's so an empty {} scenario is valid.
+struct Scenario {
+  int posts = 40;
+  int nodes = 160;
+  double side = 300.0;
+  std::int64_t seed = 1;
+  int levels = 3;
+  double range_step = 25.0;
+  double eta = 0.01;
+  std::string charging_kind = "linear";  ///< linear | sublinear | saturating
+  double charging_param = 1.0;
+
+  /// Canonical JSON: every key present, fixed order, lexical defaults --
+  /// the fingerprint pre-image.  Two Scenarios with equal canonical dumps
+  /// build bit-identical instances.
+  io::Json to_canonical_json() const;
+  /// exp::fingerprint_text over the canonical compact dump.
+  std::uint64_t fingerprint() const;
+  /// Lower-case 16-hex-digit form (exp::SweepSpec::fingerprint_hex).
+  std::string fingerprint_hex() const;
+
+  /// Reads a scenario block, applying defaults for absent keys.  Throws
+  /// io::JsonError on type mismatches and std::invalid_argument on
+  /// out-of-range values (posts < 1, nodes < posts, bad charging kind, ...).
+  static Scenario from_json(const io::Json& json);
+};
+
+}  // namespace wrsn::svc

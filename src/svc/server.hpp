@@ -1,0 +1,157 @@
+// `wrsn_serve`: the planning daemon behind examples/serve_tool.
+//
+// One Server owns up to two stream listeners (AF_UNIX + TCP), a reader
+// thread per accepted connection, a bounded dispatch queue, and a fixed
+// worker pool that executes `wrsn-rpc v1` requests (docs/service.md) against
+// the fingerprint-keyed SessionCache.  The split of threads is deliberate:
+//
+//   * readers only decode frames and enqueue -- a slow solve never stops the
+//     server from *reading* (and rejecting, and answering ping on) other
+//     connections;
+//   * util::ThreadPool stays what it is -- a deterministic fork-join pool
+//     for data-parallel solver internals -- and is NOT used for dispatch:
+//     request execution needs a task queue with back-pressure and deadlines,
+//     which a barrier-synchronized parallel_for cannot express.  Solvers a
+//     request launches still use their own pools internally.
+//
+// Deadlines are cooperative, not preemptive: a request is failed with
+// `timeout` if its deadline passed while queued, or if it completed after
+// the deadline (the reply is replaced by the error) -- a solve in flight is
+// never interrupted.  Replies and progress event frames for one connection
+// are serialized by a per-connection write lock, so concurrent workers never
+// interleave bytes within a frame.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/frame.hpp"
+#include "svc/protocol.hpp"
+#include "svc/session_cache.hpp"
+
+namespace wrsn::obs {
+class ProgressSink;
+}
+
+namespace wrsn::svc {
+
+struct ServerOptions {
+  /// Unix-socket path to listen on; empty = no unix listener.  An existing
+  /// socket file at the path is unlinked first (stale from a dead server).
+  std::string unix_path;
+  /// TCP port to listen on (loopback): < 0 = no TCP listener, 0 = ephemeral
+  /// (read the chosen port back with Server::tcp_port()).
+  int tcp_port = -1;
+  /// Worker threads executing requests.  <= 0 = hardware concurrency.
+  int workers = 2;
+  /// SessionCache capacity (scenarios kept warm).
+  std::size_t cache_capacity = 8;
+  /// Dispatch queue bound; a request arriving on a full queue is rejected
+  /// with `overloaded` instead of growing the queue without limit.
+  std::size_t queue_capacity = 64;
+  /// Deadline applied when a request does not set `deadline_s` itself.
+  double default_deadline_s = 300.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and launches the accept/worker threads.
+  /// Throws std::runtime_error when a listener cannot be bound.
+  void start();
+
+  /// Initiates a graceful stop: listeners close, queued-but-unstarted
+  /// requests are failed with `shutting-down`, in-flight requests finish
+  /// and reply.  Safe to call from a worker (the `shutdown` method) or
+  /// another thread; returns immediately.
+  void request_stop();
+
+  /// Blocks until a stop was requested and every thread has exited.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  bool stopping() const noexcept { return stopping_.load(std::memory_order_acquire); }
+
+  /// Bound TCP port (resolves ephemeral 0), or -1 without a TCP listener.
+  int tcp_port() const noexcept { return bound_tcp_port_; }
+  const std::string& unix_path() const noexcept { return options_.unix_path; }
+
+  SessionCache& cache() noexcept { return cache_; }
+  std::uint64_t requests_served() const noexcept { return requests_served_.load(); }
+  std::uint64_t requests_failed() const noexcept { return requests_failed_.load(); }
+
+ private:
+  struct Connection {
+    ~Connection();  ///< closes fd; runs only after the last Task released it
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> alive{true};
+  };
+
+  struct Task {
+    std::shared_ptr<Connection> connection;
+    Request request;
+    std::chrono::steady_clock::time_point enqueued;
+    double deadline_s = 0.0;
+  };
+
+  void accept_loop(int listen_fd);
+  void reader_loop(std::shared_ptr<Connection> connection);
+  void worker_loop();
+  void execute(Task& task);
+  /// Serializes `frame` and writes it to `connection` under its write lock.
+  /// A failed write marks the connection dead (the peer is gone).
+  static void write_frame(Connection& connection, const io::Json& frame);
+
+  // Method handlers; each returns the result object or throws.
+  io::Json handle_ping();
+  io::Json handle_plan(const Request& request, obs::ProgressSink* progress);
+  io::Json handle_evaluate(const Request& request);
+  io::Json handle_simulate(const Request& request, obs::ProgressSink* progress);
+  io::Json handle_place(const Request& request);
+
+  ServerOptions options_;
+  SessionCache cache_;
+  int bound_tcp_port_ = -1;
+  std::vector<int> listen_fds_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+
+  /// A reader thread plus its exit flag.  A finished-but-unjoined thread
+  /// still holds a kernel task, so a long-lived server must reap readers as
+  /// connections close (accept_loop joins `done` readers on every accept)
+  /// rather than letting handles pile up until wait().
+  struct Reader {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
+};
+
+}  // namespace wrsn::svc

@@ -1,0 +1,143 @@
+// wrsn-rpc v1 framing (svc/frame.hpp): round-trips, incremental decode, and
+// the three unrecoverable stream errors (zero length, oversized length,
+// garbage body) -- all without a socket, per the codec's design.
+#include "svc/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wrsn::svc {
+namespace {
+
+io::Json sample_body(int id) {
+  io::Json body = io::Json::object();
+  body.set("rpc", io::Json("wrsn-rpc"));
+  body.set("id", io::Json(id));
+  body.set("method", io::Json("ping"));
+  return body;
+}
+
+TEST(SvcFrame, EncodesBigEndianLengthPrefix) {
+  const std::string frame = encode_frame(sample_body(1));
+  const std::string payload = sample_body(1).dump();
+  ASSERT_EQ(frame.size(), 4 + payload.size());
+  const auto* p = reinterpret_cast<const unsigned char*>(frame.data());
+  const std::uint32_t length = (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+                               (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+  EXPECT_EQ(length, payload.size());
+  EXPECT_EQ(frame.substr(4), payload);
+}
+
+TEST(SvcFrame, RoundTripsOneFrame) {
+  FrameReader reader;
+  const std::string frame = encode_frame(sample_body(7));
+  reader.feed(frame.data(), frame.size());
+  io::Json decoded;
+  std::string error;
+  ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(decoded.dump(), sample_body(7).dump());
+  EXPECT_EQ(reader.next(&decoded, &error), FrameReader::Result::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(SvcFrame, DecodesMultipleFramesFromOneFeed) {
+  FrameReader reader;
+  std::string bytes = encode_frame(sample_body(1));
+  bytes += encode_frame(sample_body(2));
+  bytes += encode_frame(sample_body(3));
+  reader.feed(bytes.data(), bytes.size());
+  for (int id = 1; id <= 3; ++id) {
+    io::Json decoded;
+    std::string error;
+    ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kFrame) << "frame " << id;
+    EXPECT_EQ(decoded.find("id")->as_int(), id);
+  }
+  EXPECT_EQ(reader.next(nullptr, nullptr), FrameReader::Result::kNeedMore);
+}
+
+TEST(SvcFrame, HandlesByteAtATimeDelivery) {
+  FrameReader reader;
+  const std::string frame = encode_frame(sample_body(42));
+  io::Json decoded;
+  std::string error;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(frame.data() + i, 1);
+    ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kNeedMore) << "byte " << i;
+  }
+  reader.feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kFrame);
+  EXPECT_EQ(decoded.find("id")->as_int(), 42);
+}
+
+TEST(SvcFrame, TruncatedBodyNeedsMore) {
+  FrameReader reader;
+  const std::string frame = encode_frame(sample_body(1));
+  reader.feed(frame.data(), frame.size() - 3);
+  EXPECT_EQ(reader.next(nullptr, nullptr), FrameReader::Result::kNeedMore);
+  EXPECT_GT(reader.buffered(), 0u);
+}
+
+TEST(SvcFrame, ZeroLengthIsStickyError) {
+  FrameReader reader;
+  const char zeros[4] = {0, 0, 0, 0};
+  reader.feed(zeros, sizeof(zeros));
+  io::Json decoded;
+  std::string error;
+  ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kError);
+  EXPECT_NE(error.find("zero-length"), std::string::npos);
+  // Sticky: a valid frame fed afterwards is never decoded.
+  const std::string valid = encode_frame(sample_body(1));
+  reader.feed(valid.data(), valid.size());
+  EXPECT_EQ(reader.next(&decoded, &error), FrameReader::Result::kError);
+}
+
+TEST(SvcFrame, OversizedLengthRejectedWithoutAllocating) {
+  FrameReader reader(64);  // tiny cap so the test stays cheap
+  const unsigned char prefix[4] = {0x00, 0x00, 0x01, 0x00};  // 256 > 64
+  reader.feed(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  io::Json decoded;
+  std::string error;
+  ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kError);
+  EXPECT_NE(error.find("exceeds limit"), std::string::npos);
+}
+
+TEST(SvcFrame, GarbageBodyIsStickyError) {
+  FrameReader reader;
+  const std::string garbage = "not json!";
+  std::string bytes;
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(static_cast<char>(garbage.size()));
+  bytes += garbage;
+  reader.feed(bytes.data(), bytes.size());
+  io::Json decoded;
+  std::string error;
+  ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kError);
+  EXPECT_NE(error.find("not valid JSON"), std::string::npos);
+  EXPECT_EQ(reader.next(&decoded, &error), FrameReader::Result::kError);
+}
+
+TEST(SvcFrame, EncodeRejectsOversizedBody) {
+  io::Json body = io::Json::object();
+  body.set("blob", io::Json(std::string(kMaxFrameBytes, 'x')));
+  EXPECT_THROW(encode_frame(body), std::length_error);
+}
+
+TEST(SvcFrame, CompactsConsumedPrefixOnLongStreams) {
+  FrameReader reader;
+  const std::string frame = encode_frame(sample_body(1));
+  // Push enough frames through one reader that the consumed prefix passes
+  // the compaction threshold several times over.
+  for (int i = 0; i < 1000; ++i) {
+    reader.feed(frame.data(), frame.size());
+    io::Json decoded;
+    std::string error;
+    ASSERT_EQ(reader.next(&decoded, &error), FrameReader::Result::kFrame);
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wrsn::svc

@@ -1,0 +1,187 @@
+// wrsn-rpc v1 envelope grammar and the scenario fingerprint contract
+// (svc/protocol.hpp): request validation, response/error/event shapes, and
+// canonical-JSON fingerprint stability (the session-cache key).
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/spec.hpp"
+
+namespace wrsn::svc {
+namespace {
+
+io::Json valid_request() {
+  io::Json frame = io::Json::object();
+  frame.set("rpc", io::Json(kRpcName));
+  frame.set("v", io::Json(kRpcVersion));
+  frame.set("id", io::Json(17));
+  frame.set("method", io::Json("plan"));
+  return frame;
+}
+
+TEST(SvcProtocol, ParsesMinimalRequest) {
+  Request request;
+  std::string error;
+  ASSERT_TRUE(parse_request(valid_request(), &request, &error)) << error;
+  EXPECT_EQ(request.id, 17);
+  EXPECT_EQ(request.method, "plan");
+  EXPECT_EQ(request.deadline_s, 0.0);
+  EXPECT_EQ(request.progress_s, 0.0);
+  EXPECT_TRUE(request.params.is_object());
+  EXPECT_TRUE(request.params.as_object().empty());
+}
+
+TEST(SvcProtocol, ParsesOptionalFields) {
+  io::Json frame = valid_request();
+  frame.set("deadline_s", io::Json(2.5));
+  frame.set("progress_s", io::Json(0.25));
+  io::Json params = io::Json::object();
+  params.set("solver", io::Json("idb"));
+  frame.set("params", params);
+  Request request;
+  std::string error;
+  ASSERT_TRUE(parse_request(frame, &request, &error)) << error;
+  EXPECT_DOUBLE_EQ(request.deadline_s, 2.5);
+  EXPECT_DOUBLE_EQ(request.progress_s, 0.25);
+  EXPECT_EQ(request.params.find("solver")->as_string(), "idb");
+}
+
+TEST(SvcProtocol, RejectsMalformedEnvelopes) {
+  const auto rejects = [](io::Json frame, const char* needle) {
+    Request request;
+    std::string error;
+    EXPECT_FALSE(parse_request(frame, &request, &error));
+    EXPECT_NE(error.find(needle), std::string::npos) << error;
+  };
+  rejects(io::Json("not an object"), "not a JSON object");
+
+  io::Json wrong_rpc = valid_request();
+  wrong_rpc.set("rpc", io::Json("other-protocol"));
+  rejects(wrong_rpc, "rpc");
+
+  io::Json wrong_version = valid_request();
+  wrong_version.set("v", io::Json(2));
+  rejects(wrong_version, "v1");
+
+  io::Json no_id = io::Json::object();
+  no_id.set("rpc", io::Json(kRpcName));
+  no_id.set("v", io::Json(kRpcVersion));
+  no_id.set("method", io::Json("ping"));
+  rejects(no_id, "id");
+
+  io::Json no_method = valid_request();
+  no_method.set("method", io::Json(""));
+  rejects(no_method, "method");
+
+  io::Json negative_deadline = valid_request();
+  negative_deadline.set("deadline_s", io::Json(-1.0));
+  rejects(negative_deadline, "negative");
+
+  io::Json bad_params = valid_request();
+  bad_params.set("params", io::Json(5));
+  rejects(bad_params, "params");
+}
+
+TEST(SvcProtocol, EnvelopeShapes) {
+  io::Json result = io::Json::object();
+  result.set("pong", io::Json(true));
+  const io::Json response = make_response(3, result);
+  EXPECT_EQ(response.find("rpc")->as_string(), kRpcName);
+  EXPECT_EQ(response.find("v")->as_int(), kRpcVersion);
+  EXPECT_EQ(response.find("id")->as_int(), 3);
+  EXPECT_TRUE(response.find("ok")->as_bool());
+  EXPECT_TRUE(response.find("result")->find("pong")->as_bool());
+  EXPECT_FALSE(is_event_frame(response));
+
+  const io::Json error = make_error(4, ErrorCode::kTimeout, "too slow");
+  EXPECT_FALSE(error.find("ok")->as_bool());
+  EXPECT_EQ(error.find("error")->find("code")->as_string(), "timeout");
+  EXPECT_EQ(error.find("error")->find("message")->as_string(), "too slow");
+
+  const io::Json event = make_event(5, "progress", io::Json::object());
+  EXPECT_TRUE(is_event_frame(event));
+  EXPECT_EQ(event.find("event")->as_string(), "progress");
+}
+
+TEST(SvcProtocol, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadFrame), "bad-frame");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "bad-request");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownMethod), "unknown-method");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadParams), "bad-params");
+  EXPECT_STREQ(error_code_name(ErrorCode::kSolverReject), "solver-reject");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting-down");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(SvcProtocol, CanonicalScenarioHasFixedKeyOrder) {
+  const Scenario scenario;
+  const io::Json canonical = scenario.to_canonical_json();
+  const auto& members = canonical.as_object();
+  ASSERT_EQ(members.size(), 8u);
+  const char* expected[] = {"posts", "nodes",      "side", "seed",
+                            "levels", "range_step", "eta",  "charging"};
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(members[i].first, expected[i]) << "key " << i;
+  }
+}
+
+TEST(SvcProtocol, FingerprintIsCanonicalDumpFingerprint) {
+  const Scenario scenario;
+  EXPECT_EQ(scenario.fingerprint(),
+            exp::fingerprint_text(scenario.to_canonical_json().dump()));
+  EXPECT_EQ(scenario.fingerprint_hex().size(), 16u);
+}
+
+TEST(SvcProtocol, FingerprintSeparatesScenariosAndIgnoresSpelling) {
+  Scenario a;
+  Scenario b;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.seed = 2;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  // A request spelling only non-default keys fingerprints the same as one
+  // spelling every default explicitly: the canonical form is the key.
+  io::Json sparse = io::Json::object();
+  sparse.set("seed", io::Json(2));
+  const Scenario parsed = Scenario::from_json(sparse);
+  EXPECT_EQ(parsed.fingerprint(), b.fingerprint());
+}
+
+TEST(SvcProtocol, FromJsonAppliesDefaultsAndValidates) {
+  const Scenario defaults = Scenario::from_json(io::Json::object());
+  EXPECT_EQ(defaults.posts, 40);
+  EXPECT_EQ(defaults.nodes, 160);
+  EXPECT_EQ(defaults.charging_kind, "linear");
+
+  io::Json charging_block = io::Json::object();
+  io::Json charging = io::Json::object();
+  charging.set("kind", io::Json("saturating"));
+  charging.set("param", io::Json(0.5));
+  charging_block.set("charging", charging);
+  const Scenario saturating = Scenario::from_json(charging_block);
+  EXPECT_EQ(saturating.charging_kind, "saturating");
+  EXPECT_DOUBLE_EQ(saturating.charging_param, 0.5);
+
+  const auto rejects = [](const char* key, io::Json value) {
+    io::Json json = io::Json::object();
+    json.set(key, std::move(value));
+    EXPECT_THROW(Scenario::from_json(json), std::invalid_argument) << key;
+  };
+  rejects("posts", io::Json(0));
+  rejects("nodes", io::Json(1));  // < default posts
+  rejects("side", io::Json(0.0));
+  rejects("levels", io::Json(0));
+  rejects("range_step", io::Json(-1.0));
+  rejects("eta", io::Json(0.0));
+  rejects("typo_key", io::Json(1));
+
+  io::Json bad_kind = io::Json::object();
+  io::Json kind = io::Json::object();
+  kind.set("kind", io::Json("quadratic"));
+  bad_kind.set("charging", kind);
+  EXPECT_THROW(Scenario::from_json(bad_kind), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wrsn::svc
