@@ -65,6 +65,10 @@ class FrameProgressSink : public obs::ProgressSink {
 
   void emit(const obs::ProgressEvent& event) override {
     io::Json data = io::Json::object();
+    // Producer fields first, envelope keys last: a source field that happens
+    // to be named "source"/"seq"/"t_s"/"final" must not clobber the envelope
+    // metadata clients key on.
+    for (const auto& [key, value] : event.fields) data.set(key, io::Json(value));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!event.final_event && !due(event.source)) return;
@@ -76,7 +80,6 @@ class FrameProgressSink : public obs::ProgressSink {
       state.last_s = seconds_since(start_);
       state.started = true;
     }
-    for (const auto& [key, value] : event.fields) data.set(key, io::Json(value));
     write_(make_event(request_id_, "progress", std::move(data)));
   }
 
@@ -293,13 +296,11 @@ void Server::accept_loop(int listen_fd) {
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    if (stopping()) {
-      ::close(fd);
-      break;
-    }
+    if (stopping()) break;  // Connection destructor closes fd
     // Prune dead weak_ptrs and reap exited readers so a long-lived server
     // does not accumulate them (an unjoined thread keeps its kernel task).
     std::erase_if(connections_, [](const auto& weak) { return weak.expired(); });
+    connections_.push_back(connection);
     std::erase_if(readers_, [](const std::unique_ptr<Reader>& reader) {
       if (!reader->done.load(std::memory_order_acquire)) return false;
       reader->thread.join();

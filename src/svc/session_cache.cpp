@@ -60,6 +60,7 @@ std::shared_ptr<Session> SessionCache::acquire(const Scenario& scenario, bool* w
   std::shared_future<std::shared_ptr<Session>> future;
   std::promise<std::shared_ptr<Session>> promise;
   bool build_here = false;
+  std::uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(fingerprint);
@@ -76,8 +77,9 @@ std::shared_ptr<Session> SessionCache::acquire(const Scenario& scenario, bool* w
       if (was_hit != nullptr) *was_hit = false;
       build_here = true;
       future = promise.get_future().share();
+      generation = ++next_generation_;
       lru_.push_front(fingerprint);
-      entries_.emplace(fingerprint, Entry{future, lru_.begin()});
+      entries_.emplace(fingerprint, Entry{future, lru_.begin(), generation});
       // Evict the coldest entry beyond capacity.  Holders of the evicted
       // shared_ptr (in-flight requests, still-building futures) keep it
       // alive; the cache just forgets it.
@@ -101,11 +103,13 @@ std::shared_ptr<Session> SessionCache::acquire(const Scenario& scenario, bool* w
     return session;
   } catch (...) {
     promise.set_exception(std::current_exception());
-    // Erase the poisoned entry (unless eviction already did) so a retry of
-    // the same scenario rebuilds instead of rethrowing the cached failure.
+    // Erase the poisoned entry so a retry of the same scenario rebuilds
+    // instead of rethrowing the cached failure.  Only erase our own
+    // generation: eviction may already have dropped it and another thread
+    // re-inserted a healthy entry under the same fingerprint.
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(fingerprint);
-    if (it != entries_.end()) {
+    if (it != entries_.end() && it->second.generation == generation) {
       lru_.erase(it->second.lru);
       entries_.erase(it);
       cache_sessions().set(static_cast<double>(entries_.size()));

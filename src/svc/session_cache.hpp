@@ -99,12 +99,16 @@ class SessionCache {
   struct Entry {
     std::shared_future<std::shared_ptr<Session>> session;
     std::list<std::uint64_t>::iterator lru;  ///< position in lru_ (front = hottest)
+    /// Distinguishes this insertion from any later re-insert of the same
+    /// fingerprint, so a failed builder only erases its own entry.
+    std::uint64_t generation = 0;
   };
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;
+  std::uint64_t next_generation_ = 0;
   CacheStats stats_;
 };
 

@@ -313,6 +313,23 @@ TEST(SvcServerTcp, EphemeralPortRoundTrip) {
   server.stop();
 }
 
+TEST(SvcServerShutdown, StopUnblocksIdleConnections) {
+  const std::string path = test_socket_path() + ".idle";
+  ServerOptions options;
+  options.unix_path = path;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client = Client::connect_unix(path);
+  const io::Json reply = client.call("ping", io::Json::object());
+  ASSERT_NE(require_result(reply), nullptr);
+  // The client stays connected and idle across stop(): request_stop() must
+  // shut down the live connection fd so the blocked reader's recv() wakes;
+  // otherwise stop() hangs until the client voluntarily disconnects.
+  server.stop();
+  EXPECT_TRUE(server.stopping());
+}
+
 TEST(SvcServerShutdown, ShutdownMethodStopsServer) {
   const std::string path = test_socket_path() + ".shutdown";
   ServerOptions options;
